@@ -1,0 +1,57 @@
+//! Criterion bench: simulation-backend op throughput and cost-model
+//! evaluation (the substrate behind Table 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use halo_ckks::{Backend, CkksParams, CostModel, CostedOp, SimBackend};
+
+fn bench_backend_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_backend");
+    for log_slots in [6u32, 10, 13] {
+        let params = CkksParams { poly_degree: 2 << log_slots, ..CkksParams::paper() };
+        let mut be = SimBackend::new(params.clone());
+        let data: Vec<f64> = (0..params.slots()).map(|i| i as f64 * 1e-3).collect();
+        let a = be.encrypt(&data, 10).unwrap();
+        let b = be.encrypt(&data, 10).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("multcc", format!("2^{log_slots} slots")),
+            &(),
+            |bn, ()| bn.iter(|| be.mult(&a, &b).unwrap()),
+        );
+        let mut be2 = SimBackend::new(params.clone());
+        let a2 = be2.encrypt(&data, 10).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("rotate", format!("2^{log_slots} slots")),
+            &(),
+            |bn, ()| bn.iter(|| be2.rotate(&a2, 3).unwrap()),
+        );
+        let mut be3 = SimBackend::new(params);
+        let a3 = be3.encrypt(&data, 1).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("bootstrap", format!("2^{log_slots} slots")),
+            &(),
+            |bn, ()| bn.iter(|| be3.bootstrap(&a3, 16).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let m = CostModel::new();
+    c.bench_function("cost_model_interpolation", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for level in 1..=16 {
+                acc += m.latency_us(CostedOp::MultCC { level });
+                acc += m.latency_us(CostedOp::Bootstrap { target: level });
+            }
+            acc
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_backend_ops, bench_cost_model
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: compilation time per configuration (Table 6's metric
+//! under a statistics-grade harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use halo_bench::{compile_bench, Scale};
+use halo_core::CompilerConfig;
+use halo_ml::bench::flat_benchmarks;
+
+fn bench_compile(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let mut group = c.benchmark_group("compile");
+    for bench in flat_benchmarks() {
+        group.bench_with_input(
+            BenchmarkId::new("HALO", bench.name()),
+            &bench,
+            |bn, bench| {
+                bn.iter(|| {
+                    compile_bench(bench.as_ref(), CompilerConfig::Halo, &[40], scale).unwrap()
+                });
+            },
+        );
+        for iters in [10u64, 40] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("DaCapo@{iters}"), bench.name()),
+                &bench,
+                |bn, bench| {
+                    bn.iter(|| {
+                        compile_bench(bench.as_ref(), CompilerConfig::DaCapo, &[iters], scale)
+                            .unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compile
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: end-to-end interpreter throughput for a compiled
+//! benchmark under each compiler configuration (Figure 4's machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use halo_bench::{bound_inputs, compile_bench, execute, Scale};
+use halo_core::CompilerConfig;
+use halo_ml::bench::{KMeans, Linear, MlBenchmark};
+
+fn bench_execute(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let mut group = c.benchmark_group("execute");
+    let cases: Vec<(&dyn MlBenchmark, u64)> = vec![(&Linear, 10), (&KMeans, 3)];
+    for (bench, iters) in cases {
+        for config in [CompilerConfig::TypeMatched, CompilerConfig::Halo] {
+            let compiled = compile_bench(bench, config, &[iters], scale).unwrap();
+            let inputs = bound_inputs(bench, &[iters], scale);
+            group.bench_with_input(
+                BenchmarkId::new(config.name(), bench.name()),
+                &(),
+                |bn, ()| {
+                    bn.iter(|| execute(&compiled.function, &inputs, scale, false));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_execute
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation: DaCapo candidate-filter width vs. plan quality and compile
+//! time (the design choice behind `CompileOptions::placement_filter`).
+//!
+//! The paper attributes DaCapo's misses to candidate filtering (§7.1);
+//! this sweep quantifies the trade-off on the deepest benchmark.
+
+use std::time::Instant;
+
+use halo_bench::{bound_inputs, execute, options, Scale};
+use halo_core::{compile, CompilerConfig};
+use halo_ml::bench::{KMeans, MlBenchmark};
+
+fn main() {
+    let scale = Scale::from_env();
+    let iters = 20u64;
+    let spec = scale.spec();
+    let src = KMeans.trace_constant(&spec, &[iters]);
+    let inputs = bound_inputs(&KMeans, &[iters], scale);
+    println!("Ablation: placement candidate-filter width (K-means, DaCapo, {iters} iters)");
+    println!("  {:>8} {:>12} {:>14} {:>14}", "filter", "bootstraps", "modeled (s)", "compile (s)");
+    for filter in [8usize, 16, 32, 64, 128, 256, 1024] {
+        let mut opts = options(scale);
+        opts.placement_filter = filter;
+        let t = Instant::now();
+        let compiled = compile(&src, CompilerConfig::DaCapo, &opts).expect("compiles");
+        let compile_s = t.elapsed().as_secs_f64();
+        let m = execute(&compiled.function, &inputs, scale, false);
+        println!(
+            "  {:>8} {:>12} {:>14.3} {:>14.3}",
+            filter,
+            m.stats.bootstrap_count,
+            m.stats.total_us / 1e6,
+            compile_s
+        );
+    }
+    println!("  (wider filters find cheaper plans at higher compile cost — the");
+    println!("   quadratic growth the paper reports for DaCapo's K-means.)");
+}

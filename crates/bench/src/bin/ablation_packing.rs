@@ -1,0 +1,44 @@
+//! Ablation: cost-aware packing vs. packing-always (the pipeline design
+//! choice of DESIGN.md §6.2).
+//!
+//! Forces the Packing configuration's transform on every benchmark and
+//! compares against the cost-aware pipeline's choice.
+
+use halo_bench::{bound_inputs, execute, options, Scale};
+use halo_core::{compile, dce, pack, peel, scale as scale_pass, CompilerConfig};
+use halo_ml::bench::flat_benchmarks;
+
+fn main() {
+    let scale = Scale::from_env();
+    let iters = 40u64;
+    println!("Ablation: cost-aware packing vs. pack-always ({iters} iterations)");
+    println!(
+        "  {:<13} {:>16} {:>16} {:>14} {:>14}",
+        "benchmark", "boots (aware)", "boots (always)", "s (aware)", "s (always)"
+    );
+    for bench in flat_benchmarks() {
+        let src = bench.trace_dynamic(&scale.spec());
+        let inputs = bound_inputs(bench.as_ref(), &[iters], scale);
+        // Cost-aware pipeline (the shipping Packing configuration).
+        let aware = compile(&src, CompilerConfig::Packing, &options(scale)).expect("compiles");
+        let aware_m = execute(&aware.function, &inputs, scale, false);
+        // Pack-always: run the passes by hand, skipping the cost gate.
+        let mut forced = src.clone();
+        peel::peel_loops(&mut forced);
+        pack::pack_loops(&mut forced);
+        dce::run(&mut forced);
+        scale_pass::assign_levels(&mut forced, &options(scale)).expect("levels");
+        dce::run(&mut forced);
+        let forced_m = execute(&forced, &inputs, scale, false);
+        println!(
+            "  {:<13} {:>16} {:>16} {:>14.3} {:>14.3}",
+            bench.name(),
+            aware_m.stats.bootstrap_count,
+            forced_m.stats.bootstrap_count,
+            aware_m.stats.total_us / 1e6,
+            forced_m.stats.total_us / 1e6
+        );
+    }
+    println!("  (identical rows = packing was beneficial anyway; K-means/SVM show");
+    println!("   the deep-body regression the cost gate avoids.)");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 4 (end-to-end latency with bootstrap share).
+use halo_bench::tables::{flat_config_rows, print_fig4, PAPER_ITERS};
+fn main() {
+    let scale = halo_bench::Scale::from_env();
+    let rows = flat_config_rows(scale, PAPER_ITERS);
+    print_fig4(&rows, PAPER_ITERS);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 5 (PCA latency by (outer, inner) iterations).
+use halo_bench::tables::{pca_grid, print_fig5};
+fn main() {
+    let scale = halo_bench::Scale::from_env();
+    let points = pca_grid(scale, &[2, 4, 6, 8], &[2, 4, 6, 8]);
+    print_fig5(&points);
+}

@@ -1,0 +1,64 @@
+//! Developer tool: print the compiled IR of any benchmark under any
+//! configuration.
+//!
+//! ```sh
+//! cargo run -p halo-bench --bin ir_dump -- Linear HALO
+//! cargo run -p halo-bench --bin ir_dump -- PCA Type-matched
+//! ```
+
+use halo_bench::{compile_bench, Scale};
+use halo_core::CompilerConfig;
+use halo_ir::print::{code_size_bytes, print};
+use halo_ml::bench::all_benchmarks;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_name = args.first().map_or("Linear", String::as_str);
+    let config_name = args.get(1).map_or("HALO", String::as_str);
+    let bench = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(bench_name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {bench_name}; pick one of:");
+            for b in all_benchmarks() {
+                eprintln!("  {}", b.name());
+            }
+            std::process::exit(1);
+        });
+    let config = CompilerConfig::ALL
+        .into_iter()
+        .find(|c| c.name().eq_ignore_ascii_case(config_name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown configuration {config_name}; pick one of:");
+            for c in CompilerConfig::ALL {
+                eprintln!("  {}", c.name());
+            }
+            std::process::exit(1);
+        });
+    let scale = Scale::Small;
+    let iters: Vec<u64> = bench.trip_symbols().iter().map(|_| 8).collect();
+    match compile_bench(bench.as_ref(), config, &iters, scale) {
+        Ok(compiled) => {
+            println!(
+                "// {} under {} — peeled {}, packed {}, unrolled {}, tuned {},",
+                bench.name(),
+                config.name(),
+                compiled.peeled,
+                compiled.packed,
+                compiled.unrolled,
+                compiled.tuned
+            );
+            println!(
+                "// {} static bootstraps, {} bytes printed+constants, compiled in {:?}",
+                compiled.static_bootstraps,
+                code_size_bytes(&compiled.function),
+                compiled.compile_time
+            );
+            print!("{}", print(&compiled.function));
+        }
+        Err(e) => {
+            eprintln!("compilation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

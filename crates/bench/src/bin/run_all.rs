@@ -1,0 +1,33 @@
+//! Regenerates every table and figure in sequence (the source of
+//! `EXPERIMENTS.md`'s measured columns).
+use halo_bench::tables::*;
+fn main() {
+    let scale = halo_bench::Scale::from_env();
+    println!("== HALO evaluation, scale {scale:?} ==\n");
+    print_table1(scale);
+    println!();
+    print_table2();
+    println!();
+    print_table3();
+    println!();
+    print_table4(scale, 12);
+    println!();
+    let rows = flat_config_rows(scale, PAPER_ITERS);
+    print_table5(&rows, PAPER_ITERS);
+    println!();
+    print_fig4(&rows, PAPER_ITERS);
+    println!();
+    print_scaling("Table 6: compile time (s)", "compile time", &table6(scale));
+    println!();
+    print_scaling("Table 7: code size (KB)", "code size", &table7(scale));
+    println!();
+    let grid = pca_grid(scale, &[2, 4, 6, 8], &[2, 4, 6, 8]);
+    print_fig5(&grid);
+    println!();
+    let t8: Vec<_> = grid
+        .iter()
+        .filter(|p| p.inner == 2 || p.inner == 8)
+        .cloned()
+        .collect();
+    print_table8(&t8);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (FHE parameters).
+fn main() {
+    halo_bench::tables::print_table1(halo_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (op latency by level).
+fn main() {
+    halo_bench::tables::print_table2();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (bootstrap latency by target level).
+fn main() {
+    halo_bench::tables::print_table3();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 4 (benchmark characteristics + RMSE).
+fn main() {
+    let scale = halo_bench::Scale::from_env();
+    halo_bench::tables::print_table4(scale, 12);
+}

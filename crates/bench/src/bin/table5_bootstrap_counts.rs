@@ -1,0 +1,7 @@
+//! Regenerates Table 5 (bootstrap counts, 40 iterations, 5 compilers).
+use halo_bench::tables::{flat_config_rows, print_table5, PAPER_ITERS};
+fn main() {
+    let scale = halo_bench::Scale::from_env();
+    let rows = flat_config_rows(scale, PAPER_ITERS);
+    print_table5(&rows, PAPER_ITERS);
+}

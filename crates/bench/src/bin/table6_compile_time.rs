@@ -1,0 +1,6 @@
+//! Regenerates Table 6 (compile time sweep).
+use halo_bench::tables::{print_scaling, table6};
+fn main() {
+    let scale = halo_bench::Scale::from_env();
+    print_scaling("Table 6: compile time (s)", "compile time", &table6(scale));
+}

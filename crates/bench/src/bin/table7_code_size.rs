@@ -1,0 +1,6 @@
+//! Regenerates Table 7 (code size sweep).
+use halo_bench::tables::{print_scaling, table7};
+fn main() {
+    let scale = halo_bench::Scale::from_env();
+    print_scaling("Table 7: code size (KB)", "code size", &table7(scale));
+}

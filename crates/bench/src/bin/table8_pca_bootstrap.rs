@@ -1,0 +1,7 @@
+//! Regenerates Table 8 (PCA bootstrap counts).
+use halo_bench::tables::{pca_grid, print_table8};
+fn main() {
+    let scale = halo_bench::Scale::from_env();
+    let points = pca_grid(scale, &[2, 4, 6, 8], &[2, 8]);
+    print_table8(&points);
+}

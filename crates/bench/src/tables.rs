@@ -1,0 +1,456 @@
+//! Row computation and printing for every table and figure of §7.
+
+use std::time::Instant;
+
+use halo_ckks::{CostModel, CostedOp};
+use halo_core::CompilerConfig;
+use halo_ir::print::code_size_bytes;
+use halo_ml::bench::{all_benchmarks, flat_benchmarks, Pca};
+
+use crate::{compile_bench, run_bench, rmse_per_output, Scale};
+
+/// The paper's iteration count for the flat-loop tables.
+pub const PAPER_ITERS: u64 = 40;
+
+/// Table 1: the FHE parameters in use.
+pub fn print_table1(scale: Scale) {
+    let p = scale.params();
+    println!("Table 1: FHE parameters ({scale:?} scale)");
+    println!("  N  (polynomial modulus degree) = 2^{}", p.poly_degree.trailing_zeros());
+    println!("  Q  (coefficient modulus)       = 2^{}", p.log2_q());
+    println!("  Rf (rescaling factor)          = 2^{}", p.rf_bits);
+    println!("  L  (max level after bootstrap) = {}", p.max_level);
+    println!("  slots                          = {}", p.slots());
+}
+
+/// Table 2: op latency (µs) at levels 1/5/10/15.
+pub fn print_table2() {
+    let m = CostModel::new();
+    println!("Table 2: FHE op latency (µs) by operand level");
+    println!("  {:<10} {:>8} {:>8} {:>8} {:>8}", "op", "l=1", "l=5", "l=10", "l=15");
+    type MkOp = fn(u32) -> CostedOp;
+    let rows: [(&str, MkOp); 3] = [
+        ("multcc", |l| CostedOp::MultCC { level: l }),
+        ("rescale", |l| CostedOp::Rescale { level: l }),
+        ("modswitch", |l| CostedOp::ModSwitch { level: l }),
+    ];
+    for (name, mk) in rows {
+        print!("  {name:<10}");
+        for l in [1u32, 5, 10, 15] {
+            print!(" {:>8.0}", m.latency_us(mk(l)));
+        }
+        println!();
+    }
+}
+
+/// Table 3: bootstrap latency (µs) by target level.
+pub fn print_table3() {
+    let m = CostModel::new();
+    println!("Table 3: bootstrap latency (µs) by target level");
+    print!("  target:  ");
+    for t in [4u32, 7, 10, 13, 16] {
+        print!(" {t:>8}");
+    }
+    println!();
+    print!("  latency: ");
+    for t in [4u32, 7, 10, 13, 16] {
+        print!(" {:>8.0}", m.latency_us(CostedOp::Bootstrap { target: t }));
+    }
+    println!();
+}
+
+/// Table 4 rows: benchmark characteristics + measured RMSE band.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Loop nesting depth.
+    pub loop_depth: usize,
+    /// Carried variables per level.
+    pub carried: Vec<usize>,
+    /// Approximated functions.
+    pub approx: &'static str,
+    /// Largest per-output RMSE.
+    pub max_rmse: f64,
+    /// Smallest per-output RMSE.
+    pub min_rmse: f64,
+}
+
+/// Computes Table 4 (encrypted-vs-plain RMSE under the HALO pipeline).
+#[must_use]
+pub fn table4(scale: Scale, iters: u64) -> Vec<Table4Row> {
+    all_benchmarks()
+        .iter()
+        .map(|b| {
+            let trips: Vec<u64> = b.trip_symbols().iter().map(|_| iters).collect();
+            let errs = rmse_per_output(b.as_ref(), &trips, scale).expect("compiles");
+            Table4Row {
+                name: b.name(),
+                loop_depth: b.loop_depth(),
+                carried: b.carried_vars(),
+                approx: b.approx_functions(),
+                max_rmse: errs.iter().copied().fold(0.0, f64::max),
+                min_rmse: errs.iter().copied().fold(f64::INFINITY, f64::min),
+            }
+        })
+        .collect()
+}
+
+/// Prints Table 4.
+pub fn print_table4(scale: Scale, iters: u64) {
+    println!("Table 4: benchmark characteristics and RMSE ({iters} iterations)");
+    println!(
+        "  {:<13} {:>5} {:>12} {:>9} {:>11} {:>11}",
+        "benchmark", "depth", "carried", "approx", "max RMSE", "min RMSE"
+    );
+    for r in table4(scale, iters) {
+        let carried = r
+            .carried
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "  {:<13} {:>5} {:>12} {:>9} {:>11.2e} {:>11.2e}",
+            r.name, r.loop_depth, carried, r.approx, r.max_rmse, r.min_rmse
+        );
+    }
+}
+
+/// Table 5 / Figure 4 rows: per benchmark × configuration.
+#[derive(Debug, Clone)]
+pub struct ConfigRow {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Configuration.
+    pub config: CompilerConfig,
+    /// Executed bootstrap count (Table 5).
+    pub bootstraps: u64,
+    /// Modeled end-to-end latency, µs (Figure 4 bar height).
+    pub total_us: f64,
+    /// Modeled bootstrap latency, µs (Figure 4 hatched part).
+    pub bootstrap_us: f64,
+}
+
+/// Runs the six flat benchmarks under the five configurations at `iters`
+/// iterations (Table 5 + Figure 4 data).
+#[must_use]
+pub fn flat_config_rows(scale: Scale, iters: u64) -> Vec<ConfigRow> {
+    let mut rows = Vec::new();
+    for bench in flat_benchmarks() {
+        for config in CompilerConfig::ALL {
+            let m = run_bench(bench.as_ref(), config, &[iters], scale)
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", bench.name(), config.name()));
+            rows.push(ConfigRow {
+                bench: bench.name(),
+                config,
+                bootstraps: m.stats.bootstrap_count,
+                total_us: m.stats.total_us,
+                bootstrap_us: m.stats.bootstrap_us,
+            });
+        }
+    }
+    rows
+}
+
+/// Prints Table 5 from precomputed rows.
+pub fn print_table5(rows: &[ConfigRow], iters: u64) {
+    println!("Table 5: bootstrapping count at {iters} iterations");
+    print!("  {:<13}", "benchmark");
+    for c in CompilerConfig::ALL {
+        print!(" {:>18}", c.name());
+    }
+    println!();
+    for bench in flat_benchmarks() {
+        print!("  {:<13}", bench.name());
+        for c in CompilerConfig::ALL {
+            let r = rows
+                .iter()
+                .find(|r| r.bench == bench.name() && r.config == c)
+                .expect("row exists");
+            print!(" {:>18}", r.bootstraps);
+        }
+        println!();
+    }
+}
+
+/// Prints Figure 4's series (latency + bootstrap fraction).
+pub fn print_fig4(rows: &[ConfigRow], iters: u64) {
+    println!("Figure 4: end-to-end modeled latency (s) at {iters} iterations");
+    println!("  (hatched = bootstrap share, as in the paper's bars)");
+    for bench in flat_benchmarks() {
+        println!("  {}:", bench.name());
+        for c in CompilerConfig::ALL {
+            let r = rows
+                .iter()
+                .find(|r| r.bench == bench.name() && r.config == c)
+                .expect("row exists");
+            println!(
+                "    {:<18} total {:>9.3} s   bootstrap {:>9.3} s ({:>4.1}%)",
+                c.name(),
+                r.total_us / 1e6,
+                r.bootstrap_us / 1e6,
+                100.0 * r.bootstrap_us / r.total_us.max(1e-12)
+            );
+        }
+    }
+    // Paper headline: HALO vs DaCapo geometric-mean speedup.
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for bench in flat_benchmarks() {
+        let da = rows
+            .iter()
+            .find(|r| r.bench == bench.name() && r.config == CompilerConfig::DaCapo)
+            .expect("row");
+        let halo = rows
+            .iter()
+            .find(|r| r.bench == bench.name() && r.config == CompilerConfig::Halo)
+            .expect("row");
+        log_sum += (da.total_us / halo.total_us).ln();
+        n += 1;
+    }
+    println!(
+        "  geometric-mean HALO speedup over DaCapo: {:.2}x",
+        (log_sum / n as f64).exp()
+    );
+}
+
+/// Table 6/7 rows: DaCapo at sweeping iteration counts vs HALO once.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// DaCapo compile time (s) / code size (KB) per iteration count.
+    pub dacapo: Vec<f64>,
+    /// HALO's single figure.
+    pub halo: f64,
+}
+
+/// The iteration counts swept by Tables 6 and 7.
+pub const SWEEP: [u64; 4] = [10, 20, 30, 40];
+
+/// Computes Table 6 (compile time, seconds).
+#[must_use]
+pub fn table6(scale: Scale) -> Vec<ScalingRow> {
+    flat_benchmarks()
+        .iter()
+        .map(|b| {
+            let dacapo: Vec<f64> = SWEEP
+                .iter()
+                .map(|&n| {
+                    let t = Instant::now();
+                    compile_bench(b.as_ref(), CompilerConfig::DaCapo, &[n], scale)
+                        .expect("DaCapo compiles constant trips");
+                    t.elapsed().as_secs_f64()
+                })
+                .collect();
+            let t = Instant::now();
+            compile_bench(b.as_ref(), CompilerConfig::Halo, &[PAPER_ITERS], scale)
+                .expect("HALO compiles");
+            let halo = t.elapsed().as_secs_f64();
+            ScalingRow { bench: b.name(), dacapo, halo }
+        })
+        .collect()
+}
+
+/// Computes Table 7 (code size, kilobytes).
+#[must_use]
+pub fn table7(scale: Scale) -> Vec<ScalingRow> {
+    flat_benchmarks()
+        .iter()
+        .map(|b| {
+            let dacapo: Vec<f64> = SWEEP
+                .iter()
+                .map(|&n| {
+                    let r = compile_bench(b.as_ref(), CompilerConfig::DaCapo, &[n], scale)
+                        .expect("DaCapo compiles");
+                    code_size_bytes(&r.function) as f64 / 1024.0
+                })
+                .collect();
+            let r = compile_bench(b.as_ref(), CompilerConfig::Halo, &[PAPER_ITERS], scale)
+                .expect("HALO compiles");
+            let halo = code_size_bytes(&r.function) as f64 / 1024.0;
+            ScalingRow { bench: b.name(), dacapo, halo }
+        })
+        .collect()
+}
+
+/// Prints a scaling table (Table 6 or 7) with the geometric-mean
+/// improvement at the largest sweep point.
+pub fn print_scaling(title: &str, unit: &str, rows: &[ScalingRow]) {
+    println!("{title}");
+    print!("  {:<13}", "benchmark");
+    for n in SWEEP {
+        print!(" {:>10}", format!("DaCapo@{n}"));
+    }
+    println!(" {:>10} {:>12}", "HALO", "improvement");
+    let mut log_sum = 0.0;
+    for r in rows {
+        print!("  {:<13}", r.bench);
+        for d in &r.dacapo {
+            print!(" {d:>10.3}");
+        }
+        let imp = r.dacapo.last().expect("sweep non-empty") / r.halo.max(1e-12);
+        println!(" {:>10.3} {:>11.2}x", r.halo, imp);
+        log_sum += imp.ln();
+    }
+    println!(
+        "  geometric mean improvement ({unit}, at {} iters): {:.2}x",
+        SWEEP[SWEEP.len() - 1],
+        (log_sum / rows.len() as f64).exp()
+    );
+}
+
+/// Figure 5 / Table 8 data point for PCA.
+#[derive(Debug, Clone)]
+pub struct PcaPoint {
+    /// Outer iteration count.
+    pub outer: u64,
+    /// Inner iteration count.
+    pub inner: u64,
+    /// Configuration.
+    pub config: CompilerConfig,
+    /// Executed bootstraps (Table 8).
+    pub bootstraps: u64,
+    /// Modeled latency, µs (Figure 5).
+    pub total_us: f64,
+}
+
+/// The three compilers in the PCA case study.
+pub const PCA_CONFIGS: [CompilerConfig; 3] = [
+    CompilerConfig::DaCapo,
+    CompilerConfig::TypeMatched,
+    CompilerConfig::Halo,
+];
+
+/// Runs the PCA grid (Figure 5: outer × inner ∈ {2,4,6,8}²; Table 8 uses
+/// the inner ∈ {2,8} columns).
+#[must_use]
+pub fn pca_grid(scale: Scale, outers: &[u64], inners: &[u64]) -> Vec<PcaPoint> {
+    let mut points = Vec::new();
+    for &outer in outers {
+        for &inner in inners {
+            for config in PCA_CONFIGS {
+                let m = run_bench(&Pca, config, &[outer, inner], scale)
+                    .unwrap_or_else(|e| panic!("PCA {config:?} ({outer},{inner}): {e}"));
+                points.push(PcaPoint {
+                    outer,
+                    inner,
+                    config,
+                    bootstraps: m.stats.bootstrap_count,
+                    total_us: m.stats.total_us,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Prints Figure 5's series.
+pub fn print_fig5(points: &[PcaPoint]) {
+    println!("Figure 5: PCA modeled latency (s) by (outer, inner) iterations");
+    print!("  {:<18}", "(outer, inner)");
+    for c in PCA_CONFIGS {
+        print!(" {:>14}", c.name());
+    }
+    println!();
+    let mut keys: Vec<(u64, u64)> = points.iter().map(|p| (p.outer, p.inner)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    for (o, i) in keys {
+        print!("  {:<18}", format!("({o}, {i})"));
+        for c in PCA_CONFIGS {
+            let p = points
+                .iter()
+                .find(|p| p.outer == o && p.inner == i && p.config == c)
+                .expect("point");
+            print!(" {:>14.3}", p.total_us / 1e6);
+        }
+        println!();
+    }
+}
+
+/// Prints Table 8 (bootstrap counts on the inner ∈ {2,8} columns).
+pub fn print_table8(points: &[PcaPoint]) {
+    println!("Table 8: PCA bootstrapping count");
+    print!("  {:<18}", "(outer, inner)");
+    for c in PCA_CONFIGS {
+        print!(" {:>14}", c.name());
+    }
+    println!();
+    let mut keys: Vec<(u64, u64)> = points.iter().map(|p| (p.outer, p.inner)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    for (o, i) in keys {
+        print!("  {:<18}", format!("({o}, {i})"));
+        for c in PCA_CONFIGS {
+            let p = points
+                .iter()
+                .find(|p| p.outer == o && p.inner == i && p.config == c)
+                .expect("point");
+            print!(" {:>14}", p.bootstraps);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_rows_cover_the_grid() {
+        let rows = flat_config_rows(Scale::Small, 4);
+        assert_eq!(rows.len(), 6 * 5);
+        // HALO never executes more bootstraps than Type-matched.
+        for bench in flat_benchmarks() {
+            let tm = rows
+                .iter()
+                .find(|r| r.bench == bench.name() && r.config == CompilerConfig::TypeMatched)
+                .unwrap();
+            let halo = rows
+                .iter()
+                .find(|r| r.bench == bench.name() && r.config == CompilerConfig::Halo)
+                .unwrap();
+            assert!(
+                halo.bootstraps <= tm.bootstraps,
+                "{}: {} > {}",
+                bench.name(),
+                halo.bootstraps,
+                tm.bootstraps
+            );
+            assert!(halo.total_us <= tm.total_us * 1.02, "{}", bench.name());
+        }
+    }
+
+    #[test]
+    fn pca_grid_latency_scales_with_iterations_for_halo() {
+        let points = pca_grid(Scale::Small, &[2, 4], &[2]);
+        let at = |o: u64, c: CompilerConfig| {
+            points
+                .iter()
+                .find(|p| p.outer == o && p.inner == 2 && p.config == c)
+                .unwrap()
+                .total_us
+        };
+        // Type-matched and HALO are iteration-proportional (§7.4).
+        let ratio = at(4, CompilerConfig::Halo) / at(2, CompilerConfig::Halo);
+        assert!((1.5..=2.5).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn table6_halo_time_is_iteration_independent_and_small() {
+        let rows = table6(Scale::Small);
+        for r in &rows {
+            assert!(r.dacapo.iter().all(|&t| t > 0.0));
+            assert!(r.halo > 0.0);
+        }
+        // DaCapo compile time grows along the sweep for the deep bodies.
+        let kmeans = rows.iter().find(|r| r.bench == "K-means").unwrap();
+        assert!(
+            kmeans.dacapo[3] > kmeans.dacapo[0],
+            "DaCapo compile time must grow with iterations: {:?}",
+            kmeans.dacapo
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! The backend trait: the op surface an RNS-CKKS library exposes.
+//!
+//! The HALO runtime executes compiled IR against any [`Backend`]. Two
+//! implementations ship in this crate: the fast [`crate::sim::SimBackend`]
+//! (slot-vector semantics, calibrated noise, full-size parameters) and the
+//! exact [`crate::toy::ToyBackend`] (real polynomial arithmetic at reduced
+//! ring degree).
+//!
+//! Plaintext operands are passed as slot vectors (`&[f64]`); backends
+//! encode them internally at the ciphertext operand's level and scale.
+
+use std::fmt;
+
+use crate::params::CkksParams;
+
+/// An error raised by a backend (level/scale constraint violations,
+/// unsupported parameters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl BackendError {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> BackendError {
+        BackendError { message: message.into() }
+    }
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "backend error: {}", self.message)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Result alias for backend operations.
+pub type Result<T> = std::result::Result<T, BackendError>;
+
+/// An RNS-CKKS evaluation backend.
+///
+/// All binary ops require operand ciphertexts at equal levels (and, for
+/// additions, equal scale degrees) per §2.2 of the paper; implementations
+/// must reject violations rather than silently coerce, because the whole
+/// point of the compiler under test is to make such coercions explicit.
+pub trait Backend {
+    /// Ciphertext handle.
+    type Ct: Clone;
+
+    /// Scheme parameters.
+    fn params(&self) -> &CkksParams;
+
+    /// Encrypts a slot vector at the given level (waterline scale).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `values.len()` exceeds the slot count or `level` exceeds
+    /// the parameter maximum.
+    fn encrypt(&mut self, values: &[f64], level: u32) -> Result<Self::Ct>;
+
+    /// Decrypts to a slot vector.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ciphertext is malformed (e.g. pending rescale in
+    /// backends that require waterline scale for decryption).
+    fn decrypt(&mut self, ct: &Self::Ct) -> Result<Vec<f64>>;
+
+    /// Current level of a ciphertext.
+    fn level(&self, ct: &Self::Ct) -> u32;
+
+    /// Current scale degree (1 = waterline, 2 = pending rescale).
+    fn degree(&self, ct: &Self::Ct) -> u32;
+
+    /// Ciphertext + ciphertext (`addcc`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on level or scale-degree mismatch.
+    fn add(&mut self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct>;
+
+    /// Ciphertext − ciphertext (`subcc`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on level or scale-degree mismatch.
+    fn sub(&mut self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct>;
+
+    /// Ciphertext + plaintext (`addcp`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the plaintext cannot be encoded at the operand's type.
+    fn add_plain(&mut self, a: &Self::Ct, p: &[f64]) -> Result<Self::Ct>;
+
+    /// Ciphertext − plaintext (`subcp`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the plaintext cannot be encoded at the operand's type.
+    fn sub_plain(&mut self, a: &Self::Ct, p: &[f64]) -> Result<Self::Ct>;
+
+    /// Ciphertext × ciphertext (`multcc`), with relinearization. The result
+    /// has scale degree 2 (a rescale is pending).
+    ///
+    /// # Errors
+    ///
+    /// Fails on level mismatch, non-waterline operands, or level 0.
+    fn mult(&mut self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct>;
+
+    /// Ciphertext × plaintext (`multcp`). Result scale degree 2.
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-waterline operand or level 0.
+    fn mult_plain(&mut self, a: &Self::Ct, p: &[f64]) -> Result<Self::Ct>;
+
+    /// Sign flip.
+    ///
+    /// # Errors
+    ///
+    /// Infallible for well-formed inputs; implementations may still report
+    /// malformed ciphertexts.
+    fn negate(&mut self, a: &Self::Ct) -> Result<Self::Ct>;
+
+    /// Cyclic slot rotation by `offset` (positive = left).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the backend lacks a rotation key for `offset`.
+    fn rotate(&mut self, a: &Self::Ct, offset: i64) -> Result<Self::Ct>;
+
+    /// Rescale: divide the scale by `Rf`, dropping one level (degree 2→1).
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the operand has degree 2 and level ≥ 1.
+    fn rescale(&mut self, a: &Self::Ct) -> Result<Self::Ct>;
+
+    /// Modswitch: drop `down` levels without changing the scale.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `down` is 0 or exceeds the operand level.
+    fn modswitch(&mut self, a: &Self::Ct, down: u32) -> Result<Self::Ct>;
+
+    /// Bootstrap: recover the level to `target` (paper §2.3).
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the operand is at waterline scale and `target` is
+    /// within `1..=max_level`.
+    fn bootstrap(&mut self, a: &Self::Ct, target: u32) -> Result<Self::Ct>;
+}
+
+/// Expands a logical constant to a full slot vector.
+///
+/// `Vector` payloads repeat cyclically (the paper replicates short value
+/// vectors across the ciphertext, §6.1); masks select `lo..hi`.
+#[must_use]
+pub fn expand_to_slots(kind: &PlainKind, slots: usize) -> Vec<f64> {
+    match kind {
+        PlainKind::Splat(x) => vec![*x; slots],
+        PlainKind::Vector(v) => {
+            if v.is_empty() {
+                vec![0.0; slots]
+            } else {
+                (0..slots).map(|i| v[i % v.len()]).collect()
+            }
+        }
+        PlainKind::Mask { lo, hi } => {
+            (0..slots).map(|i| if i >= *lo && i < *hi { 1.0 } else { 0.0 }).collect()
+        }
+    }
+}
+
+/// Logical plaintext payloads (mirrors `halo_ir::op::ConstValue` without
+/// depending on the IR crate).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlainKind {
+    /// A scalar replicated everywhere.
+    Splat(f64),
+    /// A vector repeated cyclically.
+    Vector(Vec<f64>),
+    /// A 0/1 window mask.
+    Mask {
+        /// First selected slot.
+        lo: usize,
+        /// One past the last selected slot.
+        hi: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_splat_and_mask() {
+        assert_eq!(expand_to_slots(&PlainKind::Splat(2.0), 4), vec![2.0; 4]);
+        assert_eq!(
+            expand_to_slots(&PlainKind::Mask { lo: 1, hi: 3 }, 4),
+            vec![0.0, 1.0, 1.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn expand_vector_repeats_cyclically() {
+        assert_eq!(
+            expand_to_slots(&PlainKind::Vector(vec![1.0, 2.0]), 5),
+            vec![1.0, 2.0, 1.0, 2.0, 1.0]
+        );
+        assert_eq!(expand_to_slots(&PlainKind::Vector(vec![]), 3), vec![0.0; 3]);
+    }
+}

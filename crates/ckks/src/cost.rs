@@ -1,0 +1,218 @@
+//! Latency cost model calibrated against the paper's Tables 2 and 3.
+//!
+//! The paper measured the GPU-accelerated HEaaN library on an RTX A6000;
+//! since that artifact is closed-source (see `DESIGN.md` §4, substitution
+//! 1), we price each executed op with a piecewise-linear interpolation over
+//! the published data points:
+//!
+//! | op        | level 1 | level 5 | level 10 | level 15 |
+//! |-----------|---------|---------|----------|----------|
+//! | multcc    | 758 µs  | 1146 µs | 1974 µs  | 2528 µs  |
+//! | rescale   | 126 µs  | 288 µs  | 516 µs   | 731 µs   |
+//! | modswitch | 15 µs   | 46 µs   | 77 µs    | 107 µs   |
+//!
+//! | bootstrap target | 4 | 7 | 10 | 13 | 16 |
+//! |------------------|---|---|----|----|----|
+//! | latency (µs) | 294 928 | 339 302 | 384 637 | 423 781 | 463 171 |
+//!
+//! Ops the paper does not list are estimated relative to the listed ones
+//! (documented on each constant below).
+
+/// An executed op with the level information its latency depends on.
+///
+/// Levels are *operand* levels except for [`CostedOp::Bootstrap`], whose
+/// latency is proportional to the *target* level (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostedOp {
+    /// Ciphertext × ciphertext at the given operand level.
+    MultCC { level: u32 },
+    /// Ciphertext × plaintext.
+    MultCP { level: u32 },
+    /// Ciphertext ± ciphertext.
+    AddCC { level: u32 },
+    /// Ciphertext ± plaintext.
+    AddCP { level: u32 },
+    /// Sign flip.
+    Negate { level: u32 },
+    /// Slot rotation (Galois key switch).
+    Rotate { level: u32 },
+    /// One rescale at the given operand level.
+    Rescale { level: u32 },
+    /// One single-level modswitch at the given operand level.
+    ModSwitch { level: u32 },
+    /// Bootstrap to the given target level.
+    Bootstrap { target: u32 },
+    /// Plaintext encoding (constants, inputs).
+    Encode,
+}
+
+/// Latency model returning microseconds per op.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    _private: (),
+}
+
+/// Paper Table 2: `multcc` latency (µs) by operand level.
+const MULTCC_POINTS: [(f64, f64); 4] = [(1.0, 758.0), (5.0, 1146.0), (10.0, 1974.0), (15.0, 2528.0)];
+/// Paper Table 2: `rescale` latency (µs) by operand level.
+const RESCALE_POINTS: [(f64, f64); 4] = [(1.0, 126.0), (5.0, 288.0), (10.0, 516.0), (15.0, 731.0)];
+/// Paper Table 2: `modswitch` latency (µs) by operand level.
+const MODSWITCH_POINTS: [(f64, f64); 4] = [(1.0, 15.0), (5.0, 46.0), (10.0, 77.0), (15.0, 107.0)];
+/// Paper Table 3: `bootstrap` latency (µs) by target level.
+const BOOTSTRAP_POINTS: [(f64, f64); 5] = [
+    (4.0, 294_928.0),
+    (7.0, 339_302.0),
+    (10.0, 384_637.0),
+    (13.0, 423_781.0),
+    (16.0, 463_171.0),
+];
+
+/// `multcp` relative to `multcc`: no relinearization key switch, so
+/// roughly half the work (HEaaN-family libraries report 0.4–0.6×).
+const MULTCP_FACTOR: f64 = 0.55;
+/// `rotate` relative to `multcc`: dominated by the same key-switching
+/// kernel as relinearization.
+const ROTATE_FACTOR: f64 = 0.95;
+/// `addcp`/`negate` relative to `addcc` (elementwise, no NTT).
+const ADDCP_FACTOR: f64 = 0.8;
+/// Encoding a plaintext operand (amortized; tiny next to any keyswitch).
+const ENCODE_US: f64 = 20.0;
+
+/// Piecewise-linear interpolation with linear extrapolation at both ends.
+fn interp(points: &[(f64, f64)], x: f64) -> f64 {
+    debug_assert!(points.len() >= 2);
+    let n = points.len();
+    let (lo, hi) = if x <= points[0].0 {
+        (points[0], points[1])
+    } else if x >= points[n - 1].0 {
+        (points[n - 2], points[n - 1])
+    } else {
+        let i = points.iter().position(|&(px, _)| px >= x).unwrap();
+        (points[i - 1], points[i])
+    };
+    let t = (x - lo.0) / (hi.0 - lo.0);
+    (lo.1 + t * (hi.1 - lo.1)).max(0.0)
+}
+
+impl CostModel {
+    /// Creates the calibrated model.
+    #[must_use]
+    pub fn new() -> CostModel {
+        CostModel::default()
+    }
+
+    /// Latency of `op` in microseconds.
+    #[must_use]
+    pub fn latency_us(&self, op: CostedOp) -> f64 {
+        let l = |level: u32| f64::from(level.max(1));
+        match op {
+            CostedOp::MultCC { level } => interp(&MULTCC_POINTS, l(level)),
+            CostedOp::MultCP { level } => MULTCP_FACTOR * interp(&MULTCC_POINTS, l(level)),
+            CostedOp::AddCC { level } => interp(&MODSWITCH_POINTS, l(level)),
+            CostedOp::AddCP { level } | CostedOp::Negate { level } => {
+                ADDCP_FACTOR * interp(&MODSWITCH_POINTS, l(level))
+            }
+            CostedOp::Rotate { level } => ROTATE_FACTOR * interp(&MULTCC_POINTS, l(level)),
+            CostedOp::Rescale { level } => interp(&RESCALE_POINTS, l(level)),
+            CostedOp::ModSwitch { level } => interp(&MODSWITCH_POINTS, l(level)),
+            CostedOp::Bootstrap { target } => interp(&BOOTSTRAP_POINTS, f64::from(target)),
+            CostedOp::Encode => ENCODE_US,
+        }
+    }
+
+    /// Latency of a multi-level modswitch (`down` successive drops starting
+    /// at `level`).
+    #[must_use]
+    pub fn modswitch_chain_us(&self, level: u32, down: u32) -> f64 {
+        (0..down)
+            .map(|k| self.latency_us(CostedOp::ModSwitch { level: level.saturating_sub(k) }))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_at_table2_points() {
+        let m = CostModel::new();
+        assert_eq!(m.latency_us(CostedOp::MultCC { level: 1 }), 758.0);
+        assert_eq!(m.latency_us(CostedOp::MultCC { level: 10 }), 1974.0);
+        assert_eq!(m.latency_us(CostedOp::Rescale { level: 15 }), 731.0);
+        assert_eq!(m.latency_us(CostedOp::ModSwitch { level: 5 }), 46.0);
+    }
+
+    #[test]
+    fn exact_at_table3_points() {
+        let m = CostModel::new();
+        assert_eq!(m.latency_us(CostedOp::Bootstrap { target: 4 }), 294_928.0);
+        assert_eq!(m.latency_us(CostedOp::Bootstrap { target: 16 }), 463_171.0);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_in_level() {
+        let m = CostModel::new();
+        let mut prev = 0.0;
+        for level in 1..=20 {
+            let c = m.latency_us(CostedOp::MultCC { level });
+            assert!(c > prev, "multcc latency must grow with level");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn target_tuning_saving_matches_paper_example() {
+        // §6.1/§6.3: tuning a bootstrap target from 10 to 7 saves 45 335 µs,
+        // "comparable to about 60 multcc operations".
+        let m = CostModel::new();
+        let saving = m.latency_us(CostedOp::Bootstrap { target: 10 })
+            - m.latency_us(CostedOp::Bootstrap { target: 7 });
+        assert_eq!(saving, 45_335.0);
+        let multcc_mid = m.latency_us(CostedOp::MultCC { level: 1 });
+        assert!(saving / multcc_mid > 55.0 && saving / multcc_mid < 65.0);
+    }
+
+    #[test]
+    fn bootstrap_dwarfs_modswitch() {
+        // §2.3: "bootstrap is over 4,400 times slower" than modswitch.
+        let m = CostModel::new();
+        let ratio = m.latency_us(CostedOp::Bootstrap { target: 16 })
+            / m.latency_us(CostedOp::ModSwitch { level: 15 });
+        assert!(ratio > 4000.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn derived_op_relations() {
+        let m = CostModel::new();
+        let l = 10;
+        assert!(
+            m.latency_us(CostedOp::MultCP { level: l }) < m.latency_us(CostedOp::MultCC { level: l })
+        );
+        assert!(
+            m.latency_us(CostedOp::Rotate { level: l }) < m.latency_us(CostedOp::MultCC { level: l })
+        );
+        assert!(
+            m.latency_us(CostedOp::AddCC { level: l }) < m.latency_us(CostedOp::Rescale { level: l })
+        );
+    }
+
+    #[test]
+    fn modswitch_chain_sums_per_level() {
+        let m = CostModel::new();
+        let chain = m.modswitch_chain_us(10, 3);
+        let manual = m.latency_us(CostedOp::ModSwitch { level: 10 })
+            + m.latency_us(CostedOp::ModSwitch { level: 9 })
+            + m.latency_us(CostedOp::ModSwitch { level: 8 });
+        assert!((chain - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolation_beyond_table_is_finite_and_positive() {
+        let m = CostModel::new();
+        let c = m.latency_us(CostedOp::MultCC { level: 29 });
+        assert!(c.is_finite() && c > 2528.0);
+        let b = m.latency_us(CostedOp::Bootstrap { target: 1 });
+        assert!(b.is_finite() && b > 0.0 && b < 294_928.0);
+    }
+}

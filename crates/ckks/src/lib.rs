@@ -1,0 +1,33 @@
+//! # halo-ckks — the RNS-CKKS substrate
+//!
+//! Everything the HALO compiler and runtime need from an FHE library,
+//! built from scratch:
+//!
+//! - [`params`] — scheme parameters (Table 1 of the paper: `N = 2^17`,
+//!   `Q = 2^1479`, `Rf = 2^51`, `L = 16`) plus reduced test parameters.
+//! - [`cost`] — a latency cost model calibrated against the paper's
+//!   Tables 2–3 (GPU-accelerated HEaaN measurements) by piecewise-linear
+//!   interpolation over operand/target levels.
+//! - [`backend`] — the [`Backend`] trait: the op surface of §2 of the paper
+//!   (addcc/addcp, multcc/multcp, rotate, rescale, modswitch, bootstrap).
+//! - [`sim`] — the simulation backend: exact slot-vector semantics with a
+//!   calibrated noise model, usable at the paper's full parameters.
+//! - [`toy`] — an exact, from-scratch RNS-CKKS implementation (negacyclic
+//!   NTT, RNS arithmetic, RLWE encryption, relinearization and Galois
+//!   key-switching with a special prime) at reduced ring degree, used to
+//!   ground the simulation's semantics.
+//!
+//! See `DESIGN.md` §4 for the documented substitutions (cost model instead
+//! of GPU hardware; oracle re-encryption instead of a full bootstrapping
+//! circuit).
+
+pub mod backend;
+pub mod cost;
+pub mod params;
+pub mod sim;
+pub mod toy;
+
+pub use backend::{Backend, BackendError};
+pub use cost::{CostModel, CostedOp};
+pub use params::CkksParams;
+pub use sim::SimBackend;

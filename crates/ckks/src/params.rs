@@ -1,0 +1,75 @@
+//! RNS-CKKS scheme parameters (the paper's Table 1).
+
+/// RNS-CKKS parameters.
+///
+/// The paper's evaluation configuration (Table 1) is
+/// [`CkksParams::paper`]; unit tests mostly use the smaller
+/// [`CkksParams::test_small`] so slot vectors stay cheap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkksParams {
+    /// Polynomial modulus degree `N` (a power of two).
+    pub poly_degree: usize,
+    /// Maximum ciphertext level after bootstrapping (`L` in Table 1).
+    pub max_level: u32,
+    /// Rescaling factor in bits (`log2 Rf`; 51 in Table 1).
+    pub rf_bits: u32,
+}
+
+impl CkksParams {
+    /// The paper's evaluation parameters: `N = 2^17`, `L = 16`,
+    /// `Rf = 2^51` (so `Q ≈ 2^(51·29) ⊇ 2^1479`).
+    #[must_use]
+    pub fn paper() -> CkksParams {
+        CkksParams { poly_degree: 1 << 17, max_level: 16, rf_bits: 51 }
+    }
+
+    /// Small parameters for fast unit tests: `N = 2^6` (32 slots), same
+    /// level structure as the paper.
+    #[must_use]
+    pub fn test_small() -> CkksParams {
+        CkksParams { poly_degree: 1 << 6, max_level: 16, rf_bits: 51 }
+    }
+
+    /// Number of plaintext slots per ciphertext (`N/2`).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.poly_degree / 2
+    }
+
+    /// Total coefficient-modulus bits at the maximum level
+    /// (`log2 Q ≈ rf_bits · (L + fresh levels)`); the paper's `2^1479`
+    /// corresponds to 29 primes of 51 bits.
+    #[must_use]
+    pub fn log2_q(&self) -> u32 {
+        // L usable levels plus the base modulus.
+        self.rf_bits * (self.max_level + 13)
+    }
+}
+
+impl Default for CkksParams {
+    fn default() -> CkksParams {
+        CkksParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters_match_table1() {
+        let p = CkksParams::paper();
+        assert_eq!(p.poly_degree, 131_072);
+        assert_eq!(p.slots(), 65_536, "half of N, as stated in §7");
+        assert_eq!(p.max_level, 16);
+        assert_eq!(p.rf_bits, 51);
+        assert_eq!(p.log2_q(), 1479, "coefficient modulus 2^1479");
+    }
+
+    #[test]
+    fn small_params_share_level_structure() {
+        let p = CkksParams::test_small();
+        assert_eq!(p.max_level, CkksParams::paper().max_level);
+        assert_eq!(p.slots(), 32);
+    }
+}

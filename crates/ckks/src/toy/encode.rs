@@ -1,0 +1,220 @@
+//! Canonical-embedding encoding: complex slot vectors ↔ integer
+//! polynomial coefficients.
+//!
+//! CKKS identifies `R[X]/(X^N + 1)` with `C^{N/2}` through evaluation at
+//! the primitive 2N-th roots `ζ^{5^j}` (one per conjugate pair). Encoding
+//! inverts that evaluation and scales by `Δ` to integers; decoding
+//! evaluates the (centered, descaled) polynomial back at the roots.
+//!
+//! A direct O(N²) transform keeps the code transparent; the toy backend
+//! runs at small N where this is instant.
+
+use std::f64::consts::PI;
+
+/// Precomputed embedding data for ring degree `n`.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    n: usize,
+    /// `rot[j] = 5^j mod 2N` — the slot orbit.
+    rot: Vec<usize>,
+}
+
+impl Encoder {
+    /// Builds an encoder for degree `n` (power of two ≥ 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two ≥ 4.
+    #[must_use]
+    pub fn new(n: usize) -> Encoder {
+        assert!(n.is_power_of_two() && n >= 4);
+        let slots = n / 2;
+        let m = 2 * n;
+        let mut rot = Vec::with_capacity(slots);
+        let mut cur = 1usize;
+        for _ in 0..slots {
+            rot.push(cur);
+            cur = cur * 5 % m;
+        }
+        Encoder { n, rot }
+    }
+
+    /// Number of slots (`N/2`).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.n / 2
+    }
+
+    fn zeta(&self, e: usize) -> (f64, f64) {
+        // ζ^e with ζ = exp(iπ/N).
+        let theta = PI * e as f64 / self.n as f64;
+        (theta.cos(), theta.sin())
+    }
+
+    /// Encodes real slot values at scale `delta` into integer
+    /// coefficients: `m_k = round(Δ · (2/N)·Re Σ_j z_j·ζ^{−k·5^j})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != slots`.
+    #[must_use]
+    pub fn encode(&self, values: &[f64], delta: f64) -> Vec<i128> {
+        assert_eq!(values.len(), self.slots());
+        let m = 2 * self.n;
+        let mut coeffs = vec![0i128; self.n];
+        for (k, c) in coeffs.iter_mut().enumerate() {
+            let mut acc = 0.0f64;
+            for (j, &z) in values.iter().enumerate() {
+                // Re(z_j · ζ^{−k·rot_j}) with real z_j.
+                let e = (k * self.rot[j]) % m;
+                let (re, _) = self.zeta(e);
+                acc += z * re;
+            }
+            // i128 coefficients: plaintexts for degree-2 operands carry
+            // scale Δ² ≈ 2^80, far beyond i64.
+            *c = (delta * 2.0 * acc / self.n as f64).round() as i128;
+        }
+        coeffs
+    }
+
+    /// Decodes centered coefficients at scale `delta` back to real slot
+    /// values: `z_j = (1/Δ)·Re Σ_k m_k·ζ^{k·5^j}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != N`.
+    #[must_use]
+    pub fn decode(&self, coeffs: &[i128], delta: f64) -> Vec<f64> {
+        assert_eq!(coeffs.len(), self.n);
+        let m = 2 * self.n;
+        (0..self.slots())
+            .map(|j| {
+                let mut acc = 0.0f64;
+                for (k, &c) in coeffs.iter().enumerate() {
+                    let e = (k * self.rot[j]) % m;
+                    let (re, _) = self.zeta(e);
+                    acc += c as f64 * re;
+                }
+                acc / delta
+            })
+            .collect()
+    }
+
+    /// The Galois automorphism exponent rotating slots left by `r`:
+    /// `X → X^{5^r mod 2N}`.
+    #[must_use]
+    pub fn rotation_exponent(&self, r: i64) -> usize {
+        let slots = self.slots() as i64;
+        let r = r.rem_euclid(slots) as usize;
+        self.rot[r]
+    }
+}
+
+/// Applies the automorphism `X → X^t` to signed-free coefficients mod `q`
+/// (negacyclic sign handling): coefficient `k` lands at `k·t mod 2N`,
+/// negated when it wraps past `N`.
+#[must_use]
+pub fn apply_automorphism(coeffs: &[u64], t: usize, q: u64) -> Vec<u64> {
+    let n = coeffs.len();
+    let m = 2 * n;
+    let mut out = vec![0u64; n];
+    for (k, &c) in coeffs.iter().enumerate() {
+        let e = (k * t) % m;
+        if e < n {
+            out[e] = c;
+        } else {
+            out[e - n] = if c == 0 { 0 } else { q - c };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DELTA: f64 = (1u64 << 40) as f64;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let enc = Encoder::new(32);
+        let values: Vec<f64> = (0..16).map(|i| 0.1 * f64::from(i) - 0.8).collect();
+        let coeffs = enc.encode(&values, DELTA);
+        let back = enc.decode(&coeffs, DELTA);
+        for (a, b) in values.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_additive() {
+        let enc = Encoder::new(16);
+        let a: Vec<f64> = (0..8).map(|i| f64::from(i) * 0.3).collect();
+        let b: Vec<f64> = (0..8).map(|i| 1.0 - f64::from(i) * 0.1).collect();
+        let ca = enc.encode(&a, DELTA);
+        let cb = enc.encode(&b, DELTA);
+        let sum: Vec<i128> = ca.iter().zip(&cb).map(|(&x, &y)| x + y).collect();
+        let back = enc.decode(&sum, DELTA);
+        for (i, z) in back.iter().enumerate() {
+            assert!((z - (a[i] + b[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_encodes_on_coefficient_zero() {
+        let enc = Encoder::new(16);
+        let coeffs = enc.encode(&[1.5; 8], DELTA);
+        assert_eq!(coeffs[0], (1.5 * DELTA).round() as i128);
+        for &c in &coeffs[1..] {
+            assert!(
+                (c as f64 / DELTA).abs() < 1e-9,
+                "non-constant coefficient {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_exponent_orbit() {
+        let enc = Encoder::new(16);
+        assert_eq!(enc.rotation_exponent(0), 1);
+        assert_eq!(enc.rotation_exponent(1), 5);
+        assert_eq!(enc.rotation_exponent(2), 25);
+        // Negative rotations wrap around the slot count.
+        assert_eq!(enc.rotation_exponent(-1), enc.rotation_exponent(7));
+    }
+
+    #[test]
+    fn automorphism_rotates_decoded_slots() {
+        let enc = Encoder::new(32);
+        let values: Vec<f64> = (0..16).map(f64::from).collect();
+        let coeffs = enc.encode(&values, DELTA);
+        let q = 1u64 << 62; // any modulus comfortably above the coefficients
+        let unsigned: Vec<u64> = coeffs
+            .iter()
+            .map(|&c| if c < 0 { q - ((-c) as u64) } else { c as u64 })
+            .collect();
+        let t = enc.rotation_exponent(1);
+        let rotated = apply_automorphism(&unsigned, t, q);
+        let centered: Vec<i128> = rotated
+            .iter()
+            .map(|&c| {
+                if c > q / 2 {
+                    i128::from(c) - i128::from(q)
+                } else {
+                    i128::from(c)
+                }
+            })
+            .collect();
+        let back = enc.decode(&centered, DELTA);
+        // Slot j of the rotated ciphertext holds original slot j+1.
+        for j in 0..15 {
+            assert!(
+                (back[j] - values[j + 1]).abs() < 1e-6,
+                "slot {j}: {} vs {}",
+                back[j],
+                values[j + 1]
+            );
+        }
+        assert!((back[15] - values[0]).abs() < 1e-6, "wraparound");
+    }
+}

@@ -1,0 +1,218 @@
+//! 64-bit modular arithmetic: the scalar substrate of the RNS backend.
+
+/// `(a + b) mod m` for `a, b < m < 2^63`.
+#[inline]
+#[must_use]
+pub fn addmod(a: u64, b: u64, m: u64) -> u64 {
+    let s = a + b;
+    if s >= m {
+        s - m
+    } else {
+        s
+    }
+}
+
+/// `(a − b) mod m` for `a, b < m`.
+#[inline]
+#[must_use]
+pub fn submod(a: u64, b: u64, m: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a + m - b
+    }
+}
+
+/// `(a · b) mod m` via 128-bit widening.
+#[inline]
+#[must_use]
+pub fn mulmod(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+/// `a^e mod m` by square-and-multiply.
+#[must_use]
+pub fn powmod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    let mut r = 1u64 % m;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            r = mulmod(r, a, m);
+        }
+        a = mulmod(a, a, m);
+        e >>= 1;
+    }
+    r
+}
+
+/// `a^{−1} mod m` for prime `m` (Fermat).
+///
+/// # Panics
+///
+/// Panics if `a ≡ 0 (mod m)`.
+#[must_use]
+pub fn invmod(a: u64, m: u64) -> u64 {
+    assert!(!a.is_multiple_of(m), "zero has no inverse");
+    powmod(a, m - 2, m)
+}
+
+/// Deterministic Miller–Rabin for u64 (the standard witness set).
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = powmod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mulmod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// A primitive `order`-th root of unity mod prime `p` (requires
+/// `order | p − 1`).
+///
+/// # Panics
+///
+/// Panics if `order` does not divide `p − 1` or no generator is found.
+#[must_use]
+pub fn primitive_root(order: u64, p: u64) -> u64 {
+    assert_eq!((p - 1) % order, 0, "order must divide p−1");
+    let cofactor = (p - 1) / order;
+    // Try small candidates g: g^cofactor has order dividing `order`;
+    // verify it is exactly `order` by checking all prime factors.
+    let factors = prime_factors(order);
+    for g in 2..p.min(1000) {
+        let cand = powmod(g, cofactor, p);
+        if cand == 1 {
+            continue;
+        }
+        let mut ok = true;
+        for &f in &factors {
+            if powmod(cand, order / f, p) == 1 {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            return cand;
+        }
+    }
+    panic!("no primitive root found for order {order} mod {p}");
+}
+
+fn prime_factors(mut n: u64) -> Vec<u64> {
+    let mut fs = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            fs.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        fs.push(n);
+    }
+    fs
+}
+
+/// The first `count` primes `p ≡ 1 (mod modulus_step)` at or below
+/// `start` (searching downward) — NTT-friendly prime chains.
+///
+/// # Panics
+///
+/// Panics if the search space is exhausted.
+#[must_use]
+pub fn ntt_primes(start: u64, modulus_step: u64, count: usize) -> Vec<u64> {
+    let mut primes = Vec::with_capacity(count);
+    let mut cand = start - (start % modulus_step) + 1;
+    while primes.len() < count {
+        if cand < modulus_step {
+            panic!("prime search exhausted");
+        }
+        if is_prime(cand) {
+            primes.push(cand);
+        }
+        cand = cand.checked_sub(modulus_step).expect("search exhausted");
+    }
+    primes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let m = 97u64;
+        assert_eq!(addmod(90, 10, m), 3);
+        assert_eq!(submod(3, 10, m), 90);
+        assert_eq!(mulmod(96, 96, m), 1);
+        assert_eq!(powmod(3, 96, m), 1, "Fermat");
+        assert_eq!(mulmod(invmod(5, m), 5, m), 1);
+    }
+
+    #[test]
+    fn primality() {
+        assert!(is_prime(2));
+        assert!(is_prime(97));
+        assert!(is_prime((1 << 61) - 1), "Mersenne 61");
+        assert!(!is_prime(1));
+        assert!(!is_prime(561), "Carmichael");
+        assert!(!is_prime((1 << 61) - 3));
+    }
+
+    #[test]
+    fn ntt_prime_chain_properties() {
+        let n = 1u64 << 7; // ring degree 128, need p ≡ 1 mod 256
+        let primes = ntt_primes(1 << 40, 2 * n, 5);
+        assert_eq!(primes.len(), 5);
+        for &p in &primes {
+            assert!(is_prime(p));
+            assert_eq!(p % (2 * n), 1);
+            assert!(p <= 1 << 40);
+            assert!(p > 1 << 39, "primes stay near the target size");
+        }
+        // Distinct and descending.
+        for w in primes.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn primitive_roots_have_exact_order() {
+        let n = 1u64 << 6;
+        let p = ntt_primes(1 << 40, 2 * n, 1)[0];
+        let psi = primitive_root(2 * n, p);
+        assert_eq!(powmod(psi, 2 * n, p), 1);
+        assert_ne!(powmod(psi, n, p), 1, "order exactly 2N");
+        // ψ^N = −1 in the negacyclic ring.
+        assert_eq!(powmod(psi, n, p), p - 1);
+    }
+}

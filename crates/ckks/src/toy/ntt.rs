@@ -1,0 +1,187 @@
+//! Negacyclic number-theoretic transform over `Z_p[X]/(X^N + 1)`.
+//!
+//! The standard trick: multiply coefficient `i` by `ψ^i` (a primitive
+//! 2N-th root of unity) before a cyclic NTT and by `ψ^{−i}` after the
+//! inverse — turning cyclic convolution into negacyclic convolution.
+//! The transform itself is iterative radix-2 Cooley–Tukey.
+
+use crate::toy::modular::{addmod, invmod, mulmod, primitive_root, submod};
+
+/// Precomputed twiddle tables for one `(N, p)` pair.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    /// Ring degree (power of two).
+    pub n: usize,
+    /// Prime modulus (`p ≡ 1 mod 2N`).
+    pub p: u64,
+    /// `ψ^i` for the negacyclic pre-twist.
+    psi_pows: Vec<u64>,
+    /// `ψ^{−i}` for the post-twist.
+    psi_inv_pows: Vec<u64>,
+    /// `ω^i` (N-th root) in bit-reversed order for the butterfly.
+    omega_pows: Vec<u64>,
+    /// Inverse-omega powers.
+    omega_inv_pows: Vec<u64>,
+    /// `N^{−1} mod p`.
+    n_inv: u64,
+}
+
+impl NttTable {
+    /// Builds tables for degree `n` (power of two) and prime `p ≡ 1 mod 2n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the preconditions fail.
+    #[must_use]
+    pub fn new(n: usize, p: u64) -> NttTable {
+        assert!(n.is_power_of_two(), "N must be a power of two");
+        assert_eq!((p - 1) % (2 * n as u64), 0, "p must be ≡ 1 mod 2N");
+        let psi = primitive_root(2 * n as u64, p);
+        let omega = mulmod(psi, psi, p);
+        let psi_inv = invmod(psi, p);
+        let omega_inv = invmod(omega, p);
+        let pow_table = |base: u64, count: usize| -> Vec<u64> {
+            let mut v = Vec::with_capacity(count);
+            let mut cur = 1u64;
+            for _ in 0..count {
+                v.push(cur);
+                cur = mulmod(cur, base, p);
+            }
+            v
+        };
+        NttTable {
+            n,
+            p,
+            psi_pows: pow_table(psi, n),
+            psi_inv_pows: pow_table(psi_inv, n),
+            omega_pows: pow_table(omega, n),
+            omega_inv_pows: pow_table(omega_inv, n),
+            n_inv: invmod(n as u64, p),
+        }
+    }
+
+    /// In-place forward negacyclic NTT (coefficient → evaluation form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        for (i, x) in a.iter_mut().enumerate() {
+            *x = mulmod(*x, self.psi_pows[i], self.p);
+        }
+        self.fft(a, &self.omega_pows);
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        self.fft(a, &self.omega_inv_pows);
+        for (i, x) in a.iter_mut().enumerate() {
+            *x = mulmod(mulmod(*x, self.n_inv, self.p), self.psi_inv_pows[i], self.p);
+        }
+    }
+
+    /// Iterative radix-2 DIT FFT with the given root-power table.
+    fn fft(&self, a: &mut [u64], omega_pows: &[u64]) {
+        let n = self.n;
+        // Bit-reverse permutation.
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let j = (i as u32).reverse_bits() >> (32 - bits);
+            let j = j as usize;
+            if i < j {
+                a.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    let w = omega_pows[k * step];
+                    let u = a[start + k];
+                    let v = mulmod(a[start + k + len / 2], w, self.p);
+                    a[start + k] = addmod(u, v, self.p);
+                    a[start + k + len / 2] = submod(u, v, self.p);
+                }
+            }
+            len *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::modular::ntt_primes;
+
+    fn table(n: usize) -> NttTable {
+        let p = ntt_primes(1 << 40, 2 * n as u64, 1)[0];
+        NttTable::new(n, p)
+    }
+
+    /// Schoolbook negacyclic product for verification.
+    #[allow(clippy::needless_range_loop)] // index arithmetic carries the wrap logic
+    fn negacyclic_mul_ref(a: &[u64], b: &[u64], p: u64) -> Vec<u64> {
+        let n = a.len();
+        let mut out = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let prod = mulmod(a[i], b[j], p);
+                let k = i + j;
+                if k < n {
+                    out[k] = addmod(out[k], prod, p);
+                } else {
+                    out[k - n] = submod(out[k - n], prod, p);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let t = table(64);
+        let a: Vec<u64> = (0..64).map(|i| (i * 37 + 11) % t.p).collect();
+        let mut b = a.clone();
+        t.forward(&mut b);
+        assert_ne!(a, b, "transform must change the representation");
+        t.inverse(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pointwise_product_is_negacyclic_convolution() {
+        let t = table(32);
+        let a: Vec<u64> = (0..32).map(|i| (i * i + 3) % t.p).collect();
+        let b: Vec<u64> = (0..32).map(|i| (7 * i + 1) % t.p).collect();
+        let want = negacyclic_mul_ref(&a, &b, t.p);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| mulmod(x, y, t.p)).collect();
+        t.inverse(&mut fc);
+        assert_eq!(fc, want);
+    }
+
+    #[test]
+    fn x_to_the_n_is_minus_one() {
+        // Multiply X^{N/2} by itself: X^N ≡ −1.
+        let t = table(16);
+        let mut a = vec![0u64; 16];
+        a[8] = 1;
+        let mut fa = a.clone();
+        t.forward(&mut fa);
+        let mut sq: Vec<u64> = fa.iter().map(|&x| mulmod(x, x, t.p)).collect();
+        t.inverse(&mut sq);
+        let mut want = vec![0u64; 16];
+        want[0] = t.p - 1;
+        assert_eq!(sq, want);
+    }
+}

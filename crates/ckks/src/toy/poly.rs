@@ -1,0 +1,445 @@
+//! RNS polynomials: coefficient rows per prime, with NTT-form tracking.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::toy::modular::{addmod, invmod, is_prime, mulmod, submod};
+use crate::toy::ntt::NttTable;
+
+/// The ring/modulus context shared by all polynomials of one scheme
+/// instance: the prime chain `[q₀ (base), q₁…q_L (level primes), P
+/// (special)]` and their NTT tables.
+#[derive(Debug)]
+pub struct RnsContext {
+    /// Ring degree.
+    pub n: usize,
+    /// The prime chain (base, levels…, special last).
+    pub primes: Vec<u64>,
+    /// Index of the special prime (always `primes.len() − 1`).
+    pub special: usize,
+    /// NTT tables, aligned with `primes`.
+    pub tables: Vec<NttTable>,
+}
+
+/// Finds `count` NTT-friendly primes (`≡ 1 mod step`) as close to
+/// `target` as possible, searching outward in both directions.
+///
+/// # Panics
+///
+/// Panics if the search space is exhausted.
+#[must_use]
+pub fn primes_near(target: u64, step: u64, count: usize) -> Vec<u64> {
+    let mut found = Vec::with_capacity(count);
+    let base = target - (target % step) + 1;
+    let mut k = 0u64;
+    while found.len() < count {
+        for cand in [base + k * step, base.wrapping_sub(k * step)] {
+            if cand > step && cand != 0 && is_prime(cand) && !found.contains(&cand) {
+                found.push(cand);
+                if found.len() == count {
+                    break;
+                }
+            }
+        }
+        k += 1;
+        assert!(k < 1 << 24, "prime search exhausted near {target}");
+    }
+    found
+}
+
+impl RnsContext {
+    /// Builds a context with `levels` 40-bit level primes plus a 59-bit
+    /// base prime and a 59-bit special prime, for ring degree `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    #[must_use]
+    pub fn new(n: usize, levels: usize) -> RnsContext {
+        assert!(n.is_power_of_two());
+        let step = 2 * n as u64;
+        let big = primes_near(1 << 59, step, 2);
+        let level_primes = primes_near(1 << 40, step, levels);
+        let mut primes = vec![big[0]];
+        primes.extend(level_primes);
+        primes.push(big[1]);
+        let tables = primes.iter().map(|&p| NttTable::new(n, p)).collect();
+        RnsContext { n, primes, special: levels + 1, tables }
+    }
+
+    /// Number of residue rows for a ciphertext at `level` (base + level
+    /// primes).
+    #[must_use]
+    pub fn rows_at_level(&self, level: u32) -> usize {
+        level as usize + 1
+    }
+}
+
+/// An RNS polynomial: one residue row per prime of its basis.
+///
+/// The basis is a *prefix* of the context's level chain (`rows` rows over
+/// `primes[0..rows]`), optionally extended by the special prime
+/// (`with_special`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RnsPoly {
+    /// Residue rows, aligned with `basis_primes`.
+    pub rows: Vec<Vec<u64>>,
+    /// Prime indices (into the context) for each row.
+    pub basis: Vec<usize>,
+    /// Whether rows are in NTT (evaluation) form.
+    pub ntt: bool,
+}
+
+impl RnsPoly {
+    /// The all-zero polynomial over `rows` level primes (+ special).
+    #[must_use]
+    pub fn zero(ctx: &RnsContext, rows: usize, with_special: bool, ntt: bool) -> RnsPoly {
+        let mut basis: Vec<usize> = (0..rows).collect();
+        if with_special {
+            basis.push(ctx.special);
+        }
+        RnsPoly {
+            rows: basis.iter().map(|_| vec![0u64; ctx.n]).collect(),
+            basis,
+            ntt,
+        }
+    }
+
+    /// A uniformly random polynomial (valid in either form).
+    #[must_use]
+    pub fn uniform(
+        ctx: &RnsContext,
+        rows: usize,
+        with_special: bool,
+        ntt: bool,
+        rng: &mut StdRng,
+    ) -> RnsPoly {
+        let mut p = RnsPoly::zero(ctx, rows, with_special, ntt);
+        for (row, &bi) in p.rows.iter_mut().zip(&p.basis) {
+            let q = ctx.primes[bi];
+            for x in row.iter_mut() {
+                *x = rng.gen_range(0..q);
+            }
+        }
+        p
+    }
+
+    /// Embeds signed integer coefficients into the basis (coefficient
+    /// form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != N`.
+    #[must_use]
+    pub fn from_i64(
+        ctx: &RnsContext,
+        coeffs: &[i64],
+        rows: usize,
+        with_special: bool,
+    ) -> RnsPoly {
+        let wide: Vec<i128> = coeffs.iter().map(|&c| i128::from(c)).collect();
+        RnsPoly::from_i128(ctx, &wide, rows, with_special)
+    }
+
+    /// Wide-coefficient variant of [`RnsPoly::from_i64`] (plaintexts at
+    /// scale Δ² need ~80-bit coefficients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != N`.
+    #[must_use]
+    pub fn from_i128(
+        ctx: &RnsContext,
+        coeffs: &[i128],
+        rows: usize,
+        with_special: bool,
+    ) -> RnsPoly {
+        assert_eq!(coeffs.len(), ctx.n);
+        let mut p = RnsPoly::zero(ctx, rows, with_special, false);
+        for (row, &bi) in p.rows.iter_mut().zip(&p.basis) {
+            let q = ctx.primes[bi] as i128;
+            for (x, &c) in row.iter_mut().zip(coeffs) {
+                *x = (c.rem_euclid(q)) as u64;
+            }
+        }
+        p
+    }
+
+    /// Converts to NTT form in place.
+    pub fn to_ntt(&mut self, ctx: &RnsContext) {
+        assert!(!self.ntt, "already in NTT form");
+        for (row, &bi) in self.rows.iter_mut().zip(&self.basis) {
+            ctx.tables[bi].forward(row);
+        }
+        self.ntt = true;
+    }
+
+    /// Converts to coefficient form in place.
+    pub fn to_coeff(&mut self, ctx: &RnsContext) {
+        assert!(self.ntt, "already in coefficient form");
+        for (row, &bi) in self.rows.iter_mut().zip(&self.basis) {
+            ctx.tables[bi].inverse(row);
+        }
+        self.ntt = false;
+    }
+
+    fn zip_with(&self, other: &RnsPoly, ctx: &RnsContext, f: impl Fn(u64, u64, u64) -> u64) -> RnsPoly {
+        assert_eq!(self.basis, other.basis, "basis mismatch");
+        assert_eq!(self.ntt, other.ntt, "form mismatch");
+        let rows = self
+            .rows
+            .iter()
+            .zip(&other.rows)
+            .zip(&self.basis)
+            .map(|((a, b), &bi)| {
+                let q = ctx.primes[bi];
+                a.iter().zip(b).map(|(&x, &y)| f(x, y, q)).collect()
+            })
+            .collect();
+        RnsPoly { rows, basis: self.basis.clone(), ntt: self.ntt }
+    }
+
+    /// Pointwise sum.
+    #[must_use]
+    pub fn add(&self, other: &RnsPoly, ctx: &RnsContext) -> RnsPoly {
+        self.zip_with(other, ctx, addmod)
+    }
+
+    /// Pointwise difference.
+    #[must_use]
+    pub fn sub(&self, other: &RnsPoly, ctx: &RnsContext) -> RnsPoly {
+        self.zip_with(other, ctx, submod)
+    }
+
+    /// Negation.
+    #[must_use]
+    pub fn neg(&self, ctx: &RnsContext) -> RnsPoly {
+        let rows = self
+            .rows
+            .iter()
+            .zip(&self.basis)
+            .map(|(a, &bi)| {
+                let q = ctx.primes[bi];
+                a.iter().map(|&x| if x == 0 { 0 } else { q - x }).collect()
+            })
+            .collect();
+        RnsPoly { rows, basis: self.basis.clone(), ntt: self.ntt }
+    }
+
+    /// Ring product (requires NTT form).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are in NTT form over the same basis.
+    #[must_use]
+    pub fn mul(&self, other: &RnsPoly, ctx: &RnsContext) -> RnsPoly {
+        assert!(self.ntt && other.ntt, "multiplication requires NTT form");
+        self.zip_with(other, ctx, mulmod)
+    }
+
+    /// Multiplies by a per-basis scalar (e.g. CRT constants).
+    #[must_use]
+    pub fn mul_scalar_rows(&self, scalars: &[u64], ctx: &RnsContext) -> RnsPoly {
+        assert_eq!(scalars.len(), self.basis.len());
+        let rows = self
+            .rows
+            .iter()
+            .zip(&self.basis)
+            .zip(scalars)
+            .map(|((a, &bi), &s)| {
+                let q = ctx.primes[bi];
+                a.iter().map(|&x| mulmod(x, s, q)).collect()
+            })
+            .collect();
+        RnsPoly { rows, basis: self.basis.clone(), ntt: self.ntt }
+    }
+
+    /// Drops the top `k` level rows (exact modulus switching: the hidden
+    /// `⌊·/Q⌋` multiple vanishes because `Q_{l−k} | Q_l`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the special prime is present or too few rows remain.
+    pub fn drop_top_rows(&mut self, k: usize) {
+        assert!(!self.basis.contains(&usize::MAX));
+        assert!(self.rows.len() > k, "cannot drop below one row");
+        self.rows.truncate(self.rows.len() - k);
+        self.basis.truncate(self.basis.len() - k);
+    }
+
+    /// Exact RNS division by the top prime with centered rounding — the
+    /// `rescale` kernel. Requires coefficient form; drops the top row.
+    ///
+    /// # Panics
+    ///
+    /// Panics in NTT form or with fewer than two rows.
+    pub fn rescale_by_top(&mut self, ctx: &RnsContext) {
+        assert!(!self.ntt, "rescale requires coefficient form");
+        assert!(self.rows.len() >= 2);
+        let top_row = self.rows.pop().expect("non-empty");
+        let top_bi = self.basis.pop().expect("non-empty");
+        let q_top = ctx.primes[top_bi];
+        let half = q_top / 2;
+        for (row, &bi) in self.rows.iter_mut().zip(&self.basis) {
+            let q = ctx.primes[bi];
+            let q_top_inv = invmod(q_top % q, q);
+            for (x, &t) in row.iter_mut().zip(&top_row) {
+                // Centered lift of the top residue into this prime.
+                let t_centered = if t > half { submod(t % q, q_top % q, q) } else { t % q };
+                *x = mulmod(submod(*x, t_centered, q), q_top_inv, q);
+            }
+        }
+    }
+
+    /// Reconstructs the centered integer coefficients from the first one
+    /// or two rows via CRT (valid while coefficients stay far below
+    /// `q₀·q₁/2`, which plaintext+noise always does).
+    ///
+    /// # Panics
+    ///
+    /// Panics in NTT form.
+    #[must_use]
+    pub fn centered_coeffs(&self, ctx: &RnsContext) -> Vec<i128> {
+        assert!(!self.ntt, "decode requires coefficient form");
+        let q0 = ctx.primes[self.basis[0]];
+        if self.rows.len() == 1 {
+            return self.rows[0]
+                .iter()
+                .map(|&x| {
+                    if x > q0 / 2 {
+                        i128::from(x) - i128::from(q0)
+                    } else {
+                        i128::from(x)
+                    }
+                })
+                .collect();
+        }
+        let q1 = ctx.primes[self.basis[1]];
+        let q0q1 = i128::from(q0) * i128::from(q1);
+        let q0_inv = invmod(q0 % q1, q1);
+        self.rows[0]
+            .iter()
+            .zip(&self.rows[1])
+            .map(|(&x0, &x1)| {
+                // x = x0 + q0·((x1 − x0)·q0⁻¹ mod q1)
+                let diff = submod(x1 % q1, x0 % q1, q1);
+                let k = mulmod(diff, q0_inv, q1);
+                let x = i128::from(x0) + i128::from(q0) * i128::from(k);
+                if x > q0q1 / 2 {
+                    x - q0q1
+                } else {
+                    x
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx() -> RnsContext {
+        RnsContext::new(32, 4)
+    }
+
+    #[test]
+    fn context_prime_chain() {
+        let c = ctx();
+        assert_eq!(c.primes.len(), 6, "base + 4 levels + special");
+        assert!(c.primes[0] > 1 << 58);
+        assert!(c.primes[c.special] > 1 << 58);
+        for &q in &c.primes[1..=4] {
+            assert!(q > (1 << 40) - (1 << 25) && q < (1 << 40) + (1 << 25));
+        }
+        // All distinct.
+        let mut sorted = c.primes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn from_i64_and_centered_roundtrip() {
+        let c = ctx();
+        let coeffs: Vec<i64> = (0..32).map(|i| (i - 16) * 1_000_003).collect();
+        let p = RnsPoly::from_i64(&c, &coeffs, 3, false);
+        let back = p.centered_coeffs(&c);
+        for (a, b) in coeffs.iter().zip(&back) {
+            assert_eq!(i128::from(*a), *b);
+        }
+    }
+
+    #[test]
+    fn ntt_roundtrip_and_ring_mul() {
+        let c = ctx();
+        // (1 + X) · (1 − X) = 1 − X².
+        let mut a_coeffs = vec![0i64; 32];
+        a_coeffs[0] = 1;
+        a_coeffs[1] = 1;
+        let mut b_coeffs = vec![0i64; 32];
+        b_coeffs[0] = 1;
+        b_coeffs[1] = -1;
+        let mut a = RnsPoly::from_i64(&c, &a_coeffs, 2, false);
+        let mut b = RnsPoly::from_i64(&c, &b_coeffs, 2, false);
+        a.to_ntt(&c);
+        b.to_ntt(&c);
+        let mut prod = a.mul(&b, &c);
+        prod.to_coeff(&c);
+        let got = prod.centered_coeffs(&c);
+        assert_eq!(got[0], 1);
+        assert_eq!(got[1], 0);
+        assert_eq!(got[2], -1);
+        assert!(got[3..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn rescale_divides_by_top_prime() {
+        let c = ctx();
+        let q_top = c.primes[2]; // rows = 3 → top is index 2
+        // Encode q_top · 7 so the division is exact.
+        let coeffs: Vec<i64> = (0..32)
+            .map(|i| if i == 0 { (q_top as i64) * 7 } else { 0 })
+            .collect();
+        let mut p = RnsPoly::from_i64(&c, &coeffs, 3, false);
+        p.rescale_by_top(&c);
+        assert_eq!(p.rows.len(), 2);
+        let got = p.centered_coeffs(&c);
+        assert_eq!(got[0], 7);
+    }
+
+    #[test]
+    fn rescale_rounds_inexact_values_within_one() {
+        let c = ctx();
+        let q_top = c.primes[2] as i64;
+        let val = q_top * 3 + 12_345; // not divisible
+        let mut coeffs = vec![0i64; 32];
+        coeffs[0] = val;
+        let mut p = RnsPoly::from_i64(&c, &coeffs, 3, false);
+        p.rescale_by_top(&c);
+        let got = p.centered_coeffs(&c)[0];
+        assert!((got - 3).abs() <= 1, "got {got}");
+    }
+
+    #[test]
+    fn drop_top_rows_preserves_small_values() {
+        let c = ctx();
+        let coeffs: Vec<i64> = (0..32).map(|i| i * 17 - 100).collect();
+        let mut p = RnsPoly::from_i64(&c, &coeffs, 4, false);
+        p.drop_top_rows(2);
+        let got = p.centered_coeffs(&c);
+        for (a, b) in coeffs.iter().zip(&got) {
+            assert_eq!(i128::from(*a), *b);
+        }
+    }
+
+    #[test]
+    fn uniform_differs_between_draws() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = RnsPoly::uniform(&c, 2, false, true, &mut rng);
+        let b = RnsPoly::uniform(&c, 2, false, true, &mut rng);
+        assert_ne!(a, b);
+    }
+}

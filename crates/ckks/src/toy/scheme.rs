@@ -1,0 +1,609 @@
+//! The toy RNS-CKKS scheme: keys, encryption, and homomorphic evaluation.
+//!
+//! Key switching uses per-prime digit decomposition with one special
+//! prime (GHS-style): for a ciphertext at level `l`, the extended
+//! polynomial `d` is decomposed into its residue rows `[d]_{q_j}`, each
+//! multiplied by a key-switching key encrypting `P·E_j·w` (where `E_j` is
+//! the CRT idempotent of `q_j` in `Q_l`), accumulated over the extended
+//! basis `{q_0…q_l, P}`, and divided by `P` with centered rounding. The
+//! identity `Σ_j [d]_{q_j}·E_j ≡ d (mod Q_l)` makes the accumulated pair
+//! decrypt to `P·d·w + small`, so the mod-down yields `d·w + tiny`.
+//!
+//! Keys are generated lazily per (kind, level) — a toy-appropriate choice
+//! that keeps the implementation honest without a key-management layer.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::backend::{Backend, BackendError, Result};
+use crate::params::CkksParams;
+use crate::toy::encode::{apply_automorphism, Encoder};
+use crate::toy::modular::{invmod, mulmod, submod};
+use crate::toy::poly::{RnsContext, RnsPoly};
+
+/// The waterline scale of the toy instance (independent of the simulated
+/// parameters' `Rf`; the level primes are ≈ 2^40 so rescaling preserves
+/// it).
+const DELTA: f64 = (1u64 << 40) as f64;
+
+/// A toy ciphertext: an RLWE pair plus CKKS metadata.
+#[derive(Debug, Clone)]
+pub struct ToyCt {
+    c0: RnsPoly,
+    c1: RnsPoly,
+    level: u32,
+    degree: u32,
+    scale: f64,
+}
+
+/// One key-switching digit: `(b, a)` over the extended basis, in NTT form.
+#[derive(Debug, Clone)]
+struct Ksk {
+    b: RnsPoly,
+    a: RnsPoly,
+}
+
+/// Which secret the key switches *from* (always switching to `s`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum KeyKind {
+    /// `s²` (relinearization after multiplication).
+    Relin,
+    /// `s(X^t)` (Galois rotation by automorphism exponent `t`).
+    Galois(usize),
+}
+
+/// The exact toy RNS-CKKS backend. See the [module docs](self).
+#[derive(Debug)]
+pub struct ToyBackend {
+    ctx: RnsContext,
+    enc: Encoder,
+    params: CkksParams,
+    sk: Vec<i64>,
+    sk_squared: Vec<i64>,
+    rng: StdRng,
+    keys: HashMap<(KeyKind, u32), Vec<Ksk>>,
+}
+
+impl ToyBackend {
+    /// Creates an instance with ring degree `n` and `max_level` usable
+    /// levels, keyed from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two ≥ 8.
+    #[must_use]
+    pub fn new(n: usize, max_level: u32, seed: u64) -> ToyBackend {
+        assert!(n.is_power_of_two() && n >= 8);
+        let ctx = RnsContext::new(n, max_level as usize);
+        let enc = Encoder::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk: Vec<i64> = (0..n).map(|_| i64::from(rng.gen_range(-1i8..=1))).collect();
+        let sk_squared = negacyclic_mul_i64(&sk, &sk);
+        let params = CkksParams { poly_degree: n, max_level, rf_bits: 40 };
+        ToyBackend { ctx, enc, params, sk, sk_squared, rng, keys: HashMap::new() }
+    }
+
+    fn rows(&self, level: u32) -> usize {
+        self.ctx.rows_at_level(level)
+    }
+
+    /// Small error polynomial (centered, σ ≈ 2).
+    fn error_coeffs(&mut self) -> Vec<i64> {
+        (0..self.ctx.n)
+            .map(|_| (0..4).map(|_| i64::from(self.rng.gen_range(-1i8..=1))).sum::<i64>())
+            .collect()
+    }
+
+    /// The secret key embedded at the given basis, NTT form.
+    fn sk_poly(&self, rows: usize, with_special: bool) -> RnsPoly {
+        let mut s = RnsPoly::from_i64(&self.ctx, &self.sk, rows, with_special);
+        s.to_ntt(&self.ctx);
+        s
+    }
+
+    /// Fresh RLWE encryption of integer message coefficients.
+    fn rlwe_encrypt(&mut self, msg: &[i128], level: u32, scale: f64) -> ToyCt {
+        let rows = self.rows(level);
+        let mut m = RnsPoly::from_i128(&self.ctx, msg, rows, false);
+        m.to_ntt(&self.ctx);
+        let e_coeffs = self.error_coeffs();
+        let mut e = RnsPoly::from_i64(&self.ctx, &e_coeffs, rows, false);
+        e.to_ntt(&self.ctx);
+        let a = RnsPoly::uniform(&self.ctx, rows, false, true, &mut self.rng);
+        let s = self.sk_poly(rows, false);
+        let c0 = m.add(&e, &self.ctx).sub(&a.mul(&s, &self.ctx), &self.ctx);
+        ToyCt { c0, c1: a, level, degree: 1, scale }
+    }
+
+    /// Raw decryption to centered integer coefficients.
+    fn rlwe_decrypt(&self, ct: &ToyCt) -> Vec<i128> {
+        let s = self.sk_poly(ct.c0.rows.len(), false);
+        let mut m = ct.c0.add(&ct.c1.mul(&s, &self.ctx), &self.ctx);
+        m.to_coeff(&self.ctx);
+        m.centered_coeffs(&self.ctx)
+    }
+
+    /// Lazily generates (and caches) the key-switching key for `kind` at
+    /// `level`.
+    fn ksk(&mut self, kind: KeyKind, level: u32) -> Vec<Ksk> {
+        if let Some(k) = self.keys.get(&(kind, level)) {
+            return k.clone();
+        }
+        let w: Vec<i64> = match kind {
+            KeyKind::Relin => self.sk_squared.clone(),
+            KeyKind::Galois(t) => automorphism_i64(&self.sk, t),
+        };
+        let rows = self.rows(level);
+        let p_special = self.ctx.primes[self.ctx.special];
+        let mut digits = Vec::with_capacity(rows);
+        for j in 0..rows {
+            let a = RnsPoly::uniform(&self.ctx, rows, true, true, &mut self.rng);
+            let e_coeffs = self.error_coeffs();
+            let mut e = RnsPoly::from_i64(&self.ctx, &e_coeffs, rows, true);
+            e.to_ntt(&self.ctx);
+            let s = self.sk_poly(rows, true);
+            let mut w_poly = RnsPoly::from_i64(&self.ctx, &w, rows, true);
+            w_poly.to_ntt(&self.ctx);
+            // P·E_j ≡ δ_ij·(P mod q_j) over the level primes, 0 mod P.
+            let factors: Vec<u64> = w_poly
+                .basis
+                .iter()
+                .map(|&bi| if bi == j { p_special % self.ctx.primes[j] } else { 0 })
+                .collect();
+            let payload = w_poly.mul_scalar_rows(&factors, &self.ctx);
+            let b = payload.add(&e, &self.ctx).sub(&a.mul(&s, &self.ctx), &self.ctx);
+            digits.push(Ksk { b, a });
+        }
+        self.keys.insert((kind, level), digits.clone());
+        digits
+    }
+
+    /// Switches `d` (NTT, level basis) from secret `w` to `s`, returning
+    /// the additive pair `(k0, k1)` with `k0 + k1·s ≈ d·w`.
+    fn keyswitch(&mut self, d: &RnsPoly, kind: KeyKind, level: u32) -> (RnsPoly, RnsPoly) {
+        let rows = self.rows(level);
+        debug_assert_eq!(d.rows.len(), rows);
+        let key = self.ksk(kind, level);
+        let mut d_coeff = d.clone();
+        d_coeff.to_coeff(&self.ctx);
+        let mut acc0 = RnsPoly::zero(&self.ctx, rows, true, true);
+        let mut acc1 = RnsPoly::zero(&self.ctx, rows, true, true);
+        for (j, ksk) in key.iter().enumerate() {
+            // Lift digit j (residues < q_j) across the extended basis.
+            let mut digit = RnsPoly::zero(&self.ctx, rows, true, false);
+            let basis = digit.basis.clone();
+            for (row, &bi) in digit.rows.iter_mut().zip(&basis) {
+                let q = self.ctx.primes[bi];
+                for (x, &v) in row.iter_mut().zip(&d_coeff.rows[j]) {
+                    *x = v % q;
+                }
+            }
+            digit.to_ntt(&self.ctx);
+            acc0 = acc0.add(&digit.mul(&ksk.b, &self.ctx), &self.ctx);
+            acc1 = acc1.add(&digit.mul(&ksk.a, &self.ctx), &self.ctx);
+        }
+        (self.mod_down_special(acc0), self.mod_down_special(acc1))
+    }
+
+    /// Divides by the special prime with centered rounding, dropping its
+    /// row (the tail of GHS key switching).
+    fn mod_down_special(&self, mut p: RnsPoly) -> RnsPoly {
+        p.to_coeff(&self.ctx);
+        let sp_row = p.rows.pop().expect("special row present");
+        let sp_bi = p.basis.pop().expect("special row present");
+        debug_assert_eq!(sp_bi, self.ctx.special);
+        let big_p = self.ctx.primes[self.ctx.special];
+        let half = big_p / 2;
+        for (row, &bi) in p.rows.iter_mut().zip(&p.basis) {
+            let q = self.ctx.primes[bi];
+            let p_inv = invmod(big_p % q, q);
+            for (x, &t) in row.iter_mut().zip(&sp_row) {
+                let t_mod = if t > half { submod(t % q, big_p % q, q) } else { t % q };
+                *x = mulmod(submod(*x, t_mod, q), p_inv, q);
+            }
+        }
+        p.to_ntt(&self.ctx);
+        p
+    }
+
+    /// Expands short inputs cyclically to the slot count (trait contract).
+    fn expand(&self, values: &[f64]) -> Vec<f64> {
+        let slots = self.enc.slots();
+        if values.is_empty() {
+            return vec![0.0; slots];
+        }
+        (0..slots).map(|i| values[i % values.len()]).collect()
+    }
+
+    /// Encodes a plaintext at the given scale/basis as an NTT poly.
+    fn encode_poly(&self, values: &[f64], rows: usize, scale: f64) -> RnsPoly {
+        let coeffs = self.enc.encode(&self.expand(values), scale);
+        let mut m = RnsPoly::from_i128(&self.ctx, &coeffs, rows, false);
+        m.to_ntt(&self.ctx);
+        m
+    }
+}
+
+/// Schoolbook negacyclic product of small signed coefficient vectors.
+#[allow(clippy::needless_range_loop)] // index arithmetic carries the wrap/sign logic
+fn negacyclic_mul_i64(a: &[i64], b: &[i64]) -> Vec<i64> {
+    let n = a.len();
+    let mut out = vec![0i64; n];
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let p = a[i] * b[j];
+            let k = i + j;
+            if k < n {
+                out[k] += p;
+            } else {
+                out[k - n] -= p;
+            }
+        }
+    }
+    out
+}
+
+/// `X → X^t` on signed coefficients.
+fn automorphism_i64(coeffs: &[i64], t: usize) -> Vec<i64> {
+    let n = coeffs.len();
+    let m = 2 * n;
+    let mut out = vec![0i64; n];
+    for (k, &c) in coeffs.iter().enumerate() {
+        let e = (k * t) % m;
+        if e < n {
+            out[e] = c;
+        } else {
+            out[e - n] = -c;
+        }
+    }
+    out
+}
+
+impl Backend for ToyBackend {
+    type Ct = ToyCt;
+
+    fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    fn encrypt(&mut self, values: &[f64], level: u32) -> Result<ToyCt> {
+        if level > self.params.max_level {
+            return Err(BackendError::new(format!(
+                "encrypt: level {level} exceeds max {}",
+                self.params.max_level
+            )));
+        }
+        if values.len() > self.enc.slots() {
+            return Err(BackendError::new("encrypt: too many values"));
+        }
+        let coeffs = self.enc.encode(&self.expand(values), DELTA);
+        Ok(self.rlwe_encrypt(&coeffs, level, DELTA))
+    }
+
+    fn decrypt(&mut self, ct: &ToyCt) -> Result<Vec<f64>> {
+        let coeffs = self.rlwe_decrypt(ct);
+        Ok(self.enc.decode(&coeffs, ct.scale))
+    }
+
+    fn level(&self, ct: &ToyCt) -> u32 {
+        ct.level
+    }
+
+    fn degree(&self, ct: &ToyCt) -> u32 {
+        ct.degree
+    }
+
+    fn add(&mut self, a: &ToyCt, b: &ToyCt) -> Result<ToyCt> {
+        if a.level != b.level {
+            return Err(BackendError::new("addcc: level mismatch"));
+        }
+        if a.degree != b.degree {
+            return Err(BackendError::new("addcc: scale-degree mismatch"));
+        }
+        Ok(ToyCt {
+            c0: a.c0.add(&b.c0, &self.ctx),
+            c1: a.c1.add(&b.c1, &self.ctx),
+            level: a.level,
+            degree: a.degree,
+            scale: a.scale,
+        })
+    }
+
+    fn sub(&mut self, a: &ToyCt, b: &ToyCt) -> Result<ToyCt> {
+        if a.level != b.level {
+            return Err(BackendError::new("subcc: level mismatch"));
+        }
+        if a.degree != b.degree {
+            return Err(BackendError::new("subcc: scale-degree mismatch"));
+        }
+        Ok(ToyCt {
+            c0: a.c0.sub(&b.c0, &self.ctx),
+            c1: a.c1.sub(&b.c1, &self.ctx),
+            level: a.level,
+            degree: a.degree,
+            scale: a.scale,
+        })
+    }
+
+    fn add_plain(&mut self, a: &ToyCt, p: &[f64]) -> Result<ToyCt> {
+        let m = self.encode_poly(p, a.c0.rows.len(), a.scale);
+        Ok(ToyCt { c0: a.c0.add(&m, &self.ctx), ..a.clone() })
+    }
+
+    fn sub_plain(&mut self, a: &ToyCt, p: &[f64]) -> Result<ToyCt> {
+        let m = self.encode_poly(p, a.c0.rows.len(), a.scale);
+        Ok(ToyCt { c0: a.c0.sub(&m, &self.ctx), ..a.clone() })
+    }
+
+    fn mult(&mut self, a: &ToyCt, b: &ToyCt) -> Result<ToyCt> {
+        if a.level != b.level {
+            return Err(BackendError::new("multcc: level mismatch"));
+        }
+        if a.degree != 1 || b.degree != 1 {
+            return Err(BackendError::new("multcc: operands must be at waterline scale"));
+        }
+        if a.level < 1 {
+            return Err(BackendError::new("multcc: level must be >= 1"));
+        }
+        // Tensor (d0, d1, d2), then relinearize d2 back to rank 1.
+        let d0 = a.c0.mul(&b.c0, &self.ctx);
+        let d1 = a.c0.mul(&b.c1, &self.ctx).add(&a.c1.mul(&b.c0, &self.ctx), &self.ctx);
+        let d2 = a.c1.mul(&b.c1, &self.ctx);
+        let (k0, k1) = self.keyswitch(&d2, KeyKind::Relin, a.level);
+        Ok(ToyCt {
+            c0: d0.add(&k0, &self.ctx),
+            c1: d1.add(&k1, &self.ctx),
+            level: a.level,
+            degree: 2,
+            scale: a.scale * b.scale,
+        })
+    }
+
+    fn mult_plain(&mut self, a: &ToyCt, p: &[f64]) -> Result<ToyCt> {
+        if a.degree != 1 {
+            return Err(BackendError::new("multcp: operand must be at waterline scale"));
+        }
+        if a.level < 1 {
+            return Err(BackendError::new("multcp: level must be >= 1"));
+        }
+        let m = self.encode_poly(p, a.c0.rows.len(), DELTA);
+        Ok(ToyCt {
+            c0: a.c0.mul(&m, &self.ctx),
+            c1: a.c1.mul(&m, &self.ctx),
+            level: a.level,
+            degree: 2,
+            scale: a.scale * DELTA,
+        })
+    }
+
+    fn negate(&mut self, a: &ToyCt) -> Result<ToyCt> {
+        Ok(ToyCt { c0: a.c0.neg(&self.ctx), c1: a.c1.neg(&self.ctx), ..a.clone() })
+    }
+
+    fn rotate(&mut self, a: &ToyCt, offset: i64) -> Result<ToyCt> {
+        let t = self.enc.rotation_exponent(offset);
+        if t == 1 {
+            return Ok(a.clone());
+        }
+        // Apply X → X^t in coefficient form, then switch s(X^t) → s.
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        c0.to_coeff(&self.ctx);
+        c1.to_coeff(&self.ctx);
+        for poly in [&mut c0, &mut c1] {
+            let basis = poly.basis.clone();
+            for (row, &bi) in poly.rows.iter_mut().zip(&basis) {
+                *row = apply_automorphism(row, t, self.ctx.primes[bi]);
+            }
+        }
+        c0.to_ntt(&self.ctx);
+        c1.to_ntt(&self.ctx);
+        let (k0, k1) = self.keyswitch(&c1, KeyKind::Galois(t), a.level);
+        Ok(ToyCt {
+            c0: c0.add(&k0, &self.ctx),
+            c1: k1,
+            level: a.level,
+            degree: a.degree,
+            scale: a.scale,
+        })
+    }
+
+    fn rescale(&mut self, a: &ToyCt) -> Result<ToyCt> {
+        if a.degree != 2 {
+            return Err(BackendError::new("rescale: operand must have scale degree 2"));
+        }
+        if a.level < 1 {
+            return Err(BackendError::new("rescale: level must be >= 1"));
+        }
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        let q_top = self.ctx.primes[a.c0.rows.len() - 1];
+        for p in [&mut c0, &mut c1] {
+            p.to_coeff(&self.ctx);
+            p.rescale_by_top(&self.ctx);
+            p.to_ntt(&self.ctx);
+        }
+        Ok(ToyCt { c0, c1, level: a.level - 1, degree: 1, scale: a.scale / q_top as f64 })
+    }
+
+    fn modswitch(&mut self, a: &ToyCt, down: u32) -> Result<ToyCt> {
+        if down == 0 || down > a.level {
+            return Err(BackendError::new("modswitch: invalid down"));
+        }
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        c0.drop_top_rows(down as usize);
+        c1.drop_top_rows(down as usize);
+        Ok(ToyCt { c0, c1, level: a.level - down, degree: a.degree, scale: a.scale })
+    }
+
+    fn bootstrap(&mut self, a: &ToyCt, target: u32) -> Result<ToyCt> {
+        if a.degree != 1 {
+            return Err(BackendError::new("bootstrap: operand must be at waterline scale"));
+        }
+        if target == 0 || target > self.params.max_level {
+            return Err(BackendError::new("bootstrap: target out of range"));
+        }
+        // Documented substitution (DESIGN.md §4): level-restoring
+        // re-encryption standing in for the EvalMod/CoeffToSlot circuit.
+        let coeffs = self.rlwe_decrypt(a);
+        let values = self.enc.decode(&coeffs, a.scale);
+        let msg = self.enc.encode(&values, DELTA);
+        Ok(self.rlwe_encrypt(&msg, target, DELTA))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend() -> ToyBackend {
+        ToyBackend::new(32, 6, 0xBEEF)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut be = backend();
+        let values = vec![0.5, -1.25, 3.0, 0.0];
+        let ct = be.encrypt(&values, 6).unwrap();
+        let out = be.decrypt(&ct).unwrap();
+        for (a, b) in values.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+        // Cyclic expansion like the simulation backend.
+        assert!((out[4] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn homomorphic_add_sub_negate() {
+        let mut be = backend();
+        let x = be.encrypt(&[2.0, -1.0], 4).unwrap();
+        let y = be.encrypt(&[0.5, 3.0], 4).unwrap();
+        let s = be.add(&x, &y).unwrap();
+        let out = be.decrypt(&s).unwrap();
+        assert!((out[0] - 2.5).abs() < 1e-7 && (out[1] - 2.0).abs() < 1e-7);
+        let d = be.sub(&x, &y).unwrap();
+        let out = be.decrypt(&d).unwrap();
+        assert!((out[0] - 1.5).abs() < 1e-7 && (out[1] + 4.0).abs() < 1e-7);
+        let n = be.negate(&x).unwrap();
+        let out = be.decrypt(&n).unwrap();
+        assert!((out[0] + 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn plaintext_operands() {
+        let mut be = backend();
+        let x = be.encrypt(&[2.0, -1.0], 4).unwrap();
+        let ap = be.add_plain(&x, &[10.0, 1.0]).unwrap();
+        let out = be.decrypt(&ap).unwrap();
+        assert!((out[0] - 12.0).abs() < 1e-7 && out[1].abs() < 1e-7);
+        let mp = be.mult_plain(&x, &[3.0, -2.0]).unwrap();
+        assert_eq!(be.degree(&mp), 2);
+        let out = be.decrypt(&mp).unwrap();
+        assert!((out[0] - 6.0).abs() < 1e-6 && (out[1] - 2.0).abs() < 1e-6);
+        let r = be.rescale(&mp).unwrap();
+        assert_eq!(be.level(&r), 3);
+        assert!((be.decrypt(&r).unwrap()[0] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ciphertext_multiplication_with_relinearization() {
+        let mut be = backend();
+        let x = be.encrypt(&[1.5, -2.0, 0.25], 4).unwrap();
+        let y = be.encrypt(&[2.0, 0.5, 4.0], 4).unwrap();
+        let m = be.mult(&x, &y).unwrap();
+        assert_eq!(be.degree(&m), 2);
+        let r = be.rescale(&m).unwrap();
+        let out = be.decrypt(&r).unwrap();
+        let want = [3.0, -1.0, 1.0];
+        for (got, want) in out.iter().zip(&want) {
+            assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn deep_multiplication_chain_stays_accurate() {
+        let mut be = backend();
+        let mut v = be.encrypt(&[0.9], 6).unwrap();
+        let mut want = 0.9f64;
+        for _ in 0..5 {
+            let m = be.mult(&v, &v).unwrap();
+            v = be.rescale(&m).unwrap();
+            want *= want;
+        }
+        assert_eq!(be.level(&v), 1);
+        let got = be.decrypt(&v).unwrap()[0];
+        assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+    }
+
+    #[test]
+    fn rotation_shifts_slots() {
+        let mut be = backend();
+        let values: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.1).collect();
+        let x = be.encrypt(&values, 3).unwrap();
+        let r = be.rotate(&x, 2).unwrap();
+        let out = be.decrypt(&r).unwrap();
+        for j in 0..16 {
+            let want = values[(j + 2) % 16];
+            assert!((out[j] - want).abs() < 1e-5, "slot {j}: {} vs {want}", out[j]);
+        }
+        // Negative rotation.
+        let l = be.rotate(&x, -3).unwrap();
+        let out = be.decrypt(&l).unwrap();
+        assert!((out[0] - values[13]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn modswitch_preserves_value() {
+        let mut be = backend();
+        let x = be.encrypt(&[1.234], 5).unwrap();
+        let m = be.modswitch(&x, 3).unwrap();
+        assert_eq!(be.level(&m), 2);
+        assert!((be.decrypt(&m).unwrap()[0] - 1.234).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bootstrap_restores_level_and_value() {
+        let mut be = backend();
+        let x = be.encrypt(&[0.77], 1).unwrap();
+        let b = be.bootstrap(&x, 6).unwrap();
+        assert_eq!(be.level(&b), 6);
+        assert!((be.decrypt(&b).unwrap()[0] - 0.77).abs() < 1e-7);
+    }
+
+    #[test]
+    fn level_constraints_are_enforced() {
+        let mut be = backend();
+        let x = be.encrypt(&[1.0], 3).unwrap();
+        let y = be.encrypt(&[1.0], 2).unwrap();
+        assert!(be.add(&x, &y).is_err());
+        assert!(be.mult(&x, &y).is_err());
+        let low = be.encrypt(&[1.0], 0).unwrap();
+        assert!(be.mult(&low, &low).is_err());
+        assert!(be.rescale(&x).is_err(), "degree-1 rescale");
+        assert!(be.modswitch(&x, 4).is_err());
+        assert!(be.bootstrap(&x, 7).is_err());
+    }
+
+    #[test]
+    fn sum_of_products_at_degree_2() {
+        // addcc on two pending-rescale products, then one rescale —
+        // exactly the lazy-waterline pattern the compiler emits.
+        let mut be = backend();
+        let a = be.encrypt(&[1.5], 4).unwrap();
+        let b = be.encrypt(&[2.0], 4).unwrap();
+        let c = be.encrypt(&[-0.5], 4).unwrap();
+        let d = be.encrypt(&[3.0], 4).unwrap();
+        let p1 = be.mult(&a, &b).unwrap();
+        let p2 = be.mult(&c, &d).unwrap();
+        let s = be.add(&p1, &p2).unwrap();
+        let r = be.rescale(&s).unwrap();
+        let got = be.decrypt(&r).unwrap()[0];
+        assert!((got - 1.5).abs() < 1e-4, "{got}");
+    }
+}

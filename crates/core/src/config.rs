@@ -1,0 +1,106 @@
+//! Compiler configurations: the five variants of the paper's evaluation.
+
+use halo_ckks::CkksParams;
+
+/// The five bootstrapping-management configurations compared in §7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompilerConfig {
+    /// DaCapo baseline: fully unroll every loop, then place bootstraps over
+    /// the straight-line program (candidate filtering + DP). Rejects
+    /// dynamic trip counts.
+    DaCapo,
+    /// HALO's type-matched loop only: peel + floor modswitch + per-variable
+    /// head bootstraps, no optimization.
+    TypeMatched,
+    /// Type-matched + loop-carried packing (§6.1).
+    Packing,
+    /// Packing + level-aware unrolling (§6.2).
+    PackingUnrolling,
+    /// All optimizations: packing + unrolling + target-level tuning (§6.3).
+    Halo,
+}
+
+impl CompilerConfig {
+    /// All five configurations in the paper's presentation order.
+    pub const ALL: [CompilerConfig; 5] = [
+        CompilerConfig::DaCapo,
+        CompilerConfig::TypeMatched,
+        CompilerConfig::Packing,
+        CompilerConfig::PackingUnrolling,
+        CompilerConfig::Halo,
+    ];
+
+    /// Display name matching the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CompilerConfig::DaCapo => "DaCapo",
+            CompilerConfig::TypeMatched => "Type-matched",
+            CompilerConfig::Packing => "Packing",
+            CompilerConfig::PackingUnrolling => "Packing+Unrolling",
+            CompilerConfig::Halo => "HALO",
+        }
+    }
+
+    /// Whether this configuration applies the packing optimization.
+    #[must_use]
+    pub fn packs(self) -> bool {
+        matches!(
+            self,
+            CompilerConfig::Packing | CompilerConfig::PackingUnrolling | CompilerConfig::Halo
+        )
+    }
+
+    /// Whether this configuration applies level-aware unrolling.
+    #[must_use]
+    pub fn unrolls(self) -> bool {
+        matches!(self, CompilerConfig::PackingUnrolling | CompilerConfig::Halo)
+    }
+
+    /// Whether this configuration tunes bootstrap target levels.
+    #[must_use]
+    pub fn tunes(self) -> bool {
+        matches!(self, CompilerConfig::Halo)
+    }
+}
+
+/// Knobs shared by every configuration.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Scheme parameters (level budget, slot count).
+    pub params: CkksParams,
+    /// DaCapo candidate filter width: how many lowest-live-count program
+    /// points the placement DP considers (§5.3: "DaCapo filters the
+    /// candidate bootstrapping insertion points").
+    pub placement_filter: usize,
+}
+
+impl CompileOptions {
+    /// Default options for the given parameters.
+    #[must_use]
+    pub fn new(params: CkksParams) -> CompileOptions {
+        CompileOptions { params, placement_filter: 96 }
+    }
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions::new(CkksParams::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_feature_matrix() {
+        use CompilerConfig as C;
+        assert!(!C::DaCapo.packs() && !C::DaCapo.unrolls() && !C::DaCapo.tunes());
+        assert!(!C::TypeMatched.packs());
+        assert!(C::Packing.packs() && !C::Packing.unrolls());
+        assert!(C::PackingUnrolling.unrolls() && !C::PackingUnrolling.tunes());
+        assert!(C::Halo.packs() && C::Halo.unrolls() && C::Halo.tunes());
+        assert_eq!(C::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Static whole-program cost estimation over typed IR.
+//!
+//! Walks the compiled function pricing every op at its operand level with
+//! the calibrated cost model, multiplying loop bodies by their trip counts
+//! (dynamic trips are assumed to run `assumed_trip` iterations — the
+//! paper's evaluation uses 40). The pipeline uses this to make the packing
+//! decision cost-aware: packing trades `m` head bootstraps for one, but on
+//! deep bodies the two extra multiplicative levels can force extra in-body
+//! resets that outweigh the saving (the paper observes exactly this on
+//! K-means, §7.1).
+
+use halo_ckks::{CostModel, CostedOp};
+use halo_ir::func::{BlockId, Function};
+use halo_ir::op::{Opcode, TripCount};
+use halo_ir::types::Status;
+
+/// Estimated execution latency (µs) of a typed function, assuming dynamic
+/// trip counts run `assumed_trip` iterations.
+#[must_use]
+pub fn estimate_cost_us(f: &Function, assumed_trip: u64) -> f64 {
+    let cost = CostModel::new();
+    block_cost(f, f.entry, assumed_trip, &cost)
+}
+
+fn trip_estimate(trip: &TripCount, assumed: u64) -> u64 {
+    match trip {
+        TripCount::Constant(n) => *n,
+        TripCount::Dynamic { add, div, .. } => {
+            let num = assumed as i64 + add;
+            if num <= 0 {
+                0
+            } else {
+                num as u64 / div
+            }
+        }
+        TripCount::DynamicRem { add, div, .. } => {
+            let num = assumed as i64 + add;
+            if num <= 0 {
+                0
+            } else {
+                num as u64 % div
+            }
+        }
+    }
+}
+
+fn block_cost(f: &Function, block: BlockId, assumed: u64, cost: &CostModel) -> f64 {
+    let mut total = 0.0;
+    for &op_id in &f.block(block).ops {
+        let op = f.op(op_id);
+        let level = |i: usize| f.ty(op.operands[i]).level;
+        let cipher = |i: usize| f.ty(op.operands[i]).status == Status::Cipher;
+        total += match &op.opcode {
+            Opcode::For { trip, body, .. } => {
+                block_cost(f, *body, assumed, cost) * trip_estimate(trip, assumed) as f64
+            }
+            Opcode::MultCC if cipher(0) => cost.latency_us(CostedOp::MultCC { level: level(0) }),
+            Opcode::MultCP => {
+                cost.latency_us(CostedOp::MultCP { level: level(0) })
+                    + cost.latency_us(CostedOp::Encode)
+            }
+            Opcode::AddCC | Opcode::SubCC if cipher(0) => {
+                cost.latency_us(CostedOp::AddCC { level: level(0) })
+            }
+            Opcode::AddCP | Opcode::SubCP => {
+                cost.latency_us(CostedOp::AddCP { level: level(0) })
+                    + cost.latency_us(CostedOp::Encode)
+            }
+            Opcode::Negate if cipher(0) => {
+                cost.latency_us(CostedOp::Negate { level: level(0) })
+            }
+            Opcode::Rotate { .. } if cipher(0) => {
+                cost.latency_us(CostedOp::Rotate { level: level(0) })
+            }
+            Opcode::Rescale => cost.latency_us(CostedOp::Rescale { level: level(0) }),
+            Opcode::ModSwitch { down } => cost.modswitch_chain_us(level(0), *down),
+            Opcode::Bootstrap { target } => {
+                cost.latency_us(CostedOp::Bootstrap { target: *target })
+            }
+            Opcode::Const(_) | Opcode::Encrypt => cost.latency_us(CostedOp::Encode),
+            _ => 0.0,
+        };
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CompileOptions;
+    use crate::scale::assign_levels;
+    use halo_ckks::CkksParams;
+    use halo_ir::FunctionBuilder;
+
+    #[test]
+    fn loop_cost_scales_with_assumed_trips() {
+        let mut b = FunctionBuilder::new("t", 8);
+        let x = b.input_cipher("x");
+        let w = b.input_cipher("w");
+        let r = b.for_loop(TripCount::dynamic("n"), &[w], 4, |b, a| {
+            vec![b.mul(a[0], x)]
+        });
+        b.ret(&r);
+        let mut f = b.finish();
+        assign_levels(&mut f, &CompileOptions::new(CkksParams::test_small())).unwrap();
+        let c10 = estimate_cost_us(&f, 10);
+        let c40 = estimate_cost_us(&f, 40);
+        assert!(c40 > 3.5 * c10 && c40 < 4.5 * c10, "{c10} vs {c40}");
+    }
+
+    #[test]
+    fn bootstraps_dominate_the_estimate() {
+        let mut b = FunctionBuilder::new("t", 8);
+        let x = b.input_cipher("x");
+        let w = b.input_cipher("w");
+        let r = b.for_loop(TripCount::dynamic("n"), &[w], 4, |b, a| {
+            vec![b.mul(a[0], x)]
+        });
+        b.ret(&r);
+        let mut f = b.finish();
+        assign_levels(&mut f, &CompileOptions::new(CkksParams::test_small())).unwrap();
+        let total = estimate_cost_us(&f, 40);
+        let boots = f.count_ops(|o| matches!(o, Opcode::Bootstrap { .. })) as f64;
+        let boot_us = boots * 40.0 * 463_171.0;
+        assert!(boot_us / total > 0.9, "bootstraps should dominate: {total}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Dead-code elimination.
+//!
+//! The IR is pure (no memory, no I/O), so any op none of whose results is
+//! transitively used by a terminator can be dropped. Inputs are kept (they
+//! are the function's interface); loops are dropped whole when none of
+//! their results is used.
+
+use std::collections::HashSet;
+
+use halo_ir::func::{BlockId, Function, ValueId};
+use halo_ir::op::Opcode;
+
+/// Removes dead ops everywhere. Returns the number of ops removed.
+pub fn run(f: &mut Function) -> usize {
+    let mut used: HashSet<ValueId> = HashSet::new();
+    let mut keep: HashSet<halo_ir::OpId> = HashSet::new();
+    mark_block(f, f.entry, &mut used, &mut keep);
+    let mut removed = 0;
+    sweep_block(f, f.entry, &keep, &mut removed);
+    removed
+}
+
+/// Backward pass: an op is kept if it is a terminator, an input, or any of
+/// its results is used; kept ops mark their operands used. Loop bodies are
+/// processed when their `For` is kept (the body's terminator seeds it).
+fn mark_block(
+    f: &Function,
+    block: BlockId,
+    used: &mut HashSet<ValueId>,
+    keep: &mut HashSet<halo_ir::OpId>,
+) {
+    for &op_id in f.block(block).ops.iter().rev() {
+        let op = f.op(op_id);
+        let needed = op.opcode.is_terminator()
+            || matches!(op.opcode, Opcode::Input { .. })
+            || op.results.iter().any(|r| used.contains(r));
+        if !needed {
+            continue;
+        }
+        keep.insert(op_id);
+        for &operand in &op.operands {
+            used.insert(operand);
+        }
+        if let Opcode::For { body, .. } = op.opcode {
+            mark_block(f, body, used, keep);
+            // Live-ins referenced by the body were marked inside.
+        }
+    }
+}
+
+fn sweep_block(
+    f: &mut Function,
+    block: BlockId,
+    keep: &HashSet<halo_ir::OpId>,
+    removed: &mut usize,
+) {
+    let ops = f.block(block).ops.clone();
+    let kept: Vec<_> = ops.iter().copied().filter(|o| keep.contains(o)).collect();
+    *removed += ops.len() - kept.len();
+    f.block_mut(block).ops = kept;
+    let loops = f.loops_in_block(block);
+    for l in loops {
+        let body = f.for_body(l);
+        sweep_block(f, body, keep, removed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ir::op::TripCount;
+    use halo_ir::verify::verify_traced;
+    use halo_ir::FunctionBuilder;
+
+    #[test]
+    fn removes_unused_arithmetic_keeps_inputs() {
+        let mut b = FunctionBuilder::new("t", 8);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let _dead = b.mul(x, y);
+        let live = b.add(x, y);
+        b.ret(&[live]);
+        let mut f = b.finish();
+        assert_eq!(run(&mut f), 1);
+        verify_traced(&f).unwrap();
+        let kinds: Vec<_> = f
+            .block(f.entry)
+            .ops
+            .iter()
+            .map(|&o| f.op(o).opcode.mnemonic())
+            .collect();
+        assert_eq!(kinds, vec!["input", "input", "addcc", "return"]);
+    }
+
+    #[test]
+    fn removes_unused_loop_entirely() {
+        let mut b = FunctionBuilder::new("t", 8);
+        let x = b.input_cipher("x");
+        let _dead_loop = b.for_loop(TripCount::Constant(3), &[x], 4, |b, a| {
+            vec![b.mul(a[0], a[0])]
+        });
+        let live = b.add(x, x);
+        b.ret(&[live]);
+        let mut f = b.finish();
+        assert!(run(&mut f) >= 1);
+        assert!(f.loops_in_block(f.entry).is_empty());
+    }
+
+    #[test]
+    fn keeps_loop_with_used_result_and_cleans_its_body() {
+        let mut b = FunctionBuilder::new("t", 8);
+        let x = b.input_cipher("x");
+        let r = b.for_loop(TripCount::Constant(3), &[x], 4, |b, a| {
+            let _dead_inside = b.mul(a[0], a[0]);
+            vec![b.add(a[0], a[0])]
+        });
+        b.ret(&r);
+        let mut f = b.finish();
+        assert_eq!(run(&mut f), 1);
+        verify_traced(&f).unwrap();
+        let body = f.for_body(f.loops_in_block(f.entry)[0]);
+        let kinds: Vec<_> = f
+            .block(body)
+            .ops
+            .iter()
+            .map(|&o| f.op(o).opcode.mnemonic())
+            .collect();
+        assert_eq!(kinds, vec!["addcc", "yield"]);
+    }
+
+    #[test]
+    fn chains_of_dead_ops_removed_in_one_pass() {
+        let mut b = FunctionBuilder::new("t", 8);
+        let x = b.input_cipher("x");
+        let d1 = b.mul(x, x);
+        let d2 = b.mul(d1, d1);
+        let _d3 = b.mul(d2, d2);
+        b.ret(&[x]);
+        let mut f = b.finish();
+        assert_eq!(run(&mut f), 3);
+    }
+}

@@ -1,0 +1,63 @@
+//! Compiler errors.
+
+use std::fmt;
+
+use halo_ir::{OpId, VerifyError};
+
+/// An error raised while compiling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A loop with a dynamic trip count reached a pass that requires full
+    /// unrolling — the DaCapo baseline's documented limitation (§2.4).
+    DynamicTripNotSupported {
+        /// The offending loop.
+        op: OpId,
+    },
+    /// The program needs more multiplicative depth than any bootstrap plan
+    /// can supply (a single op chain deeper than the level budget).
+    DepthInfeasible {
+        /// Where the unsatisfiable segment starts.
+        op: Option<OpId>,
+        /// Description of the failure.
+        detail: String,
+    },
+    /// Packing was requested but the carried variables do not fit in one
+    /// ciphertext.
+    PackingInfeasible {
+        /// Description of the failure.
+        detail: String,
+    },
+    /// Verification failed after a pass — an internal invariant violation.
+    Verify(VerifyError),
+    /// Any other internal inconsistency.
+    Internal(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::DynamicTripNotSupported { op } => write!(
+                f,
+                "op #{}: loop has a dynamic trip count, which full unrolling cannot compile",
+                op.0
+            ),
+            CompileError::DepthInfeasible { op, detail } => match op {
+                Some(op) => write!(f, "op #{}: depth infeasible: {detail}", op.0),
+                None => write!(f, "depth infeasible: {detail}"),
+            },
+            CompileError::PackingInfeasible { detail } => {
+                write!(f, "packing infeasible: {detail}")
+            }
+            CompileError::Verify(e) => write!(f, "post-pass verification failed: {e}"),
+            CompileError::Internal(s) => write!(f, "internal compiler error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<VerifyError> for CompileError {
+    fn from(e: VerifyError) -> CompileError {
+        CompileError::Verify(e)
+    }
+}

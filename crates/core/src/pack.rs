@@ -1,0 +1,351 @@
+//! Loop-carried ciphertext packing (paper §6.1, Solution B-1).
+//!
+//! Instead of bootstrapping `m` loop-carried ciphertexts per iteration, the
+//! pass packs them into a single ciphertext so one bootstrap suffices:
+//!
+//! - **pack**: each carried value is masked into its own slot window
+//!   (`multcp` with a 0/1 mask plaintext) and the windows are summed
+//!   (`addcc` tree);
+//! - **unpack**: each window is masked back out and re-replicated across
+//!   all slots by a rotate-and-add doubling ladder (each original
+//!   ciphertext stores its `num_elems`-sized value vector cyclically
+//!   repeated, so re-replication restores the original layout exactly).
+//!
+//! Packing costs one multiplicative level on each side (`depth_limit`
+//! becomes `L − 2`, §6.2) and is applied only when at least two carried
+//! variables are ciphertexts and all windows fit in one ciphertext.
+
+use std::collections::HashMap;
+
+use halo_ir::func::{BlockId, Function, OpId, ValueId};
+use halo_ir::op::{ConstValue, Opcode};
+use halo_ir::subst::clone_body_ops;
+use halo_ir::types::{CtType, Status};
+
+/// Indices of the loop-carried variables of `op_id` that packing would
+/// combine, or `None` if packing is not applicable/feasible for this loop:
+/// fewer than two cipher carried variables, a non-power-of-two element
+/// count, or windows exceeding the slot count.
+#[must_use]
+pub fn packable_indices(f: &Function, op_id: OpId) -> Option<Vec<usize>> {
+    let Opcode::For { body, num_elems, .. } = &f.op(op_id).opcode else {
+        return None;
+    };
+    let args = &f.block(*body).args;
+    let cipher: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| f.ty(a).status == Status::Cipher)
+        .map(|(i, _)| i)
+        .collect();
+    let m = cipher.len();
+    if m < 2 {
+        return None;
+    }
+    let s = *num_elems;
+    if s == 0 || !s.is_power_of_two() || !f.slots.is_power_of_two() {
+        return None;
+    }
+    if m * s > f.slots {
+        return None;
+    }
+    Some(cipher)
+}
+
+/// Packs every eligible loop in the function (recursively). Returns the
+/// number of loops packed.
+pub fn pack_loops(f: &mut Function) -> usize {
+    let mut count = 0;
+    pack_in_block(f, f.entry, &mut count);
+    count
+}
+
+fn pack_in_block(f: &mut Function, block: BlockId, count: &mut usize) {
+    let mut i = 0;
+    while i < f.block(block).ops.len() {
+        let op_id = f.block(block).ops[i];
+        if let Opcode::For { body, .. } = f.op(op_id).opcode {
+            // Inner loops first (their carried sets are independent).
+            pack_in_block(f, body, count);
+            if let Some(cipher_idx) = packable_indices(f, op_id) {
+                pack_one(f, block, op_id, &cipher_idx);
+                *count += 1;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Emits the mask constant for window `j` and multiplies `v` by it.
+fn mask_mul(
+    f: &mut Function,
+    block: BlockId,
+    at: &mut usize,
+    v: ValueId,
+    j: usize,
+    s: usize,
+) -> ValueId {
+    let mask = f.insert_op1(
+        block,
+        *at,
+        Opcode::Const(ConstValue::Mask { lo: j * s, hi: (j + 1) * s }),
+        vec![],
+        CtType::plain_unset(),
+    );
+    *at += 1;
+    let masked = f.insert_op1(
+        block,
+        *at,
+        Opcode::MultCP,
+        vec![v, mask],
+        CtType::cipher_unset(),
+    );
+    *at += 1;
+    masked
+}
+
+/// Sums a list of ciphertexts with sequential `addcc` ops.
+fn add_tree(f: &mut Function, block: BlockId, at: &mut usize, mut vals: Vec<ValueId>) -> ValueId {
+    let mut acc = vals.remove(0);
+    for v in vals {
+        acc = f.insert_op1(block, *at, Opcode::AddCC, vec![acc, v], CtType::cipher_unset());
+        *at += 1;
+    }
+    acc
+}
+
+/// Re-replicates window `j`'s content across all slots: a rotate-and-add
+/// doubling ladder over offsets `s, 2s, 4s, …`.
+fn replicate(
+    f: &mut Function,
+    block: BlockId,
+    at: &mut usize,
+    mut v: ValueId,
+    s: usize,
+    slots: usize,
+) -> ValueId {
+    let mut step = s;
+    while step < slots {
+        let rot = f.insert_op1(
+            block,
+            *at,
+            Opcode::Rotate { offset: step as i64 },
+            vec![v],
+            CtType::cipher_unset(),
+        );
+        *at += 1;
+        v = f.insert_op1(block, *at, Opcode::AddCC, vec![v, rot], CtType::cipher_unset());
+        *at += 1;
+        step *= 2;
+    }
+    v
+}
+
+/// Packs one loop's cipher carried variables (`cipher_idx`, ≥ 2 entries).
+fn pack_one(f: &mut Function, block: BlockId, op_id: OpId, cipher_idx: &[usize]) {
+    let (old_body, trip, num_elems) = match &f.op(op_id).opcode {
+        Opcode::For { body, trip, num_elems } => (*body, trip.clone(), *num_elems),
+        _ => unreachable!("pack_one on non-loop"),
+    };
+    let slots = f.slots;
+    let s = num_elems;
+    let old_args = f.block(old_body).args.clone();
+    let old_inits = f.op(op_id).operands.clone();
+    let old_results = f.op(op_id).results.clone();
+    let plain_idx: Vec<usize> =
+        (0..old_args.len()).filter(|k| !cipher_idx.contains(k)).collect();
+
+    // --- Pack the inits in the parent block, before the loop. ---
+    let mut at = f.position_in_block(block, op_id).expect("loop in block");
+    let masked: Vec<ValueId> = cipher_idx
+        .iter()
+        .enumerate()
+        .map(|(j, &k)| mask_mul(f, block, &mut at, old_inits[k], j, s))
+        .collect();
+    let packed_init = add_tree(f, block, &mut at, masked);
+
+    // --- Build the new body: unpack head, cloned ops, pack tail. ---
+    let new_body = f.add_block();
+    let t_arg = f.add_block_arg(new_body, CtType::cipher_unset(), Some("packed".into()));
+    let mut map: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut new_plain_args = Vec::new();
+    for &k in &plain_idx {
+        let name = f.value(old_args[k]).name.clone();
+        let ty = f.ty(old_args[k]);
+        let a = f.add_block_arg(new_body, ty, name);
+        map.insert(old_args[k], a);
+        new_plain_args.push(a);
+    }
+    let mut bat = 0usize;
+    for (j, &k) in cipher_idx.iter().enumerate() {
+        let masked = mask_mul(f, new_body, &mut bat, t_arg, j, s);
+        let u = replicate(f, new_body, &mut bat, masked, s, slots);
+        map.insert(old_args[k], u);
+    }
+    let yields = clone_body_ops(f, old_body, new_body, bat, &mut map);
+    let mut tat = f.block(new_body).ops.len();
+    let masked_y: Vec<ValueId> = cipher_idx
+        .iter()
+        .enumerate()
+        .map(|(j, &k)| mask_mul(f, new_body, &mut tat, yields[k], j, s))
+        .collect();
+    let packed_yield = add_tree(f, new_body, &mut tat, masked_y);
+    let mut new_yields = vec![packed_yield];
+    for &k in &plain_idx {
+        new_yields.push(yields[k]);
+    }
+    f.push_op(new_body, Opcode::Yield, new_yields, &[]);
+
+    // --- Replace the For op. ---
+    let mut new_inits = vec![packed_init];
+    for &k in &plain_idx {
+        new_inits.push(old_inits[k]);
+    }
+    let mut result_tys = vec![CtType::cipher_unset()];
+    for &k in &plain_idx {
+        result_tys.push(f.ty(old_results[k]));
+    }
+    let pos = f.position_in_block(block, op_id).expect("loop in block");
+    let new_for = f.insert_op(
+        block,
+        pos,
+        Opcode::For { trip, body: new_body, num_elems },
+        new_inits,
+        &result_tys,
+    );
+    // Drop the old loop from the block (its body becomes unreachable).
+    let old_pos = f.position_in_block(block, op_id).expect("old loop still here");
+    f.block_mut(block).ops.remove(old_pos);
+    let new_results = f.op(new_for).results.clone();
+
+    // --- Unpack the loop results after the loop. ---
+    let mut uat = f.position_in_block(block, new_for).expect("new loop") + 1;
+    for (j, &k) in cipher_idx.iter().enumerate() {
+        let masked = mask_mul(f, block, &mut uat, new_results[0], j, s);
+        let u = replicate(f, block, &mut uat, masked, s, slots);
+        f.replace_uses(old_results[k], u, None);
+    }
+    for (p, &k) in plain_idx.iter().enumerate() {
+        f.replace_uses(old_results[k], new_results[p + 1], None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ir::op::TripCount;
+    use halo_ir::verify::verify_traced;
+    use halo_ir::FunctionBuilder;
+
+    fn two_var_loop(slots: usize, num_elems: usize) -> Function {
+        let mut b = FunctionBuilder::new("t", slots);
+        let x = b.input_cipher("x");
+        let y0 = b.input_cipher("y0");
+        let a0 = b.input_cipher("a0");
+        let r = b.for_loop(TripCount::dynamic("n"), &[y0, a0], num_elems, |b, args| {
+            let x2 = b.mul(x, args[0]);
+            let y2 = b.mul(x2, x2);
+            let a2 = b.add(args[1], y2);
+            vec![y2, a2]
+        });
+        b.ret(&r);
+        b.finish()
+    }
+
+    #[test]
+    fn packs_two_cipher_carried_vars_into_one() {
+        let mut f = two_var_loop(16, 4);
+        assert_eq!(pack_loops(&mut f), 1);
+        verify_traced(&f).unwrap();
+        let loop_op = f.loops_in_block(f.entry)[0];
+        let body = f.for_body(loop_op);
+        assert_eq!(f.block(body).args.len(), 1, "single packed carried variable");
+        assert_eq!(f.op(loop_op).operands.len(), 1);
+        // Unpack ladder: 2 windows × log2(16/4) = 2 rotates each in the
+        // body head, plus the same after the loop.
+        let body_rotates = f
+            .block(body)
+            .ops
+            .iter()
+            .filter(|&&o| matches!(f.op(o).opcode, Opcode::Rotate { .. }))
+            .count();
+        assert_eq!(body_rotates, 4);
+        // Masks are multcp against Mask constants.
+        let masks = f.count_ops(|o| matches!(o, Opcode::Const(ConstValue::Mask { .. })));
+        assert!(masks >= 6, "pack-in, unpack-in-body, pack-out, unpack-out masks: {masks}");
+    }
+
+    #[test]
+    fn single_carried_var_is_not_packed() {
+        let mut b = FunctionBuilder::new("t", 16);
+        let w = b.input_cipher("w");
+        let r = b.for_loop(TripCount::dynamic("n"), &[w], 4, |b, a| {
+            vec![b.mul(a[0], a[0])]
+        });
+        b.ret(&r);
+        let mut f = b.finish();
+        assert_eq!(pack_loops(&mut f), 0);
+    }
+
+    #[test]
+    fn oversized_windows_are_not_packed() {
+        // 2 vars × 16 elems > 16 slots.
+        let mut f = two_var_loop(16, 16);
+        assert_eq!(pack_loops(&mut f), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_elems_not_packed() {
+        let mut f = two_var_loop(16, 3);
+        assert_eq!(pack_loops(&mut f), 0);
+    }
+
+    #[test]
+    fn plain_carried_vars_ride_alongside_the_packed_ct() {
+        let mut b = FunctionBuilder::new("t", 16);
+        let y0 = b.input_cipher("y0");
+        let a0 = b.input_cipher("a0");
+        let c0 = b.const_splat(1.0);
+        let r = b.for_loop(TripCount::dynamic("n"), &[y0, a0, c0], 4, |b, args| {
+            let two = b.const_splat(2.0);
+            let c2 = b.mul(args[2], two);
+            let y2 = b.mul(args[0], args[0]);
+            let a2 = b.add(args[1], y2);
+            vec![y2, a2, c2]
+        });
+        b.ret(&r);
+        let mut f = b.finish();
+        assert_eq!(pack_loops(&mut f), 1);
+        verify_traced(&f).unwrap();
+        let loop_op = f.loops_in_block(f.entry)[0];
+        let body = f.for_body(loop_op);
+        // packed + plain = 2 carried variables.
+        assert_eq!(f.block(body).args.len(), 2);
+        assert_eq!(f.ty(f.block(body).args[1]).status, Status::Plain);
+    }
+
+    #[test]
+    fn packed_function_levels_with_single_head_bootstrap() {
+        use crate::config::CompileOptions;
+        use crate::scale::assign_levels;
+        use halo_ckks::CkksParams;
+        let mut f = two_var_loop(32, 4);
+        pack_loops(&mut f);
+        let mut opts = CompileOptions::new(CkksParams::test_small());
+        opts.params.poly_degree = 64; // 32 slots
+        assign_levels(&mut f, &opts).unwrap();
+        // One head bootstrap for the packed carried variable, plus one
+        // reset in the entry block for the post-loop unpack (the loop
+        // result emerges at the floor and unpacking multiplies it).
+        let loop_op = f.loops_in_block(f.entry)[0];
+        let body = f.for_body(loop_op);
+        let body_boots = f
+            .block(body)
+            .ops
+            .iter()
+            .filter(|&&o| matches!(f.op(o).opcode, Opcode::Bootstrap { .. }))
+            .count();
+        assert_eq!(body_boots, 1, "single head bootstrap in the packed body");
+        assert_eq!(f.count_ops(|o| matches!(o, Opcode::Bootstrap { .. })), 2);
+    }
+}

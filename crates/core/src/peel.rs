@@ -1,0 +1,455 @@
+//! First-iteration loop peeling — encryption-status matching (paper §5.1).
+//!
+//! A loop-carried variable whose initial value is plaintext but which is
+//! updated through ciphertext arithmetic becomes a ciphertext after the
+//! first iteration and never reverts (Challenge A-1). Peeling the first
+//! iteration out of the loop makes the remaining iterations
+//! status-homogeneous: the peeled copy runs with the original (plain)
+//! inits and its yields — now ciphertexts — feed a loop whose carried
+//! variables are uniformly cipher.
+//!
+//! After statuses change, arithmetic opcode *variants* must be
+//! renormalized: a `multcp` traced against a then-plain carried variable
+//! becomes a `multcc` once that variable is cipher
+//! ([`normalize_arith_opcodes`]).
+
+use std::collections::{HashMap, HashSet};
+
+use halo_ir::analysis::propagate_statuses;
+use halo_ir::func::{BlockId, Function, OpId};
+use halo_ir::op::Opcode;
+use halo_ir::subst::clone_body_ops;
+use halo_ir::types::Status;
+
+/// Peels the first iteration of every loop whose carried variables have a
+/// plain init but a cipher steady state. Each loop is peeled **at most
+/// once** (the paper's rule — peeling more would execute extra
+/// iterations); if a carried variable's init is *still* plain afterwards
+/// (a cascade through another carried variable), it is trivially
+/// encrypted instead. Returns the number of loops peeled.
+pub fn peel_loops(f: &mut Function) -> usize {
+    let mut total = 0;
+    let mut already: HashSet<OpId> = HashSet::new();
+    fold_zero_trip_loops(f);
+    loop {
+        propagate_statuses(f);
+        let Some((block, op)) = find_peelable(f, f.entry, &already) else { break };
+        peel_one(f, block, op);
+        already.insert(op);
+        total += 1;
+        fold_zero_trip_loops(f);
+    }
+    propagate_statuses(f);
+    encrypt_residual_plain_inits(f, f.entry);
+    propagate_statuses(f);
+    normalize_arith_opcodes(f);
+    total
+}
+
+/// Finds the first not-yet-peeled loop (depth-first) with a
+/// plain-init/cipher-arg mismatch.
+fn find_peelable(
+    f: &Function,
+    block: BlockId,
+    already: &HashSet<OpId>,
+) -> Option<(BlockId, OpId)> {
+    for &op_id in &f.block(block).ops {
+        if let Opcode::For { body, .. } = f.op(op_id).opcode {
+            let op = f.op(op_id);
+            let args = &f.block(body).args;
+            let mismatch = op.operands.iter().zip(args).any(|(&init, &arg)| {
+                f.ty(init).status == Status::Plain && f.ty(arg).status == Status::Cipher
+            });
+            if mismatch && !already.contains(&op_id) {
+                return Some((block, op_id));
+            }
+            if let Some(found) = find_peelable(f, body, already) {
+                return Some(found);
+            }
+        }
+    }
+    None
+}
+
+/// Replaces `for` loops with a constant trip count of zero by their init
+/// values (peeling a one-trip loop leaves such husks behind).
+fn fold_zero_trip_loops(f: &mut Function) {
+    loop {
+        let mut target = None;
+        f.walk_ops(|block, op| {
+            if target.is_none() {
+                if let Opcode::For { trip, .. } = &f.op(op).opcode {
+                    if matches!(trip, halo_ir::op::TripCount::Constant(0)) {
+                        target = Some((block, op));
+                    }
+                }
+            }
+        });
+        let Some((block, op_id)) = target else { break };
+        let operands = f.op(op_id).operands.clone();
+        let results = f.op(op_id).results.clone();
+        for (&r, &init) in results.iter().zip(&operands) {
+            f.replace_uses(r, init, None);
+        }
+        let pos = f.position_in_block(block, op_id).expect("loop in block");
+        f.block_mut(block).ops.remove(pos);
+    }
+}
+
+/// Trivially encrypts any plain value bound to a cipher carried slot
+/// (recursing into nested bodies): inits that stay plain after the single
+/// peel (a status cascade through another carried variable), and yields
+/// that are plain while the carried steady state is cipher (a carried
+/// slot rebound to a plaintext computation each iteration — the dual of
+/// Challenge A-1, which peeling cannot fix).
+fn encrypt_residual_plain_inits(f: &mut Function, block: BlockId) {
+    let loops = f.loops_in_block(block);
+    for op_id in loops {
+        let body = f.for_body(op_id);
+        encrypt_residual_plain_inits(f, body);
+        let args = f.block(body).args.clone();
+        for (k, &arg) in args.iter().enumerate() {
+            if f.ty(arg).status != Status::Cipher {
+                continue;
+            }
+            let init = f.op(op_id).operands[k];
+            if f.ty(init).status == Status::Plain {
+                let pos = f.position_in_block(block, op_id).expect("loop in block");
+                let enc = f.insert_op1(
+                    block,
+                    pos,
+                    Opcode::Encrypt,
+                    vec![init],
+                    halo_ir::types::CtType::cipher_unset(),
+                );
+                f.op_mut(op_id).operands[k] = enc;
+            }
+            let term = f.terminator(body).expect("loop body terminated");
+            let y = f.op(term).operands[k];
+            if f.ty(y).status == Status::Plain {
+                let pos = f.block(body).ops.len() - 1;
+                let enc = f.insert_op1(
+                    body,
+                    pos,
+                    Opcode::Encrypt,
+                    vec![y],
+                    halo_ir::types::CtType::cipher_unset(),
+                );
+                let term = f.terminator(body).expect("still terminated");
+                f.op_mut(term).operands[k] = enc;
+            }
+        }
+    }
+}
+
+/// Peels one iteration of the loop `op_id` (in `block`) out in front of it.
+fn peel_one(f: &mut Function, block: BlockId, op_id: OpId) {
+    let body = f.for_body(op_id);
+    let args = f.block(body).args.clone();
+    let inits = f.op(op_id).operands.clone();
+
+    let mut map = HashMap::new();
+    for (&arg, &init) in args.iter().zip(&inits) {
+        map.insert(arg, init);
+    }
+    let pos = f.position_in_block(block, op_id).expect("loop in its block");
+    let yields = clone_body_ops(f, body, block, pos, &mut map);
+
+    // The peeled iteration's yields become the loop's init args, and the
+    // trip count drops by one.
+    let op = f.op_mut(op_id);
+    op.operands = yields;
+    if let Opcode::For { trip, .. } = &mut op.opcode {
+        *trip = trip.minus_one();
+    }
+}
+
+/// Rewrites arithmetic opcode variants to match current operand statuses:
+/// `*cc` with mixed statuses becomes `*cp` (cipher operand first), `*cp`
+/// whose plain operand turned cipher becomes `*cc`, and `subcc` with a
+/// plain minuend lowers to `negate` + `addcp`.
+pub fn normalize_arith_opcodes(f: &mut Function) {
+    let mut work: Vec<(BlockId, OpId)> = Vec::new();
+    f.walk_ops(|b, o| work.push((b, o)));
+    for (block, op_id) in work {
+        let op = f.op(op_id);
+        if !op.opcode.is_arith() || op.operands.len() != 2 {
+            continue;
+        }
+        let sa = f.ty(op.operands[0]).status;
+        let sb = f.ty(op.operands[1]).status;
+        let (a, b) = (op.operands[0], op.operands[1]);
+        let new = match (&op.opcode, sa, sb) {
+            // Mixed-status CC forms become CP forms.
+            (Opcode::AddCC, Status::Cipher, Status::Plain) => Some((Opcode::AddCP, a, b)),
+            (Opcode::AddCC, Status::Plain, Status::Cipher) => Some((Opcode::AddCP, b, a)),
+            (Opcode::MultCC, Status::Cipher, Status::Plain) => Some((Opcode::MultCP, a, b)),
+            (Opcode::MultCC, Status::Plain, Status::Cipher) => Some((Opcode::MultCP, b, a)),
+            (Opcode::SubCC, Status::Cipher, Status::Plain) => Some((Opcode::SubCP, a, b)),
+            (Opcode::SubCC, Status::Plain, Status::Cipher) => {
+                // plain − cipher = (−cipher) + plain.
+                let pos = f.position_in_block(block, op_id).expect("op in block");
+                let ty = f.ty(b);
+                let neg = f.insert_op1(block, pos, Opcode::Negate, vec![b], ty);
+                Some((Opcode::AddCP, neg, a))
+            }
+            // CP forms whose plain side turned cipher become CC forms.
+            (Opcode::AddCP, Status::Cipher, Status::Cipher) => Some((Opcode::AddCC, a, b)),
+            (Opcode::MultCP, Status::Cipher, Status::Cipher) => Some((Opcode::MultCC, a, b)),
+            (Opcode::SubCP, Status::Cipher, Status::Cipher) => Some((Opcode::SubCC, a, b)),
+            // CP forms whose *cipher* slot was substituted by a plain
+            // value (full unrolling feeds clones with prior-iteration
+            // yields): plain–plain folds as a CC form; plain–cipher
+            // reorders (or lowers, for subtraction).
+            (Opcode::AddCP, Status::Plain, Status::Plain) => Some((Opcode::AddCC, a, b)),
+            (Opcode::MultCP, Status::Plain, Status::Plain) => Some((Opcode::MultCC, a, b)),
+            (Opcode::SubCP, Status::Plain, Status::Plain) => Some((Opcode::SubCC, a, b)),
+            (Opcode::AddCP, Status::Plain, Status::Cipher) => Some((Opcode::AddCP, b, a)),
+            (Opcode::MultCP, Status::Plain, Status::Cipher) => Some((Opcode::MultCP, b, a)),
+            (Opcode::SubCP, Status::Plain, Status::Cipher) => {
+                // plain − cipher = (−cipher) + plain.
+                let pos = f.position_in_block(block, op_id).expect("op in block");
+                let ty = f.ty(b);
+                let neg = f.insert_op1(block, pos, Opcode::Negate, vec![b], ty);
+                Some((Opcode::AddCP, neg, a))
+            }
+            _ => None,
+        };
+        if let Some((opcode, x, y)) = new {
+            let op = f.op_mut(op_id);
+            op.opcode = opcode;
+            op.operands = vec![x, y];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ir::op::TripCount;
+    use halo_ir::verify::verify_traced;
+    use halo_ir::FunctionBuilder;
+
+    /// Paper Figure 2: `a` enters plain, becomes cipher via `add` with the
+    /// cipher `y`.
+    fn figure2_program() -> Function {
+        let mut b = FunctionBuilder::new("fig2", 8);
+        let x = b.input_cipher("x");
+        let y0 = b.input_cipher("y");
+        let a0 = b.const_splat(1.0);
+        let r = b.for_loop(TripCount::dynamic("k"), &[y0, a0], 4, |b, args| {
+            let x2 = b.mul(x, args[0]);
+            let y2 = b.mul(x2, x2);
+            let a2 = b.add(args[1], y2);
+            vec![y2, a2]
+        });
+        b.ret(&r);
+        b.finish()
+    }
+
+    #[test]
+    fn peels_exactly_once_and_decrements_trip() {
+        let mut f = figure2_program();
+        let peeled = peel_loops(&mut f);
+        assert_eq!(peeled, 1);
+        verify_traced(&f).unwrap();
+        let loop_op = f.loops_in_block(f.entry)[0];
+        if let Opcode::For { trip, .. } = &f.op(loop_op).opcode {
+            assert_eq!(trip.to_string(), "(%k-1)");
+        } else {
+            panic!("loop disappeared");
+        }
+        // Every carried variable is now cipher at init, arg, and yield.
+        let body = f.for_body(loop_op);
+        for (&init, &arg) in f.op(loop_op).operands.iter().zip(&f.block(body).args) {
+            assert_eq!(f.ty(init).status, Status::Cipher);
+            assert_eq!(f.ty(arg).status, Status::Cipher);
+        }
+    }
+
+    #[test]
+    fn peeled_copy_keeps_plain_opcodes_loop_gets_cc() {
+        let mut f = figure2_program();
+        peel_loops(&mut f);
+        // The peeled copy's add uses the plain a0 → addcp; the in-loop add
+        // now has two cipher operands → addcc.
+        let entry_ops: Vec<_> = f
+            .block(f.entry)
+            .ops
+            .iter()
+            .map(|&o| f.op(o).opcode.mnemonic())
+            .collect();
+        assert!(entry_ops.contains(&"addcp"), "peeled add stays cp: {entry_ops:?}");
+        let body = f.for_body(f.loops_in_block(f.entry)[0]);
+        let body_ops: Vec<_> = f
+            .block(body)
+            .ops
+            .iter()
+            .map(|&o| f.op(o).opcode.mnemonic())
+            .collect();
+        assert!(body_ops.contains(&"addcc"), "in-loop add normalized to cc: {body_ops:?}");
+        assert!(!body_ops.contains(&"addcp"), "{body_ops:?}");
+    }
+
+    #[test]
+    fn all_cipher_loop_is_not_peeled() {
+        let mut b = FunctionBuilder::new("t", 8);
+        let w = b.input_cipher("w");
+        let r = b.for_loop(TripCount::Constant(5), &[w], 4, |b, a| {
+            vec![b.mul(a[0], a[0])]
+        });
+        b.ret(&r);
+        let mut f = b.finish();
+        assert_eq!(peel_loops(&mut f), 0);
+        let loop_op = f.loops_in_block(f.entry)[0];
+        if let Opcode::For { trip, .. } = &f.op(loop_op).opcode {
+            assert_eq!(*trip, TripCount::Constant(5));
+        }
+    }
+
+    #[test]
+    fn plain_only_carried_variable_is_not_peeled() {
+        // A carried variable that stays plain forever needs no peel.
+        let mut b = FunctionBuilder::new("t", 8);
+        let x = b.input_cipher("x");
+        let c0 = b.const_splat(1.0);
+        let r = b.for_loop(TripCount::Constant(5), &[x, c0], 4, |b, args| {
+            let two = b.const_splat(2.0);
+            let c2 = b.mul(args[1], two);
+            let x2 = b.mul(args[0], args[0]);
+            vec![x2, c2]
+        });
+        b.ret(&r);
+        let mut f = b.finish();
+        assert_eq!(peel_loops(&mut f), 0);
+    }
+
+    #[test]
+    fn constant_trip_count_peels_to_n_minus_1() {
+        let mut b = FunctionBuilder::new("t", 8);
+        let y = b.input_cipher("y");
+        let a0 = b.const_splat(0.5);
+        let r = b.for_loop(TripCount::Constant(40), &[a0], 4, |b, args| {
+            vec![b.add(args[0], y)]
+        });
+        b.ret(&r);
+        let mut f = b.finish();
+        assert_eq!(peel_loops(&mut f), 1);
+        let loop_op = f.loops_in_block(f.entry)[0];
+        if let Opcode::For { trip, .. } = &f.op(loop_op).opcode {
+            assert_eq!(*trip, TripCount::Constant(39));
+        }
+    }
+
+    #[test]
+    fn loops_peel_at_most_once_with_residual_encrypts() {
+        // A status cascade: carried `b`'s yield is `a`'s old value, so
+        // after one peel `b`'s init is still plain. The fix must be a
+        // trivial encryption, NOT a second peel (which would execute an
+        // extra iteration).
+        let mut bld = FunctionBuilder::new("cascade", 8);
+        let x = bld.input_cipher("x");
+        let a0 = bld.const_splat(0.5);
+        let b0 = bld.const_splat(0.25);
+        let r = bld.for_loop(TripCount::Constant(3), &[a0, b0], 4, |bld, args| {
+            let a2 = bld.add(args[0], x); // a turns cipher immediately
+            let b2 = args[0]; // b inherits a's previous value
+            vec![a2, b2]
+        });
+        bld.ret(&r);
+        let mut f = bld.finish();
+        let peeled = peel_loops(&mut f);
+        assert_eq!(peeled, 1, "exactly one peel");
+        let loop_op = f.loops_in_block(f.entry)[0];
+        if let Opcode::For { trip, .. } = &f.op(loop_op).opcode {
+            assert_eq!(*trip, TripCount::Constant(2), "trip drops exactly once");
+        }
+        // The residual plain init was encrypted.
+        assert!(f.count_ops(|o| matches!(o, Opcode::Encrypt)) >= 1);
+        verify_traced(&f).unwrap();
+        // Semantics: 0.5, then a=0.5+x, b=0.5; a=0.5+2x, b=0.5+x; ...
+        use halo_runtime::{reference_run, Inputs};
+        let inputs = Inputs::new().cipher("x", vec![1.0]);
+        let out = reference_run(&f, &inputs, 8).unwrap();
+        assert_eq!(out[0][0], 3.5, "a after 3 iterations");
+        assert_eq!(out[1][0], 2.5, "b after 3 iterations");
+    }
+
+    #[test]
+    fn one_trip_loop_peels_to_straight_line() {
+        let mut bld = FunctionBuilder::new("t", 8);
+        let y = bld.input_cipher("y");
+        let a0 = bld.const_splat(1.0);
+        let r = bld.for_loop(TripCount::Constant(1), &[a0], 4, |bld, args| {
+            vec![bld.add(args[0], y)]
+        });
+        bld.ret(&r);
+        let mut f = bld.finish();
+        assert_eq!(peel_loops(&mut f), 1);
+        assert!(
+            f.loops_in_block(f.entry).is_empty(),
+            "the zero-trip husk is folded away"
+        );
+        use halo_runtime::{reference_run, Inputs};
+        let out = reference_run(&f, &Inputs::new().cipher("y", vec![2.0]), 8).unwrap();
+        assert_eq!(out[0][0], 3.0);
+    }
+
+    #[test]
+    fn plain_yield_into_cipher_slot_is_encrypted() {
+        // Carried slot starts cipher but is rebound to a plain value each
+        // iteration (the dual of Challenge A-1).
+        let mut bld = FunctionBuilder::new("t", 8);
+        let x = bld.input_cipher("x");
+        let r = bld.for_loop(TripCount::Constant(3), &[x], 4, |bld, _args| {
+            let p = bld.const_splat(0.75);
+            let q = bld.const_splat(2.0);
+            vec![bld.mul(p, q)]
+        });
+        bld.ret(&r);
+        let mut f = bld.finish();
+        peel_loops(&mut f);
+        verify_traced(&f).unwrap();
+        let loop_op = f.loops_in_block(f.entry)[0];
+        let body = f.for_body(loop_op);
+        let term = f.terminator(body).unwrap();
+        let y = f.op(term).operands[0];
+        assert_eq!(f.ty(y).status, Status::Cipher, "yield coerced to cipher");
+        use halo_runtime::{reference_run, Inputs};
+        let out = reference_run(&f, &Inputs::new().cipher("x", vec![9.0]), 8).unwrap();
+        assert_eq!(out[0][0], 1.5);
+    }
+
+    #[test]
+    fn normalize_handles_plain_minus_cipher() {
+        // subcc(p, c) after p stays plain but c is cipher: lower to
+        // negate + addcp.
+        let mut b = FunctionBuilder::new("t", 8);
+        let one = b.const_splat(1.0);
+        let zero = b.const_splat(0.0);
+        let x = b.input_cipher("x");
+        // Trace a sub of two plains, then force one cipher via a loop-free
+        // status change: simplest is to build sub(one, zero) and then turn
+        // zero's status cipher by adding x to it in a carried position.
+        let r = b.for_loop(TripCount::dynamic("n"), &[zero], 4, |b, args| {
+            let s = b.sub(one, args[0]); // traced as plain-plain subcc
+            let t = b.add(s, x);
+            vec![t]
+        });
+        b.ret(&r);
+        let mut f = b.finish();
+        peel_loops(&mut f);
+        verify_traced(&f).unwrap();
+        let body = f.for_body(f.loops_in_block(f.entry)[0]);
+        let body_ops: Vec<_> = f
+            .block(body)
+            .ops
+            .iter()
+            .map(|&o| f.op(o).opcode.mnemonic())
+            .collect();
+        assert!(
+            body_ops.contains(&"negate") && body_ops.contains(&"addcp"),
+            "plain − cipher lowering: {body_ops:?}"
+        );
+    }
+}

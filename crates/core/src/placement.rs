@@ -1,0 +1,428 @@
+//! DaCapo-style bootstrap placement for straight-line op sequences
+//! (paper §5.3 and \[13\]).
+//!
+//! Given a block whose entry values are already typed, this pass decides
+//! *where* to insert bootstraps so that no multiplication underflows:
+//!
+//! 1. compute backward **liveness** at every program point;
+//! 2. **filter candidates** to the points with the fewest live ciphertexts
+//!    (bootstrapping at a point means bootstrapping *every* live ciphertext,
+//!    so fewer live values = cheaper reset — DaCapo's heuristic);
+//! 3. run a **dynamic program** over candidate points: a segment between
+//!    consecutive reset points is feasible iff the pure level simulation
+//!    ([`crate::levelsim`]) traverses it without underflow when every
+//!    live-in enters at the maximum level; segment cost is the simulated
+//!    latency, reset cost is one maximum-level bootstrap per live
+//!    ciphertext.
+//!
+//! The paper notes this filtering "can miss better solutions" (§7.1) — that
+//! imperfection is part of the baseline being reproduced. If the filtered
+//! DP is infeasible the filter is widened (×2) until it covers every point,
+//! and only then is the program declared depth-infeasible.
+
+use std::collections::HashSet;
+
+use halo_ckks::{CostModel, CostedOp};
+use halo_ir::analysis::liveness;
+use halo_ir::func::{BlockId, Function, ValueId};
+use halo_ir::op::Opcode;
+use halo_ir::types::{CtType, Status};
+
+use crate::config::CompileOptions;
+use crate::error::CompileError;
+use crate::levelsim::{sim_range, SimTypes};
+
+/// Ensures `block` can be leveled without underflow, inserting bootstraps
+/// at DP-chosen points if necessary. Entry values (block args, live-ins)
+/// must already carry concrete types. Returns the number of bootstrap ops
+/// inserted.
+///
+/// # Errors
+///
+/// Returns [`CompileError::DepthInfeasible`] when even unfiltered placement
+/// cannot level the block (a single op chain deeper than the level budget).
+pub fn ensure_feasible(
+    f: &mut Function,
+    block: BlockId,
+    opts: &CompileOptions,
+) -> Result<usize, CompileError> {
+    let cost = CostModel::new();
+    let max_level = opts.params.max_level;
+    let ops = f.block(block).ops.clone();
+
+    // Fast path: already feasible.
+    {
+        let mut types = SimTypes::new(f);
+        let sim = sim_range(f, &ops, &mut types, &cost, max_level);
+        if sim.underflow_at.is_none() {
+            return Ok(0);
+        }
+    }
+
+    let live = liveness(f, block, &HashSet::new());
+    // Values whose type is already pinned at the full level (function
+    // inputs, results of earlier max-level bootstraps) gain nothing from a
+    // reset; exclude them so live-ins at L are not pointlessly re-bootstrapped.
+    let already_full = |v: ValueId| {
+        let t = f.ty(v);
+        t.has_level() && t.level == max_level && t.degree == 1
+    };
+    let live_cipher: Vec<Vec<ValueId>> = live
+        .iter()
+        .map(|set| {
+            let mut v: Vec<ValueId> = set
+                .iter()
+                .copied()
+                .filter(|&v| f.ty(v).status == Status::Cipher && !already_full(v))
+                .collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+
+    // The filter scales with program size (one candidate window per ~24
+    // ops at least) — this is what makes DaCapo's compile time grow with
+    // the unrolled program (Table 6) while keeping plans competitive.
+    let mut filter = opts.placement_filter.max(ops.len() / 24).max(1);
+    loop {
+        match plan_with_filter(f, &ops, &live_cipher, filter, &cost, max_level) {
+            Some(points) => {
+                let mut inserted = 0;
+                // Per segment (point → next point/end), bootstrap only the
+                // live values the segment uses. Insert in descending order
+                // so earlier insertions see (and re-route) later
+                // bootstraps' operands.
+                let mut bounded = points.clone();
+                bounded.push(ops.len());
+                let mut work: Vec<(usize, Vec<ValueId>)> = points
+                    .iter()
+                    .zip(bounded.iter().skip(1))
+                    .map(|(&k, &next)| {
+                        let live: HashSet<ValueId> = live_cipher[k].iter().copied().collect();
+                        (k, used_in_range(f, &ops, k, next, &live))
+                    })
+                    .collect();
+                work.sort_unstable_by_key(|w| std::cmp::Reverse(w.0));
+                for (k, values) in work {
+                    inserted += insert_reset(f, block, k, &values, max_level);
+                }
+                return Ok(inserted);
+            }
+            None if filter > ops.len() => {
+                return Err(CompileError::DepthInfeasible {
+                    op: ops.first().copied(),
+                    detail: format!(
+                        "no bootstrap plan exists for a {}-op block at level budget {max_level}",
+                        ops.len()
+                    ),
+                });
+            }
+            None => filter *= 2,
+        }
+    }
+}
+
+/// The values among `candidates` used by ops `ops[from..to]` (looking
+/// through nested loop bodies, whose live-ins count as uses).
+fn used_in_range(
+    f: &Function,
+    ops: &[halo_ir::OpId],
+    from: usize,
+    to: usize,
+    candidates: &HashSet<ValueId>,
+) -> Vec<ValueId> {
+    let mut used = Vec::new();
+    let mut seen: HashSet<ValueId> = HashSet::new();
+    for &op_id in &ops[from..to.min(ops.len())] {
+        let op = f.op(op_id);
+        for &v in &op.operands {
+            if candidates.contains(&v) && seen.insert(v) {
+                used.push(v);
+            }
+        }
+        if let Opcode::For { body, .. } = op.opcode {
+            for v in halo_ir::analysis::live_ins(f, body) {
+                if candidates.contains(&v) && seen.insert(v) {
+                    used.push(v);
+                }
+            }
+        }
+    }
+    used.sort_unstable();
+    used
+}
+
+/// Runs the DP with the given candidate-filter width. Returns the chosen
+/// reset points, or `None` if infeasible under this filter.
+fn plan_with_filter(
+    f: &Function,
+    ops: &[halo_ir::OpId],
+    live_cipher: &[Vec<ValueId>],
+    filter: usize,
+    cost: &CostModel,
+    max_level: u32,
+) -> Option<Vec<usize>> {
+    let p = ops.len();
+
+    // Candidate points, filtered by live-ciphertext count (DaCapo §5.3).
+    // One candidate per program window (the min-live point in it), so the
+    // filtered set covers the whole op stream instead of clustering where
+    // ties sort first.
+    let windows = filter.min(p);
+    let mut candidates: Vec<usize> = (0..windows)
+        .map(|w| {
+            let lo = w * p / windows;
+            let hi = ((w + 1) * p / windows).max(lo + 1);
+            (lo..hi).min_by_key(|&k| live_cipher[k].len()).expect("window non-empty")
+        })
+        .collect();
+    candidates.dedup();
+
+    // Segment simulation from a reset at point `i`: all live ciphertexts
+    // enter at the maximum level.
+    let seg_sim = |i: usize, from_entry: bool| {
+        let mut types = SimTypes::new(f);
+        if !from_entry {
+            for &v in &live_cipher[i] {
+                types.set(v, CtType::cipher(max_level));
+            }
+        }
+        sim_range(f, &ops[i..], &mut types, cost, max_level)
+    };
+
+    let bs_unit = cost.latency_us(CostedOp::Bootstrap { target: max_level });
+
+    // dp[j]: (cost, predecessor candidate) for executing ops[0..j) with j a
+    // reset point or the end. A reset at i serving segment (i, j) only
+    // bootstraps the live values actually *used* in (i, j) — values merely
+    // passing through are reset later, where (and if) they are consumed.
+    let entry_sim = seg_sim(0, true);
+    let entry_reach = entry_sim.underflow_at.unwrap_or(p);
+
+    let mut dp: Vec<Option<(f64, Option<usize>)>> = vec![None; p + 1];
+    let positions: Vec<usize> = candidates.iter().copied().chain(std::iter::once(p)).collect();
+    for &j in &positions {
+        if j <= entry_reach {
+            dp[j] = Some((entry_sim.cum_cost[j], None));
+        }
+    }
+    for (ci, &i) in candidates.iter().enumerate() {
+        let Some((base, _)) = dp[i] else { continue };
+        let sim = seg_sim(i, false);
+        let reach = i + sim.underflow_at.unwrap_or(p - i);
+        // Cumulative count of live-at-i values first used by each point.
+        let live_set: HashSet<ValueId> = live_cipher[i].iter().copied().collect();
+        let mut first_use_count = vec![0u32; reach - i + 1];
+        {
+            let mut seen: HashSet<ValueId> = HashSet::new();
+            for (k, &op_id) in ops[i..reach].iter().enumerate() {
+                let mut uses = Vec::new();
+                let op = f.op(op_id);
+                for &v in &op.operands {
+                    uses.push(v);
+                }
+                if let Opcode::For { body, .. } = op.opcode {
+                    uses.extend(halo_ir::analysis::live_ins(f, body));
+                }
+                let mut newly = 0;
+                for v in uses {
+                    if live_set.contains(&v) && seen.insert(v) {
+                        newly += 1;
+                    }
+                }
+                first_use_count[k + 1] = first_use_count[k] + newly;
+            }
+        }
+        for &j in positions.iter().skip_while(|&&j| j <= i) {
+            if j > reach {
+                break;
+            }
+            let bc = f64::from(first_use_count[j - i]) * bs_unit;
+            let c = base + bc + sim.cum_cost[j - i];
+            if dp[j].is_none_or(|(best, _)| c < best) {
+                dp[j] = Some((c, Some(ci)));
+            }
+        }
+    }
+
+    let (_, mut pred) = dp[p]?;
+    let mut points = Vec::new();
+    while let Some(ci) = pred {
+        let i = candidates[ci];
+        points.push(i);
+        pred = dp[i].and_then(|(_, pr)| pr);
+    }
+    points.reverse();
+    Some(points)
+}
+
+/// Inserts, before op index `k` of `block`, one `bootstrap` per live
+/// ciphertext, re-routing all later uses. Returns the number inserted.
+fn insert_reset(
+    f: &mut Function,
+    block: BlockId,
+    k: usize,
+    live: &[ValueId],
+    max_level: u32,
+) -> usize {
+    let mut at = k;
+    for &v in live {
+        let bs = f.insert_op(
+            block,
+            at,
+            Opcode::Bootstrap { target: max_level },
+            vec![v],
+            &[CtType { status: Status::Cipher, ..CtType::cipher_unset() }],
+        );
+        at += 1;
+        let new_v = f.op(bs).results[0];
+        replace_uses_from(f, block, at, v, new_v);
+    }
+    live.len()
+}
+
+/// Replaces uses of `old` with `new` in ops `block[from..]` and their
+/// nested bodies.
+pub(crate) fn replace_uses_from(
+    f: &mut Function,
+    block: BlockId,
+    from: usize,
+    old: ValueId,
+    new: ValueId,
+) {
+    let tail: Vec<_> = f.block(block).ops[from..].to_vec();
+    for op_id in tail {
+        replace_in_op_rec(f, op_id, old, new);
+    }
+}
+
+fn replace_in_op_rec(f: &mut Function, op_id: halo_ir::OpId, old: ValueId, new: ValueId) {
+    for i in 0..f.op(op_id).operands.len() {
+        if f.op(op_id).operands[i] == old {
+            f.op_mut(op_id).operands[i] = new;
+        }
+    }
+    if let Opcode::For { body, .. } = f.op(op_id).opcode {
+        let ops = f.block(body).ops.clone();
+        for inner in ops {
+            replace_in_op_rec(f, inner, old, new);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ckks::CkksParams;
+    use halo_ir::FunctionBuilder;
+
+    fn opts() -> CompileOptions {
+        CompileOptions::new(CkksParams::test_small())
+    }
+
+    /// A chain of `depth` squarings starting from a fresh input at L.
+    fn chain(depth: usize) -> (Function, ValueId) {
+        let mut b = FunctionBuilder::new("chain", 8);
+        let x = b.input_cipher("x");
+        let mut v = x;
+        for _ in 0..depth {
+            v = b.mul(v, v);
+        }
+        b.ret(&[v]);
+        (b.finish(), x)
+    }
+
+    fn prep(f: &mut Function, x: ValueId, level: u32) {
+        f.set_ty(x, CtType::cipher(level));
+        // Normalize plain values so sim sees concrete types.
+    }
+
+    #[test]
+    fn shallow_block_needs_no_bootstraps() {
+        let (mut f, x) = chain(5);
+        prep(&mut f, x, 16);
+        let e = f.entry;
+        let n = ensure_feasible(&mut f, e, &opts()).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn deep_chain_gets_minimal_resets() {
+        // Depth 20 at budget 16: one reset suffices (16 + 16 ≥ 20), and
+        // exactly one value is live at every point of a pure chain.
+        let (mut f, x) = chain(20);
+        prep(&mut f, x, 16);
+        let e = f.entry;
+        let n = ensure_feasible(&mut f, e, &opts()).unwrap();
+        assert_eq!(n, 1, "a single live value needs a single bootstrap");
+        // The block must now simulate cleanly.
+        let ops = f.block(f.entry).ops.clone();
+        let mut types = SimTypes::new(&f);
+        let sim = sim_range(&f, &ops, &mut types, &CostModel::new(), 16);
+        assert_eq!(sim.underflow_at, None);
+    }
+
+    #[test]
+    fn very_deep_chain_gets_multiple_resets() {
+        let (mut f, x) = chain(50);
+        prep(&mut f, x, 16);
+        let e = f.entry;
+        let n = ensure_feasible(&mut f, e, &opts()).unwrap();
+        // 50 levels of depth at a 16-level budget: ≥ ⌈(50−16)/16⌉ = 3.
+        assert!(n >= 3, "need at least 3 resets, got {n}");
+        assert!(n <= 4, "should not over-place, got {n}");
+    }
+
+    #[test]
+    fn placement_prefers_points_with_fewer_live_values() {
+        // Two parallel deep chains that merge: points inside one chain have
+        // 2 live values; the point after the merge has 1. A reset after the
+        // merge costs half as much.
+        let mut b = FunctionBuilder::new("merge", 8);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let mut u = x;
+        let mut v = y;
+        for _ in 0..6 {
+            u = b.mul(u, u);
+            v = b.mul(v, v);
+        }
+        let mut m = b.mul(u, v); // depth 7
+        for _ in 0..6 {
+            m = b.mul(m, m); // depth 13 total
+        }
+        b.ret(&[m]);
+        let mut f = b.finish();
+        f.set_ty(x, CtType::cipher(8));
+        f.set_ty(y, CtType::cipher(8));
+        // Budget 8: the chains need a reset somewhere; after the merge only
+        // one value is live.
+        let mut o = opts();
+        o.params.max_level = 8;
+        let e = f.entry;
+        let n = ensure_feasible(&mut f, e, &o).unwrap();
+        // The cheap plan bootstraps the single merged value once (plus
+        // possibly nothing else); bootstrapping inside the parallel zone
+        // would cost 2 per reset.
+        assert!(n <= 2, "expected cheap post-merge reset(s), got {n}");
+        let boots = f.count_ops(|o| matches!(o, Opcode::Bootstrap { .. }));
+        assert_eq!(boots, n);
+    }
+
+    #[test]
+    fn impossible_depth_reports_infeasible() {
+        // depth budget 2, but a single mult chain of depth 40 with BOTH
+        // operands of every mult being the (single) live value is still
+        // segmentable... a truly infeasible case needs one op that itself
+        // exceeds the budget — impossible for mult (depth 1). So instead:
+        // budget 0 — no mult is ever legal and no bootstrap target ≥ 1
+        // exists... ensure the widened filter terminates with an error.
+        let (mut f, x) = chain(3);
+        prep(&mut f, x, 0);
+        let mut o = opts();
+        o.params.max_level = 0;
+        let e = f.entry;
+        let err = ensure_feasible(&mut f, e, &o).unwrap_err();
+        assert!(matches!(err, CompileError::DepthInfeasible { .. }));
+    }
+}

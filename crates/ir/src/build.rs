@@ -1,0 +1,357 @@
+//! The tracing builder — the programmer-facing frontend.
+//!
+//! HALO's published frontend is a Python DSL that traces a program into
+//! "traced code": RNS-CKKS ops plus a structured `For` operation carrying
+//! loop-carried variables, the trip count, and the packing element count
+//! (paper §4.3). [`FunctionBuilder`] plays that role here: arithmetic
+//! methods pick the ciphertext/plaintext opcode variant from operand
+//! statuses, and [`FunctionBuilder::for_loop`] traces a loop body through a
+//! closure over fresh loop-carried arguments.
+//!
+//! Traced programs carry *no* level management: levels are
+//! [`LEVEL_UNSET`](crate::types::LEVEL_UNSET) until the scale-management
+//! pass in `halo-core` infers them and inserts `rescale`/`modswitch`.
+
+use crate::func::{BlockId, Function, ValueId};
+use crate::op::{ConstValue, Opcode, TripCount};
+use crate::types::{CtType, Status};
+
+/// Builds a [`Function`] by tracing straight-line ops and structured loops.
+///
+/// See the [crate-level example](crate) for a complete program.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    /// Stack of blocks being traced; `last()` is the insertion point.
+    stack: Vec<BlockId>,
+}
+
+impl FunctionBuilder {
+    /// Starts a new function with the given ciphertext slot count.
+    #[must_use]
+    pub fn new(name: impl Into<String>, slots: usize) -> FunctionBuilder {
+        let func = Function::new(name, slots);
+        let entry = func.entry;
+        FunctionBuilder { func, stack: vec![entry] }
+    }
+
+    fn cur(&self) -> BlockId {
+        *self.stack.last().expect("builder block stack never empty")
+    }
+
+    fn status(&self, v: ValueId) -> Status {
+        self.func.ty(v).status
+    }
+
+    /// Declares an encrypted function input.
+    pub fn input_cipher(&mut self, name: impl Into<String>) -> ValueId {
+        let name = name.into();
+        let block = self.cur();
+        let v = self.func.push_op1(
+            block,
+            Opcode::Input { name: name.clone() },
+            vec![],
+            CtType::cipher_unset(),
+        );
+        self.func.value_mut(v).name = Some(name);
+        v
+    }
+
+    /// Declares a plaintext function input.
+    pub fn input_plain(&mut self, name: impl Into<String>) -> ValueId {
+        let name = name.into();
+        let block = self.cur();
+        let v = self.func.push_op1(
+            block,
+            Opcode::Input { name: name.clone() },
+            vec![],
+            CtType::plain_unset(),
+        );
+        self.func.value_mut(v).name = Some(name);
+        v
+    }
+
+    /// A plaintext constant replicated to every slot.
+    pub fn const_splat(&mut self, value: f64) -> ValueId {
+        let block = self.cur();
+        self.func.push_op1(
+            block,
+            Opcode::Const(ConstValue::Splat(value)),
+            vec![],
+            CtType::plain_unset(),
+        )
+    }
+
+    /// A plaintext constant vector (cyclically repeated to fill the slots).
+    pub fn const_vector(&mut self, values: Vec<f64>) -> ValueId {
+        let block = self.cur();
+        self.func.push_op1(
+            block,
+            Opcode::Const(ConstValue::Vector(values)),
+            vec![],
+            CtType::plain_unset(),
+        )
+    }
+
+    /// A 0/1 mask plaintext selecting slots `lo..hi`.
+    pub fn const_mask(&mut self, lo: usize, hi: usize) -> ValueId {
+        let block = self.cur();
+        self.func.push_op1(
+            block,
+            Opcode::Const(ConstValue::Mask { lo, hi }),
+            vec![],
+            CtType::plain_unset(),
+        )
+    }
+
+    fn arith2(&mut self, cc: Opcode, cp: Opcode, a: ValueId, b: ValueId) -> ValueId {
+        let (sa, sb) = (self.status(a), self.status(b));
+        let joined = sa.join(sb);
+        let block = self.cur();
+        let ty = CtType { status: joined, ..CtType::cipher_unset() };
+        match (sa, sb) {
+            // Same status on both sides: the "CC" opcode covers both the
+            // cipher–cipher and the (trace-time-resident) plain–plain case.
+            (Status::Cipher, Status::Cipher) | (Status::Plain, Status::Plain) => {
+                self.func.push_op1(block, cc, vec![a, b], ty)
+            }
+            // Normalize to cipher-first for the CP variants.
+            (Status::Cipher, Status::Plain) => self.func.push_op1(block, cp, vec![a, b], ty),
+            (Status::Plain, Status::Cipher) => self.func.push_op1(block, cp, vec![b, a], ty),
+        }
+    }
+
+    /// Addition; chooses `addcc`/`addcp` from operand statuses.
+    pub fn add(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.arith2(Opcode::AddCC, Opcode::AddCP, a, b)
+    }
+
+    /// Subtraction (`a − b`); emits `negate` + `addcp` for plain − cipher.
+    pub fn sub(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        let (sa, sb) = (self.status(a), self.status(b));
+        if sa == Status::Plain && sb == Status::Cipher {
+            // plain − cipher = (−cipher) + plain.
+            let neg = self.negate(b);
+            return self.arith2(Opcode::AddCC, Opcode::AddCP, neg, a);
+        }
+        let block = self.cur();
+        let ty = CtType { status: sa.join(sb), ..CtType::cipher_unset() };
+        match (sa, sb) {
+            (Status::Cipher, Status::Plain) => {
+                self.func.push_op1(block, Opcode::SubCP, vec![a, b], ty)
+            }
+            _ => self.func.push_op1(block, Opcode::SubCC, vec![a, b], ty),
+        }
+    }
+
+    /// Multiplication; chooses `multcc`/`multcp` from operand statuses.
+    pub fn mul(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.arith2(Opcode::MultCC, Opcode::MultCP, a, b)
+    }
+
+    /// Negation (sign flip; level-free).
+    pub fn negate(&mut self, a: ValueId) -> ValueId {
+        let block = self.cur();
+        let ty = CtType { status: self.status(a), ..CtType::cipher_unset() };
+        self.func.push_op1(block, Opcode::Negate, vec![a], ty)
+    }
+
+    /// Cyclic slot rotation by `offset` (positive = left).
+    pub fn rotate(&mut self, a: ValueId, offset: i64) -> ValueId {
+        let block = self.cur();
+        let ty = CtType { status: self.status(a), ..CtType::cipher_unset() };
+        self.func.push_op1(block, Opcode::Rotate { offset }, vec![a], ty)
+    }
+
+    /// Sums the first `width` slots into every slot via a rotate-add ladder
+    /// (`log2(width)` rotations). `width` must be a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not a power of two.
+    pub fn rotate_sum(&mut self, a: ValueId, width: usize) -> ValueId {
+        assert!(width.is_power_of_two(), "rotate_sum width must be a power of two");
+        let mut acc = a;
+        let mut step = 1usize;
+        while step < width {
+            let rot = self.rotate(acc, step as i64);
+            acc = self.add(acc, rot);
+            step *= 2;
+        }
+        acc
+    }
+
+    /// Traces a structured loop.
+    ///
+    /// `inits` are the loop-carried variables' initial values; the closure
+    /// receives the loop-body arguments (in the same order) and returns the
+    /// yielded next-iteration values. `num_elems` is the programmer-declared
+    /// count of valid elements per carried ciphertext, consumed by the
+    /// packing optimization (paper §6.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the closure yields a different number of values than
+    /// `inits.len()`.
+    pub fn for_loop(
+        &mut self,
+        trip: TripCount,
+        inits: &[ValueId],
+        num_elems: usize,
+        f: impl FnOnce(&mut FunctionBuilder, &[ValueId]) -> Vec<ValueId>,
+    ) -> Vec<ValueId> {
+        let body = self.func.add_block();
+        let mut args = Vec::with_capacity(inits.len());
+        for &init in inits {
+            let name = self.func.value(init).name.clone();
+            let ty = CtType { status: self.status(init), ..CtType::cipher_unset() };
+            args.push(self.func.add_block_arg(body, ty, name));
+        }
+        self.stack.push(body);
+        let yields = f(self, &args);
+        assert_eq!(
+            yields.len(),
+            inits.len(),
+            "loop body must yield one value per loop-carried variable"
+        );
+        self.func.push_op(body, Opcode::Yield, yields.clone(), &[]);
+        self.stack.pop();
+
+        let result_tys: Vec<CtType> = yields
+            .iter()
+            .zip(inits)
+            .map(|(&y, &i)| CtType {
+                status: self.status(y).join(self.status(i)),
+                ..CtType::cipher_unset()
+            })
+            .collect();
+        let block = self.cur();
+        let op = self.func.push_op(
+            block,
+            Opcode::For { trip, body, num_elems },
+            inits.to_vec(),
+            &result_tys,
+        );
+        self.func.op(op).results.clone()
+    }
+
+    /// Terminates the function, declaring its outputs.
+    pub fn ret(&mut self, outputs: &[ValueId]) {
+        let block = self.cur();
+        assert_eq!(block, self.func.entry, "ret must be called at the top level");
+        self.func.push_op(block, Opcode::Return, outputs.to_vec(), &[]);
+    }
+
+    /// Finishes tracing and returns the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`FunctionBuilder::ret`].
+    #[must_use]
+    pub fn finish(self) -> Function {
+        assert!(
+            self.func.terminator(self.func.entry).is_some(),
+            "call ret() before finish()"
+        );
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Status;
+
+    #[test]
+    fn arith_opcode_selection() {
+        let mut b = FunctionBuilder::new("t", 8);
+        let c = b.input_cipher("c");
+        let p = b.const_splat(2.0);
+        let cc = b.mul(c, c);
+        let cp = b.mul(c, p);
+        let pc = b.mul(p, c);
+        let pp = b.mul(p, p);
+        b.ret(&[cc, cp, pc, pp]);
+        let f = b.finish();
+        let kinds: Vec<_> = f
+            .block(f.entry)
+            .ops
+            .iter()
+            .map(|&o| f.op(o).opcode.mnemonic())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["input", "const", "multcc", "multcp", "multcp", "multcc", "return"]
+        );
+        assert_eq!(f.ty(cc).status, Status::Cipher);
+        assert_eq!(f.ty(pp).status, Status::Plain);
+        // plain × cipher normalizes to cipher-first operands.
+        let pc_def = match f.value(pc).kind {
+            crate::func::ValueKind::OpResult { op, .. } => op,
+            _ => unreachable!(),
+        };
+        assert_eq!(f.op(pc_def).operands[0], c);
+    }
+
+    #[test]
+    fn plain_minus_cipher_lowers_to_negate_add() {
+        let mut b = FunctionBuilder::new("t", 8);
+        let c = b.input_cipher("c");
+        let p = b.const_splat(1.0);
+        let r = b.sub(p, c);
+        b.ret(&[r]);
+        let f = b.finish();
+        let kinds: Vec<_> = f
+            .block(f.entry)
+            .ops
+            .iter()
+            .map(|&o| f.op(o).opcode.mnemonic())
+            .collect();
+        assert_eq!(kinds, vec!["input", "const", "negate", "addcp", "return"]);
+    }
+
+    #[test]
+    fn loop_tracing_builds_region() {
+        let mut b = FunctionBuilder::new("t", 8);
+        let x = b.input_cipher("x");
+        let w = b.input_cipher("w");
+        let res = b.for_loop(TripCount::dynamic("n"), &[w], 4, |b, args| {
+            let w = args[0];
+            let p = b.mul(x, w);
+            vec![b.add(w, p)]
+        });
+        b.ret(&res);
+        let f = b.finish();
+        let loops = f.loops_in_block(f.entry);
+        assert_eq!(loops.len(), 1);
+        let body = f.for_body(loops[0]);
+        assert_eq!(f.block(body).args.len(), 1);
+        // body: multcc, addcc, yield
+        assert_eq!(f.block(body).ops.len(), 3);
+        assert!(f.terminator(body).is_some());
+        // Carried-variable name propagates to the body argument.
+        assert_eq!(
+            f.value(f.block(body).args[0]).name.as_deref(),
+            Some("w")
+        );
+    }
+
+    #[test]
+    fn rotate_sum_ladder_length() {
+        let mut b = FunctionBuilder::new("t", 16);
+        let c = b.input_cipher("c");
+        let s = b.rotate_sum(c, 8);
+        b.ret(&[s]);
+        let f = b.finish();
+        assert_eq!(f.count_ops(|o| matches!(o, Opcode::Rotate { .. })), 3);
+        assert_eq!(f.count_ops(|o| matches!(o, Opcode::AddCC)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "yield one value per loop-carried")]
+    fn wrong_yield_arity_panics() {
+        let mut b = FunctionBuilder::new("t", 8);
+        let w = b.input_cipher("w");
+        b.for_loop(TripCount::Constant(2), &[w], 4, |_, _| vec![]);
+    }
+}

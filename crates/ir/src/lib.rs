@@ -1,0 +1,70 @@
+//! # halo-ir — intermediate representation for RNS-CKKS programs
+//!
+//! A lightweight, region-based SSA intermediate representation modelled on
+//! the MLIR subset the HALO compiler needs (ASPLOS '25, "HALO: Loop-aware
+//! Bootstrapping Management for Fully Homomorphic Encryption").
+//!
+//! The IR represents *traced* RNS-CKKS programs: straight-line tensors of
+//! homomorphic operations plus one structured control-flow construct, the
+//! [`Opcode::For`] loop, which carries explicit loop-carried variables
+//! (iter-args) the way `scf.for` does in MLIR. Loop trip counts are either
+//! compile-time constants or *dynamic* symbols resolved at run time — the
+//! latter is precisely what distinguishes HALO from full-unrolling compilers
+//! such as DaCapo.
+//!
+//! Every SSA value carries a [`CtType`]: an encryption [`Status`]
+//! (plain/cipher), a *level* (number of remaining RNS residue polynomials),
+//! and a *scale degree* (EVA-style waterline discipline: degree 1 means the
+//! value sits at the rescaling factor `Rf`, degree 2 means `Rf²` and a
+//! `rescale` is pending).
+//!
+//! ## Crate layout
+//!
+//! - [`types`] — value types: status, level, scale degree.
+//! - [`op`] — opcodes, trip counts, per-op constraints.
+//! - [`func`] — the arena-based [`Function`] container: blocks, ops, values.
+//! - [`build`] — the tracing builder used as the programmer-facing frontend.
+//! - [`verify`] — structural and type verification.
+//! - [`print`](mod@print) — textual form (also the basis of code-size measurements).
+//! - [`analysis`] — def-use chains, liveness, multiplicative-depth analysis.
+//! - [`subst`] — op cloning with value substitution (peeling/unrolling).
+//!
+//! ## Example
+//!
+//! ```
+//! use halo_ir::build::FunctionBuilder;
+//! use halo_ir::op::TripCount;
+//!
+//! // w = w - 0.1 * (x*w - y) * x, iterated `iters` times (dynamic!).
+//! let mut b = FunctionBuilder::new("linear_regression", 1 << 4);
+//! let x = b.input_cipher("x");
+//! let y = b.input_cipher("y");
+//! let w = b.input_cipher("w");
+//! let lr = b.const_splat(0.1);
+//! let results = b.for_loop(TripCount::dynamic("iters"), &[w], 16, |b, args| {
+//!     let w = args[0];
+//!     let pred = b.mul(x, w);
+//!     let err = b.sub(pred, y);
+//!     let grad = b.mul(err, x);
+//!     let step = b.mul(grad, lr);
+//!     vec![b.sub(w, step)]
+//! });
+//! b.ret(&results);
+//! let f = b.finish();
+//! assert!(halo_ir::verify::verify_traced(&f).is_ok());
+//! ```
+
+pub mod analysis;
+pub mod build;
+pub mod func;
+pub mod op;
+pub mod print;
+pub mod subst;
+pub mod types;
+pub mod verify;
+
+pub use build::FunctionBuilder;
+pub use func::{Block, BlockId, Function, OpId, Value, ValueId};
+pub use op::{Op, Opcode, TripCount};
+pub use types::{CtType, Level, ScaleDegree, Status};
+pub use verify::VerifyError;

@@ -1,0 +1,166 @@
+//! Textual printing of functions and code-size accounting.
+//!
+//! The printed form doubles as the code-size metric of the paper's Table 7
+//! ("the code size includes the constant sizes"): [`code_size_bytes`] is the
+//! printed text length plus the encoded size of every plaintext constant.
+
+use std::fmt::Write as _;
+
+use crate::func::{BlockId, Function, ValueId};
+use crate::op::{ConstValue, Opcode};
+
+/// Renders the function in a compact MLIR-inspired textual form.
+#[must_use]
+pub fn print(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "func @{}(slots = {}) {{", f.name, f.slots);
+    print_block(f, f.entry, 1, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+fn vname(v: ValueId) -> String {
+    format!("%{}", v.0)
+}
+
+fn print_block(f: &Function, block: BlockId, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    for &op_id in &f.block(block).ops {
+        let op = f.op(op_id);
+        let operands: Vec<String> = op.operands.iter().map(|&v| vname(v)).collect();
+        let results: Vec<String> = op.results.iter().map(|&v| vname(v)).collect();
+        let lhs = if results.is_empty() {
+            String::new()
+        } else {
+            format!("{} = ", results.join(", "))
+        };
+        match &op.opcode {
+            Opcode::Input { name } => {
+                let _ = writeln!(out, "{pad}{lhs}input \"{name}\" : {}", f.ty(op.results[0]));
+            }
+            Opcode::Const(c) => {
+                let desc = match c {
+                    ConstValue::Splat(x) => format!("splat {x}"),
+                    ConstValue::Vector(v) => format!("vector[{}]", v.len()),
+                    ConstValue::Mask { lo, hi } => format!("mask[{lo}..{hi}]"),
+                };
+                let _ = writeln!(out, "{pad}{lhs}const {desc} : {}", f.ty(op.results[0]));
+            }
+            Opcode::For { trip, num_elems, body } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{lhs}for {trip} iters, elems={num_elems}, init({}) {{",
+                    operands.join(", ")
+                );
+                let args: Vec<String> = f
+                    .block(*body)
+                    .args
+                    .iter()
+                    .map(|&a| format!("{}: {}", vname(a), f.ty(a)))
+                    .collect();
+                let _ = writeln!(out, "{pad}^({}):", args.join(", "));
+                print_block(f, *body, indent + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Opcode::Yield => {
+                let _ = writeln!(out, "{pad}yield {}", operands.join(", "));
+            }
+            Opcode::Return => {
+                let _ = writeln!(out, "{pad}return {}", operands.join(", "));
+            }
+            Opcode::Rotate { offset } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{lhs}rotate {} by {offset} : {}",
+                    operands.join(", "),
+                    f.ty(op.results[0])
+                );
+            }
+            Opcode::ModSwitch { down } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{lhs}modswitch {} down {down} : {}",
+                    operands.join(", "),
+                    f.ty(op.results[0])
+                );
+            }
+            Opcode::Bootstrap { target } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{lhs}bootstrap {} to L{target} : {}",
+                    operands.join(", "),
+                    f.ty(op.results[0])
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{lhs}{} {} : {}",
+                    op.opcode.mnemonic(),
+                    operands.join(", "),
+                    op.results.first().map(|&r| f.ty(r).to_string()).unwrap_or_default()
+                );
+            }
+        }
+    }
+}
+
+/// Code size in bytes: printed text plus encoded plaintext constants
+/// (Table 7's metric).
+#[must_use]
+pub fn code_size_bytes(f: &Function) -> usize {
+    let mut const_bytes = 0usize;
+    f.walk_ops(|_, op| {
+        if let Opcode::Const(c) = &f.op(op).opcode {
+            const_bytes += c.encoded_size();
+        }
+    });
+    print(f).len() + const_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FunctionBuilder;
+    use crate::op::TripCount;
+
+    fn sample() -> Function {
+        let mut b = FunctionBuilder::new("demo", 16);
+        let x = b.input_cipher("x");
+        let w = b.input_cipher("w");
+        let k = b.const_splat(0.5);
+        let r = b.for_loop(TripCount::dynamic("n"), &[w], 4, |b, a| {
+            let p = b.mul(x, a[0]);
+            let s = b.mul(p, k);
+            vec![b.add(a[0], s)]
+        });
+        b.ret(&r);
+        b.finish()
+    }
+
+    #[test]
+    fn printed_form_contains_structure() {
+        let f = sample();
+        let s = print(&f);
+        assert!(s.contains("func @demo(slots = 16)"), "{s}");
+        assert!(s.contains("for (%n) iters, elems=4"), "{s}");
+        assert!(s.contains("multcc"), "{s}");
+        assert!(s.contains("multcp"), "{s}");
+        assert!(s.contains("yield"), "{s}");
+        assert!(s.contains("return"), "{s}");
+    }
+
+    #[test]
+    fn code_size_counts_constants() {
+        let f = sample();
+        let base = code_size_bytes(&f);
+        let mut b = FunctionBuilder::new("demo", 16);
+        let x = b.input_cipher("x");
+        let big = b.const_vector(vec![1.0; 1000]);
+        let y = b.mul(x, big);
+        b.ret(&[y]);
+        let g = b.finish();
+        // 1000-element constant adds ~8000 bytes regardless of text length.
+        assert!(code_size_bytes(&g) > base + 7000);
+    }
+}

@@ -1,0 +1,184 @@
+//! Value types: encryption status, ciphertext level, and scale degree.
+//!
+//! RNS-CKKS attaches two kinds of "type" information to every SSA value
+//! (paper §3): the *encryption status* — whether the value is a plaintext or
+//! a ciphertext — and the *level*, the number of residue polynomials left in
+//! the modulus chain. On top of that we track the EVA-style *scale degree*:
+//! all values are kept at scale `Rf^d` with `d ∈ {1, 2}`; a multiplication
+//! doubles the scale (`d = 2`) and a [`rescale`](crate::op::Opcode::Rescale)
+//! brings it back to the waterline (`d = 1`) while consuming one level.
+
+use std::fmt;
+
+/// Ciphertext level: the number of residue polynomials remaining.
+pub type Level = u32;
+
+/// Scale degree under the waterline discipline (1 = `Rf`, 2 = `Rf²`).
+pub type ScaleDegree = u32;
+
+/// Sentinel for "level not yet assigned" on freshly traced programs.
+///
+/// The tracing frontend produces programs without level management; the
+/// scale-management pass later infers concrete levels and replaces this.
+pub const LEVEL_UNSET: Level = u32::MAX;
+
+/// Encryption status of a value (paper §3: "plain" vs "cipher").
+///
+/// Arithmetic between a plaintext and a ciphertext always yields a
+/// ciphertext; nothing ever reverts to plaintext without decryption, which
+/// is what makes first-iteration loop peeling sufficient to resolve status
+/// mismatches (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Status {
+    /// An unencrypted (encoded) value.
+    Plain,
+    /// An RLWE ciphertext.
+    Cipher,
+}
+
+impl Status {
+    /// Status of the result of an arithmetic op over two operands: cipher
+    /// wins ("cipher is contagious").
+    #[must_use]
+    pub fn join(self, other: Status) -> Status {
+        if self == Status::Cipher || other == Status::Cipher {
+            Status::Cipher
+        } else {
+            Status::Plain
+        }
+    }
+
+    /// Whether this is [`Status::Cipher`].
+    #[must_use]
+    pub fn is_cipher(self) -> bool {
+        self == Status::Cipher
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Status::Plain => write!(f, "plain"),
+            Status::Cipher => write!(f, "cipher"),
+        }
+    }
+}
+
+/// The full type of an SSA value: status, level, and scale degree.
+///
+/// For [`Status::Plain`] values the level records the level the plaintext is
+/// *encoded at* (plaintexts can be re-encoded freely, so the verifier treats
+/// plain operands as adapting to their cipher partners).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CtType {
+    /// Plain or cipher.
+    pub status: Status,
+    /// Remaining modulus-chain level ([`LEVEL_UNSET`] before inference).
+    pub level: Level,
+    /// Scale degree (1 = waterline `Rf`, 2 = pending rescale).
+    pub degree: ScaleDegree,
+}
+
+impl CtType {
+    /// A ciphertext type at the given level with waterline scale.
+    #[must_use]
+    pub fn cipher(level: Level) -> CtType {
+        CtType { status: Status::Cipher, level, degree: 1 }
+    }
+
+    /// A plaintext type (encoded at the given level, waterline scale).
+    #[must_use]
+    pub fn plain(level: Level) -> CtType {
+        CtType { status: Status::Plain, level, degree: 1 }
+    }
+
+    /// A freshly traced ciphertext with no level assigned yet.
+    #[must_use]
+    pub fn cipher_unset() -> CtType {
+        CtType::cipher(LEVEL_UNSET)
+    }
+
+    /// A freshly traced plaintext with no level assigned yet.
+    #[must_use]
+    pub fn plain_unset() -> CtType {
+        CtType::plain(LEVEL_UNSET)
+    }
+
+    /// Whether the level has been assigned by scale management.
+    #[must_use]
+    pub fn has_level(&self) -> bool {
+        self.level != LEVEL_UNSET
+    }
+
+    /// Whether the value is a ciphertext.
+    #[must_use]
+    pub fn is_cipher(&self) -> bool {
+        self.status.is_cipher()
+    }
+
+    /// Returns a copy with the given level.
+    #[must_use]
+    pub fn at_level(mut self, level: Level) -> CtType {
+        self.level = level;
+        self
+    }
+
+    /// Returns a copy with the given scale degree.
+    #[must_use]
+    pub fn with_degree(mut self, degree: ScaleDegree) -> CtType {
+        self.degree = degree;
+        self
+    }
+}
+
+impl fmt::Display for CtType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.level == LEVEL_UNSET {
+            write!(f, "{}<?, d{}>", self.status, self.degree)
+        } else {
+            write!(f, "{}<L{}, d{}>", self.status, self.level, self.degree)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_join_is_cipher_contagious() {
+        assert_eq!(Status::Plain.join(Status::Plain), Status::Plain);
+        assert_eq!(Status::Plain.join(Status::Cipher), Status::Cipher);
+        assert_eq!(Status::Cipher.join(Status::Plain), Status::Cipher);
+        assert_eq!(Status::Cipher.join(Status::Cipher), Status::Cipher);
+    }
+
+    #[test]
+    fn ctype_constructors() {
+        let c = CtType::cipher(7);
+        assert!(c.is_cipher());
+        assert_eq!(c.level, 7);
+        assert_eq!(c.degree, 1);
+        let p = CtType::plain(3);
+        assert!(!p.is_cipher());
+        assert!(p.has_level());
+        assert!(!CtType::cipher_unset().has_level());
+    }
+
+    #[test]
+    fn ctype_modifiers() {
+        let c = CtType::cipher(7).at_level(4).with_degree(2);
+        assert_eq!(c.level, 4);
+        assert_eq!(c.degree, 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CtType::cipher(5).to_string(), "cipher<L5, d1>");
+        assert_eq!(CtType::plain_unset().to_string(), "plain<?, d1>");
+        assert_eq!(
+            CtType::cipher(5).with_degree(2).to_string(),
+            "cipher<L5, d2>"
+        );
+    }
+}

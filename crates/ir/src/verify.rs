@@ -1,0 +1,572 @@
+//! Structural and type verification.
+//!
+//! Two verification levels match the two lifecycle stages of a program:
+//!
+//! - [`verify_traced`] checks freshly traced programs: SSA structure,
+//!   dominance, terminators, loop arity, and *encryption-status* rules only
+//!   (levels are still unset).
+//! - [`verify_typed`] additionally checks the full level/scale-degree type
+//!   rules of §2 of the paper once scale management has run: operand-level
+//!   agreement for `addcc`/`multcc`, the waterline scale discipline, loop
+//!   boundary type matching (the paper's *type-matched loop* property), and
+//!   bootstrap/rescale/modswitch legality.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::func::{BlockId, Function, OpId, ValueId};
+use crate::op::Opcode;
+use crate::types::{CtType, Level, Status};
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The offending op, when attributable.
+    pub op: Option<OpId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Some(op) => write!(f, "op #{}: {}", op.0, self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err<T>(op: OpId, message: impl Into<String>) -> Result<T, VerifyError> {
+    Err(VerifyError { op: Some(op), message: message.into() })
+}
+
+/// Verifies structure and encryption status of a traced program.
+///
+/// # Errors
+///
+/// Returns the first violation found (use-before-def, missing terminator,
+/// loop arity mismatch, wrong operand status for an opcode, …).
+pub fn verify_traced(f: &Function) -> Result<(), VerifyError> {
+    Verifier { f, check_levels: false, max_level: 0 }.run()
+}
+
+/// Verifies a fully typed (scale-managed) program against `max_level` (the
+/// parameter `L` of Table 1).
+///
+/// # Errors
+///
+/// Returns the first violation: anything [`verify_traced`] reports, an unset
+/// level, a level/degree rule violation, or a loop whose boundary types are
+/// not matched.
+pub fn verify_typed(f: &Function, max_level: Level) -> Result<(), VerifyError> {
+    Verifier { f, check_levels: true, max_level }.run()
+}
+
+struct Verifier<'a> {
+    f: &'a Function,
+    check_levels: bool,
+    max_level: Level,
+}
+
+impl<'a> Verifier<'a> {
+    fn run(&self) -> Result<(), VerifyError> {
+        let entry = self.f.entry;
+        if !self.f.block(entry).args.is_empty() {
+            return Err(VerifyError {
+                op: None,
+                message: "entry block must have no arguments".into(),
+            });
+        }
+        let mut defined: HashSet<ValueId> = HashSet::new();
+        self.check_block(entry, &mut defined, None)?;
+        match self.f.terminator(entry) {
+            Some(t) if matches!(self.f.op(t).opcode, Opcode::Return) => Ok(()),
+            _ => Err(VerifyError {
+                op: None,
+                message: "entry block must end in return".into(),
+            }),
+        }
+    }
+
+    fn check_block(
+        &self,
+        block: BlockId,
+        defined: &mut HashSet<ValueId>,
+        enclosing_for: Option<OpId>,
+    ) -> Result<(), VerifyError> {
+        for &arg in &self.f.block(block).args {
+            defined.insert(arg);
+        }
+        let ops = self.f.block(block).ops.clone();
+        for (i, &op_id) in ops.iter().enumerate() {
+            let op = self.f.op(op_id);
+            for &operand in &op.operands {
+                if !defined.contains(&operand) {
+                    return err(
+                        op_id,
+                        format!("operand {operand} used before definition"),
+                    );
+                }
+            }
+            let is_last = i + 1 == ops.len();
+            if op.opcode.is_terminator() != is_last {
+                return err(
+                    op_id,
+                    if is_last {
+                        "block must end in a terminator".to_string()
+                    } else {
+                        format!("terminator {} not at block end", op.opcode.mnemonic())
+                    },
+                );
+            }
+            self.check_op(op_id, block, enclosing_for)?;
+            if let Opcode::For { body, .. } = &op.opcode {
+                let mut inner = defined.clone();
+                self.check_block(*body, &mut inner, Some(op_id))?;
+            }
+            for &r in &op.results {
+                defined.insert(r);
+            }
+        }
+        Ok(())
+    }
+
+    fn ty(&self, v: ValueId) -> CtType {
+        self.f.ty(v)
+    }
+
+    fn require_level_set(&self, op: OpId, v: ValueId) -> Result<CtType, VerifyError> {
+        let t = self.ty(v);
+        if self.check_levels && t.is_cipher() && !t.has_level() {
+            return err(op, format!("cipher value {v} has no level assigned"));
+        }
+        Ok(t)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn check_op(
+        &self,
+        op_id: OpId,
+        _block: BlockId,
+        enclosing_for: Option<OpId>,
+    ) -> Result<(), VerifyError> {
+        let op = self.f.op(op_id);
+        let n_operands = op.operands.len();
+        let arity_ok = |want: usize| -> Result<(), VerifyError> {
+            if n_operands == want {
+                Ok(())
+            } else {
+                err(
+                    op_id,
+                    format!(
+                        "{} expects {want} operands, got {n_operands}",
+                        op.opcode.mnemonic()
+                    ),
+                )
+            }
+        };
+        match &op.opcode {
+            Opcode::Input { .. } | Opcode::Const(_) => arity_ok(0)?,
+            Opcode::Encrypt => {
+                arity_ok(1)?;
+                if self.ty(op.operands[0]).status != Status::Plain {
+                    return err(op_id, "encrypt operand must be plain");
+                }
+                if self.ty(op.results[0]).status != Status::Cipher {
+                    return err(op_id, "encrypt result must be cipher");
+                }
+                if self.check_levels {
+                    let rt = self.ty(op.results[0]);
+                    if !rt.has_level() || rt.degree != 1 {
+                        return err(op_id, "encrypt result must have a level at degree 1");
+                    }
+                }
+            }
+            Opcode::AddCC | Opcode::SubCC | Opcode::MultCC => {
+                arity_ok(2)?;
+                let (a, b) = (op.operands[0], op.operands[1]);
+                let (ta, tb) = (
+                    self.require_level_set(op_id, a)?,
+                    self.require_level_set(op_id, b)?,
+                );
+                if ta.status != tb.status {
+                    return err(
+                        op_id,
+                        format!(
+                            "{} requires matching statuses, got {} and {}",
+                            op.opcode.mnemonic(),
+                            ta.status,
+                            tb.status
+                        ),
+                    );
+                }
+                if self.check_levels && ta.is_cipher() {
+                    if ta.level != tb.level {
+                        return err(
+                            op_id,
+                            format!(
+                                "{} operand levels differ: L{} vs L{}",
+                                op.opcode.mnemonic(),
+                                ta.level,
+                                tb.level
+                            ),
+                        );
+                    }
+                    let rt = self.ty(op.results[0]);
+                    if op.opcode.is_mult() {
+                        if ta.degree != 1 || tb.degree != 1 {
+                            return err(op_id, "multcc operands must be at waterline scale (degree 1)");
+                        }
+                        if ta.level < 1 {
+                            return err(op_id, "multcc requires level >= 1 (a rescale must remain possible)");
+                        }
+                        if rt.level != ta.level || rt.degree != 2 {
+                            return err(op_id, "multcc result must keep level and have degree 2");
+                        }
+                    } else {
+                        if ta.degree != tb.degree {
+                            return err(
+                                op_id,
+                                format!(
+                                    "{} operand scale degrees differ: {} vs {}",
+                                    op.opcode.mnemonic(),
+                                    ta.degree,
+                                    tb.degree
+                                ),
+                            );
+                        }
+                        if rt.level != ta.level || rt.degree != ta.degree {
+                            return err(op_id, "add/sub result type must match operands");
+                        }
+                    }
+                }
+            }
+            Opcode::AddCP | Opcode::SubCP | Opcode::MultCP => {
+                arity_ok(2)?;
+                let (a, b) = (op.operands[0], op.operands[1]);
+                let ta = self.require_level_set(op_id, a)?;
+                let tb = self.ty(b);
+                if ta.status != Status::Cipher {
+                    return err(
+                        op_id,
+                        format!("{} first operand must be cipher", op.opcode.mnemonic()),
+                    );
+                }
+                if tb.status != Status::Plain {
+                    return err(
+                        op_id,
+                        format!("{} second operand must be plain", op.opcode.mnemonic()),
+                    );
+                }
+                if self.check_levels {
+                    let rt = self.ty(op.results[0]);
+                    if op.opcode.is_mult() {
+                        if ta.degree != 1 {
+                            return err(op_id, "multcp operand must be at waterline scale (degree 1)");
+                        }
+                        if ta.level < 1 {
+                            return err(op_id, "multcp requires level >= 1");
+                        }
+                        if rt.level != ta.level || rt.degree != 2 {
+                            return err(op_id, "multcp result must keep level and have degree 2");
+                        }
+                    } else if rt.level != ta.level || rt.degree != ta.degree {
+                        return err(op_id, "addcp/subcp result type must match cipher operand");
+                    }
+                }
+            }
+            Opcode::Negate | Opcode::Rotate { .. } => {
+                arity_ok(1)?;
+                let ta = self.require_level_set(op_id, op.operands[0])?;
+                if self.check_levels {
+                    let rt = self.ty(op.results[0]);
+                    if rt != ta {
+                        return err(
+                            op_id,
+                            format!("{} result type must equal operand type", op.opcode.mnemonic()),
+                        );
+                    }
+                }
+            }
+            Opcode::Rescale => {
+                arity_ok(1)?;
+                let ta = self.require_level_set(op_id, op.operands[0])?;
+                if !ta.is_cipher() {
+                    return err(op_id, "rescale requires a cipher operand");
+                }
+                if self.check_levels {
+                    if ta.degree != 2 {
+                        return err(op_id, "rescale operand must have scale degree 2");
+                    }
+                    if ta.level < 1 {
+                        return err(op_id, "rescale requires level >= 1");
+                    }
+                    let rt = self.ty(op.results[0]);
+                    if rt.level != ta.level - 1 || rt.degree != 1 {
+                        return err(op_id, "rescale result must drop one level to degree 1");
+                    }
+                }
+            }
+            Opcode::ModSwitch { down } => {
+                arity_ok(1)?;
+                let ta = self.require_level_set(op_id, op.operands[0])?;
+                if !ta.is_cipher() {
+                    return err(op_id, "modswitch requires a cipher operand");
+                }
+                if self.check_levels {
+                    if *down == 0 || *down > ta.level {
+                        return err(
+                            op_id,
+                            format!("modswitch down={down} invalid at level {}", ta.level),
+                        );
+                    }
+                    let rt = self.ty(op.results[0]);
+                    if rt.level != ta.level - down || rt.degree != ta.degree {
+                        return err(op_id, "modswitch result must drop `down` levels");
+                    }
+                }
+            }
+            Opcode::Bootstrap { target } => {
+                arity_ok(1)?;
+                let ta = self.require_level_set(op_id, op.operands[0])?;
+                if !ta.is_cipher() {
+                    return err(op_id, "bootstrap requires a cipher operand");
+                }
+                if self.check_levels {
+                    if ta.degree != 1 {
+                        return err(op_id, "bootstrap operand must be at waterline scale");
+                    }
+                    if *target > self.max_level || *target == 0 {
+                        return err(
+                            op_id,
+                            format!("bootstrap target {target} outside 1..={}", self.max_level),
+                        );
+                    }
+                    let rt = self.ty(op.results[0]);
+                    if rt.level != *target || rt.degree != 1 {
+                        return err(op_id, "bootstrap result must be at the target level, degree 1");
+                    }
+                }
+            }
+            Opcode::For { body, trip, .. } => {
+                let body_args = self.f.block(*body).args.clone();
+                if body_args.len() != op.operands.len() || body_args.len() != op.results.len() {
+                    return err(
+                        op_id,
+                        format!(
+                            "for arity mismatch: {} inits, {} body args, {} results",
+                            op.operands.len(),
+                            body_args.len(),
+                            op.results.len()
+                        ),
+                    );
+                }
+                if let crate::op::TripCount::Constant(0) = trip {
+                    // Zero-trip constant loops are legal but suspicious; the
+                    // type rules below still apply (results = inits' types).
+                }
+                if self.check_levels {
+                    // Type-matched loop property (paper §5.2): init, body
+                    // arg, yield, and result types must all agree per
+                    // carried variable.
+                    let term = self.f.terminator(*body).ok_or(VerifyError {
+                        op: Some(op_id),
+                        message: "loop body missing yield".into(),
+                    })?;
+                    let yields = self.f.op(term).operands.clone();
+                    for (k, &arg) in body_args.iter().enumerate() {
+                        let t_init = self.ty(op.operands[k]);
+                        let t_arg = self.ty(arg);
+                        let t_yield = self.ty(yields[k]);
+                        let t_res = self.ty(op.results[k]);
+                        if t_init != t_arg || t_arg != t_yield || t_yield != t_res {
+                            return err(
+                                op_id,
+                                format!(
+                                    "loop-carried variable #{k} is not type-matched: \
+                                     init {t_init}, arg {t_arg}, yield {t_yield}, result {t_res}"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Opcode::Yield => {
+                let for_op = enclosing_for.ok_or(VerifyError {
+                    op: Some(op_id),
+                    message: "yield outside a loop body".into(),
+                })?;
+                let want = self.f.op(for_op).results.len();
+                if n_operands != want {
+                    return err(
+                        op_id,
+                        format!("yield arity {n_operands} != loop-carried count {want}"),
+                    );
+                }
+            }
+            Opcode::Return => {
+                if enclosing_for.is_some() {
+                    return err(op_id, "return inside a loop body");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FunctionBuilder;
+    use crate::op::TripCount;
+
+    #[test]
+    fn traced_program_verifies() {
+        let mut b = FunctionBuilder::new("t", 8);
+        let x = b.input_cipher("x");
+        let w = b.input_cipher("w");
+        let r = b.for_loop(TripCount::dynamic("n"), &[w], 4, |b, a| {
+            let p = b.mul(x, a[0]);
+            vec![b.add(a[0], p)]
+        });
+        b.ret(&r);
+        assert!(verify_traced(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn traced_rejects_use_before_def() {
+        let mut f = Function::new("t", 8);
+        let e = f.entry;
+        // Build the add first, referencing a value created afterwards.
+        let x = f.create_op(
+            Opcode::Input { name: "x".into() },
+            vec![],
+            &[CtType::cipher_unset()],
+        );
+        let xv = f.op(x).results[0];
+        let add = f.create_op(Opcode::AddCC, vec![xv, xv], &[CtType::cipher_unset()]);
+        let addv = f.op(add).results[0];
+        f.block_mut(e).ops.push(add);
+        f.block_mut(e).ops.push(x);
+        let ret = f.create_op(Opcode::Return, vec![addv], &[]);
+        f.block_mut(e).ops.push(ret);
+        let e = verify_traced(&f).unwrap_err();
+        assert!(e.message.contains("before definition"), "{e}");
+    }
+
+    #[test]
+    fn traced_rejects_status_mismatch_on_cp() {
+        let mut f = Function::new("t", 8);
+        let e = f.entry;
+        let x = f.push_op1(
+            e,
+            Opcode::Input { name: "x".into() },
+            vec![],
+            CtType::cipher_unset(),
+        );
+        // multcp with a cipher second operand is malformed.
+        let r = f.push_op1(e, Opcode::MultCP, vec![x, x], CtType::cipher_unset());
+        f.push_op(e, Opcode::Return, vec![r], &[]);
+        let e = verify_traced(&f).unwrap_err();
+        assert!(e.message.contains("second operand must be plain"), "{e}");
+    }
+
+    #[test]
+    fn typed_requires_levels() {
+        let mut b = FunctionBuilder::new("t", 8);
+        let x = b.input_cipher("x");
+        let y = b.mul(x, x);
+        b.ret(&[y]);
+        let f = b.finish();
+        assert!(verify_traced(&f).is_ok());
+        let e = verify_typed(&f, 16).unwrap_err();
+        assert!(e.message.contains("no level assigned"), "{e}");
+    }
+
+    #[test]
+    fn typed_accepts_manual_well_typed_chain() {
+        let mut f = Function::new("t", 8);
+        let e = f.entry;
+        let x = f.push_op1(
+            e,
+            Opcode::Input { name: "x".into() },
+            vec![],
+            CtType::cipher(5),
+        );
+        let m = f.push_op1(e, Opcode::MultCC, vec![x, x], CtType::cipher(5).with_degree(2));
+        let r = f.push_op1(e, Opcode::Rescale, vec![m], CtType::cipher(4));
+        let ms = f.push_op1(e, Opcode::ModSwitch { down: 3 }, vec![r], CtType::cipher(1));
+        let bs = f.push_op1(e, Opcode::Bootstrap { target: 16 }, vec![ms], CtType::cipher(16));
+        f.push_op(e, Opcode::Return, vec![bs], &[]);
+        verify_typed(&f, 16).unwrap();
+    }
+
+    #[test]
+    fn typed_rejects_level_mismatch_in_addcc() {
+        let mut f = Function::new("t", 8);
+        let e = f.entry;
+        let x = f.push_op1(
+            e,
+            Opcode::Input { name: "x".into() },
+            vec![],
+            CtType::cipher(5),
+        );
+        let y = f.push_op1(
+            e,
+            Opcode::Input { name: "y".into() },
+            vec![],
+            CtType::cipher(4),
+        );
+        let r = f.push_op1(e, Opcode::AddCC, vec![x, y], CtType::cipher(4));
+        f.push_op(e, Opcode::Return, vec![r], &[]);
+        let e = verify_typed(&f, 16).unwrap_err();
+        assert!(e.message.contains("levels differ"), "{e}");
+    }
+
+    #[test]
+    fn typed_rejects_mult_at_level_zero() {
+        let mut f = Function::new("t", 8);
+        let e = f.entry;
+        let x = f.push_op1(
+            e,
+            Opcode::Input { name: "x".into() },
+            vec![],
+            CtType::cipher(0),
+        );
+        let r = f.push_op1(e, Opcode::MultCC, vec![x, x], CtType::cipher(0).with_degree(2));
+        f.push_op(e, Opcode::Return, vec![r], &[]);
+        let e = verify_typed(&f, 16).unwrap_err();
+        assert!(e.message.contains("level >= 1"), "{e}");
+    }
+
+    #[test]
+    fn typed_rejects_unmatched_loop() {
+        // Loop whose yield level differs from its arg level: not
+        // type-matched (paper Challenge A-2).
+        let mut f = Function::new("t", 8);
+        let e = f.entry;
+        let x = f.push_op1(
+            e,
+            Opcode::Input { name: "x".into() },
+            vec![],
+            CtType::cipher(5),
+        );
+        let body = f.add_block();
+        let arg = f.add_block_arg(body, CtType::cipher(5), None);
+        let m = f.push_op1(body, Opcode::MultCC, vec![arg, arg], CtType::cipher(5).with_degree(2));
+        let r = f.push_op1(body, Opcode::Rescale, vec![m], CtType::cipher(4));
+        f.push_op(body, Opcode::Yield, vec![r], &[]);
+        let fo = f.push_op(
+            e,
+            Opcode::For { trip: TripCount::Constant(2), body, num_elems: 4 },
+            vec![x],
+            &[CtType::cipher(5)],
+        );
+        let res = f.op(fo).results[0];
+        f.push_op(e, Opcode::Return, vec![res], &[]);
+        let e = verify_typed(&f, 16).unwrap_err();
+        assert!(e.message.contains("not type-matched"), "{e}");
+    }
+}

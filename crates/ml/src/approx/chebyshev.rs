@@ -1,0 +1,131 @@
+//! Chebyshev interpolation: fitting coefficients for smooth functions.
+//!
+//! Non-linear functions under RNS-CKKS are evaluated as polynomials; the
+//! benchmarks follow Lee et al. \[41\] in using polynomial approximations
+//! (degree-96 sigmoid, composite sign). This module computes Chebyshev
+//! series coefficients at Chebyshev nodes — a numerically stable stand-in
+//! for a full Remez exchange (the fits here are within a small constant of
+//! minimax error for the smooth functions we target).
+
+use std::f64::consts::PI;
+
+/// A Chebyshev series `Σ cₖ·Tₖ(t)` over `t ∈ [−1, 1]`, representing a
+/// function on `[a, b]` through the affine map `t = (2x − a − b)/(b − a)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChebyshevSeries {
+    /// Coefficients, `c[k]` multiplying `T_k`.
+    pub coeffs: Vec<f64>,
+    /// Lower end of the fitted domain.
+    pub a: f64,
+    /// Upper end of the fitted domain.
+    pub b: f64,
+}
+
+impl ChebyshevSeries {
+    /// Fits `f` on `[a, b]` with a degree-`degree` Chebyshev interpolant
+    /// through the `degree + 1` Chebyshev nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= b`.
+    #[must_use]
+    pub fn fit(f: impl Fn(f64) -> f64, a: f64, b: f64, degree: usize) -> ChebyshevSeries {
+        assert!(a < b, "invalid domain [{a}, {b}]");
+        let n = degree + 1;
+        let fx: Vec<f64> = (0..n)
+            .map(|j| {
+                let t = (PI * (j as f64 + 0.5) / n as f64).cos();
+                f(0.5 * (b - a) * t + 0.5 * (a + b))
+            })
+            .collect();
+        let coeffs = (0..n)
+            .map(|k| {
+                let sum: f64 = (0..n)
+                    .map(|j| fx[j] * (PI * k as f64 * (j as f64 + 0.5) / n as f64).cos())
+                    .sum();
+                sum * if k == 0 { 1.0 } else { 2.0 } / n as f64
+            })
+            .collect();
+        ChebyshevSeries { coeffs, a, b }
+    }
+
+    /// Evaluates the series at `x ∈ [a, b]` by Clenshaw recurrence
+    /// (plain-math reference, used in tests and data generation).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let t = (2.0 * x - self.a - self.b) / (self.b - self.a);
+        let (mut b1, mut b2) = (0.0f64, 0.0f64);
+        for &c in self.coeffs.iter().skip(1).rev() {
+            let b0 = 2.0 * t * b1 - b2 + c;
+            b2 = b1;
+            b1 = b0;
+        }
+        t * b1 - b2 + self.coeffs[0]
+    }
+
+    /// Degree of the series.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// Maximum absolute error against `f` sampled at `samples` points.
+    #[must_use]
+    pub fn max_error(&self, f: impl Fn(f64) -> f64, samples: usize) -> f64 {
+        (0..samples)
+            .map(|i| {
+                let x = self.a + (self.b - self.a) * i as f64 / (samples - 1) as f64;
+                (self.eval(x) - f(x)).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_polynomials_exactly() {
+        let f = |x: f64| 3.0 * x * x - 2.0 * x + 1.0;
+        let s = ChebyshevSeries::fit(f, -1.0, 1.0, 4);
+        assert!(s.max_error(f, 101) < 1e-12);
+    }
+
+    #[test]
+    fn fits_sigmoid_to_high_accuracy_at_degree_96() {
+        let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+        let s = ChebyshevSeries::fit(sigmoid, -8.0, 8.0, 96);
+        assert_eq!(s.degree(), 96);
+        assert!(
+            s.max_error(sigmoid, 2001) < 1e-6,
+            "err = {}",
+            s.max_error(sigmoid, 2001)
+        );
+    }
+
+    #[test]
+    fn domain_mapping_is_affine() {
+        let f = |x: f64| x;
+        let s = ChebyshevSeries::fit(f, 2.0, 6.0, 3);
+        assert!((s.eval(2.0) - 2.0).abs() < 1e-12);
+        assert!((s.eval(6.0) - 6.0).abs() < 1e-12);
+        assert!((s.eval(4.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clenshaw_matches_direct_sum() {
+        let s = ChebyshevSeries {
+            coeffs: vec![0.5, -1.0, 0.25, 0.125],
+            a: -1.0,
+            b: 1.0,
+        };
+        for i in 0..=20 {
+            let t: f64 = -1.0 + 0.1 * i as f64;
+            // Direct: T0=1, T1=t, T2=2t²−1, T3=4t³−3t.
+            let direct = 0.5 - 1.0 * t + 0.25 * (2.0 * t * t - 1.0)
+                + 0.125 * (4.0 * t * t * t - 3.0 * t);
+            assert!((s.eval(t) - direct).abs() < 1e-12, "t = {t}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Iterative inverse square root and reciprocal (Newton/Goldschmidt-style).
+//!
+//! The paper's PCA benchmark approximates `sqrt` "iteratively … hence the
+//! sqrt function introduces an inner loop within the loop of PCA" (§7).
+//! We use the inverse-square-root form (what power iteration actually
+//! needs to normalize its vector): a Householder-order update
+//!
+//! ```text
+//! u = t·y²;   y ← y·(15 − 10u + 3u²)/8
+//! ```
+//!
+//! which converges cubically to `1/√t` for `t ∈ (0, 1]` from `y₀ = 1`.
+//! Two update steps form one loop iteration, giving the inner body the
+//! "long multiplicative depth" the paper relies on (unrolling is not
+//! profitable, §7.4). K-means' mean computation uses the companion
+//! Newton reciprocal `y ← y·(2 − t·y)`.
+
+use halo_ir::op::TripCount;
+use halo_ir::{FunctionBuilder, ValueId};
+
+/// One Householder inverse-sqrt update, emitted inline.
+/// `y' = y·(15 − 10·t·y² + 3·(t·y²)²)/8`.
+pub fn invsqrt_step(b: &mut FunctionBuilder, t: ValueId, y: ValueId) -> ValueId {
+    let y2 = b.mul(y, y);
+    let u = b.mul(t, y2);
+    let u2 = b.mul(u, u);
+    let c10 = b.const_splat(10.0 / 8.0);
+    let c3 = b.const_splat(3.0 / 8.0);
+    let c15 = b.const_splat(15.0 / 8.0);
+    let t10 = b.mul(u, c10);
+    let t3 = b.mul(u2, c3);
+    let s = b.sub(c15, t10);
+    let s = b.add(s, t3);
+    b.mul(y, s)
+}
+
+/// Emits the PCA inner loop: `iters` iterations of two inverse-sqrt
+/// updates over the loop-carried `y`, starting from `y₀ = 1` (encrypted —
+/// the carried variable must be a ciphertext). Returns `≈ 1/√t`.
+///
+/// `t` must be a ciphertext in `(0, 1]`.
+pub fn invsqrt_loop(
+    b: &mut FunctionBuilder,
+    t: ValueId,
+    y0: ValueId,
+    iters: TripCount,
+    num_elems: usize,
+) -> ValueId {
+    let r = b.for_loop(iters, &[y0], num_elems, |b, args| {
+        let y = invsqrt_step(b, t, args[0]);
+        let y = invsqrt_step(b, t, y);
+        vec![y]
+    });
+    r[0]
+}
+
+/// Plain-math reference for [`invsqrt_loop`].
+#[must_use]
+pub fn invsqrt_eval(t: f64, iters: u64) -> f64 {
+    let mut y = 1.0f64;
+    for _ in 0..2 * iters {
+        let u = t * y * y;
+        y *= (15.0 - 10.0 * u + 3.0 * u * u) / 8.0;
+    }
+    y
+}
+
+/// Emits `n` Newton reciprocal steps `y ← y·(2 − t·y)` from `y₀ = 2 − t`,
+/// converging to `1/t` for `t ∈ (0, 2)`. Returns the final `y`.
+pub fn reciprocal_inline(b: &mut FunctionBuilder, t: ValueId, n: usize) -> ValueId {
+    let two = b.const_splat(2.0);
+    let mut y = b.sub(two, t);
+    for _ in 0..n {
+        let ty = b.mul(t, y);
+        let two = b.const_splat(2.0);
+        let corr = b.sub(two, ty);
+        y = b.mul(y, corr);
+    }
+    y
+}
+
+/// Plain-math reference for [`reciprocal_inline`].
+#[must_use]
+pub fn reciprocal_eval(t: f64, n: usize) -> f64 {
+    let mut y = 2.0 - t;
+    for _ in 0..n {
+        y *= 2.0 - t * y;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ir::analysis::max_mult_depth;
+    use halo_runtime::{reference_run, Inputs};
+
+    #[test]
+    fn invsqrt_reference_converges_cubically() {
+        for &t in &[0.04f64, 0.25, 0.5, 0.9, 1.0] {
+            let y = invsqrt_eval(t, 4);
+            assert!(
+                (y - 1.0 / t.sqrt()).abs() < 1e-6,
+                "t = {t}: {y} vs {}",
+                1.0 / t.sqrt()
+            );
+        }
+    }
+
+    #[test]
+    fn reciprocal_reference_converges() {
+        // Newton's reciprocal is quadratic with e₀ = |1 − t·y₀|; small t
+        // needs more steps (e₀ close to 1).
+        for &t in &[0.1f64, 0.5, 1.0, 1.5] {
+            let y = reciprocal_eval(t, 8);
+            assert!((y - 1.0 / t).abs() < 1e-6, "t = {t}: {y}");
+        }
+    }
+
+    #[test]
+    fn homomorphic_invsqrt_loop_matches_reference() {
+        let mut b = FunctionBuilder::new("invsqrt", 8);
+        let t = b.input_cipher("t");
+        let y0 = b.input_cipher("y0");
+        let r = invsqrt_loop(&mut b, t, y0, TripCount::dynamic("k"), 8);
+        b.ret(&[r]);
+        let f = b.finish();
+        let out = reference_run(
+            &f,
+            &Inputs::new()
+                .cipher("t", vec![0.25, 0.81])
+                .cipher("y0", vec![1.0])
+                .env("k", 4),
+            8,
+        )
+        .unwrap();
+        assert!((out[0][0] - 2.0).abs() < 1e-6);
+        assert!((out[0][1] - 1.0 / 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inner_body_depth_defeats_unrolling() {
+        // Two Householder steps per iteration: depth ≥ 9, so the paper's
+        // unroll factor ⌊16/depth⌋ is 1 — PCA's inner loop stays rolled.
+        let mut b = FunctionBuilder::new("inner", 8);
+        let t = b.input_cipher("t");
+        let y0 = b.input_cipher("y0");
+        let r = invsqrt_loop(&mut b, t, y0, TripCount::dynamic("k"), 8);
+        b.ret(&[r]);
+        let f = b.finish();
+        let body = f.for_body(f.loops_in_block(f.entry)[0]);
+        let depth = max_mult_depth(&f, body);
+        assert!(depth >= 9, "depth = {depth}");
+        assert!(16 / depth <= 1, "unroll factor must be 1");
+    }
+
+    #[test]
+    fn homomorphic_reciprocal_matches_reference() {
+        let mut b = FunctionBuilder::new("recip", 8);
+        let t = b.input_cipher("t");
+        let r = reciprocal_inline(&mut b, t, 5);
+        b.ret(&[r]);
+        let f = b.finish();
+        let out = reference_run(&f, &Inputs::new().cipher("t", vec![0.5, 1.25]), 8).unwrap();
+        assert!((out[0][0] - 2.0).abs() < 1e-5, "{}", out[0][0]);
+        assert!((out[0][1] - 0.8).abs() < 1e-9, "{}", out[0][1]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Non-linear function approximations for RNS-CKKS.
+//!
+//! See the paper §7: "We implemented non-linear functions based on the
+//! algorithm suggested in \[41\]. Specifically, we approximate the sign
+//! function with a minimax composite polynomial using degrees {15, 15, 27}
+//! (multiplicative depth of 13) and the sigmoid function utilizing a
+//! 96th-order single polynomial (multiplicative depth of 7). On the other
+//! hand, the square root (sqrt) function iteratively approximates the sqrt
+//! value of the input" — introducing PCA's inner loop.
+
+pub mod chebyshev;
+pub mod invroot;
+pub mod polyeval;
+pub mod sigmoid;
+pub mod sign;
+
+pub use chebyshev::ChebyshevSeries;
+pub use invroot::{invsqrt_eval, invsqrt_loop, invsqrt_step, reciprocal_eval, reciprocal_inline};
+pub use polyeval::{eval_chebyshev, eval_monomial};
+pub use sigmoid::{sigmoid_approx, sigmoid_eval, sigmoid_exact, SIGMOID_RANGE};
+pub use sign::{sign_approx, sign_eval, step_approx};

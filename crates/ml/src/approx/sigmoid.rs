@@ -1,0 +1,69 @@
+//! Degree-96 sigmoid approximation (paper §7: "the sigmoid function
+//! utilizing a 96th-order single polynomial").
+
+use halo_ir::{FunctionBuilder, ValueId};
+
+use crate::approx::chebyshev::ChebyshevSeries;
+use crate::approx::polyeval::eval_chebyshev;
+
+/// The fitted domain half-width: logits are expected in `[−8, 8]`.
+pub const SIGMOID_RANGE: f64 = 8.0;
+
+/// Exact sigmoid (plain-math reference).
+#[must_use]
+pub fn sigmoid_exact(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// The degree-96 Chebyshev fit of the sigmoid on `[−8, 8]`.
+#[must_use]
+pub fn sigmoid_series() -> ChebyshevSeries {
+    ChebyshevSeries::fit(sigmoid_exact, -SIGMOID_RANGE, SIGMOID_RANGE, 96)
+}
+
+/// Plain-math evaluation of the approximation (ground truth for RMSE).
+#[must_use]
+pub fn sigmoid_eval(x: f64) -> f64 {
+    sigmoid_series().eval(x.clamp(-SIGMOID_RANGE, SIGMOID_RANGE))
+}
+
+/// Emits the degree-96 sigmoid over a ciphertext of logits in `[−8, 8]`.
+pub fn sigmoid_approx(b: &mut FunctionBuilder, x: ValueId) -> ValueId {
+    let series = sigmoid_series();
+    eval_chebyshev(b, x, &series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ir::analysis::max_mult_depth;
+    use halo_runtime::{reference_run, Inputs};
+
+    #[test]
+    fn approximation_error_is_small_on_domain() {
+        let s = sigmoid_series();
+        assert_eq!(s.degree(), 96);
+        assert!(s.max_error(sigmoid_exact, 4001) < 1e-6);
+    }
+
+    #[test]
+    fn homomorphic_sigmoid_matches_reference() {
+        let mut b = FunctionBuilder::new("sigmoid", 8);
+        let x = b.input_cipher("x");
+        let s = sigmoid_approx(&mut b, x);
+        b.ret(&[s]);
+        let f = b.finish();
+        let xs = vec![-6.0, -2.0, -0.5, 0.0, 0.5, 2.0, 6.0, 7.9];
+        let out = reference_run(&f, &Inputs::new().cipher("x", xs.clone()), 8).unwrap();
+        for (i, &x) in xs.iter().enumerate() {
+            assert!(
+                (out[0][i] - sigmoid_exact(x)).abs() < 1e-5,
+                "x = {x}: {} vs {}",
+                out[0][i],
+                sigmoid_exact(x)
+            );
+        }
+        let depth = max_mult_depth(&f, f.entry);
+        assert!((7..=10).contains(&depth), "depth = {depth}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Composite minimax sign approximation (Lee et al. \[41\]).
+//!
+//! `sign(x)` over `[−1, −ε] ∪ [ε, 1]` is approximated by a composition of
+//! low-degree odd polynomials: each stage maps values toward ±1, and
+//! composing stages sharpens the transition exponentially while keeping
+//! the multiplicative depth to the *sum of the stages' log-depths*. The
+//! paper uses degrees {15, 15, 27} for a total depth of 13 (§7).
+//!
+//! We instantiate the classical smoothing family
+//! `f_k(x) = Σ_{i=0..k} binom(2i, i)/4ⁱ · x(1−x²)ⁱ` (degree `2k+1`), which
+//! satisfies `f_k([−1,1]) ⊆ [−1,1]` and has contraction `1 − f_k(x) ≈
+//! (1−x²)^{k+1}` near the edges: stages f₇ (degree 15), f₇ (degree 15),
+//! f₁₃ (degree 27) — exactly the paper's degree profile.
+
+use halo_ir::{FunctionBuilder, ValueId};
+
+use crate::approx::polyeval::eval_monomial;
+
+/// Monomial coefficients of `f_k` (degree `2k+1`, odd).
+#[must_use]
+pub fn f_k_coeffs(k: usize) -> Vec<f64> {
+    // x·(1−x²)ⁱ expanded: coefficients of x^{2j+1} are binom(i, j)·(−1)^j.
+    let mut coeffs = vec![0.0; 2 * k + 2];
+    let mut central = 1.0f64; // binom(2i, i)/4^i
+    for i in 0..=k {
+        if i > 0 {
+            // binom(2i, i)/4^i = prod_{m=1..i} (2m−1)/(2m)
+            central *= (2.0 * i as f64 - 1.0) / (2.0 * i as f64);
+        }
+        // Add central · x·(1−x²)^i.
+        let mut binom = 1.0f64;
+        for j in 0..=i {
+            if j > 0 {
+                binom *= (i - j + 1) as f64 / j as f64;
+            }
+            let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+            coeffs[2 * j + 1] += central * sign * binom;
+        }
+    }
+    coeffs
+}
+
+/// Plain-math reference for one stage.
+#[must_use]
+pub fn f_k_eval(k: usize, x: f64) -> f64 {
+    let coeffs = f_k_coeffs(k);
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Plain-math reference for the full composite sign.
+#[must_use]
+pub fn sign_eval(x: f64) -> f64 {
+    f_k_eval(13, f_k_eval(7, f_k_eval(7, x)))
+}
+
+/// Emits the composite sign approximation over a ciphertext `x ∈ [−1, 1]`:
+/// stages of degree 15, 15, 27 — multiplicative depth 4 + 4 + 5 = 13,
+/// matching the paper's accounting.
+pub fn sign_approx(b: &mut FunctionBuilder, x: ValueId) -> ValueId {
+    let s1 = eval_monomial(b, x, &f_k_coeffs(7));
+    let s2 = eval_monomial(b, s1, &f_k_coeffs(7));
+    eval_monomial(b, s2, &f_k_coeffs(13))
+}
+
+/// Emits `(1 + sign(x))/2` — a soft indicator for `x > 0`.
+pub fn step_approx(b: &mut FunctionBuilder, x: ValueId) -> ValueId {
+    let s = sign_approx(b, x);
+    let half = b.const_splat(0.5);
+    let sh = b.mul(s, half);
+    b.add(sh, half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ir::analysis::max_mult_depth;
+    use halo_runtime::{reference_run, Inputs};
+
+    #[test]
+    fn f_k_degrees_match_paper_profile() {
+        assert_eq!(f_k_coeffs(7).len() - 1, 15);
+        assert_eq!(f_k_coeffs(13).len() - 1, 27);
+    }
+
+    #[test]
+    fn f3_matches_closed_form() {
+        // f₃(x) = (35x − 35x³ + 21x⁵ − 5x⁷)/16.
+        let c = f_k_coeffs(3);
+        assert!((c[1] - 35.0 / 16.0).abs() < 1e-12);
+        assert!((c[3] + 35.0 / 16.0).abs() < 1e-12);
+        assert!((c[5] - 21.0 / 16.0).abs() < 1e-12);
+        assert!((c[7] + 5.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composite_sign_is_accurate_outside_epsilon() {
+        for i in 1..=40 {
+            let x = 0.05 + 0.95 * i as f64 / 40.0;
+            let s = sign_eval(x.min(1.0));
+            assert!((s - 1.0).abs() < 2e-3, "sign({x}) = {s}");
+            let s = sign_eval(-x.min(1.0));
+            assert!((s + 1.0).abs() < 2e-3, "sign(−{x}) = {s}");
+        }
+        assert!(sign_eval(0.0).abs() < 1e-12, "odd function");
+    }
+
+    #[test]
+    fn stages_map_unit_interval_into_itself() {
+        for i in 0..=100 {
+            let x = -1.0 + 0.02 * i as f64;
+            for k in [7usize, 13] {
+                let y = f_k_eval(k, x);
+                assert!(y.abs() <= 1.0 + 1e-9, "f_{k}({x}) = {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn homomorphic_sign_matches_reference_and_depth_13() {
+        let mut b = FunctionBuilder::new("sign", 8);
+        let x = b.input_cipher("x");
+        let s = sign_approx(&mut b, x);
+        b.ret(&[s]);
+        let f = b.finish();
+        let depth = max_mult_depth(&f, f.entry);
+        assert_eq!(depth, 13, "paper: depth 13 for degrees {{15,15,27}}");
+        let xs = vec![0.9, -0.5, 0.2, -0.08, 0.04, 1.0, -1.0, 0.0];
+        let out = reference_run(&f, &Inputs::new().cipher("x", xs.clone()), 8).unwrap();
+        for (i, &x) in xs.iter().enumerate() {
+            assert!(
+                (out[0][i] - sign_eval(x)).abs() < 1e-9,
+                "x = {x}: {} vs {}",
+                out[0][i],
+                sign_eval(x)
+            );
+        }
+    }
+
+    #[test]
+    fn step_is_zero_one_indicator() {
+        let mut b = FunctionBuilder::new("step", 8);
+        let x = b.input_cipher("x");
+        let s = step_approx(&mut b, x);
+        b.ret(&[s]);
+        let f = b.finish();
+        let out = reference_run(&f, &Inputs::new().cipher("x", vec![0.5, -0.5]), 8).unwrap();
+        assert!((out[0][0] - 1.0).abs() < 2e-3);
+        assert!(out[0][1].abs() < 2e-3);
+    }
+}

@@ -1,0 +1,171 @@
+//! K-means clustering (paper §7): 2 loop-carried centroids, composite
+//! `sign` for the assignment step, Newton reciprocal for the mean.
+//!
+//! The body's multiplicative depth far exceeds the level budget, so every
+//! iteration needs in-body bootstraps on top of the head bootstraps — the
+//! paper's Table 5 shows K-means as the benchmark where packing cannot
+//! reduce the count (the deeper packed body needs one more reset, which
+//! target-level tuning then cheapens).
+
+use halo_ir::op::TripCount;
+use halo_ir::{Function, FunctionBuilder, ValueId};
+use halo_runtime::Inputs;
+
+use crate::approx::invroot::reciprocal_inline;
+use crate::approx::sign::step_approx;
+use crate::bench::{BenchSpec, MlBenchmark};
+use crate::data;
+
+/// Newton steps for the reciprocal of the (normalized) cluster mass.
+const RECIP_STEPS: usize = 6;
+/// Ballast added to both mass and weighted sum so an (almost) empty
+/// cluster keeps its previous centroid instead of dividing by zero.
+const BALLAST: f64 = 0.05;
+
+/// 1-D K-means with K = 2 over points in `[0, 1]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KMeans;
+
+impl KMeans {
+    /// Plain-math reference of one soft K-means update (mirrors the traced
+    /// body exactly — including the polynomial sign and Newton reciprocal).
+    #[must_use]
+    pub fn reference_step(x: &[f64], c0: f64, c1: f64) -> (f64, f64) {
+        use crate::approx::invroot::reciprocal_eval;
+        use crate::approx::sign::sign_eval;
+        let n = x.len() as f64;
+        let update = |own: f64, other: f64| {
+            let (mut mass, mut wsum) = (0.0, 0.0);
+            for &xi in x {
+                let d_own = (xi - own) * (xi - own);
+                let d_other = (xi - other) * (xi - other);
+                let m = 0.5 * (1.0 + sign_eval(d_other - d_own));
+                mass += m;
+                wsum += m * xi;
+            }
+            let t = mass / n + BALLAST;
+            let s = wsum / n + BALLAST * own;
+            s * reciprocal_eval(t, RECIP_STEPS)
+        };
+        (update(c0, c1), update(c1, c0))
+    }
+}
+
+fn centroid_update(
+    b: &mut FunctionBuilder,
+    x: ValueId,
+    own: ValueId,
+    other: ValueId,
+    num_elems: usize,
+) -> ValueId {
+    // Squared distances (x, own, other ∈ [0, 1] ⇒ diff ∈ [−1, 1]).
+    let d_own = {
+        let d = b.sub(x, own);
+        b.mul(d, d)
+    };
+    let d_other = {
+        let d = b.sub(x, other);
+        b.mul(d, d)
+    };
+    let diff = b.sub(d_other, d_own);
+    // Soft membership of each point in `own`'s cluster.
+    let m = step_approx(b, diff);
+    // Normalized mass and weighted sum, with ballast toward the old
+    // centroid to keep the reciprocal well-conditioned.
+    let mass_sum = b.rotate_sum(m, num_elems);
+    let inv_n = b.const_splat(1.0 / num_elems as f64);
+    let mass = b.mul(mass_sum, inv_n);
+    let ballast = b.const_splat(BALLAST);
+    let t = b.add(mass, ballast);
+    let mx = b.mul(m, x);
+    let wsum_raw = b.rotate_sum(mx, num_elems);
+    let wsum_n = b.mul(wsum_raw, inv_n);
+    let own_ballast = b.mul(own, ballast);
+    let s = b.add(wsum_n, own_ballast);
+    let inv = reciprocal_inline(b, t, RECIP_STEPS);
+    b.mul(s, inv)
+}
+
+impl MlBenchmark for KMeans {
+    fn name(&self) -> &'static str {
+        "K-means"
+    }
+
+    fn loop_depth(&self) -> usize {
+        1
+    }
+
+    fn carried_vars(&self) -> Vec<usize> {
+        vec![2]
+    }
+
+    fn approx_functions(&self) -> &'static str {
+        "sign"
+    }
+
+    fn trace(&self, spec: &BenchSpec, trips: &[TripCount]) -> Function {
+        assert_eq!(trips.len(), 1);
+        let n = spec.num_elems;
+        let mut b = FunctionBuilder::new("kmeans", spec.slots);
+        let x = b.input_cipher("x");
+        // Centroids arrive encrypted (no peeling — the paper's ×40 count
+        // structure for K-means).
+        let c0_init = b.input_cipher("c0");
+        let c1_init = b.input_cipher("c1");
+        let r = b.for_loop(trips[0].clone(), &[c0_init, c1_init], n, |b, args| {
+            let (c0, c1) = (args[0], args[1]);
+            let c0n = centroid_update(b, x, c0, c1, n);
+            let c1n = centroid_update(b, x, c1, c0, n);
+            vec![c0n, c1n]
+        });
+        b.ret(&r);
+        b.finish()
+    }
+
+    fn inputs(&self, spec: &BenchSpec) -> Inputs {
+        let x = data::cluster_data(spec.num_elems, [0.25, 0.75], 0.05, spec.seed);
+        Inputs::new()
+            .cipher("x", x)
+            .cipher("c0", vec![0.4])
+            .cipher("c1", vec![0.6])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ir::analysis::max_mult_depth;
+    use halo_runtime::reference_run;
+
+    #[test]
+    fn centroids_move_to_cluster_centers() {
+        let spec = BenchSpec { slots: 256, num_elems: 256, seed: 3 };
+        let f = KMeans.trace_dynamic(&spec);
+        let inputs = KMeans.inputs(&spec).env("iters", 12);
+        let out = reference_run(&f, &inputs, spec.slots).unwrap();
+        let (c0, c1) = (out[0][0], out[1][0]);
+        assert!((c0 - 0.25).abs() < 0.04, "c0 = {c0}");
+        assert!((c1 - 0.75).abs() < 0.04, "c1 = {c1}");
+    }
+
+    #[test]
+    fn traced_body_matches_reference_step() {
+        let spec = BenchSpec { slots: 64, num_elems: 64, seed: 4 };
+        let f = KMeans.trace_dynamic(&spec);
+        let inputs = KMeans.inputs(&spec).env("iters", 1);
+        let out = reference_run(&f, &inputs, spec.slots).unwrap();
+        let x = data::cluster_data(spec.num_elems, [0.25, 0.75], 0.05, spec.seed);
+        let (c0, c1) = KMeans::reference_step(&x, 0.4, 0.6);
+        assert!((out[0][0] - c0).abs() < 1e-9, "{} vs {c0}", out[0][0]);
+        assert!((out[1][0] - c1).abs() < 1e-9, "{} vs {c1}", out[1][0]);
+    }
+
+    #[test]
+    fn body_depth_requires_in_body_bootstraps() {
+        let spec = BenchSpec::test_small();
+        let f = KMeans.trace_dynamic(&spec);
+        let body = f.for_body(f.loops_in_block(f.entry)[0]);
+        let depth = max_mult_depth(&f, body);
+        assert!(depth > 16, "depth = {depth} must exceed the level budget");
+    }
+}

@@ -1,0 +1,276 @@
+//! PCA via power iteration — the nested-loop benchmark (paper §7.4).
+//!
+//! The outer loop carries the current principal-direction estimate `v`
+//! (one ciphertext holding four per-feature windows); each iteration
+//! computes `u = C·v` against the centered data and renormalizes with an
+//! inverse square root, which is itself an *inner loop* of Householder
+//! iterations — "the sqrt function introduces an inner loop within the
+//! loop of PCA". Both loops carry one variable each (Table 4: depth 2,
+//! carried 1 + 1), and both bodies are multiplicatively deep, so only
+//! target-level tuning applies (§7.4).
+
+use halo_ir::op::TripCount;
+use halo_ir::{Function, FunctionBuilder, ValueId};
+use halo_runtime::Inputs;
+
+use crate::approx::invroot::invsqrt_loop;
+use crate::bench::{BenchSpec, MlBenchmark};
+use crate::data;
+
+/// Feature count (iris has 4).
+pub const FEATURES: usize = 4;
+
+/// Number of real (non-pad) samples for a given window size.
+#[must_use]
+pub fn sample_count(num_elems: usize) -> usize {
+    (num_elems * 3 / 4).clamp(1, 150)
+}
+
+/// Extracts window `j` of `v` and replicates its content across all slots
+/// (mask + rotate-add ladder — the packing machinery of §6.1 used as a
+/// data-layout tool).
+fn extract_replicate(
+    b: &mut FunctionBuilder,
+    v: ValueId,
+    j: usize,
+    num_elems: usize,
+    slots: usize,
+) -> ValueId {
+    let mask = b.const_mask(j * num_elems, (j + 1) * num_elems);
+    let mut u = b.mul(v, mask);
+    let mut step = num_elems;
+    while step < slots {
+        let r = b.rotate(u, step as i64);
+        u = b.add(u, r);
+        step *= 2;
+    }
+    u
+}
+
+/// Principal component analysis on iris-like data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pca;
+
+impl MlBenchmark for Pca {
+    fn name(&self) -> &'static str {
+        "PCA"
+    }
+
+    fn loop_depth(&self) -> usize {
+        2
+    }
+
+    fn carried_vars(&self) -> Vec<usize> {
+        vec![1, 1]
+    }
+
+    fn approx_functions(&self) -> &'static str {
+        "sqrt"
+    }
+
+    fn trip_symbols(&self) -> Vec<&'static str> {
+        vec!["outer", "inner"]
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn trace(&self, spec: &BenchSpec, trips: &[TripCount]) -> Function {
+        assert_eq!(trips.len(), 2);
+        let n = spec.num_elems;
+        let count = sample_count(n);
+        let slots = spec.slots;
+        assert!(FEATURES * n <= slots, "windows must fit the ciphertext");
+        let mut b = FunctionBuilder::new("pca", slots);
+        let fs: Vec<_> = (0..FEATURES).map(|j| b.input_cipher(format!("f{j}"))).collect();
+        let v0 = b.input_cipher("v0");
+
+        // Center the features once, outside the loop: g_j = (f_j − mean)·pad.
+        let mut pad = vec![1.0; count];
+        pad.resize(n, 0.0);
+        let pad_mask = b.const_vector(pad);
+        let gs: Vec<_> = fs
+            .iter()
+            .map(|&fj| {
+                let sum = b.rotate_sum(fj, n);
+                let inv = b.const_splat(1.0 / count as f64);
+                let mean = b.mul(sum, inv);
+                let centered = b.sub(fj, mean);
+                b.mul(centered, pad_mask)
+            })
+            .collect();
+
+        let inner_trip = trips[1].clone();
+        let r = b.for_loop(trips[0].clone(), &[v0], n, |b, args| {
+            let v = args[0];
+            // v_j replicated everywhere, then the projection p = Σ v_j·g_j.
+            let vreps: Vec<_> = (0..FEATURES)
+                .map(|j| extract_replicate(b, v, j, n, slots))
+                .collect();
+            let mut p: Option<ValueId> = None;
+            for (j, &g) in gs.iter().enumerate() {
+                let t = b.mul(vreps[j], g);
+                p = Some(match p {
+                    Some(acc) => b.add(acc, t),
+                    None => t,
+                });
+            }
+            let p = p.expect("FEATURES > 0");
+            // u_j = GAIN·mean_s(g_j·p) = GAIN·(C·v)_j, replicated
+            // everywhere. The gain lifts ‖u‖² into the inverse-sqrt
+            // iteration's well-conditioned range (the gain cancels in
+            // u/‖u‖, so the direction is unaffected).
+            const GAIN: f64 = 8.0;
+            let inv_count = b.const_splat(GAIN / count as f64);
+            let ureps: Vec<_> = gs
+                .iter()
+                .map(|&g| {
+                    let gp = b.mul(g, p);
+                    let s = b.rotate_sum(gp, n);
+                    b.mul(s, inv_count)
+                })
+                .collect();
+            // Re-window u into a single ciphertext.
+            let mut u_ct: Option<ValueId> = None;
+            for (j, &uj) in ureps.iter().enumerate() {
+                let mask = b.const_mask(j * n, (j + 1) * n);
+                let w = b.mul(uj, mask);
+                u_ct = Some(match u_ct {
+                    Some(acc) => b.add(acc, w),
+                    None => w,
+                });
+            }
+            let u_ct = u_ct.expect("FEATURES > 0");
+            // ‖u‖², normalized into (0, 1] (data in [0,1] ⇒ |u_j| ≤ 4).
+            let mut t: Option<ValueId> = None;
+            for &uj in &ureps {
+                let sq = b.mul(uj, uj);
+                t = Some(match t {
+                    Some(acc) => b.add(acc, sq),
+                    None => sq,
+                });
+            }
+            let t = t.expect("FEATURES > 0");
+            let eps = b.const_splat(1e-4);
+            let ts = b.add(t, eps);
+            // Inner loop: y ≈ 1/√ts (plain start ⇒ the inner loop peels).
+            let y0 = b.const_splat(1.0);
+            let y = invsqrt_loop(b, ts, y0, inner_trip.clone(), n);
+            // v' = u/‖u‖ (the gain inside u cancels here).
+            let vn = b.mul(u_ct, y);
+            vec![vn]
+        });
+        b.ret(&r);
+        b.finish()
+    }
+
+    fn inputs(&self, spec: &BenchSpec) -> Inputs {
+        let n = spec.num_elems;
+        let count = sample_count(n);
+        let samples = data::iris_like(count, spec.seed);
+        let mut inputs = Inputs::new();
+        for j in 0..FEATURES {
+            let col: Vec<f64> = samples.iter().map(|s| s[j]).collect();
+            inputs = inputs.cipher(format!("f{j}"), data::zero_pad(col, n));
+        }
+        // Initial direction: equal weights, windowed layout.
+        let mut v0 = Vec::with_capacity(FEATURES * n);
+        for _ in 0..FEATURES {
+            v0.extend(std::iter::repeat_n(0.5, n));
+        }
+        inputs.cipher("v0", v0)
+    }
+}
+
+/// Plain-math dominant eigenvector of the (centered) covariance of
+/// `samples`, via many exact power iterations — the ground truth for
+/// convergence tests.
+#[must_use]
+pub fn dominant_eigenvector(samples: &[[f64; 4]]) -> [f64; 4] {
+    let n = samples.len() as f64;
+    let mut mean = [0.0f64; 4];
+    for s in samples {
+        for j in 0..4 {
+            mean[j] += s[j] / n;
+        }
+    }
+    let mut cov = [[0.0f64; 4]; 4];
+    for s in samples {
+        for i in 0..4 {
+            for j in 0..4 {
+                cov[i][j] += (s[i] - mean[i]) * (s[j] - mean[j]) / n;
+            }
+        }
+    }
+    let mut v = [0.5f64; 4];
+    for _ in 0..200 {
+        let mut u = [0.0f64; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                u[i] += cov[i][j] * v[j];
+            }
+        }
+        let norm = u.iter().map(|x| x * x).sum::<f64>().sqrt();
+        for i in 0..4 {
+            v[i] = u[i] / norm;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ir::analysis::max_mult_depth;
+    use halo_runtime::reference_run;
+
+    #[test]
+    fn converges_to_dominant_eigenvector() {
+        let spec = BenchSpec { slots: 512, num_elems: 128, seed: 11 };
+        let f = Pca.trace_dynamic(&spec);
+        let inputs = Pca.inputs(&spec).env("outer", 8).env("inner", 4);
+        let out = reference_run(&f, &inputs, spec.slots).unwrap();
+        let got: Vec<f64> = (0..FEATURES).map(|j| out[0][j * 128]).collect();
+        let samples = data::iris_like(sample_count(128), spec.seed);
+        let want = dominant_eigenvector(&samples);
+        // Compare up to sign via cosine similarity.
+        let dot: f64 = got.iter().zip(&want).map(|(a, b)| a * b).sum();
+        let ng = got.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let cos = dot.abs() / ng; // `want` is unit-norm
+        assert!(cos > 0.999, "cos = {cos}, got = {got:?}, want = {want:?}");
+        // The iterate itself is (approximately) unit-norm.
+        assert!((ng - 1.0).abs() < 0.02, "norm = {ng}");
+    }
+
+    #[test]
+    fn windows_hold_replicated_components() {
+        let spec = BenchSpec { slots: 256, num_elems: 64, seed: 11 };
+        let f = Pca.trace_dynamic(&spec);
+        let inputs = Pca.inputs(&spec).env("outer", 3).env("inner", 4);
+        let out = reference_run(&f, &inputs, spec.slots).unwrap();
+        for j in 0..FEATURES {
+            let w0 = out[0][j * 64];
+            for s in 0..64 {
+                assert!(
+                    (out[0][j * 64 + s] - w0).abs() < 1e-9,
+                    "window {j} not constant"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_bodies_are_too_deep_to_unroll() {
+        let spec = BenchSpec::test_small();
+        let f = Pca.trace_dynamic(&spec);
+        let outer = f.loops_in_block(f.entry)[0];
+        let outer_body = f.for_body(outer);
+        let inner = f.loops_in_block(outer_body)[0];
+        let inner_body = f.for_body(inner);
+        let inner_depth = max_mult_depth(&f, inner_body);
+        assert!(inner_depth >= 9, "inner depth = {inner_depth}");
+        // §7.4: "Each loop has a long multiplicative depth, so unrolling
+        // does not take an effect."
+        assert!(16 / inner_depth <= 1);
+        let outer_depth = max_mult_depth(&f, outer_body);
+        assert!(outer_depth >= 8, "outer depth = {outer_depth}");
+    }
+}

@@ -1,0 +1,249 @@
+//! The three plain-gradient-descent regressions: Linear, Polynomial, and
+//! Multivariate (paper §7).
+//!
+//! All three iterate a short body (multiplicative depth ≈ 3) whose weights
+//! start as *plaintext zeros* — so the first iteration is peeled for
+//! status matching, leaving `K − 1` in-loop iterations (visible in
+//! Table 5's counts: 2·39, 3·39, 9·39 head bootstraps for the
+//! type-matched configuration at 40 iterations). Their shallow bodies are
+//! exactly what level-aware unrolling (§6.2) exploits.
+
+use halo_ir::op::TripCount;
+use halo_ir::{Function, FunctionBuilder};
+use halo_runtime::Inputs;
+
+use crate::bench::{mean_all, BenchSpec, MlBenchmark};
+use crate::data;
+
+/// Gradient-descent learning rate shared by the regressions.
+const LR: f64 = 0.25;
+
+/// Linear regression: `y ≈ w·x + b`, 2 loop-carried variables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Linear;
+
+impl MlBenchmark for Linear {
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
+    fn loop_depth(&self) -> usize {
+        1
+    }
+
+    fn carried_vars(&self) -> Vec<usize> {
+        vec![2]
+    }
+
+    fn trace(&self, spec: &BenchSpec, trips: &[TripCount]) -> Function {
+        assert_eq!(trips.len(), 1);
+        let n = spec.num_elems;
+        let mut b = FunctionBuilder::new("linear_regression", spec.slots);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let w0 = b.const_splat(0.0);
+        let b0 = b.const_splat(0.0);
+        let r = b.for_loop(trips[0].clone(), &[w0, b0], n, |b, args| {
+            let (w, bias) = (args[0], args[1]);
+            let wx = b.mul(w, x);
+            let pred = b.add(wx, bias);
+            let err = b.sub(pred, y);
+            let ex = b.mul(err, x);
+            let gw = mean_all(b, ex, n, n as f64 / LR);
+            let gb = mean_all(b, err, n, n as f64 / LR);
+            let w2 = b.sub(w, gw);
+            let b2 = b.sub(bias, gb);
+            vec![w2, b2]
+        });
+        b.ret(&r);
+        b.finish()
+    }
+
+    fn inputs(&self, spec: &BenchSpec) -> Inputs {
+        let (x, y) = data::linear_data(spec.num_elems, 0.7, 0.1, spec.seed);
+        Inputs::new().cipher("x", x).cipher("y", y)
+    }
+}
+
+/// Polynomial regression: `y ≈ w₂x² + w₁x + b`, 3 loop-carried variables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Polynomial;
+
+impl MlBenchmark for Polynomial {
+    fn name(&self) -> &'static str {
+        "Polynomial"
+    }
+
+    fn loop_depth(&self) -> usize {
+        1
+    }
+
+    fn carried_vars(&self) -> Vec<usize> {
+        vec![3]
+    }
+
+    fn trace(&self, spec: &BenchSpec, trips: &[TripCount]) -> Function {
+        assert_eq!(trips.len(), 1);
+        let n = spec.num_elems;
+        let mut b = FunctionBuilder::new("polynomial_regression", spec.slots);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let x2 = b.mul(x, x); // hoisted feature, computed once outside
+        let w2_0 = b.const_splat(0.0);
+        let w1_0 = b.const_splat(0.0);
+        let b0 = b.const_splat(0.0);
+        let r = b.for_loop(trips[0].clone(), &[w2_0, w1_0, b0], n, |b, args| {
+            let (w2, w1, bias) = (args[0], args[1], args[2]);
+            let t2 = b.mul(w2, x2);
+            let t1 = b.mul(w1, x);
+            let s = b.add(t2, t1);
+            let pred = b.add(s, bias);
+            let err = b.sub(pred, y);
+            let e2 = b.mul(err, x2);
+            let e1 = b.mul(err, x);
+            let g2 = mean_all(b, e2, n, n as f64 / LR);
+            let g1 = mean_all(b, e1, n, n as f64 / LR);
+            let gb = mean_all(b, err, n, n as f64 / LR);
+            let w2n = b.sub(w2, g2);
+            let w1n = b.sub(w1, g1);
+            let bn = b.sub(bias, gb);
+            vec![w2n, w1n, bn]
+        });
+        b.ret(&r);
+        b.finish()
+    }
+
+    fn inputs(&self, spec: &BenchSpec) -> Inputs {
+        let (x, y) = data::polynomial_data(spec.num_elems, [0.1, -0.4, 0.6], spec.seed);
+        Inputs::new().cipher("x", x).cipher("y", y)
+    }
+}
+
+/// Multivariate regression over 8 features + bias: 9 loop-carried
+/// variables — the paper's packing stress case (Table 5: 351 → 39
+/// bootstraps from packing alone).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Multivariate;
+
+/// Feature count (8 weights + 1 bias = 9 carried variables).
+pub const MULTI_FEATURES: usize = 8;
+
+impl MlBenchmark for Multivariate {
+    fn name(&self) -> &'static str {
+        "Multivariate"
+    }
+
+    fn loop_depth(&self) -> usize {
+        1
+    }
+
+    fn carried_vars(&self) -> Vec<usize> {
+        vec![MULTI_FEATURES + 1]
+    }
+
+    fn trace(&self, spec: &BenchSpec, trips: &[TripCount]) -> Function {
+        assert_eq!(trips.len(), 1);
+        let n = spec.num_elems;
+        let mut b = FunctionBuilder::new("multivariate_regression", spec.slots);
+        let xs: Vec<_> = (0..MULTI_FEATURES)
+            .map(|i| b.input_cipher(format!("x{i}")))
+            .collect();
+        let y = b.input_cipher("y");
+        let inits: Vec<_> = (0..=MULTI_FEATURES).map(|_| b.const_splat(0.0)).collect();
+        let r = b.for_loop(trips[0].clone(), &inits, n, |b, args| {
+            let bias = args[MULTI_FEATURES];
+            let mut pred = bias;
+            for (i, &xi) in xs.iter().enumerate() {
+                let t = b.mul(args[i], xi);
+                pred = b.add(pred, t);
+            }
+            let err = b.sub(pred, y);
+            let mut out = Vec::with_capacity(MULTI_FEATURES + 1);
+            for (i, &xi) in xs.iter().enumerate() {
+                let e = b.mul(err, xi);
+                let g = mean_all(b, e, n, n as f64 / LR);
+                out.push(b.sub(args[i], g));
+            }
+            let gb = mean_all(b, err, n, n as f64 / LR);
+            out.push(b.sub(bias, gb));
+            out
+        });
+        b.ret(&r);
+        b.finish()
+    }
+
+    fn inputs(&self, spec: &BenchSpec) -> Inputs {
+        let (xs, y) = data::multivariate_data(spec.num_elems, MULTI_FEATURES, spec.seed);
+        let mut inputs = Inputs::new().cipher("y", y);
+        for (i, x) in xs.into_iter().enumerate() {
+            inputs = inputs.cipher(format!("x{i}"), x);
+        }
+        inputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ir::analysis::max_mult_depth;
+    use halo_runtime::reference_run;
+
+    fn converged_weights(bench: &dyn MlBenchmark, iters: u64) -> Vec<Vec<f64>> {
+        let spec = BenchSpec { slots: 256, num_elems: 256, seed: 1 };
+        let f = bench.trace_dynamic(&spec);
+        let inputs = bench.inputs(&spec).env("iters", iters);
+        reference_run(&f, &inputs, spec.slots).unwrap()
+    }
+
+    #[test]
+    fn linear_converges_to_ground_truth() {
+        let out = converged_weights(&Linear, 60);
+        let (w, b) = (out[0][0], out[1][0]);
+        assert!((w - 0.7).abs() < 0.05, "w = {w}");
+        assert!((b - 0.1).abs() < 0.05, "b = {b}");
+    }
+
+    #[test]
+    fn polynomial_fit_predicts_the_data() {
+        // x² and the constant are correlated features (E[x²] = 1/3), so
+        // coefficient identification is slow — but the *fit* converges
+        // quickly. Judge by prediction RMSE against the noiseless model.
+        let out = converged_weights(&Polynomial, 400);
+        let (w2, w1, b) = (out[0][0], out[1][0], out[2][0]);
+        let mut worst: f64 = 0.0;
+        for i in 0..=20 {
+            let x = -1.0 + 0.1 * f64::from(i);
+            let pred = w2 * x * x + w1 * x + b;
+            // Data model: c = [c₀, c₁, c₂] = [0.1, −0.4, 0.6].
+            let want = 0.6 * x * x - 0.4 * x + 0.1;
+            worst = worst.max((pred - want).abs());
+        }
+        assert!(worst < 0.05, "max fit error = {worst} (w2={w2}, w1={w1}, b={b})");
+    }
+
+    #[test]
+    fn multivariate_converges_on_all_weights() {
+        let out = converged_weights(&Multivariate, 120);
+        for (i, o) in out.iter().take(MULTI_FEATURES).enumerate() {
+            let want = 0.3 + 0.1 * i as f64;
+            assert!((o[0] - want).abs() < 0.06, "w{i} = {} want {want}", o[0]);
+        }
+        assert!((out[MULTI_FEATURES][0] - 0.2).abs() < 0.06);
+    }
+
+    #[test]
+    fn regression_bodies_are_shallow() {
+        // The paper's unrolling case: short bodies (§6.2).
+        let spec = BenchSpec::test_small();
+        for bench in [&Linear as &dyn MlBenchmark, &Polynomial, &Multivariate] {
+            let f = bench.trace_dynamic(&spec);
+            let body = f.for_body(f.loops_in_block(f.entry)[0]);
+            let depth = max_mult_depth(&f, body);
+            assert!(
+                (2..=4).contains(&depth),
+                "{}: depth = {depth}",
+                bench.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Linear SVM via Pegasos-style subgradient descent (paper §7): 3
+//! loop-carried variables (weight, bias, averaged weight) and a composite
+//! `sign` for the hinge-violation indicator.
+
+use halo_ir::op::TripCount;
+use halo_ir::{Function, FunctionBuilder};
+use halo_runtime::Inputs;
+
+use crate::approx::sign::step_approx;
+use crate::bench::{mean_all, BenchSpec, MlBenchmark};
+use crate::data;
+
+/// Learning rate.
+const LR: f64 = 0.5;
+/// L2 regularization factor applied per step (`w ← (1−λ)·w + …`).
+const DECAY: f64 = 0.02;
+/// Averaging rate for the Polyak-averaged weight.
+const AVG: f64 = 0.125;
+/// Margin scaling so `1 − y·f(x)` fits the sign approximation's domain.
+const MARGIN_SCALE: f64 = 0.25;
+
+/// Linear SVM on 1-D data with labels `±1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Svm;
+
+impl MlBenchmark for Svm {
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+
+    fn loop_depth(&self) -> usize {
+        1
+    }
+
+    fn carried_vars(&self) -> Vec<usize> {
+        vec![3]
+    }
+
+    fn approx_functions(&self) -> &'static str {
+        "sign"
+    }
+
+    fn trace(&self, spec: &BenchSpec, trips: &[TripCount]) -> Function {
+        assert_eq!(trips.len(), 1);
+        let n = spec.num_elems;
+        let mut b = FunctionBuilder::new("svm", spec.slots);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        // Encrypted warm-start weights: all three carried variables are
+        // ciphertexts from iteration one (no peeling; paper's ×40 SVM
+        // count structure).
+        let w0 = b.input_cipher("w0");
+        let b0 = b.input_cipher("b0");
+        let wa0 = b.input_cipher("wavg0");
+        let yx = b.mul(y, x); // hoisted: y·x computed once outside
+        let r = b.for_loop(trips[0].clone(), &[w0, b0, wa0], n, |b, args| {
+            let (w, bias, wavg) = (args[0], args[1], args[2]);
+            // Margin m = y·(w·x + b); violation if m < 1.
+            let wx = b.mul(w, x);
+            let f = b.add(wx, bias);
+            let m = b.mul(y, f);
+            let one = b.const_splat(1.0);
+            let viol_raw = b.sub(one, m);
+            let scale = b.const_splat(MARGIN_SCALE);
+            let viol_scaled = b.mul(viol_raw, scale);
+            let ind = step_approx(b, viol_scaled);
+            // Subgradient over violators.
+            let gyx = b.mul(ind, yx);
+            let gw = mean_all(b, gyx, n, n as f64 / LR);
+            let gy = b.mul(ind, y);
+            let gb = mean_all(b, gy, n, n as f64 / LR);
+            // w ← (1−λ)w + gw;  b ← b + gb.
+            let keep = b.const_splat(1.0 - DECAY);
+            let wk = b.mul(w, keep);
+            let w2 = b.add(wk, gw);
+            let b2 = b.add(bias, gb);
+            // Polyak average: wavg ← (1−β)·wavg + β·w₂.
+            let beta = b.const_splat(AVG);
+            let keep_avg = b.const_splat(1.0 - AVG);
+            let wa_keep = b.mul(wavg, keep_avg);
+            let wa_new = b.mul(w2, beta);
+            let wa2 = b.add(wa_keep, wa_new);
+            vec![w2, b2, wa2]
+        });
+        b.ret(&r);
+        b.finish()
+    }
+
+    fn inputs(&self, spec: &BenchSpec) -> Inputs {
+        let (x, y) = data::svm_data(spec.num_elems, 0.1, spec.seed);
+        Inputs::new()
+            .cipher("x", x)
+            .cipher("y", y)
+            .cipher("w0", vec![0.1])
+            .cipher("b0", vec![0.0])
+            .cipher("wavg0", vec![0.1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ir::analysis::max_mult_depth;
+    use halo_runtime::reference_run;
+
+    #[test]
+    fn learns_a_separating_boundary() {
+        let spec = BenchSpec { slots: 512, num_elems: 512, seed: 9 };
+        let f = Svm.trace_dynamic(&spec);
+        let inputs = Svm.inputs(&spec).env("iters", 40);
+        let out = reference_run(&f, &inputs, spec.slots).unwrap();
+        let (w, bias) = (out[0][0], out[1][0]);
+        // Boundary at x = 0.1: classifier sign(w·x + b) must match labels.
+        let (xv, yv) = data::svm_data(spec.num_elems, 0.1, spec.seed);
+        let correct = xv
+            .iter()
+            .zip(&yv)
+            .filter(|(&xi, &yi)| ((w * xi + bias) >= 0.0) == (yi > 0.0))
+            .count();
+        let acc = correct as f64 / xv.len() as f64;
+        assert!(acc > 0.9, "accuracy = {acc}, w = {w}, b = {bias}");
+        // The averaged weight tracks w.
+        let wavg = out[2][0];
+        assert!((wavg - w).abs() < 0.5 * w.abs() + 0.2, "wavg = {wavg}, w = {w}");
+    }
+
+    #[test]
+    fn body_depth_forces_one_in_body_bootstrap() {
+        let spec = BenchSpec::test_small();
+        let f = Svm.trace_dynamic(&spec);
+        let body = f.for_body(f.loops_in_block(f.entry)[0]);
+        let depth = max_mult_depth(&f, body);
+        assert!(
+            (17..=24).contains(&depth),
+            "depth = {depth}: just past one budget, like the paper's SVM"
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Deterministic dataset generation for the benchmarks.
+//!
+//! The paper uses 4096 randomly generated inputs for the regressions,
+//! random clusters for K-means/SVM, the iris dataset for PCA, and the
+//! breast-cancer dataset for logistic regression (§7). All generators here
+//! are seeded (runs are reproducible); the UCI datasets are replaced by
+//! statistically matched synthetic equivalents (see `DESIGN.md` §4) —
+//! `iris_like` samples three 4-dimensional Gaussian clusters centered on
+//! the iris class means.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Gaussian-ish sample via the sum of uniforms (Irwin–Hall, variance-matched).
+fn gauss(r: &mut StdRng, mean: f64, std: f64) -> f64 {
+    let s: f64 = (0..12).map(|_| r.gen_range(0.0..1.0)).sum::<f64>() - 6.0;
+    mean + std * s
+}
+
+/// `n` samples of `y = slope·x + intercept + noise`, `x ∈ [−1, 1]`.
+#[must_use]
+pub fn linear_data(n: usize, slope: f64, intercept: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut r = rng(seed);
+    let x: Vec<f64> = (0..n).map(|_| r.gen_range(-1.0..1.0)).collect();
+    let y = x
+        .iter()
+        .map(|&xi| slope * xi + intercept + gauss(&mut r, 0.0, 0.02))
+        .collect();
+    (x, y)
+}
+
+/// `n` samples of `y = c₂x² + c₁x + c₀ + noise`, `x ∈ [−1, 1]`.
+#[must_use]
+pub fn polynomial_data(n: usize, c: [f64; 3], seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut r = rng(seed);
+    let x: Vec<f64> = (0..n).map(|_| r.gen_range(-1.0..1.0)).collect();
+    let y = x
+        .iter()
+        .map(|&xi| c[2] * xi * xi + c[1] * xi + c[0] + gauss(&mut r, 0.0, 0.02))
+        .collect();
+    (x, y)
+}
+
+/// `n` samples over `k` features in `[−1, 1]` with a ground-truth linear
+/// model; returns `(features[k][n], y)`.
+#[must_use]
+pub fn multivariate_data(n: usize, k: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut r = rng(seed);
+    let weights: Vec<f64> = (0..k).map(|i| 0.3 + 0.1 * i as f64).collect();
+    let xs: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..n).map(|_| r.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let y: Vec<f64> = (0..n)
+        .map(|s| {
+            let dot: f64 = (0..k).map(|f| weights[f] * xs[f][s]).sum();
+            dot + 0.2 + gauss(&mut r, 0.0, 0.02)
+        })
+        .collect();
+    (xs, y)
+}
+
+/// Binary classification: `x ∈ [−1, 1]`, labels from a logistic model
+/// with the given slope. Returns `(x, y ∈ {0, 1})`.
+#[must_use]
+pub fn classification_data(n: usize, slope: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut r = rng(seed);
+    let x: Vec<f64> = (0..n).map(|_| r.gen_range(-1.0..1.0)).collect();
+    let y = x
+        .iter()
+        .map(|&xi| {
+            let p = 1.0 / (1.0 + (-slope * xi).exp());
+            if r.gen_range(0.0..1.0) < p {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    (x, y)
+}
+
+/// Two 1-D clusters in `[0, 1]` around the given centers.
+#[must_use]
+pub fn cluster_data(n: usize, centers: [f64; 2], spread: f64, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|i| {
+            let c = centers[i % 2];
+            (c + gauss(&mut r, 0.0, spread)).clamp(0.0, 1.0)
+        })
+        .collect()
+}
+
+/// Linearly separable-ish SVM data: `(x ∈ [−1, 1], y ∈ {−1, +1})` with a
+/// boundary at `boundary`.
+#[must_use]
+pub fn svm_data(n: usize, boundary: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut r = rng(seed);
+    let x: Vec<f64> = (0..n).map(|_| r.gen_range(-1.0..1.0)).collect();
+    let y = x
+        .iter()
+        .map(|&xi| {
+            let noisy = xi - boundary + gauss(&mut r, 0.0, 0.05);
+            if noisy >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+        .collect();
+    (x, y)
+}
+
+/// Iris class means (sepal length/width, petal length/width) and within-
+/// class standard deviations — the statistics our synthetic stand-in
+/// matches (see `DESIGN.md` §4, substitution 4).
+const IRIS_MEANS: [[f64; 4]; 3] = [
+    [5.01, 3.43, 1.46, 0.25],
+    [5.94, 2.77, 4.26, 1.33],
+    [6.59, 2.97, 5.55, 2.03],
+];
+const IRIS_STDS: [[f64; 4]; 3] = [
+    [0.35, 0.38, 0.17, 0.11],
+    [0.52, 0.31, 0.47, 0.20],
+    [0.64, 0.32, 0.55, 0.27],
+];
+
+/// `n` iris-like samples (columns = 4 features, scaled into `[0, 1]` by
+/// dividing by 8), cycling through the three classes.
+#[must_use]
+pub fn iris_like(n: usize, seed: u64) -> Vec<[f64; 4]> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|i| {
+            let c = i % 3;
+            let mut s = [0.0; 4];
+            for f in 0..4 {
+                s[f] = (gauss(&mut r, IRIS_MEANS[c][f], IRIS_STDS[c][f]) / 8.0).clamp(0.0, 1.0);
+            }
+            s
+        })
+        .collect()
+}
+
+/// Pads `data` with zeros to `len` (for window-sum layouts that must not
+/// wrap real samples cyclically).
+///
+/// # Panics
+///
+/// Panics if `data` is longer than `len`.
+#[must_use]
+pub fn zero_pad(mut data: Vec<f64>, len: usize) -> Vec<f64> {
+    assert!(data.len() <= len, "{} > {len}", data.len());
+    data.resize(len, 0.0);
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(linear_data(16, 0.7, 0.1, 42), linear_data(16, 0.7, 0.1, 42));
+        assert_ne!(linear_data(16, 0.7, 0.1, 42), linear_data(16, 0.7, 0.1, 43));
+    }
+
+    #[test]
+    fn linear_data_follows_model() {
+        let (x, y) = linear_data(4096, 0.7, 0.1, 1);
+        let mx = x.iter().sum::<f64>() / x.len() as f64;
+        let my = y.iter().sum::<f64>() / y.len() as f64;
+        let cov: f64 = x.iter().zip(&y).map(|(a, b)| (a - mx) * (b - my)).sum();
+        let var: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+        assert!((cov / var - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn classification_labels_are_binary_and_correlated() {
+        let (x, y) = classification_data(2048, 4.0, 7);
+        assert!(y.iter().all(|&v| v == 0.0 || v == 1.0));
+        let pos_mean: f64 =
+            x.iter().zip(&y).filter(|&(_, &l)| l == 1.0).map(|(&a, _)| a).sum::<f64>()
+                / y.iter().filter(|&&l| l == 1.0).count() as f64;
+        let neg_mean: f64 =
+            x.iter().zip(&y).filter(|&(_, &l)| l == 0.0).map(|(&a, _)| a).sum::<f64>()
+                / y.iter().filter(|&&l| l == 0.0).count() as f64;
+        assert!(pos_mean > neg_mean + 0.3);
+    }
+
+    #[test]
+    fn clusters_form_around_centers() {
+        let x = cluster_data(2048, [0.25, 0.75], 0.04, 3);
+        assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let low: Vec<f64> = x.iter().copied().filter(|&v| v < 0.5).collect();
+        let high: Vec<f64> = x.iter().copied().filter(|&v| v >= 0.5).collect();
+        let lm = low.iter().sum::<f64>() / low.len() as f64;
+        let hm = high.iter().sum::<f64>() / high.len() as f64;
+        assert!((lm - 0.25).abs() < 0.05, "{lm}");
+        assert!((hm - 0.75).abs() < 0.05, "{hm}");
+    }
+
+    #[test]
+    fn svm_labels_match_boundary() {
+        let (x, y) = svm_data(1024, 0.1, 5);
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(&xi, &yi)| (xi - 0.1 >= 0.0) == (yi > 0.0))
+            .count();
+        assert!(correct as f64 / x.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn iris_like_is_in_range_and_clustered() {
+        let iris = iris_like(150, 11);
+        assert_eq!(iris.len(), 150);
+        for s in &iris {
+            for &f in s {
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
+        // Petal length (feature 2) separates class 0 from class 2.
+        let c0: f64 = iris.iter().step_by(3).map(|s| s[2]).sum::<f64>() / 50.0;
+        let c2: f64 = iris.iter().skip(2).step_by(3).map(|s| s[2]).sum::<f64>() / 50.0;
+        assert!(c2 > c0 + 0.3);
+    }
+
+    #[test]
+    fn zero_pad_extends_with_zeros() {
+        assert_eq!(zero_pad(vec![1.0, 2.0], 4), vec![1.0, 2.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,21 @@
+//! # halo-ml — machine-learning benchmarks for HALO
+//!
+//! The seven iterative ML workloads of the paper's evaluation (§7,
+//! Table 4), built as traced IR programs over the `halo-ir` frontend, plus
+//! the non-linear approximation machinery they need:
+//!
+//! - [`approx`] — Chebyshev fitting, log-depth (Paterson–Stockmeyer-style)
+//!   polynomial evaluation in both monomial and Chebyshev bases, the
+//!   composite minimax `sign` (degrees {15, 15, 27}, multiplicative depth
+//!   13), the degree-96 `sigmoid`, and the iterative inverse-square-root
+//!   used by PCA's inner loop.
+//! - [`data`] — seeded synthetic datasets plus the embedded iris dataset.
+//! - [`bench`](mod@bench) — the benchmark programs: Linear / Polynomial /
+//!   Multivariate / Logistic regression, K-means, SVM, and the
+//!   nested-loop PCA.
+
+pub mod approx;
+pub mod bench;
+pub mod data;
+
+

@@ -1,0 +1,566 @@
+//! The interpreter: runs a function over a CKKS backend.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use halo_ckks::backend::{Backend, BackendError};
+use halo_ckks::{CostModel, CostedOp};
+use halo_ir::func::{BlockId, Function, ValueId};
+use halo_ir::op::{ConstValue, Opcode};
+use halo_ir::types::{Status, LEVEL_UNSET};
+
+use crate::stats::RunStats;
+
+/// A runtime value: a backend ciphertext or a plaintext slot vector.
+enum RtValue<C> {
+    Ct(C),
+    Pt(Vec<f64>),
+}
+
+impl<C: Clone> Clone for RtValue<C> {
+    fn clone(&self) -> Self {
+        match self {
+            RtValue::Ct(c) => RtValue::Ct(c.clone()),
+            RtValue::Pt(v) => RtValue::Pt(v.clone()),
+        }
+    }
+}
+
+/// Program inputs: named cipher/plain vectors plus the trip-count symbol
+/// environment.
+#[derive(Debug, Clone, Default)]
+pub struct Inputs {
+    cipher: HashMap<String, Vec<f64>>,
+    plain: HashMap<String, Vec<f64>>,
+    env: HashMap<String, u64>,
+}
+
+impl Inputs {
+    /// Empty inputs.
+    #[must_use]
+    pub fn new() -> Inputs {
+        Inputs::default()
+    }
+
+    /// Binds an encrypted input.
+    #[must_use]
+    pub fn cipher(mut self, name: impl Into<String>, values: Vec<f64>) -> Inputs {
+        self.cipher.insert(name.into(), values);
+        self
+    }
+
+    /// Binds a plaintext input.
+    #[must_use]
+    pub fn plain(mut self, name: impl Into<String>, values: Vec<f64>) -> Inputs {
+        self.plain.insert(name.into(), values);
+        self
+    }
+
+    /// Binds a trip-count symbol (e.g. the dynamic iteration count).
+    #[must_use]
+    pub fn env(mut self, sym: impl Into<String>, value: u64) -> Inputs {
+        self.env.insert(sym.into(), value);
+        self
+    }
+
+    /// Read access to the symbol environment.
+    #[must_use]
+    pub fn env_map(&self) -> &HashMap<String, u64> {
+        &self.env
+    }
+
+    /// The bound cipher input named `name`, if any.
+    #[must_use]
+    pub fn cipher_data(&self, name: &str) -> Option<&[f64]> {
+        self.cipher.get(name).map(Vec::as_slice)
+    }
+
+    /// The bound plain input named `name`, if any.
+    #[must_use]
+    pub fn plain_data(&self, name: &str) -> Option<&[f64]> {
+        self.plain.get(name).map(Vec::as_slice)
+    }
+}
+
+/// A finished run: decrypted outputs plus statistics.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Decrypted output slot vectors, in `return` operand order.
+    pub outputs: Vec<Vec<f64>>,
+    /// Execution statistics.
+    pub stats: RunStats,
+}
+
+/// Runtime failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A named input or trip symbol was not provided.
+    MissingInput(String),
+    /// The backend rejected an op (level/scale violation — indicates a
+    /// miscompiled program).
+    Backend(String),
+    /// The program is malformed (should have been caught by the verifier).
+    Malformed(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::MissingInput(n) => write!(f, "missing input or symbol: {n}"),
+            RunError::Backend(m) => write!(f, "backend rejected op: {m}"),
+            RunError::Malformed(m) => write!(f, "malformed program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<BackendError> for RunError {
+    fn from(e: BackendError) -> RunError {
+        RunError::Backend(e.message)
+    }
+}
+
+/// The interpreter. Borrows a backend; create one per program run or reuse
+/// across runs (keys and noise state persist in the backend).
+pub struct Executor<'b, B: Backend> {
+    backend: &'b mut B,
+    cost: CostModel,
+}
+
+impl<'b, B: Backend> Executor<'b, B> {
+    /// Wraps a backend.
+    pub fn new(backend: &'b mut B) -> Executor<'b, B> {
+        Executor { backend, cost: CostModel::new() }
+    }
+
+    /// Runs `f` with the given inputs.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`].
+    pub fn run(&mut self, f: &Function, inputs: &Inputs) -> Result<RunOutput, RunError> {
+        let mut values: HashMap<ValueId, RtValue<B::Ct>> = HashMap::new();
+        let mut stats = RunStats::default();
+        self.run_block(f, f.entry, inputs, &mut values, &mut stats)?;
+
+        let term = f
+            .terminator(f.entry)
+            .ok_or_else(|| RunError::Malformed("missing return".into()))?;
+        let mut outputs = Vec::new();
+        for &v in &f.op(term).operands {
+            match values.get(&v) {
+                Some(RtValue::Ct(c)) => outputs.push(self.backend.decrypt(c)?),
+                Some(RtValue::Pt(p)) => outputs.push(p.clone()),
+                None => return Err(RunError::Malformed(format!("output {v} never computed"))),
+            }
+        }
+        Ok(RunOutput { outputs, stats })
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_block(
+        &mut self,
+        f: &Function,
+        block: BlockId,
+        inputs: &Inputs,
+        values: &mut HashMap<ValueId, RtValue<B::Ct>>,
+        stats: &mut RunStats,
+    ) -> Result<(), RunError> {
+        let slots = self.backend.params().slots();
+        for &op_id in &f.block(block).ops {
+            let op = f.op(op_id);
+            let mnemonic = op.opcode.mnemonic();
+            match &op.opcode {
+                Opcode::Input { name } => {
+                    let r = op.results[0];
+                    let rt = if f.ty(r).status == Status::Cipher {
+                        let data = inputs
+                            .cipher
+                            .get(name)
+                            .ok_or_else(|| RunError::MissingInput(name.clone()))?;
+                        let level = match f.ty(r).level {
+                            LEVEL_UNSET => self.backend.params().max_level,
+                            l => l,
+                        };
+                        RtValue::Ct(self.backend.encrypt(data, level)?)
+                    } else {
+                        let data = inputs
+                            .plain
+                            .get(name)
+                            .ok_or_else(|| RunError::MissingInput(name.clone()))?;
+                        RtValue::Pt(expand(data, slots))
+                    };
+                    values.insert(r, rt);
+                }
+                Opcode::Const(c) => {
+                    let data = match c {
+                        ConstValue::Splat(x) => vec![*x; slots],
+                        ConstValue::Vector(v) => expand(v, slots),
+                        ConstValue::Mask { lo, hi } => (0..slots)
+                            .map(|i| if i >= *lo && i < *hi { 1.0 } else { 0.0 })
+                            .collect(),
+                    };
+                    stats.record(mnemonic, self.cost.latency_us(CostedOp::Encode), false);
+                    values.insert(op.results[0], RtValue::Pt(data));
+                }
+                Opcode::AddCC | Opcode::SubCC | Opcode::MultCC => {
+                    let sub = matches!(op.opcode, Opcode::SubCC);
+                    let mult = matches!(op.opcode, Opcode::MultCC);
+                    let a = values
+                        .get(&op.operands[0])
+                        .ok_or_else(|| missing(op.operands[0]))?
+                        .clone();
+                    let b = values
+                        .get(&op.operands[1])
+                        .ok_or_else(|| missing(op.operands[1]))?
+                        .clone();
+                    let rt = match (a, b) {
+                        (RtValue::Ct(x), RtValue::Ct(y)) => {
+                            let level = self.backend.level(&x);
+                            let r = if mult {
+                                stats.record(
+                                    mnemonic,
+                                    self.cost.latency_us(CostedOp::MultCC { level }),
+                                    false,
+                                );
+                                self.backend.mult(&x, &y)?
+                            } else {
+                                stats.record(
+                                    mnemonic,
+                                    self.cost.latency_us(CostedOp::AddCC { level }),
+                                    false,
+                                );
+                                if sub {
+                                    self.backend.sub(&x, &y)?
+                                } else {
+                                    self.backend.add(&x, &y)?
+                                }
+                            };
+                            RtValue::Ct(r)
+                        }
+                        (RtValue::Pt(x), RtValue::Pt(y)) => {
+                            // Plain–plain arithmetic folds at runtime.
+                            let r: Vec<f64> = x
+                                .iter()
+                                .zip(&y)
+                                .map(|(a, b)| {
+                                    if mult {
+                                        a * b
+                                    } else if sub {
+                                        a - b
+                                    } else {
+                                        a + b
+                                    }
+                                })
+                                .collect();
+                            RtValue::Pt(r)
+                        }
+                        _ => {
+                            return Err(RunError::Malformed(format!(
+                                "{mnemonic} with mixed plain/cipher operands"
+                            )))
+                        }
+                    };
+                    values.insert(op.results[0], rt);
+                }
+                Opcode::AddCP | Opcode::SubCP | Opcode::MultCP => {
+                    let RtValue::Ct(x) = values
+                        .get(&op.operands[0])
+                        .ok_or_else(|| missing(op.operands[0]))?
+                        .clone()
+                    else {
+                        return Err(RunError::Malformed(format!("{mnemonic} cipher operand is plain")));
+                    };
+                    let RtValue::Pt(p) = values
+                        .get(&op.operands[1])
+                        .ok_or_else(|| missing(op.operands[1]))?
+                        .clone()
+                    else {
+                        return Err(RunError::Malformed(format!("{mnemonic} plain operand is cipher")));
+                    };
+                    let level = self.backend.level(&x);
+                    let (r, us) = match op.opcode {
+                        Opcode::AddCP => (
+                            self.backend.add_plain(&x, &p)?,
+                            self.cost.latency_us(CostedOp::AddCP { level }),
+                        ),
+                        Opcode::SubCP => (
+                            self.backend.sub_plain(&x, &p)?,
+                            self.cost.latency_us(CostedOp::AddCP { level }),
+                        ),
+                        _ => (
+                            self.backend.mult_plain(&x, &p)?,
+                            self.cost.latency_us(CostedOp::MultCP { level }),
+                        ),
+                    };
+                    stats.record(mnemonic, us, false);
+                    values.insert(op.results[0], RtValue::Ct(r));
+                }
+                Opcode::Negate => {
+                    let rt = match values
+                        .get(&op.operands[0])
+                        .ok_or_else(|| missing(op.operands[0]))?
+                        .clone()
+                    {
+                        RtValue::Ct(x) => {
+                            let level = self.backend.level(&x);
+                            stats.record(
+                                mnemonic,
+                                self.cost.latency_us(CostedOp::Negate { level }),
+                                false,
+                            );
+                            RtValue::Ct(self.backend.negate(&x)?)
+                        }
+                        RtValue::Pt(v) => RtValue::Pt(v.iter().map(|x| -x).collect()),
+                    };
+                    values.insert(op.results[0], rt);
+                }
+                Opcode::Rotate { offset } => {
+                    let rt = match values
+                        .get(&op.operands[0])
+                        .ok_or_else(|| missing(op.operands[0]))?
+                        .clone()
+                    {
+                        RtValue::Ct(x) => {
+                            let level = self.backend.level(&x);
+                            stats.record(
+                                mnemonic,
+                                self.cost.latency_us(CostedOp::Rotate { level }),
+                                false,
+                            );
+                            RtValue::Ct(self.backend.rotate(&x, *offset)?)
+                        }
+                        RtValue::Pt(v) => {
+                            let n = v.len() as i64;
+                            let s = offset.rem_euclid(n) as usize;
+                            RtValue::Pt((0..v.len()).map(|i| v[(i + s) % v.len()]).collect())
+                        }
+                    };
+                    values.insert(op.results[0], rt);
+                }
+                Opcode::Rescale => {
+                    let RtValue::Ct(x) = values
+                        .get(&op.operands[0])
+                        .ok_or_else(|| missing(op.operands[0]))?
+                        .clone()
+                    else {
+                        return Err(RunError::Malformed("rescale of plaintext".into()));
+                    };
+                    let level = self.backend.level(&x);
+                    stats.record(mnemonic, self.cost.latency_us(CostedOp::Rescale { level }), false);
+                    values.insert(op.results[0], RtValue::Ct(self.backend.rescale(&x)?));
+                }
+                Opcode::ModSwitch { down } => {
+                    let RtValue::Ct(x) = values
+                        .get(&op.operands[0])
+                        .ok_or_else(|| missing(op.operands[0]))?
+                        .clone()
+                    else {
+                        return Err(RunError::Malformed("modswitch of plaintext".into()));
+                    };
+                    let level = self.backend.level(&x);
+                    stats.record(mnemonic, self.cost.modswitch_chain_us(level, *down), false);
+                    values.insert(op.results[0], RtValue::Ct(self.backend.modswitch(&x, *down)?));
+                }
+                Opcode::Bootstrap { target } => {
+                    let RtValue::Ct(x) = values
+                        .get(&op.operands[0])
+                        .ok_or_else(|| missing(op.operands[0]))?
+                        .clone()
+                    else {
+                        return Err(RunError::Malformed("bootstrap of plaintext".into()));
+                    };
+                    stats.record(
+                        mnemonic,
+                        self.cost.latency_us(CostedOp::Bootstrap { target: *target }),
+                        true,
+                    );
+                    values.insert(op.results[0], RtValue::Ct(self.backend.bootstrap(&x, *target)?));
+                }
+                Opcode::For { trip, body, .. } => {
+                    let n = trip.eval(&inputs.env).map_err(RunError::MissingInput)?;
+                    let args = f.block(*body).args.clone();
+                    // Bind carried values to the inits.
+                    let mut carried: Vec<RtValue<B::Ct>> = op
+                        .operands
+                        .iter()
+                        .map(|v| values.get(v).cloned().ok_or_else(|| missing(*v)))
+                        .collect::<Result<_, _>>()?;
+                    for _ in 0..n {
+                        for (&a, c) in args.iter().zip(&carried) {
+                            values.insert(a, c.clone());
+                        }
+                        self.run_block(f, *body, inputs, values, stats)?;
+                        let term = f
+                            .terminator(*body)
+                            .ok_or_else(|| RunError::Malformed("loop body missing yield".into()))?;
+                        carried = f
+                            .op(term)
+                            .operands
+                            .iter()
+                            .map(|v| values.get(v).cloned().ok_or_else(|| missing(*v)))
+                            .collect::<Result<_, _>>()?;
+                    }
+                    for (&r, c) in op.results.iter().zip(carried) {
+                        values.insert(r, c);
+                    }
+                }
+                Opcode::Encrypt => {
+                    let RtValue::Pt(v) = values
+                        .get(&op.operands[0])
+                        .ok_or_else(|| missing(op.operands[0]))?
+                        .clone()
+                    else {
+                        return Err(RunError::Malformed("encrypt of a ciphertext".into()));
+                    };
+                    let level = match f.ty(op.results[0]).level {
+                        LEVEL_UNSET => self.backend.params().max_level,
+                        l => l,
+                    };
+                    stats.record(mnemonic, self.cost.latency_us(CostedOp::Encode), false);
+                    values.insert(op.results[0], RtValue::Ct(self.backend.encrypt(&v, level)?));
+                }
+                Opcode::Yield | Opcode::Return => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+fn missing(v: ValueId) -> RunError {
+    RunError::Malformed(format!("value {v} used before computed"))
+}
+
+fn expand(data: &[f64], slots: usize) -> Vec<f64> {
+    if data.is_empty() {
+        return vec![0.0; slots];
+    }
+    (0..slots).map(|i| data[i % data.len()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ckks::{CkksParams, SimBackend};
+    use halo_ir::op::TripCount;
+    use halo_ir::FunctionBuilder;
+
+    fn exact_backend() -> SimBackend {
+        SimBackend::exact(CkksParams::test_small())
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut b = FunctionBuilder::new("t", 32);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let k = b.const_splat(10.0);
+        let s = b.add(x, y);
+        let m = b.mul(s, k);
+        b.ret(&[m]);
+        let f = b.finish();
+        let mut be = exact_backend();
+        let out = Executor::new(&mut be)
+            .run(&f, &Inputs::new().cipher("x", vec![2.0]).cipher("y", vec![3.0]))
+            .unwrap();
+        assert_eq!(out.outputs[0][0], 50.0);
+        assert_eq!(out.stats.op_counts["addcc"], 1);
+        assert_eq!(out.stats.op_counts["multcp"], 1);
+        assert!(out.stats.total_us > 0.0);
+    }
+
+    #[test]
+    fn dynamic_loop_runs_env_iterations() {
+        // w ← w + x, n times ⇒ w = n·x.
+        let mut b = FunctionBuilder::new("t", 32);
+        let x = b.input_cipher("x");
+        let w0 = b.input_cipher("w0");
+        let r = b.for_loop(TripCount::dynamic("n"), &[w0], 4, |b, a| {
+            vec![b.add(a[0], x)]
+        });
+        b.ret(&r);
+        let f = b.finish();
+        for n in [0u64, 1, 7] {
+            let mut be = exact_backend();
+            let out = Executor::new(&mut be)
+                .run(
+                    &f,
+                    &Inputs::new()
+                        .cipher("x", vec![2.0])
+                        .cipher("w0", vec![1.0])
+                        .env("n", n),
+                )
+                .unwrap();
+            assert_eq!(out.outputs[0][0], 1.0 + 2.0 * n as f64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn missing_symbol_is_reported() {
+        let mut b = FunctionBuilder::new("t", 32);
+        let w0 = b.input_cipher("w0");
+        let r = b.for_loop(TripCount::dynamic("iters"), &[w0], 4, |b, a| {
+            vec![b.add(a[0], a[0])]
+        });
+        b.ret(&r);
+        let f = b.finish();
+        let mut be = exact_backend();
+        let err = Executor::new(&mut be)
+            .run(&f, &Inputs::new().cipher("w0", vec![1.0]))
+            .unwrap_err();
+        assert_eq!(err, RunError::MissingInput("iters".into()));
+    }
+
+    #[test]
+    fn plain_plain_arithmetic_folds() {
+        let mut b = FunctionBuilder::new("t", 32);
+        let p = b.const_splat(3.0);
+        let q = b.const_vector(vec![1.0, 2.0]);
+        let m = b.mul(p, q);
+        let x = b.input_cipher("x");
+        let r = b.add(x, m);
+        b.ret(&[r]);
+        let f = b.finish();
+        let mut be = exact_backend();
+        let out = Executor::new(&mut be)
+            .run(&f, &Inputs::new().cipher("x", vec![0.0]))
+            .unwrap();
+        assert_eq!(out.outputs[0][0], 3.0);
+        assert_eq!(out.outputs[0][1], 6.0);
+        assert_eq!(out.outputs[0][2], 3.0, "vector constant repeats cyclically");
+    }
+
+    #[test]
+    fn compiled_program_executes_with_level_ops_counted() {
+        use halo_core::{compile, CompileOptions, CompilerConfig};
+        let mut b = FunctionBuilder::new("t", 32);
+        let x = b.input_cipher("x");
+        let w0 = b.input_cipher("w0");
+        let r = b.for_loop(TripCount::dynamic("n"), &[w0], 4, |b, a| {
+            let p = b.mul(a[0], x);
+            vec![p]
+        });
+        b.ret(&r);
+        let src = b.finish();
+        let mut opts = CompileOptions::new(CkksParams::test_small());
+        opts.params.poly_degree = 64;
+        let compiled = compile(&src, CompilerConfig::TypeMatched, &opts).unwrap();
+        let mut be = exact_backend();
+        let out = Executor::new(&mut be)
+            .run(
+                &compiled.function,
+                &Inputs::new()
+                    .cipher("x", vec![2.0])
+                    .cipher("w0", vec![1.0])
+                    .env("n", 5),
+            )
+            .unwrap();
+        assert_eq!(out.outputs[0][0], 32.0, "w = 2^5");
+        // One head bootstrap per iteration.
+        assert_eq!(out.stats.bootstrap_count, 5);
+        assert!(out.stats.bootstrap_us > 0.5 * out.stats.total_us);
+        assert!(out.stats.op_counts.contains_key("rescale"));
+        assert!(out.stats.op_counts.contains_key("modswitch"));
+    }
+}

@@ -1,0 +1,18 @@
+//! # halo-runtime — executing compiled HALO programs
+//!
+//! - [`exec`] — the interpreter: runs a (typed or traced) function over any
+//!   [`halo_ckks::Backend`], resolving dynamic trip counts from a symbol
+//!   environment and accounting modeled latency per executed op.
+//! - [`reference`](mod@reference) — an exact plaintext executor for the traced source
+//!   program, used as ground truth for RMSE measurements (Table 4).
+//! - [`stats`] — per-run op counts, bootstrap counts (Tables 5 and 8), and
+//!   modeled latency split into bootstrap vs other (Figure 4's hatched
+//!   bars).
+
+pub mod exec;
+pub mod reference;
+pub mod stats;
+
+pub use exec::{Executor, Inputs, RunError, RunOutput};
+pub use reference::reference_run;
+pub use stats::{rmse, RunStats};

@@ -1,0 +1,91 @@
+//! Run statistics: op counts, bootstrap counts, modeled latency.
+
+use std::collections::BTreeMap;
+
+/// Execution statistics for one program run.
+///
+/// The latency figures come from the calibrated cost model
+/// ([`halo_ckks::CostModel`]), priced per *executed* op at its actual
+/// level — so a loop body op run 40 times is counted 40 times, which is
+/// what the paper's dynamic bootstrap counts (Table 5) and end-to-end
+/// latencies (Figure 4) measure.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Executed op count per mnemonic.
+    pub op_counts: BTreeMap<&'static str, u64>,
+    /// Number of `bootstrap` ops executed (Table 5 / Table 8).
+    pub bootstrap_count: u64,
+    /// Total modeled latency in microseconds.
+    pub total_us: f64,
+    /// Portion of [`RunStats::total_us`] spent in bootstrapping (the
+    /// hatched part of Figure 4's bars).
+    pub bootstrap_us: f64,
+}
+
+impl RunStats {
+    /// Records one executed op.
+    pub fn record(&mut self, mnemonic: &'static str, us: f64, is_bootstrap: bool) {
+        *self.op_counts.entry(mnemonic).or_insert(0) += 1;
+        self.total_us += us;
+        if is_bootstrap {
+            self.bootstrap_count += 1;
+            self.bootstrap_us += us;
+        }
+    }
+
+    /// Total executed ops.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.op_counts.values().sum()
+    }
+
+    /// Modeled latency in seconds.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.total_us / 1e6
+    }
+}
+
+/// Root-mean-square error between two vectors over their common prefix.
+///
+/// # Panics
+///
+/// Panics if either slice is empty.
+#[must_use]
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    assert!(n > 0, "rmse needs non-empty inputs");
+    let sum: f64 = a[..n]
+        .iter()
+        .zip(&b[..n])
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
+    (sum / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = RunStats::default();
+        s.record("multcc", 1000.0, false);
+        s.record("bootstrap", 300_000.0, true);
+        s.record("multcc", 1000.0, false);
+        assert_eq!(s.op_counts["multcc"], 2);
+        assert_eq!(s.bootstrap_count, 1);
+        assert_eq!(s.total_ops(), 3);
+        assert!((s.total_us - 302_000.0).abs() < 1e-9);
+        assert!((s.bootstrap_us - 300_000.0).abs() < 1e-9);
+        assert!((s.total_seconds() - 0.302).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_basics() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+        // Common-prefix semantics.
+        assert_eq!(rmse(&[1.0], &[1.0, 99.0]), 0.0);
+    }
+}

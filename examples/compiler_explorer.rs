@@ -1,0 +1,55 @@
+//! Compiler explorer: print the IR a program goes through at each stage of
+//! the HALO pipeline — the Figure 2 / Figure 3 walkthrough of the paper,
+//! live.
+//!
+//! ```sh
+//! cargo run --example compiler_explorer
+//! ```
+
+use halo_fhe::ckks::CkksParams;
+use halo_fhe::compiler::config::CompileOptions;
+use halo_fhe::compiler::{pack, peel, scale, tune, unroll};
+use halo_fhe::ir::op::TripCount;
+use halo_fhe::ir::print::print;
+use halo_fhe::ir::FunctionBuilder;
+
+fn main() {
+    // The paper's Figure 2 program: y and a loop-carried, a starts plain.
+    let mut b = FunctionBuilder::new("figure2", 32);
+    let x = b.input_cipher("x");
+    let y0 = b.input_cipher("y");
+    let a0 = b.const_splat(1.0);
+    let r = b.for_loop(TripCount::dynamic("k"), &[y0, a0], 4, |b, args| {
+        let x2 = b.mul(x, args[0]);
+        let y2 = b.mul(x2, x2);
+        let a2 = b.add(args[1], y2);
+        vec![y2, a2]
+    });
+    b.ret(&r);
+    let mut f = b.finish();
+
+    println!("===== traced (levels unset, `a` is plain) =====");
+    println!("{}", print(&f));
+
+    let peeled = peel::peel_loops(&mut f);
+    println!("===== after peeling ({peeled} loop) — Solution A-1 =====");
+    println!("{}", print(&f));
+
+    let unrolled = unroll::unroll_loops(&mut f, 16, true);
+    println!("===== after level-aware unrolling ({unrolled} loop) — Solution B-2 =====");
+    println!("{}", print(&f));
+
+    let packed = pack::pack_loops(&mut f);
+    println!("===== after packing ({packed} loop) — Solution B-1 =====");
+    println!("{}", print(&f));
+
+    let opts = CompileOptions::new(CkksParams { poly_degree: 64, ..CkksParams::paper() });
+    scale::assign_levels(&mut f, &opts).expect("levels");
+    println!("===== after type matching + scale management — Solution A-2 =====");
+    println!("{}", print(&f));
+
+    let tuned = tune::tune_bootstrap_targets(&mut f);
+    halo_fhe::compiler::dce::run(&mut f);
+    println!("===== after target-level tuning ({tuned} bootstrap) — Solution B-3 =====");
+    println!("{}", print(&f));
+}

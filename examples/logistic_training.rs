@@ -1,0 +1,60 @@
+//! Privacy-preserving logistic-regression training: the paper's Logistic
+//! benchmark end to end, comparing all five compiler configurations.
+//!
+//! ```sh
+//! cargo run --example logistic_training
+//! ```
+
+use halo_fhe::ckks::{CkksParams, SimBackend};
+use halo_fhe::compiler::{compile, CompileOptions, CompilerConfig};
+use halo_fhe::ml::bench::{BenchSpec, Logistic, MlBenchmark};
+use halo_fhe::runtime::{reference_run, rmse, Executor};
+
+fn main() {
+    let spec = BenchSpec { slots: 1 << 10, num_elems: 256, seed: 7 };
+    let params = CkksParams { poly_degree: spec.slots * 2, ..CkksParams::paper() };
+    let opts = CompileOptions::new(params.clone());
+    let iters = 25u64;
+
+    let traced = Logistic.trace_dynamic(&spec);
+    let inputs = Logistic.inputs(&spec).env("iters", iters);
+    let plain = reference_run(&traced, &inputs, spec.slots).expect("reference");
+    println!(
+        "plaintext training, {iters} iterations: w = {:+.4} (degree-96 sigmoid inside the loop)",
+        plain[0][0]
+    );
+    println!();
+    println!(
+        "{:<18} {:>6} {:>12} {:>12} {:>10}",
+        "configuration", "boots", "modeled (s)", "boot (s)", "RMSE"
+    );
+
+    for config in CompilerConfig::ALL {
+        // DaCapo needs the loop unrolled to a constant trip count.
+        let program = if config == CompilerConfig::DaCapo {
+            Logistic.trace_constant(&spec, &[iters])
+        } else {
+            traced.clone()
+        };
+        let compiled = compile(&program, config, &opts).expect("compiles");
+        let mut backend = SimBackend::new(params.clone());
+        let out = Executor::new(&mut backend)
+            .run(&compiled.function, &inputs)
+            .expect("runs");
+        let err = rmse(&out.outputs[0][..spec.num_elems], &plain[0][..spec.num_elems]);
+        println!(
+            "{:<18} {:>6} {:>12.2} {:>12.2} {:>10.2e}",
+            config.name(),
+            out.stats.bootstrap_count,
+            out.stats.total_seconds(),
+            out.stats.bootstrap_us / 1e6,
+            err
+        );
+    }
+    println!();
+    println!(
+        "HALO's win here comes from bootstrap *target tuning* (§6.3): one \
+         carried variable defeats packing and the deep sigmoid body defeats \
+         unrolling, but the head bootstrap only needs the body's depth."
+    );
+}

@@ -1,0 +1,60 @@
+//! Nested-loop PCA on iris-like data (the paper's §7.4 case study):
+//! an outer power-iteration loop with an inner inverse-square-root loop,
+//! both with dynamic trip counts.
+//!
+//! ```sh
+//! cargo run --example pca_iris
+//! ```
+
+use halo_fhe::ckks::{CkksParams, SimBackend};
+use halo_fhe::compiler::{compile, CompileOptions, CompilerConfig};
+use halo_fhe::ml::bench::pca::{dominant_eigenvector, sample_count};
+use halo_fhe::ml::bench::{BenchSpec, MlBenchmark, Pca};
+use halo_fhe::ml::data;
+use halo_fhe::runtime::Executor;
+
+fn main() {
+    let spec = BenchSpec { slots: 512, num_elems: 128, seed: 11 };
+    let params = CkksParams { poly_degree: spec.slots * 2, ..CkksParams::paper() };
+    let opts = CompileOptions::new(params.clone());
+
+    let traced = Pca.trace_dynamic(&spec);
+    let compiled = compile(&traced, CompilerConfig::Halo, &opts).expect("compiles");
+    println!(
+        "nested loops compiled (outer power iteration × inner invsqrt); \
+         {} static bootstraps",
+        compiled.static_bootstraps
+    );
+
+    let samples = data::iris_like(sample_count(spec.num_elems), spec.seed);
+    let truth = dominant_eigenvector(&samples);
+    println!("plaintext dominant eigenvector: {truth:+.4?}");
+    println!();
+    println!(
+        "{:>14} {:>40} {:>8} {:>9}",
+        "(outer,inner)", "encrypted principal direction", "boots", "cos-sim"
+    );
+
+    for (outer, inner) in [(2u64, 2u64), (4, 4), (8, 4), (8, 8)] {
+        let inputs = Pca.inputs(&spec).env("outer", outer).env("inner", inner);
+        let mut backend = SimBackend::new(params.clone());
+        let out = Executor::new(&mut backend)
+            .run(&compiled.function, &inputs)
+            .expect("runs");
+        let v: Vec<f64> = (0..4).map(|j| out.outputs[0][j * spec.num_elems]).collect();
+        let dot: f64 = v.iter().zip(&truth).map(|(a, b)| a * b).sum();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        println!(
+            "{:>14} {:>40} {:>8} {:>9.5}",
+            format!("({outer},{inner})"),
+            format!("[{:+.3}, {:+.3}, {:+.3}, {:+.3}]", v[0], v[1], v[2], v[3]),
+            out.stats.bootstrap_count,
+            dot.abs() / norm.max(1e-12)
+        );
+    }
+    println!();
+    println!(
+        "more iterations → tighter alignment with the plaintext eigenvector, \
+         all from one compiled program."
+    );
+}

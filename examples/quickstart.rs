@@ -1,0 +1,68 @@
+//! Quickstart: trace an FHE program with a *dynamic-trip-count* loop,
+//! compile it with HALO, and run it under RNS-CKKS simulation.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use halo_fhe::ckks::{CkksParams, SimBackend};
+use halo_fhe::compiler::{compile, CompileOptions, CompilerConfig};
+use halo_fhe::ir::op::TripCount;
+use halo_fhe::ir::FunctionBuilder;
+use halo_fhe::runtime::{Executor, Inputs};
+
+fn main() {
+    // --- 1. Trace the program -------------------------------------------
+    // Gradient descent fitting y ≈ w·x, iterated `iters` times — where
+    // `iters` is a *runtime* value. Full-unrolling FHE compilers cannot
+    // compile this; HALO's type-matched loops can.
+    let slots = 1 << 10;
+    let mut b = FunctionBuilder::new("fit_line", slots);
+    let x = b.input_cipher("x");
+    let y = b.input_cipher("y");
+    let w0 = b.const_splat(0.0); // plaintext init → HALO peels iteration 1
+    let lr_over_n = 0.5 / 256.0;
+    let result = b.for_loop(TripCount::dynamic("iters"), &[w0], 256, |b, args| {
+        let w = args[0];
+        let pred = b.mul(w, x);
+        let err = b.sub(pred, y);
+        let g = b.mul(err, x);
+        let gsum = b.rotate_sum(g, 256);
+        let lr = b.const_splat(lr_over_n);
+        let step = b.mul(gsum, lr);
+        vec![b.sub(w, step)]
+    });
+    b.ret(&result);
+    let traced = b.finish();
+    println!("traced program:\n{}", halo_fhe::ir::print::print(&traced));
+
+    // --- 2. Compile under HALO ------------------------------------------
+    let params = CkksParams { poly_degree: slots * 2, ..CkksParams::paper() };
+    let opts = CompileOptions::new(params.clone());
+    let compiled = compile(&traced, CompilerConfig::Halo, &opts).expect("compiles");
+    println!(
+        "compiled with HALO: peeled {} loop(s), {} static bootstrap(s), {} target(s) tuned",
+        compiled.peeled, compiled.static_bootstraps, compiled.tuned
+    );
+
+    // --- 3. Execute on encrypted data -----------------------------------
+    let xs: Vec<f64> = (0..256).map(|i| -1.0 + 2.0 * f64::from(i) / 255.0).collect();
+    let ys: Vec<f64> = xs.iter().map(|v| 0.8 * v).collect();
+    let mut backend = SimBackend::new(params);
+    for iters in [5u64, 20, 60] {
+        let inputs = Inputs::new()
+            .cipher("x", xs.clone())
+            .cipher("y", ys.clone())
+            .env("iters", iters);
+        let out = Executor::new(&mut backend)
+            .run(&compiled.function, &inputs)
+            .expect("runs");
+        println!(
+            "iters = {iters:>2}: w = {:+.4}  (true 0.8) — {} bootstraps, modeled {:.2} s",
+            out.outputs[0][0],
+            out.stats.bootstrap_count,
+            out.stats.total_seconds()
+        );
+    }
+    println!("same compiled binary served every iteration count — no recompilation.");
+}

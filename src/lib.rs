@@ -1,0 +1,20 @@
+//! # halo-fhe — facade crate for the HALO reproduction
+//!
+//! Re-exports the workspace crates so that examples and integration tests
+//! can address the whole system through one dependency:
+//!
+//! - [`ir`] — the region-based SSA IR and tracing frontend.
+//! - [`ckks`] — the RNS-CKKS substrate (exact toy backend, simulation
+//!   backend, noise and latency cost models).
+//! - [`compiler`] — the HALO passes and the DaCapo baseline.
+//! - [`runtime`] — the interpreter with latency accounting.
+//! - [`ml`] — the seven ML benchmark programs and approximation library.
+//!
+//! See `README.md` for a tour and `examples/quickstart.rs` for a complete
+//! compile-and-run walkthrough.
+
+pub use halo_ckks as ckks;
+pub use halo_core as compiler;
+pub use halo_ir as ir;
+pub use halo_ml as ml;
+pub use halo_runtime as runtime;

@@ -1,0 +1,193 @@
+//! End-to-end integration: trace → compile (all five configurations) →
+//! execute → compare against plaintext reference semantics.
+
+use halo_fhe::compiler::{compile, CompileOptions, CompilerConfig};
+use halo_fhe::ckks::{CkksParams, SimBackend};
+use halo_fhe::ml::bench::{all_benchmarks, flat_benchmarks, BenchSpec, MlBenchmark};
+use halo_fhe::runtime::{reference_run, rmse, Executor, Inputs};
+
+const ITERS: u64 = 6;
+
+fn opts(spec: &BenchSpec) -> CompileOptions {
+    let mut o = CompileOptions::new(CkksParams::paper());
+    o.params.poly_degree = spec.slots * 2;
+    o
+}
+
+fn run_exact(
+    f: &halo_fhe::ir::Function,
+    inputs: &Inputs,
+    spec: &BenchSpec,
+) -> (Vec<Vec<f64>>, halo_fhe::runtime::RunStats) {
+    let mut be = SimBackend::exact(CkksParams {
+        poly_degree: spec.slots * 2,
+        ..CkksParams::paper()
+    });
+    let out = Executor::new(&mut be).run(f, inputs).expect("execution");
+    (out.outputs, out.stats)
+}
+
+fn bench_inputs(bench: &dyn MlBenchmark, spec: &BenchSpec, iters: u64) -> Inputs {
+    let mut inputs = bench.inputs(spec);
+    for sym in bench.trip_symbols() {
+        inputs = inputs.env(sym, iters);
+    }
+    inputs
+}
+
+/// Every flat benchmark × every configuration: the compiled program's
+/// outputs must match the traced program's reference semantics.
+#[test]
+fn all_flat_benchmarks_compile_and_match_reference_under_all_configs() {
+    let spec = BenchSpec::test_small();
+    for bench in flat_benchmarks() {
+        let src = bench.trace_dynamic(&spec);
+        let inputs = bench_inputs(bench.as_ref(), &spec, ITERS);
+        let want = reference_run(&src, &inputs, spec.slots).expect("reference");
+        for config in CompilerConfig::ALL {
+            let compiled = if config == CompilerConfig::DaCapo {
+                compile(&bench.trace_constant(&spec, &[ITERS]), config, &opts(&spec))
+            } else {
+                compile(&src, config, &opts(&spec))
+            }
+            .unwrap_or_else(|e| panic!("{} under {}: {e}", bench.name(), config.name()));
+            let (outputs, stats) = run_exact(&compiled.function, &inputs, &spec);
+            assert_eq!(outputs.len(), want.len(), "{}", bench.name());
+            for (got, want) in outputs.iter().zip(&want) {
+                let err = rmse(got, want);
+                assert!(
+                    err < 1e-9,
+                    "{} under {}: rmse {err}",
+                    bench.name(),
+                    config.name()
+                );
+            }
+            assert!(
+                stats.bootstrap_count > 0,
+                "{} under {}: no bootstraps executed",
+                bench.name(),
+                config.name()
+            );
+        }
+    }
+}
+
+/// PCA (nested loops) under the loop-aware configurations, across
+/// iteration-count combinations — DaCapo additionally via full unrolling.
+#[test]
+fn pca_nested_loop_compiles_and_matches_reference() {
+    let spec = BenchSpec { slots: 64, num_elems: 8, seed: 0xDA7A };
+    let bench = halo_fhe::ml::bench::Pca;
+    let src = bench.trace_dynamic(&spec);
+    for (outer, inner) in [(2u64, 2u64), (2, 4), (4, 2)] {
+        let inputs = bench
+            .inputs(&spec)
+            .env("outer", outer)
+            .env("inner", inner);
+        let want = reference_run(&src, &inputs, spec.slots).expect("reference");
+        for config in [CompilerConfig::TypeMatched, CompilerConfig::Halo] {
+            let compiled = compile(&src, config, &opts(&spec))
+                .unwrap_or_else(|e| panic!("PCA {config:?} ({outer},{inner}): {e}"));
+            let (outputs, _) = run_exact(&compiled.function, &inputs, &spec);
+            let err = rmse(&outputs[0], &want[0]);
+            assert!(err < 1e-9, "PCA {:?} ({outer},{inner}): rmse {err}", config);
+        }
+        let dacapo_src = bench.trace_constant(&spec, &[outer, inner]);
+        let compiled = compile(&dacapo_src, CompilerConfig::DaCapo, &opts(&spec))
+            .unwrap_or_else(|e| panic!("PCA DaCapo ({outer},{inner}): {e}"));
+        let (outputs, _) = run_exact(&compiled.function, &inputs, &spec);
+        let err = rmse(&outputs[0], &want[0]);
+        assert!(err < 1e-9, "PCA DaCapo ({outer},{inner}): rmse {err}");
+    }
+}
+
+/// Table 5's structural count identities at a small scale: the
+/// type-matched loop bootstraps every carried ciphertext every iteration;
+/// packing collapses that to one; the head count is iteration-proportional.
+#[test]
+fn bootstrap_count_structure_matches_table5_shape() {
+    let spec = BenchSpec::test_small();
+    let bench = halo_fhe::ml::bench::Multivariate; // 9 carried vars
+    let src = bench.trace_dynamic(&spec);
+    let inputs = bench_inputs(&bench, &spec, ITERS);
+
+    let tm = compile(&src, CompilerConfig::TypeMatched, &opts(&spec)).unwrap();
+    let (_, tm_stats) = run_exact(&tm.function, &inputs, &spec);
+    // Peeled (plain inits): 9 carried ciphertexts × (ITERS − 1).
+    assert_eq!(tm_stats.bootstrap_count, 9 * (ITERS - 1));
+
+    let pk = compile(&src, CompilerConfig::Packing, &opts(&spec)).unwrap();
+    let (_, pk_stats) = run_exact(&pk.function, &inputs, &spec);
+    // One packed bootstrap per iteration + the post-loop unpack reset.
+    assert_eq!(pk_stats.bootstrap_count, (ITERS - 1) + 1);
+
+    let halo = compile(&src, CompilerConfig::Halo, &opts(&spec)).unwrap();
+    let (_, halo_stats) = run_exact(&halo.function, &inputs, &spec);
+    assert!(
+        halo_stats.bootstrap_count < pk_stats.bootstrap_count,
+        "unrolling must reduce the per-iteration bootstrap count: {} vs {}",
+        halo_stats.bootstrap_count,
+        pk_stats.bootstrap_count
+    );
+    // And tuning must reduce modeled bootstrap latency per bootstrap.
+    let pu = compile(&src, CompilerConfig::PackingUnrolling, &opts(&spec)).unwrap();
+    let (_, pu_stats) = run_exact(&pu.function, &inputs, &spec);
+    assert_eq!(pu_stats.bootstrap_count, halo_stats.bootstrap_count);
+    assert!(
+        halo_stats.bootstrap_us < pu_stats.bootstrap_us,
+        "target tuning lowers bootstrap latency: {} vs {}",
+        halo_stats.bootstrap_us,
+        pu_stats.bootstrap_us
+    );
+}
+
+/// The headline property: HALO compiles dynamic-trip programs once and the
+/// same binary serves any iteration count; DaCapo must recompile (and is
+/// rejected outright on symbolic trips).
+#[test]
+fn dynamic_trip_counts_run_without_recompilation() {
+    let spec = BenchSpec::test_small();
+    let bench = halo_fhe::ml::bench::Linear;
+    let src = bench.trace_dynamic(&spec);
+    let compiled = compile(&src, CompilerConfig::Halo, &opts(&spec)).unwrap();
+    let mut prev = None;
+    for iters in [2u64, 5, 9] {
+        let inputs = bench_inputs(&bench, &spec, iters);
+        let want = reference_run(&src, &inputs, spec.slots).unwrap();
+        let (outputs, stats) = run_exact(&compiled.function, &inputs, &spec);
+        assert!(rmse(&outputs[0], &want[0]) < 1e-9, "iters = {iters}");
+        if let Some(prev) = prev {
+            assert!(stats.bootstrap_count >= prev, "counts grow with iterations");
+        }
+        prev = Some(stats.bootstrap_count);
+    }
+    assert!(matches!(
+        compile(&src, CompilerConfig::DaCapo, &opts(&spec)),
+        Err(halo_fhe::compiler::CompileError::DynamicTripNotSupported { .. })
+    ));
+}
+
+/// With the calibrated noise model on, end-to-end RMSE lands in the bands
+/// of the paper's Table 4 (1e-6 … 1e-3).
+#[test]
+fn noisy_execution_rmse_is_within_table4_bands() {
+    let spec = BenchSpec::test_small();
+    for bench in all_benchmarks() {
+        let src = bench.trace_dynamic(&spec);
+        let inputs = bench_inputs(bench.as_ref(), &spec, 4);
+        let want = reference_run(&src, &inputs, spec.slots).unwrap();
+        let compiled = compile(&src, CompilerConfig::Halo, &opts(&spec))
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        let mut be = SimBackend::new(CkksParams {
+            poly_degree: spec.slots * 2,
+            ..CkksParams::paper()
+        });
+        let out = Executor::new(&mut be).run(&compiled.function, &inputs).unwrap();
+        let err = rmse(&out.outputs[0], &want[0]);
+        assert!(
+            err > 0.0 && err < 5e-2,
+            "{}: rmse = {err}",
+            bench.name()
+        );
+    }
+}

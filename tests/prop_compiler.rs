@@ -1,0 +1,214 @@
+//! Property-based compiler testing: random loop programs, compiled under
+//! every configuration, must preserve the traced program's semantics.
+//!
+//! The generator emits programs that respect the packing contract of §6.1
+//! (loop-carried value vectors have period `num_elems`): elementwise
+//! arithmetic and rotations preserve the period, so packing must be a
+//! semantic no-op.
+
+use proptest::prelude::*;
+
+use halo_fhe::ckks::{CkksParams, SimBackend};
+use halo_fhe::compiler::{compile, CompileOptions, CompilerConfig};
+use halo_fhe::ir::op::TripCount;
+use halo_fhe::ir::{Function, FunctionBuilder, ValueId};
+use halo_fhe::runtime::{reference_run, rmse, Executor, Inputs};
+
+const SLOTS: usize = 16;
+const NUM_ELEMS: usize = 4;
+
+/// One random body op.
+#[derive(Debug, Clone)]
+enum OpKind {
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    MulConst(usize, i32),
+    AddConst(usize, i32),
+    Rotate(usize, i64),
+    Negate(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| OpKind::Add(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| OpKind::Sub(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| OpKind::Mul(a, b)),
+        (any::<usize>(), -3..=3i32).prop_map(|(a, c)| OpKind::MulConst(a, c)),
+        (any::<usize>(), -3..=3i32).prop_map(|(a, c)| OpKind::AddConst(a, c)),
+        (any::<usize>(), 1..=3i64).prop_map(|(a, r)| OpKind::Rotate(a, r)),
+        any::<usize>().prop_map(OpKind::Negate),
+    ]
+}
+
+/// A randomized program description.
+#[derive(Debug, Clone)]
+struct ProgramSpec {
+    carried: usize,
+    plain_inits: Vec<bool>,
+    body_ops: Vec<OpKind>,
+    trip: u64,
+    input_data: Vec<f64>,
+}
+
+fn program_strategy() -> impl Strategy<Value = ProgramSpec> {
+    (
+        1..=3usize,
+        proptest::collection::vec(any::<bool>(), 3),
+        proptest::collection::vec(op_strategy(), 2..10),
+        2..=4u64,
+        proptest::collection::vec(0.3..0.9f64, NUM_ELEMS),
+    )
+        .prop_map(|(carried, plain_inits, body_ops, trip, input_data)| ProgramSpec {
+            carried,
+            plain_inits,
+            body_ops,
+            trip,
+            input_data,
+        })
+}
+
+/// Builds the traced function from a spec.
+fn build(spec: &ProgramSpec) -> Function {
+    let mut b = FunctionBuilder::new("prop", SLOTS);
+    let x = b.input_cipher("x");
+    let inits: Vec<ValueId> = (0..spec.carried)
+        .map(|k| {
+            if spec.plain_inits[k] {
+                b.const_splat(0.25 + 0.1 * k as f64)
+            } else {
+                x
+            }
+        })
+        .collect();
+    let body_ops = spec.body_ops.clone();
+    let carried = spec.carried;
+    let r = b.for_loop(
+        TripCount::Constant(spec.trip),
+        &inits,
+        NUM_ELEMS,
+        move |b, args| {
+            let mut pool: Vec<ValueId> = args.to_vec();
+            pool.push(x);
+            for op in &body_ops {
+                let pick = |i: usize| pool[i % pool.len()];
+                let v = match *op {
+                    OpKind::Add(a, c) => {
+                        let (a, c) = (pick(a), pick(c));
+                        b.add(a, c)
+                    }
+                    OpKind::Sub(a, c) => {
+                        let (a, c) = (pick(a), pick(c));
+                        b.sub(a, c)
+                    }
+                    OpKind::Mul(a, c) => {
+                        let (a, c) = (pick(a), pick(c));
+                        b.mul(a, c)
+                    }
+                    OpKind::MulConst(a, c) => {
+                        let a = pick(a);
+                        let k = b.const_splat(f64::from(c) * 0.25);
+                        b.mul(a, k)
+                    }
+                    OpKind::AddConst(a, c) => {
+                        let a = pick(a);
+                        let k = b.const_splat(f64::from(c) * 0.125);
+                        b.add(a, k)
+                    }
+                    OpKind::Rotate(a, r) => {
+                        let a = pick(a);
+                        b.rotate(a, r)
+                    }
+                    OpKind::Negate(a) => {
+                        let a = pick(a);
+                        b.negate(a)
+                    }
+                };
+                pool.push(v);
+            }
+            // Yield the last `carried` pool entries (they may be plain —
+            // peeling must cope).
+            (0..carried).map(|k| pool[pool.len() - 1 - k]).collect()
+        },
+    );
+    b.ret(&r);
+    b.finish()
+}
+
+fn check_all_configs(spec: &ProgramSpec) -> Result<(), TestCaseError> {
+    if std::env::var("HALO_PROP_TRACE").is_ok() { eprintln!("CASE: {spec:?}"); }
+    let src = build(spec);
+    let inputs = Inputs::new().cipher("x", spec.input_data.clone());
+    let want = reference_run(&src, &inputs, SLOTS).expect("reference runs");
+    // Skip degenerate programs whose values blow up (rare with bounded
+    // inputs, but a long mult chain can overflow f64).
+    if want.iter().flatten().any(|v| !v.is_finite() || v.abs() > 1e12) {
+        return Ok(());
+    }
+    let params = CkksParams { poly_degree: SLOTS * 2, ..CkksParams::paper() };
+    let opts = CompileOptions::new(params.clone());
+    for config in CompilerConfig::ALL {
+        let compiled = compile(&src, config, &opts)
+            .map_err(|e| TestCaseError::fail(format!("{}: {e}", config.name())))?;
+        let mut be = SimBackend::exact(params.clone());
+        let out = Executor::new(&mut be)
+            .run(&compiled.function, &inputs)
+            .map_err(|e| TestCaseError::fail(format!("{} exec: {e}", config.name())))?;
+        for (k, (got, exp)) in out.outputs.iter().zip(&want).enumerate() {
+            let err = rmse(got, exp);
+            prop_assert!(
+                err < 1e-6,
+                "{} output {k}: rmse {err} (got {:?} want {:?})",
+                config.name(),
+                &got[..4.min(got.len())],
+                &exp[..4.min(exp.len())]
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline invariant: every configuration compiles every valid
+    /// program to something semantically equal to the source.
+    #[test]
+    fn compilation_preserves_semantics(spec in program_strategy()) {
+        check_all_configs(&spec)?;
+    }
+
+    /// Individually: peeling alone preserves semantics and removes all
+    /// plain-init/cipher-carried mismatches.
+    #[test]
+    fn peeling_preserves_semantics(spec in program_strategy()) {
+        let src = build(&spec);
+        let inputs = Inputs::new().cipher("x", spec.input_data.clone());
+        let want = reference_run(&src, &inputs, SLOTS).expect("reference");
+        let mut peeled = src.clone();
+        halo_fhe::compiler::peel::peel_loops(&mut peeled);
+        halo_fhe::ir::verify::verify_traced(&peeled).expect("valid after peel");
+        let got = reference_run(&peeled, &inputs, SLOTS).expect("peeled runs");
+        for (g, w) in got.iter().zip(&want) {
+            if w.iter().all(|v| v.is_finite()) {
+                prop_assert!(rmse(g, w) < 1e-9);
+            }
+        }
+    }
+
+    /// DCE never changes observable outputs.
+    #[test]
+    fn dce_preserves_semantics(spec in program_strategy()) {
+        let src = build(&spec);
+        let inputs = Inputs::new().cipher("x", spec.input_data.clone());
+        let want = reference_run(&src, &inputs, SLOTS).expect("reference");
+        let mut cleaned = src.clone();
+        halo_fhe::compiler::dce::run(&mut cleaned);
+        let got = reference_run(&cleaned, &inputs, SLOTS).expect("cleaned runs");
+        for (g, w) in got.iter().zip(&want) {
+            if w.iter().all(|v| v.is_finite()) {
+                prop_assert!(rmse(g, w) < 1e-12);
+            }
+        }
+    }
+}
