@@ -1,0 +1,191 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! API subset its benches use: `Criterion`, benchmark groups,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! Measurement is a simple mean over `sample_size` timed iterations after a
+//! short warm-up — enough to compare configurations, with none of
+//! criterion's statistics.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark averages over.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing one `Criterion` config.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.criterion.sample_size,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to do).
+    pub fn finish(self) {}
+}
+
+/// A `function-name/parameter` benchmark label.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `sample_size` calls of `routine` after one warm-up call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.sample_size as u64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut b = Bencher {
+        sample_size,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<48} (no iterations)");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() / u128::from(b.iters);
+    println!("{label:<48} {per_iter:>12} ns/iter ({} iters)", b.iters);
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point for `cargo bench` harnesses. Ignores harness CLI flags
+/// (`--bench`, `--test`, filters) — every group always runs.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run_closures() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("demo");
+            g.bench_with_input(BenchmarkId::new("double", 21), &21u64, |b, &x| {
+                b.iter(|| {
+                    calls += 1;
+                    x * 2
+                })
+            });
+            g.finish();
+        }
+        // one warm-up + three timed iterations
+        assert_eq!(calls, 4);
+    }
+}

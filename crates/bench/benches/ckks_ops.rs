@@ -7,8 +7,11 @@ use halo_ckks::{Backend, CkksParams, CostModel, CostedOp, SimBackend};
 fn bench_backend_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_backend");
     for log_slots in [6u32, 10, 13] {
-        let params = CkksParams { poly_degree: 2 << log_slots, ..CkksParams::paper() };
-        let mut be = SimBackend::new(params.clone());
+        let params = CkksParams {
+            poly_degree: 2 << log_slots,
+            ..CkksParams::paper()
+        };
+        let be = SimBackend::new(params.clone());
         let data: Vec<f64> = (0..params.slots()).map(|i| i as f64 * 1e-3).collect();
         let a = be.encrypt(&data, 10).unwrap();
         let b = be.encrypt(&data, 10).unwrap();
@@ -17,14 +20,14 @@ fn bench_backend_ops(c: &mut Criterion) {
             &(),
             |bn, ()| bn.iter(|| be.mult(&a, &b).unwrap()),
         );
-        let mut be2 = SimBackend::new(params.clone());
+        let be2 = SimBackend::new(params.clone());
         let a2 = be2.encrypt(&data, 10).unwrap();
         group.bench_with_input(
             BenchmarkId::new("rotate", format!("2^{log_slots} slots")),
             &(),
             |bn, ()| bn.iter(|| be2.rotate(&a2, 3).unwrap()),
         );
-        let mut be3 = SimBackend::new(params);
+        let be3 = SimBackend::new(params);
         let a3 = be3.encrypt(&data, 1).unwrap();
         group.bench_with_input(
             BenchmarkId::new("bootstrap", format!("2^{log_slots} slots")),

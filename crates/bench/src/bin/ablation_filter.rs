@@ -17,7 +17,10 @@ fn main() {
     let src = KMeans.trace_constant(&spec, &[iters]);
     let inputs = bound_inputs(&KMeans, &[iters], scale);
     println!("Ablation: placement candidate-filter width (K-means, DaCapo, {iters} iters)");
-    println!("  {:>8} {:>12} {:>14} {:>14}", "filter", "bootstraps", "modeled (s)", "compile (s)");
+    println!(
+        "  {:>8} {:>12} {:>14} {:>14}",
+        "filter", "bootstraps", "modeled (s)", "compile (s)"
+    );
     for filter in [8usize, 16, 32, 64, 128, 256, 1024] {
         let mut opts = options(scale);
         opts.placement_filter = filter;

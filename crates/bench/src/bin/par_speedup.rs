@@ -1,0 +1,76 @@
+//! Parallel-engine speedup microbenchmark: ct×ct multiply (+relinearize)
+//! on the exact toy RNS-CKKS backend at N = 4096, timed at 1 thread vs
+//! 4 threads over the same shared backend.
+//!
+//! ```sh
+//! cargo run --release -p halo-bench --bin par_speedup
+//! ```
+//!
+//! The acceptance bar for the parallel engine is ≥1.8× at 4 threads;
+//! the run exits non-zero below that so CI-style invocations can gate
+//! on it. The gate only arms when the machine actually has ≥4 CPUs —
+//! on fewer cores the wall clock cannot speed up no matter how well the
+//! engine scales, so the run reports and exits 0 (set `HALO_SPEEDUP_MIN`
+//! to force a bar on any machine, or to raise/lower it).
+
+use std::time::Instant;
+
+use halo_ckks::backend::Backend;
+use halo_ckks::{parallel, ToyBackend};
+
+const N: usize = 4096;
+const LEVELS: u32 = 8;
+const REPS: u32 = 20;
+
+/// Times `REPS` ct×ct multiplies (key-switching keys pre-warmed) and
+/// returns the mean per-op microseconds.
+fn time_mult(be: &ToyBackend) -> f64 {
+    let slots = N / 2;
+    let a0: Vec<f64> = (0..slots).map(|i| (i as f64 / 101.0).sin()).collect();
+    let b0: Vec<f64> = (0..slots).map(|i| (i as f64 / 61.0).cos()).collect();
+    let a = be.encrypt(&a0, LEVELS).expect("encrypt");
+    let b = be.encrypt(&b0, LEVELS).expect("encrypt");
+    // Warm-up: generates the relinearization key and touches every NTT
+    // table, so the timed loop measures steady-state multiplies only.
+    let warm = be.mult(&a, &b).expect("mult");
+    std::hint::black_box(be.rescale(&warm).expect("rescale"));
+
+    let start = Instant::now();
+    for _ in 0..REPS {
+        std::hint::black_box(be.mult(&a, &b).expect("mult"));
+    }
+    start.elapsed().as_secs_f64() * 1e6 / f64::from(REPS)
+}
+
+fn main() {
+    let be = ToyBackend::new(N, LEVELS, 0xBE7C);
+
+    parallel::set_threads(Some(1));
+    let serial_us = time_mult(&be);
+    parallel::set_threads(Some(4));
+    let par_us = time_mult(&be);
+    parallel::set_threads(None);
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let speedup = serial_us / par_us;
+    println!("ct×ct mult, toy backend, N={N}, L={LEVELS}, {REPS} reps, {cores} core(s)");
+    println!("  1 thread : {serial_us:10.1} us/op");
+    println!("  4 threads: {par_us:10.1} us/op");
+    println!("  speedup  : {speedup:.2}x");
+
+    let min: Option<f64> = match std::env::var("HALO_SPEEDUP_MIN") {
+        Ok(s) => s.parse().ok(),
+        Err(_) if cores >= 4 => Some(1.8),
+        Err(_) => {
+            println!("  gate     : skipped ({cores} core(s) < 4 — wall-clock speedup impossible)");
+            None
+        }
+    };
+    if let Some(min) = min {
+        if speedup < min {
+            eprintln!("FAIL: speedup {speedup:.2}x below the {min:.1}x bar");
+            std::process::exit(1);
+        }
+        println!("  gate     : PASS (>= {min:.1}x)");
+    }
+}

@@ -49,7 +49,11 @@ impl Scale {
     pub fn spec(self) -> BenchSpec {
         match self {
             Scale::Small => BenchSpec::test_small(),
-            Scale::Medium => BenchSpec { slots: 1 << 13, num_elems: 1 << 9, seed: 0xDA7A },
+            Scale::Medium => BenchSpec {
+                slots: 1 << 13,
+                num_elems: 1 << 9,
+                seed: 0xDA7A,
+            },
             Scale::Paper => BenchSpec::paper(),
         }
     }
@@ -58,7 +62,10 @@ impl Scale {
     /// scale; only the ring degree shrinks).
     #[must_use]
     pub fn params(self) -> CkksParams {
-        CkksParams { poly_degree: self.spec().slots * 2, ..CkksParams::paper() }
+        CkksParams {
+            poly_degree: self.spec().slots * 2,
+            ..CkksParams::paper()
+        }
     }
 }
 
@@ -119,13 +126,18 @@ pub struct Measured {
 /// Panics if execution fails (a compiled program must run).
 #[must_use]
 pub fn execute(f: &Function, inputs: &Inputs, scale: Scale, noisy: bool) -> Measured {
-    let mut be = if noisy {
+    let be = if noisy {
         SimBackend::new(scale.params())
     } else {
         SimBackend::exact(scale.params())
     };
-    let out = Executor::new(&mut be).run(f, inputs).expect("compiled program must execute");
-    Measured { stats: out.stats, outputs: out.outputs }
+    let out = Executor::new(&be)
+        .run(f, inputs)
+        .expect("compiled program must execute");
+    Measured {
+        stats: out.stats,
+        outputs: out.outputs,
+    }
 }
 
 /// Compile + execute in one step.
@@ -169,7 +181,12 @@ pub fn rmse_per_output(
         .outputs
         .iter()
         .zip(&want)
-        .map(|(g, w)| rmse(&g[..spec.num_elems.min(g.len())], &w[..spec.num_elems.min(w.len())]))
+        .map(|(g, w)| {
+            rmse(
+                &g[..spec.num_elems.min(g.len())],
+                &w[..spec.num_elems.min(w.len())],
+            )
+        })
         .collect())
 }
 

@@ -7,7 +7,7 @@ use halo_core::CompilerConfig;
 use halo_ir::print::code_size_bytes;
 use halo_ml::bench::{all_benchmarks, flat_benchmarks, Pca};
 
-use crate::{compile_bench, run_bench, rmse_per_output, Scale};
+use crate::{compile_bench, rmse_per_output, run_bench, Scale};
 
 /// The paper's iteration count for the flat-loop tables.
 pub const PAPER_ITERS: u64 = 40;
@@ -16,7 +16,10 @@ pub const PAPER_ITERS: u64 = 40;
 pub fn print_table1(scale: Scale) {
     let p = scale.params();
     println!("Table 1: FHE parameters ({scale:?} scale)");
-    println!("  N  (polynomial modulus degree) = 2^{}", p.poly_degree.trailing_zeros());
+    println!(
+        "  N  (polynomial modulus degree) = 2^{}",
+        p.poly_degree.trailing_zeros()
+    );
     println!("  Q  (coefficient modulus)       = 2^{}", p.log2_q());
     println!("  Rf (rescaling factor)          = 2^{}", p.rf_bits);
     println!("  L  (max level after bootstrap) = {}", p.max_level);
@@ -27,7 +30,10 @@ pub fn print_table1(scale: Scale) {
 pub fn print_table2() {
     let m = CostModel::new();
     println!("Table 2: FHE op latency (µs) by operand level");
-    println!("  {:<10} {:>8} {:>8} {:>8} {:>8}", "op", "l=1", "l=5", "l=10", "l=15");
+    println!(
+        "  {:<10} {:>8} {:>8} {:>8} {:>8}",
+        "op", "l=1", "l=5", "l=10", "l=15"
+    );
     type MkOp = fn(u32) -> CostedOp;
     let rows: [(&str, MkOp); 3] = [
         ("multcc", |l| CostedOp::MultCC { level: l }),
@@ -248,7 +254,11 @@ pub fn table6(scale: Scale) -> Vec<ScalingRow> {
             compile_bench(b.as_ref(), CompilerConfig::Halo, &[PAPER_ITERS], scale)
                 .expect("HALO compiles");
             let halo = t.elapsed().as_secs_f64();
-            ScalingRow { bench: b.name(), dacapo, halo }
+            ScalingRow {
+                bench: b.name(),
+                dacapo,
+                halo,
+            }
         })
         .collect()
 }
@@ -270,7 +280,11 @@ pub fn table7(scale: Scale) -> Vec<ScalingRow> {
             let r = compile_bench(b.as_ref(), CompilerConfig::Halo, &[PAPER_ITERS], scale)
                 .expect("HALO compiles");
             let halo = code_size_bytes(&r.function) as f64 / 1024.0;
-            ScalingRow { bench: b.name(), dacapo, halo }
+            ScalingRow {
+                bench: b.name(),
+                dacapo,
+                halo,
+            }
         })
         .collect()
 }

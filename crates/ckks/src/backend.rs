@@ -13,25 +13,58 @@ use std::fmt;
 
 use crate::params::CkksParams;
 
-/// An error raised by a backend (level/scale constraint violations,
-/// unsupported parameters).
+/// An error raised by a backend: level/scale constraint violations,
+/// capacity overflows, or genuinely unsupported requests.
+///
+/// Structured by kind so callers (notably the runtime's `RunError`) can
+/// match on *what* went wrong instead of parsing strings.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BackendError {
-    /// Human-readable description.
-    pub message: String,
-}
-
-impl BackendError {
-    /// Creates an error from a message.
-    #[must_use]
-    pub fn new(message: impl Into<String>) -> BackendError {
-        BackendError { message: message.into() }
-    }
+pub enum BackendError {
+    /// Binary-op operands sit at different levels.
+    LevelMismatch {
+        /// Level of the first operand.
+        expected: u32,
+        /// Level of the second operand.
+        got: u32,
+    },
+    /// An operand's scale degree violates the op's contract (e.g. `multcc`
+    /// on a pending-rescale operand, or `rescale` at waterline).
+    ScaleDegreeMismatch {
+        /// The degree the op requires.
+        expected: u32,
+        /// The degree the operand carries.
+        got: u32,
+    },
+    /// More values than the parameter set has slots.
+    SlotOverflow {
+        /// Provided value count.
+        len: usize,
+        /// Available slot count.
+        slots: usize,
+    },
+    /// No levels left for an op that must consume one (mult/rescale at
+    /// level 0, modswitch below level 0).
+    LevelExhausted,
+    /// Anything the backend cannot express (out-of-range encrypt or
+    /// bootstrap targets, zero-step modswitch, …).
+    Unsupported(String),
 }
 
 impl fmt::Display for BackendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "backend error: {}", self.message)
+        match self {
+            BackendError::LevelMismatch { expected, got } => {
+                write!(f, "operand levels differ ({expected} vs {got})")
+            }
+            BackendError::ScaleDegreeMismatch { expected, got } => {
+                write!(f, "scale degree {got} where {expected} is required")
+            }
+            BackendError::SlotOverflow { len, slots } => {
+                write!(f, "{len} values exceed {slots} slots")
+            }
+            BackendError::LevelExhausted => write!(f, "no levels left for this op"),
+            BackendError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
     }
 }
 
@@ -46,7 +79,15 @@ pub type Result<T> = std::result::Result<T, BackendError>;
 /// additions, equal scale degrees) per §2.2 of the paper; implementations
 /// must reject violations rather than silently coerce, because the whole
 /// point of the compiler under test is to make such coercions explicit.
-pub trait Backend {
+///
+/// Evaluation ops take `&self`: a backend is logically immutable per op
+/// (keys and parameters are fixed at construction) and any genuinely
+/// mutable state — the noise/encryption RNG, lazily generated keys — lives
+/// behind interior mutability. Together with the `Send + Sync` bound this
+/// makes every backend shareable across threads (e.g. `Arc<ToyBackend>`),
+/// which is what lets the toy backend parallelize its limb loops and lets
+/// future work shard whole programs.
+pub trait Backend: Send + Sync {
     /// Ciphertext handle.
     type Ct: Clone;
 
@@ -59,7 +100,7 @@ pub trait Backend {
     ///
     /// Fails if `values.len()` exceeds the slot count or `level` exceeds
     /// the parameter maximum.
-    fn encrypt(&mut self, values: &[f64], level: u32) -> Result<Self::Ct>;
+    fn encrypt(&self, values: &[f64], level: u32) -> Result<Self::Ct>;
 
     /// Decrypts to a slot vector.
     ///
@@ -67,7 +108,7 @@ pub trait Backend {
     ///
     /// Fails if the ciphertext is malformed (e.g. pending rescale in
     /// backends that require waterline scale for decryption).
-    fn decrypt(&mut self, ct: &Self::Ct) -> Result<Vec<f64>>;
+    fn decrypt(&self, ct: &Self::Ct) -> Result<Vec<f64>>;
 
     /// Current level of a ciphertext.
     fn level(&self, ct: &Self::Ct) -> u32;
@@ -80,28 +121,28 @@ pub trait Backend {
     /// # Errors
     ///
     /// Fails on level or scale-degree mismatch.
-    fn add(&mut self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct>;
+    fn add(&self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct>;
 
     /// Ciphertext − ciphertext (`subcc`).
     ///
     /// # Errors
     ///
     /// Fails on level or scale-degree mismatch.
-    fn sub(&mut self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct>;
+    fn sub(&self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct>;
 
     /// Ciphertext + plaintext (`addcp`).
     ///
     /// # Errors
     ///
     /// Fails if the plaintext cannot be encoded at the operand's type.
-    fn add_plain(&mut self, a: &Self::Ct, p: &[f64]) -> Result<Self::Ct>;
+    fn add_plain(&self, a: &Self::Ct, p: &[f64]) -> Result<Self::Ct>;
 
     /// Ciphertext − plaintext (`subcp`).
     ///
     /// # Errors
     ///
     /// Fails if the plaintext cannot be encoded at the operand's type.
-    fn sub_plain(&mut self, a: &Self::Ct, p: &[f64]) -> Result<Self::Ct>;
+    fn sub_plain(&self, a: &Self::Ct, p: &[f64]) -> Result<Self::Ct>;
 
     /// Ciphertext × ciphertext (`multcc`), with relinearization. The result
     /// has scale degree 2 (a rescale is pending).
@@ -109,14 +150,14 @@ pub trait Backend {
     /// # Errors
     ///
     /// Fails on level mismatch, non-waterline operands, or level 0.
-    fn mult(&mut self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct>;
+    fn mult(&self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct>;
 
     /// Ciphertext × plaintext (`multcp`). Result scale degree 2.
     ///
     /// # Errors
     ///
     /// Fails on non-waterline operand or level 0.
-    fn mult_plain(&mut self, a: &Self::Ct, p: &[f64]) -> Result<Self::Ct>;
+    fn mult_plain(&self, a: &Self::Ct, p: &[f64]) -> Result<Self::Ct>;
 
     /// Sign flip.
     ///
@@ -124,28 +165,28 @@ pub trait Backend {
     ///
     /// Infallible for well-formed inputs; implementations may still report
     /// malformed ciphertexts.
-    fn negate(&mut self, a: &Self::Ct) -> Result<Self::Ct>;
+    fn negate(&self, a: &Self::Ct) -> Result<Self::Ct>;
 
     /// Cyclic slot rotation by `offset` (positive = left).
     ///
     /// # Errors
     ///
     /// Fails if the backend lacks a rotation key for `offset`.
-    fn rotate(&mut self, a: &Self::Ct, offset: i64) -> Result<Self::Ct>;
+    fn rotate(&self, a: &Self::Ct, offset: i64) -> Result<Self::Ct>;
 
     /// Rescale: divide the scale by `Rf`, dropping one level (degree 2→1).
     ///
     /// # Errors
     ///
     /// Fails unless the operand has degree 2 and level ≥ 1.
-    fn rescale(&mut self, a: &Self::Ct) -> Result<Self::Ct>;
+    fn rescale(&self, a: &Self::Ct) -> Result<Self::Ct>;
 
     /// Modswitch: drop `down` levels without changing the scale.
     ///
     /// # Errors
     ///
     /// Fails if `down` is 0 or exceeds the operand level.
-    fn modswitch(&mut self, a: &Self::Ct, down: u32) -> Result<Self::Ct>;
+    fn modswitch(&self, a: &Self::Ct, down: u32) -> Result<Self::Ct>;
 
     /// Bootstrap: recover the level to `target` (paper §2.3).
     ///
@@ -153,7 +194,7 @@ pub trait Backend {
     ///
     /// Fails unless the operand is at waterline scale and `target` is
     /// within `1..=max_level`.
-    fn bootstrap(&mut self, a: &Self::Ct, target: u32) -> Result<Self::Ct>;
+    fn bootstrap(&self, a: &Self::Ct, target: u32) -> Result<Self::Ct>;
 }
 
 /// Expands a logical constant to a full slot vector.
@@ -171,9 +212,9 @@ pub fn expand_to_slots(kind: &PlainKind, slots: usize) -> Vec<f64> {
                 (0..slots).map(|i| v[i % v.len()]).collect()
             }
         }
-        PlainKind::Mask { lo, hi } => {
-            (0..slots).map(|i| if i >= *lo && i < *hi { 1.0 } else { 0.0 }).collect()
-        }
+        PlainKind::Mask { lo, hi } => (0..slots)
+            .map(|i| if i >= *lo && i < *hi { 1.0 } else { 0.0 })
+            .collect(),
     }
 }
 

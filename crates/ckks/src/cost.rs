@@ -53,7 +53,8 @@ pub struct CostModel {
 }
 
 /// Paper Table 2: `multcc` latency (µs) by operand level.
-const MULTCC_POINTS: [(f64, f64); 4] = [(1.0, 758.0), (5.0, 1146.0), (10.0, 1974.0), (15.0, 2528.0)];
+const MULTCC_POINTS: [(f64, f64); 4] =
+    [(1.0, 758.0), (5.0, 1146.0), (10.0, 1974.0), (15.0, 2528.0)];
 /// Paper Table 2: `rescale` latency (µs) by operand level.
 const RESCALE_POINTS: [(f64, f64); 4] = [(1.0, 126.0), (5.0, 288.0), (10.0, 516.0), (15.0, 731.0)];
 /// Paper Table 2: `modswitch` latency (µs) by operand level.
@@ -125,7 +126,11 @@ impl CostModel {
     #[must_use]
     pub fn modswitch_chain_us(&self, level: u32, down: u32) -> f64 {
         (0..down)
-            .map(|k| self.latency_us(CostedOp::ModSwitch { level: level.saturating_sub(k) }))
+            .map(|k| {
+                self.latency_us(CostedOp::ModSwitch {
+                    level: level.saturating_sub(k),
+                })
+            })
             .sum()
     }
 }
@@ -187,13 +192,16 @@ mod tests {
         let m = CostModel::new();
         let l = 10;
         assert!(
-            m.latency_us(CostedOp::MultCP { level: l }) < m.latency_us(CostedOp::MultCC { level: l })
+            m.latency_us(CostedOp::MultCP { level: l })
+                < m.latency_us(CostedOp::MultCC { level: l })
         );
         assert!(
-            m.latency_us(CostedOp::Rotate { level: l }) < m.latency_us(CostedOp::MultCC { level: l })
+            m.latency_us(CostedOp::Rotate { level: l })
+                < m.latency_us(CostedOp::MultCC { level: l })
         );
         assert!(
-            m.latency_us(CostedOp::AddCC { level: l }) < m.latency_us(CostedOp::Rescale { level: l })
+            m.latency_us(CostedOp::AddCC { level: l })
+                < m.latency_us(CostedOp::Rescale { level: l })
         );
     }
 

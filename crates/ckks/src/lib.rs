@@ -23,6 +23,7 @@
 
 pub mod backend;
 pub mod cost;
+pub mod parallel;
 pub mod params;
 pub mod sim;
 pub mod toy;
@@ -31,3 +32,4 @@ pub use backend::{Backend, BackendError};
 pub use cost::{CostModel, CostedOp};
 pub use params::CkksParams;
 pub use sim::SimBackend;
+pub use toy::ToyBackend;

@@ -1,0 +1,153 @@
+//! Std-only data parallelism for limb-wise RNS loops.
+//!
+//! Every hot loop in the toy backend iterates over independent residue
+//! rows (one per RNS prime). This module fans those loops out across a
+//! scoped thread pool while keeping results **bit-identical** to the
+//! serial path: each row is processed by exactly the same per-row code in
+//! both modes, threads only partition *which* rows they touch, and no
+//! random state is ever drawn inside a parallel region.
+//!
+//! Thread count resolution (first match wins):
+//! 1. [`set_threads`] override (tests flip between serial and parallel
+//!    in-process);
+//! 2. the `HALO_THREADS` environment variable, read once per process;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! A value of 1 is exactly the serial path. Work smaller than
+//! [`MIN_PAR_WORK`] elements stays serial regardless, so tiny test rings
+//! don't pay thread spawn costs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Minimum total element count (rows × ring degree) before fanning out.
+pub const MIN_PAR_WORK: usize = 4096;
+
+/// Program-wide override: 0 = unset, otherwise the thread count.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `HALO_THREADS`, parsed once.
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Forces the thread count (`Some(n)`) or restores env/auto resolution
+/// (`None`). Intended for tests that compare serial and parallel output
+/// within one process.
+pub fn set_threads(n: Option<usize>) {
+    OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The resolved worker count (≥ 1).
+#[must_use]
+pub fn threads() -> usize {
+    let forced = OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    let env = ENV_THREADS.get_or_init(|| {
+        std::env::var("HALO_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+    });
+    match env {
+        Some(n) if *n >= 1 => *n,
+        _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// Applies `f(index, item)` to every item, fanning contiguous chunks out
+/// across scoped threads when `total_work` (typically `items.len() × N`)
+/// crosses [`MIN_PAR_WORK`] and more than one thread is configured.
+///
+/// `f` must be pure per item for bit-identity — it runs exactly once per
+/// item in both the serial and the parallel schedule.
+pub fn par_for_each_indexed<T, F>(items: &mut [T], total_work: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 || total_work < MIN_PAR_WORK {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        for (c, slice) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = c * chunk;
+                for (i, item) in slice.iter_mut().enumerate() {
+                    f(base + i, item);
+                }
+            });
+        }
+    });
+}
+
+/// Builds one output item per index in parallel (the allocating
+/// counterpart of [`par_for_each_indexed`], for `zip_with`-style ops).
+pub fn par_map_indexed<T, F>(count: usize, total_work: usize, f: F) -> Vec<T>
+where
+    T: Send + Default,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<T> = (0..count).map(|_| T::default()).collect();
+    par_for_each_indexed(&mut out, total_work, |i, slot| *slot = f(i));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// `set_threads` is process-global; tests touching it take this lock
+    /// so the parallel test runner cannot interleave them.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn serial_and_parallel_schedules_agree() {
+        let _g = GUARD.lock().unwrap();
+        let big = MIN_PAR_WORK + 1; // force the parallel branch
+        let mut a: Vec<u64> = (0..97).collect();
+        let mut b = a.clone();
+        set_threads(Some(1));
+        par_for_each_indexed(&mut a, big, |i, x| *x = x.wrapping_mul(i as u64 + 3));
+        set_threads(Some(4));
+        par_for_each_indexed(&mut b, big, |i, x| *x = x.wrapping_mul(i as u64 + 3));
+        set_threads(None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_work_stays_serial_and_correct() {
+        let _g = GUARD.lock().unwrap();
+        set_threads(Some(8));
+        let mut v = vec![1u64; 7];
+        par_for_each_indexed(&mut v, 7, |i, x| *x += i as u64);
+        set_threads(None);
+        assert_eq!(v, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn map_indexed_matches_direct_map() {
+        let _g = GUARD.lock().unwrap();
+        set_threads(Some(3));
+        let got = par_map_indexed(50, MIN_PAR_WORK * 2, |i| i * i);
+        set_threads(None);
+        let want: Vec<usize> = (0..50).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn threads_resolves_to_at_least_one() {
+        let _g = GUARD.lock().unwrap();
+        set_threads(None);
+        assert!(threads() >= 1);
+        set_threads(Some(5));
+        assert_eq!(threads(), 5);
+        set_threads(None);
+    }
+}

@@ -20,14 +20,22 @@ impl CkksParams {
     /// `Rf = 2^51` (so `Q ≈ 2^(51·29) ⊇ 2^1479`).
     #[must_use]
     pub fn paper() -> CkksParams {
-        CkksParams { poly_degree: 1 << 17, max_level: 16, rf_bits: 51 }
+        CkksParams {
+            poly_degree: 1 << 17,
+            max_level: 16,
+            rf_bits: 51,
+        }
     }
 
     /// Small parameters for fast unit tests: `N = 2^6` (32 slots), same
     /// level structure as the paper.
     #[must_use]
     pub fn test_small() -> CkksParams {
-        CkksParams { poly_degree: 1 << 6, max_level: 16, rf_bits: 51 }
+        CkksParams {
+            poly_degree: 1 << 6,
+            max_level: 16,
+            rf_bits: 51,
+        }
     }
 
     /// Number of plaintext slots per ciphertext (`N/2`).

@@ -12,6 +12,8 @@
 //! so a miscompiled program fails loudly here even though the arithmetic is
 //! simulated.
 
+use std::sync::Mutex;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -90,11 +92,14 @@ impl SimCt {
 }
 
 /// The simulation backend. See the [module docs](self).
+///
+/// Ops take `&self`; the noise RNG is the only mutable state and sits
+/// behind a mutex, so the backend is freely shareable across threads.
 #[derive(Debug)]
 pub struct SimBackend {
     params: CkksParams,
     noise: NoiseProfile,
-    rng: StdRng,
+    rng: Mutex<StdRng>,
 }
 
 impl SimBackend {
@@ -115,27 +120,32 @@ impl SimBackend {
     /// Full-control constructor.
     #[must_use]
     pub fn with_noise(params: CkksParams, noise: NoiseProfile, seed: u64) -> SimBackend {
-        SimBackend { params, noise, rng: StdRng::seed_from_u64(seed) }
+        SimBackend {
+            params,
+            noise,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
     }
 
-    fn perturb(&mut self, values: &mut [f64], sigma: f64) {
+    fn perturb(&self, values: &mut [f64], sigma: f64) {
         if sigma == 0.0 {
             return;
         }
+        let mut rng = self.rng.lock().expect("rng lock");
         for v in values {
             // Symmetric uniform relative error with a small absolute floor,
             // mimicking fixed-point noise at the scale's precision.
-            let eps: f64 = self.rng.gen_range(-1.0..1.0) * sigma;
+            let eps: f64 = rng.gen_range(-1.0..1.0) * sigma;
             *v += eps * (v.abs() + 1e-2);
         }
     }
 
-    fn check_levels(&self, a: &SimCt, b: &SimCt, what: &str) -> Result<()> {
+    fn check_levels(&self, a: &SimCt, b: &SimCt) -> Result<()> {
         if a.level != b.level {
-            return Err(BackendError::new(format!(
-                "{what}: operand levels differ ({} vs {})",
-                a.level, b.level
-            )));
+            return Err(BackendError::LevelMismatch {
+                expected: a.level,
+                got: b.level,
+            });
         }
         Ok(())
     }
@@ -156,27 +166,30 @@ impl Backend for SimBackend {
         &self.params
     }
 
-    fn encrypt(&mut self, values: &[f64], level: u32) -> Result<SimCt> {
+    fn encrypt(&self, values: &[f64], level: u32) -> Result<SimCt> {
         if values.len() > self.params.slots() {
-            return Err(BackendError::new(format!(
-                "encrypt: {} values exceed {} slots",
-                values.len(),
-                self.params.slots()
-            )));
+            return Err(BackendError::SlotOverflow {
+                len: values.len(),
+                slots: self.params.slots(),
+            });
         }
         if level > self.params.max_level {
-            return Err(BackendError::new(format!(
-                "encrypt: level {level} exceeds max {}",
+            return Err(BackendError::Unsupported(format!(
+                "encrypt at level {level} exceeds max {}",
                 self.params.max_level
             )));
         }
         let mut v = self.expand(values);
         let sigma = self.noise.encrypt;
         self.perturb(&mut v, sigma);
-        Ok(SimCt { values: v, level, degree: 1 })
+        Ok(SimCt {
+            values: v,
+            level,
+            degree: 1,
+        })
     }
 
-    fn decrypt(&mut self, ct: &SimCt) -> Result<Vec<f64>> {
+    fn decrypt(&self, ct: &SimCt) -> Result<Vec<f64>> {
         Ok(ct.values.clone())
     }
 
@@ -188,77 +201,114 @@ impl Backend for SimBackend {
         ct.degree
     }
 
-    fn add(&mut self, a: &SimCt, b: &SimCt) -> Result<SimCt> {
-        self.check_levels(a, b, "addcc")?;
+    fn add(&self, a: &SimCt, b: &SimCt) -> Result<SimCt> {
+        self.check_levels(a, b)?;
         if a.degree != b.degree {
-            return Err(BackendError::new("addcc: scale degrees differ"));
+            return Err(BackendError::ScaleDegreeMismatch {
+                expected: a.degree,
+                got: b.degree,
+            });
         }
         let mut v: Vec<f64> = a.values.iter().zip(&b.values).map(|(x, y)| x + y).collect();
         let sigma = self.noise.add;
         self.perturb(&mut v, sigma);
-        Ok(SimCt { values: v, level: a.level, degree: a.degree })
+        Ok(SimCt {
+            values: v,
+            level: a.level,
+            degree: a.degree,
+        })
     }
 
-    fn sub(&mut self, a: &SimCt, b: &SimCt) -> Result<SimCt> {
-        self.check_levels(a, b, "subcc")?;
+    fn sub(&self, a: &SimCt, b: &SimCt) -> Result<SimCt> {
+        self.check_levels(a, b)?;
         if a.degree != b.degree {
-            return Err(BackendError::new("subcc: scale degrees differ"));
+            return Err(BackendError::ScaleDegreeMismatch {
+                expected: a.degree,
+                got: b.degree,
+            });
         }
         let mut v: Vec<f64> = a.values.iter().zip(&b.values).map(|(x, y)| x - y).collect();
         let sigma = self.noise.add;
         self.perturb(&mut v, sigma);
-        Ok(SimCt { values: v, level: a.level, degree: a.degree })
+        Ok(SimCt {
+            values: v,
+            level: a.level,
+            degree: a.degree,
+        })
     }
 
-    fn add_plain(&mut self, a: &SimCt, p: &[f64]) -> Result<SimCt> {
+    fn add_plain(&self, a: &SimCt, p: &[f64]) -> Result<SimCt> {
         let pv = self.expand(p);
         let mut v: Vec<f64> = a.values.iter().zip(&pv).map(|(x, y)| x + y).collect();
         let sigma = self.noise.add;
         self.perturb(&mut v, sigma);
-        Ok(SimCt { values: v, level: a.level, degree: a.degree })
+        Ok(SimCt {
+            values: v,
+            level: a.level,
+            degree: a.degree,
+        })
     }
 
-    fn sub_plain(&mut self, a: &SimCt, p: &[f64]) -> Result<SimCt> {
+    fn sub_plain(&self, a: &SimCt, p: &[f64]) -> Result<SimCt> {
         let pv = self.expand(p);
         let mut v: Vec<f64> = a.values.iter().zip(&pv).map(|(x, y)| x - y).collect();
         let sigma = self.noise.add;
         self.perturb(&mut v, sigma);
-        Ok(SimCt { values: v, level: a.level, degree: a.degree })
+        Ok(SimCt {
+            values: v,
+            level: a.level,
+            degree: a.degree,
+        })
     }
 
-    fn mult(&mut self, a: &SimCt, b: &SimCt) -> Result<SimCt> {
-        self.check_levels(a, b, "multcc")?;
+    fn mult(&self, a: &SimCt, b: &SimCt) -> Result<SimCt> {
+        self.check_levels(a, b)?;
         if a.degree != 1 || b.degree != 1 {
-            return Err(BackendError::new("multcc: operands must be at waterline scale"));
+            let got = if a.degree == 1 { b.degree } else { a.degree };
+            return Err(BackendError::ScaleDegreeMismatch { expected: 1, got });
         }
         if a.level < 1 {
-            return Err(BackendError::new("multcc: level must be >= 1"));
+            return Err(BackendError::LevelExhausted);
         }
         let mut v: Vec<f64> = a.values.iter().zip(&b.values).map(|(x, y)| x * y).collect();
         let sigma = self.noise.mult;
         self.perturb(&mut v, sigma);
-        Ok(SimCt { values: v, level: a.level, degree: 2 })
+        Ok(SimCt {
+            values: v,
+            level: a.level,
+            degree: 2,
+        })
     }
 
-    fn mult_plain(&mut self, a: &SimCt, p: &[f64]) -> Result<SimCt> {
+    fn mult_plain(&self, a: &SimCt, p: &[f64]) -> Result<SimCt> {
         if a.degree != 1 {
-            return Err(BackendError::new("multcp: operand must be at waterline scale"));
+            return Err(BackendError::ScaleDegreeMismatch {
+                expected: 1,
+                got: a.degree,
+            });
         }
         if a.level < 1 {
-            return Err(BackendError::new("multcp: level must be >= 1"));
+            return Err(BackendError::LevelExhausted);
         }
         let pv = self.expand(p);
         let mut v: Vec<f64> = a.values.iter().zip(&pv).map(|(x, y)| x * y).collect();
         let sigma = self.noise.mult * 0.5;
         self.perturb(&mut v, sigma);
-        Ok(SimCt { values: v, level: a.level, degree: 2 })
+        Ok(SimCt {
+            values: v,
+            level: a.level,
+            degree: 2,
+        })
     }
 
-    fn negate(&mut self, a: &SimCt) -> Result<SimCt> {
-        Ok(SimCt { values: a.values.iter().map(|x| -x).collect(), ..a.clone() })
+    fn negate(&self, a: &SimCt) -> Result<SimCt> {
+        Ok(SimCt {
+            values: a.values.iter().map(|x| -x).collect(),
+            ..a.clone()
+        })
     }
 
-    fn rotate(&mut self, a: &SimCt, offset: i64) -> Result<SimCt> {
+    fn rotate(&self, a: &SimCt, offset: i64) -> Result<SimCt> {
         let n = a.values.len() as i64;
         let shift = offset.rem_euclid(n) as usize;
         let mut v: Vec<f64> = (0..a.values.len())
@@ -266,49 +316,71 @@ impl Backend for SimBackend {
             .collect();
         let sigma = self.noise.rotate;
         self.perturb(&mut v, sigma);
-        Ok(SimCt { values: v, level: a.level, degree: a.degree })
+        Ok(SimCt {
+            values: v,
+            level: a.level,
+            degree: a.degree,
+        })
     }
 
-    fn rescale(&mut self, a: &SimCt) -> Result<SimCt> {
+    fn rescale(&self, a: &SimCt) -> Result<SimCt> {
         if a.degree != 2 {
-            return Err(BackendError::new("rescale: operand must have scale degree 2"));
+            return Err(BackendError::ScaleDegreeMismatch {
+                expected: 2,
+                got: a.degree,
+            });
         }
         if a.level < 1 {
-            return Err(BackendError::new("rescale: level must be >= 1"));
+            return Err(BackendError::LevelExhausted);
         }
         let mut v = a.values.clone();
         let sigma = self.noise.rescale;
         self.perturb(&mut v, sigma);
-        Ok(SimCt { values: v, level: a.level - 1, degree: 1 })
+        Ok(SimCt {
+            values: v,
+            level: a.level - 1,
+            degree: 1,
+        })
     }
 
-    fn modswitch(&mut self, a: &SimCt, down: u32) -> Result<SimCt> {
-        if down == 0 || down > a.level {
-            return Err(BackendError::new(format!(
-                "modswitch: down={down} invalid at level {}",
-                a.level
-            )));
+    fn modswitch(&self, a: &SimCt, down: u32) -> Result<SimCt> {
+        if down == 0 {
+            return Err(BackendError::Unsupported("modswitch by zero levels".into()));
+        }
+        if down > a.level {
+            return Err(BackendError::LevelExhausted);
         }
         let mut v = a.values.clone();
         let sigma = self.noise.modswitch;
         self.perturb(&mut v, sigma);
-        Ok(SimCt { values: v, level: a.level - down, degree: a.degree })
+        Ok(SimCt {
+            values: v,
+            level: a.level - down,
+            degree: a.degree,
+        })
     }
 
-    fn bootstrap(&mut self, a: &SimCt, target: u32) -> Result<SimCt> {
+    fn bootstrap(&self, a: &SimCt, target: u32) -> Result<SimCt> {
         if a.degree != 1 {
-            return Err(BackendError::new("bootstrap: operand must be at waterline scale"));
+            return Err(BackendError::ScaleDegreeMismatch {
+                expected: 1,
+                got: a.degree,
+            });
         }
         if target == 0 || target > self.params.max_level {
-            return Err(BackendError::new(format!(
-                "bootstrap: target {target} outside 1..={}",
+            return Err(BackendError::Unsupported(format!(
+                "bootstrap target {target} outside 1..={}",
                 self.params.max_level
             )));
         }
         let mut v = a.values.clone();
         let sigma = self.noise.bootstrap;
         self.perturb(&mut v, sigma);
-        Ok(SimCt { values: v, level: target, degree: 1 })
+        Ok(SimCt {
+            values: v,
+            level: target,
+            degree: 1,
+        })
     }
 }
 
@@ -322,7 +394,7 @@ mod tests {
 
     #[test]
     fn encrypt_decrypt_roundtrip_exact() {
-        let mut b = backend();
+        let b = backend();
         let ct = b.encrypt(&[1.0, 2.0, 3.0], 16).unwrap();
         let out = b.decrypt(&ct).unwrap();
         assert_eq!(out.len(), 32);
@@ -333,7 +405,7 @@ mod tests {
 
     #[test]
     fn homomorphic_arithmetic_semantics() {
-        let mut b = backend();
+        let b = backend();
         let x = b.encrypt(&[2.0], 5).unwrap();
         let y = b.encrypt(&[3.0], 5).unwrap();
         let s = b.add(&x, &y).unwrap();
@@ -351,7 +423,7 @@ mod tests {
 
     #[test]
     fn plain_operand_ops() {
-        let mut b = backend();
+        let b = backend();
         let x = b.encrypt(&[2.0], 5).unwrap();
         let ap = b.add_plain(&x, &[10.0]).unwrap();
         assert_eq!(b.decrypt(&ap).unwrap()[0], 12.0);
@@ -364,7 +436,7 @@ mod tests {
 
     #[test]
     fn rotation_is_cyclic_left() {
-        let mut b = backend();
+        let b = backend();
         let vals: Vec<f64> = (0..32).map(f64::from).collect();
         let x = b.encrypt(&vals, 5).unwrap();
         let r = b.rotate(&x, 2).unwrap();
@@ -377,7 +449,7 @@ mod tests {
 
     #[test]
     fn level_constraints_enforced() {
-        let mut b = backend();
+        let b = backend();
         let x = b.encrypt(&[1.0], 5).unwrap();
         let y = b.encrypt(&[1.0], 4).unwrap();
         assert!(b.add(&x, &y).is_err());
@@ -393,7 +465,7 @@ mod tests {
 
     #[test]
     fn bootstrap_restores_level() {
-        let mut b = backend();
+        let b = backend();
         let x = b.encrypt(&[0.5], 1).unwrap();
         let r = b.bootstrap(&x, 16).unwrap();
         assert_eq!(b.level(&r), 16);
@@ -404,7 +476,7 @@ mod tests {
     fn noise_injection_is_deterministic_and_small() {
         let params = CkksParams::test_small();
         let run = || {
-            let mut b = SimBackend::new(params.clone());
+            let b = SimBackend::new(params.clone());
             let x = b.encrypt(&[1.0], 5).unwrap();
             let m = b.mult(&x, &x).unwrap();
             let r = b.rescale(&m).unwrap();

@@ -5,7 +5,17 @@
 //! inverse — turning cyclic convolution into negacyclic convolution.
 //! The transform itself is iterative radix-2 Cooley–Tukey.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use crate::toy::modular::{addmod, invmod, mulmod, primitive_root, submod};
+
+/// Cache key: `(ring degree, prime modulus)`.
+type TableKey = (usize, u64);
+
+/// Process-wide memoized tables: every scheme instance, key, and test
+/// sharing a `(N, p)` pair reuses one immutable table.
+static TABLE_CACHE: OnceLock<Mutex<HashMap<TableKey, Arc<NttTable>>>> = OnceLock::new();
 
 /// Precomputed twiddle tables for one `(N, p)` pair.
 #[derive(Debug, Clone)]
@@ -58,6 +68,22 @@ impl NttTable {
             omega_inv_pows: pow_table(omega_inv, n),
             n_inv: invmod(n as u64, p),
         }
+    }
+
+    /// The shared table for `(n, p)`, built at most once per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`NttTable::new`] would (non-power-of-two `n` or
+    /// `p ≢ 1 mod 2n`).
+    #[must_use]
+    pub fn shared(n: usize, p: u64) -> Arc<NttTable> {
+        let cache = TABLE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("NTT cache poisoned");
+        Arc::clone(
+            map.entry((n, p))
+                .or_insert_with(|| Arc::new(NttTable::new(n, p))),
+        )
     }
 
     /// In-place forward negacyclic NTT (coefficient → evaluation form).
@@ -165,9 +191,23 @@ mod tests {
         let mut fb = b.clone();
         t.forward(&mut fa);
         t.forward(&mut fb);
-        let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| mulmod(x, y, t.p)).collect();
+        let mut fc: Vec<u64> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(&x, &y)| mulmod(x, y, t.p))
+            .collect();
         t.inverse(&mut fc);
         assert_eq!(fc, want);
+    }
+
+    #[test]
+    fn shared_tables_are_memoized_per_process() {
+        let p = ntt_primes(1 << 40, 256, 1)[0];
+        let a = NttTable::shared(128, p);
+        let b = NttTable::shared(128, p);
+        assert!(Arc::ptr_eq(&a, &b), "same (n, p) must reuse one table");
+        let c = NttTable::shared(64, p);
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 
     #[test]

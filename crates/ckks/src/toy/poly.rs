@@ -1,8 +1,11 @@
 //! RNS polynomials: coefficient rows per prime, with NTT-form tracking.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::parallel;
 use crate::toy::modular::{addmod, invmod, is_prime, mulmod, submod};
 use crate::toy::ntt::NttTable;
 
@@ -17,8 +20,9 @@ pub struct RnsContext {
     pub primes: Vec<u64>,
     /// Index of the special prime (always `primes.len() − 1`).
     pub special: usize,
-    /// NTT tables, aligned with `primes`.
-    pub tables: Vec<NttTable>,
+    /// NTT tables, aligned with `primes` (shared process-wide per
+    /// `(n, p)` via [`NttTable::shared`]).
+    pub tables: Vec<Arc<NttTable>>,
 }
 
 /// Finds `count` NTT-friendly primes (`≡ 1 mod step`) as close to
@@ -63,8 +67,13 @@ impl RnsContext {
         let mut primes = vec![big[0]];
         primes.extend(level_primes);
         primes.push(big[1]);
-        let tables = primes.iter().map(|&p| NttTable::new(n, p)).collect();
-        RnsContext { n, primes, special: levels + 1, tables }
+        let tables = primes.iter().map(|&p| NttTable::shared(n, p)).collect();
+        RnsContext {
+            n,
+            primes,
+            special: levels + 1,
+            tables,
+        }
     }
 
     /// Number of residue rows for a ciphertext at `level` (base + level
@@ -131,12 +140,7 @@ impl RnsPoly {
     ///
     /// Panics if `coeffs.len() != N`.
     #[must_use]
-    pub fn from_i64(
-        ctx: &RnsContext,
-        coeffs: &[i64],
-        rows: usize,
-        with_special: bool,
-    ) -> RnsPoly {
+    pub fn from_i64(ctx: &RnsContext, coeffs: &[i64], rows: usize, with_special: bool) -> RnsPoly {
         let wide: Vec<i128> = coeffs.iter().map(|&c| i128::from(c)).collect();
         RnsPoly::from_i128(ctx, &wide, rows, with_special)
     }
@@ -156,47 +160,66 @@ impl RnsPoly {
     ) -> RnsPoly {
         assert_eq!(coeffs.len(), ctx.n);
         let mut p = RnsPoly::zero(ctx, rows, with_special, false);
-        for (row, &bi) in p.rows.iter_mut().zip(&p.basis) {
-            let q = ctx.primes[bi] as i128;
+        let work = p.work();
+        let basis = &p.basis;
+        parallel::par_for_each_indexed(&mut p.rows, work, |i, row| {
+            let q = ctx.primes[basis[i]] as i128;
             for (x, &c) in row.iter_mut().zip(coeffs) {
                 *x = (c.rem_euclid(q)) as u64;
             }
-        }
+        });
         p
     }
 
-    /// Converts to NTT form in place.
+    /// Total element count, the work measure for parallel dispatch.
+    fn work(&self) -> usize {
+        self.rows.len() * self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// Converts to NTT form in place (rows transform independently, in
+    /// parallel when large enough).
     pub fn to_ntt(&mut self, ctx: &RnsContext) {
         assert!(!self.ntt, "already in NTT form");
-        for (row, &bi) in self.rows.iter_mut().zip(&self.basis) {
-            ctx.tables[bi].forward(row);
-        }
+        let work = self.work();
+        let basis = &self.basis;
+        parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
+            ctx.tables[basis[i]].forward(row);
+        });
         self.ntt = true;
     }
 
     /// Converts to coefficient form in place.
     pub fn to_coeff(&mut self, ctx: &RnsContext) {
         assert!(self.ntt, "already in coefficient form");
-        for (row, &bi) in self.rows.iter_mut().zip(&self.basis) {
-            ctx.tables[bi].inverse(row);
-        }
+        let work = self.work();
+        let basis = &self.basis;
+        parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
+            ctx.tables[basis[i]].inverse(row);
+        });
         self.ntt = false;
     }
 
-    fn zip_with(&self, other: &RnsPoly, ctx: &RnsContext, f: impl Fn(u64, u64, u64) -> u64) -> RnsPoly {
+    fn zip_with(
+        &self,
+        other: &RnsPoly,
+        ctx: &RnsContext,
+        f: impl Fn(u64, u64, u64) -> u64 + Sync,
+    ) -> RnsPoly {
         assert_eq!(self.basis, other.basis, "basis mismatch");
         assert_eq!(self.ntt, other.ntt, "form mismatch");
-        let rows = self
-            .rows
-            .iter()
-            .zip(&other.rows)
-            .zip(&self.basis)
-            .map(|((a, b), &bi)| {
-                let q = ctx.primes[bi];
-                a.iter().zip(b).map(|(&x, &y)| f(x, y, q)).collect()
-            })
-            .collect();
-        RnsPoly { rows, basis: self.basis.clone(), ntt: self.ntt }
+        let rows = parallel::par_map_indexed(self.rows.len(), self.work(), |i| {
+            let q = ctx.primes[self.basis[i]];
+            self.rows[i]
+                .iter()
+                .zip(&other.rows[i])
+                .map(|(&x, &y)| f(x, y, q))
+                .collect()
+        });
+        RnsPoly {
+            rows,
+            basis: self.basis.clone(),
+            ntt: self.ntt,
+        }
     }
 
     /// Pointwise sum.
@@ -214,16 +237,18 @@ impl RnsPoly {
     /// Negation.
     #[must_use]
     pub fn neg(&self, ctx: &RnsContext) -> RnsPoly {
-        let rows = self
-            .rows
-            .iter()
-            .zip(&self.basis)
-            .map(|(a, &bi)| {
-                let q = ctx.primes[bi];
-                a.iter().map(|&x| if x == 0 { 0 } else { q - x }).collect()
-            })
-            .collect();
-        RnsPoly { rows, basis: self.basis.clone(), ntt: self.ntt }
+        let rows = parallel::par_map_indexed(self.rows.len(), self.work(), |i| {
+            let q = ctx.primes[self.basis[i]];
+            self.rows[i]
+                .iter()
+                .map(|&x| if x == 0 { 0 } else { q - x })
+                .collect()
+        });
+        RnsPoly {
+            rows,
+            basis: self.basis.clone(),
+            ntt: self.ntt,
+        }
     }
 
     /// Ring product (requires NTT form).
@@ -241,17 +266,16 @@ impl RnsPoly {
     #[must_use]
     pub fn mul_scalar_rows(&self, scalars: &[u64], ctx: &RnsContext) -> RnsPoly {
         assert_eq!(scalars.len(), self.basis.len());
-        let rows = self
-            .rows
-            .iter()
-            .zip(&self.basis)
-            .zip(scalars)
-            .map(|((a, &bi), &s)| {
-                let q = ctx.primes[bi];
-                a.iter().map(|&x| mulmod(x, s, q)).collect()
-            })
-            .collect();
-        RnsPoly { rows, basis: self.basis.clone(), ntt: self.ntt }
+        let rows = parallel::par_map_indexed(self.rows.len(), self.work(), |i| {
+            let q = ctx.primes[self.basis[i]];
+            let s = scalars[i];
+            self.rows[i].iter().map(|&x| mulmod(x, s, q)).collect()
+        });
+        RnsPoly {
+            rows,
+            basis: self.basis.clone(),
+            ntt: self.ntt,
+        }
     }
 
     /// Drops the top `k` level rows (exact modulus switching: the hidden
@@ -280,15 +304,22 @@ impl RnsPoly {
         let top_bi = self.basis.pop().expect("non-empty");
         let q_top = ctx.primes[top_bi];
         let half = q_top / 2;
-        for (row, &bi) in self.rows.iter_mut().zip(&self.basis) {
-            let q = ctx.primes[bi];
+        let work = self.work();
+        let basis = &self.basis;
+        let top = &top_row;
+        parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
+            let q = ctx.primes[basis[i]];
             let q_top_inv = invmod(q_top % q, q);
-            for (x, &t) in row.iter_mut().zip(&top_row) {
+            for (x, &t) in row.iter_mut().zip(top) {
                 // Centered lift of the top residue into this prime.
-                let t_centered = if t > half { submod(t % q, q_top % q, q) } else { t % q };
+                let t_centered = if t > half {
+                    submod(t % q, q_top % q, q)
+                } else {
+                    t % q
+                };
                 *x = mulmod(submod(*x, t_centered, q), q_top_inv, q);
             }
-        }
+        });
     }
 
     /// Reconstructs the centered integer coefficients from the first one
@@ -398,7 +429,7 @@ mod tests {
     fn rescale_divides_by_top_prime() {
         let c = ctx();
         let q_top = c.primes[2]; // rows = 3 → top is index 2
-        // Encode q_top · 7 so the division is exact.
+                                 // Encode q_top · 7 so the division is exact.
         let coeffs: Vec<i64> = (0..32)
             .map(|i| if i == 0 { (q_top as i64) * 7 } else { 0 })
             .collect();

@@ -13,11 +13,13 @@
 //! that keeps the implementation honest without a key-management layer.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::backend::{Backend, BackendError, Result};
+use crate::parallel;
 use crate::params::CkksParams;
 use crate::toy::encode::{apply_automorphism, Encoder};
 use crate::toy::modular::{invmod, mulmod, submod};
@@ -45,6 +47,10 @@ struct Ksk {
     a: RnsPoly,
 }
 
+/// A lazily generated key-switching key chain, shared by reference so
+/// concurrent ops never deep-copy key material.
+type SharedKsk = Arc<Vec<Ksk>>;
+
 /// Which secret the key switches *from* (always switching to `s`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum KeyKind {
@@ -55,6 +61,13 @@ enum KeyKind {
 }
 
 /// The exact toy RNS-CKKS backend. See the [module docs](self).
+///
+/// Evaluation ops take `&self`; the only mutable state — the encryption
+/// RNG and the lazily generated key cache — sits behind mutexes, so a
+/// `ToyBackend` can be shared across threads (`Arc<ToyBackend>`). Both
+/// locks are taken only on the calling thread, never inside the
+/// limb-parallel regions, which keeps the RNG stream (and therefore every
+/// ciphertext) bit-identical no matter how many worker threads run.
 #[derive(Debug)]
 pub struct ToyBackend {
     ctx: RnsContext,
@@ -62,8 +75,8 @@ pub struct ToyBackend {
     params: CkksParams,
     sk: Vec<i64>,
     sk_squared: Vec<i64>,
-    rng: StdRng,
-    keys: HashMap<(KeyKind, u32), Vec<Ksk>>,
+    rng: Mutex<StdRng>,
+    keys: Mutex<HashMap<(KeyKind, u32), SharedKsk>>,
 }
 
 impl ToyBackend {
@@ -81,8 +94,20 @@ impl ToyBackend {
         let mut rng = StdRng::seed_from_u64(seed);
         let sk: Vec<i64> = (0..n).map(|_| i64::from(rng.gen_range(-1i8..=1))).collect();
         let sk_squared = negacyclic_mul_i64(&sk, &sk);
-        let params = CkksParams { poly_degree: n, max_level, rf_bits: 40 };
-        ToyBackend { ctx, enc, params, sk, sk_squared, rng, keys: HashMap::new() }
+        let params = CkksParams {
+            poly_degree: n,
+            max_level,
+            rf_bits: 40,
+        };
+        ToyBackend {
+            ctx,
+            enc,
+            params,
+            sk,
+            sk_squared,
+            rng: Mutex::new(rng),
+            keys: Mutex::new(HashMap::new()),
+        }
     }
 
     fn rows(&self, level: u32) -> usize {
@@ -90,9 +115,14 @@ impl ToyBackend {
     }
 
     /// Small error polynomial (centered, σ ≈ 2).
-    fn error_coeffs(&mut self) -> Vec<i64> {
+    fn error_coeffs(&self) -> Vec<i64> {
+        let mut rng = self.rng.lock().expect("rng lock");
         (0..self.ctx.n)
-            .map(|_| (0..4).map(|_| i64::from(self.rng.gen_range(-1i8..=1))).sum::<i64>())
+            .map(|_| {
+                (0..4)
+                    .map(|_| i64::from(rng.gen_range(-1i8..=1)))
+                    .sum::<i64>()
+            })
             .collect()
     }
 
@@ -104,17 +134,26 @@ impl ToyBackend {
     }
 
     /// Fresh RLWE encryption of integer message coefficients.
-    fn rlwe_encrypt(&mut self, msg: &[i128], level: u32, scale: f64) -> ToyCt {
+    fn rlwe_encrypt(&self, msg: &[i128], level: u32, scale: f64) -> ToyCt {
         let rows = self.rows(level);
         let mut m = RnsPoly::from_i128(&self.ctx, msg, rows, false);
         m.to_ntt(&self.ctx);
         let e_coeffs = self.error_coeffs();
         let mut e = RnsPoly::from_i64(&self.ctx, &e_coeffs, rows, false);
         e.to_ntt(&self.ctx);
-        let a = RnsPoly::uniform(&self.ctx, rows, false, true, &mut self.rng);
+        let a = {
+            let mut rng = self.rng.lock().expect("rng lock");
+            RnsPoly::uniform(&self.ctx, rows, false, true, &mut rng)
+        };
         let s = self.sk_poly(rows, false);
         let c0 = m.add(&e, &self.ctx).sub(&a.mul(&s, &self.ctx), &self.ctx);
-        ToyCt { c0, c1: a, level, degree: 1, scale }
+        ToyCt {
+            c0,
+            c1: a,
+            level,
+            degree: 1,
+            scale,
+        }
     }
 
     /// Raw decryption to centered integer coefficients.
@@ -126,10 +165,13 @@ impl ToyBackend {
     }
 
     /// Lazily generates (and caches) the key-switching key for `kind` at
-    /// `level`.
-    fn ksk(&mut self, kind: KeyKind, level: u32) -> Vec<Ksk> {
-        if let Some(k) = self.keys.get(&(kind, level)) {
-            return k.clone();
+    /// `level`. The cache holds `Arc`s so hot ops share keys without deep
+    /// clones; the map lock is held across generation so the RNG draw
+    /// order stays deterministic even under concurrent callers.
+    fn ksk(&self, kind: KeyKind, level: u32) -> SharedKsk {
+        let mut keys = self.keys.lock().expect("key cache lock");
+        if let Some(k) = keys.get(&(kind, level)) {
+            return Arc::clone(k);
         }
         let w: Vec<i64> = match kind {
             KeyKind::Relin => self.sk_squared.clone(),
@@ -139,7 +181,10 @@ impl ToyBackend {
         let p_special = self.ctx.primes[self.ctx.special];
         let mut digits = Vec::with_capacity(rows);
         for j in 0..rows {
-            let a = RnsPoly::uniform(&self.ctx, rows, true, true, &mut self.rng);
+            let a = {
+                let mut rng = self.rng.lock().expect("rng lock");
+                RnsPoly::uniform(&self.ctx, rows, true, true, &mut rng)
+            };
             let e_coeffs = self.error_coeffs();
             let mut e = RnsPoly::from_i64(&self.ctx, &e_coeffs, rows, true);
             e.to_ntt(&self.ctx);
@@ -150,19 +195,28 @@ impl ToyBackend {
             let factors: Vec<u64> = w_poly
                 .basis
                 .iter()
-                .map(|&bi| if bi == j { p_special % self.ctx.primes[j] } else { 0 })
+                .map(|&bi| {
+                    if bi == j {
+                        p_special % self.ctx.primes[j]
+                    } else {
+                        0
+                    }
+                })
                 .collect();
             let payload = w_poly.mul_scalar_rows(&factors, &self.ctx);
-            let b = payload.add(&e, &self.ctx).sub(&a.mul(&s, &self.ctx), &self.ctx);
+            let b = payload
+                .add(&e, &self.ctx)
+                .sub(&a.mul(&s, &self.ctx), &self.ctx);
             digits.push(Ksk { b, a });
         }
-        self.keys.insert((kind, level), digits.clone());
+        let digits = Arc::new(digits);
+        keys.insert((kind, level), Arc::clone(&digits));
         digits
     }
 
     /// Switches `d` (NTT, level basis) from secret `w` to `s`, returning
     /// the additive pair `(k0, k1)` with `k0 + k1·s ≈ d·w`.
-    fn keyswitch(&mut self, d: &RnsPoly, kind: KeyKind, level: u32) -> (RnsPoly, RnsPoly) {
+    fn keyswitch(&self, d: &RnsPoly, kind: KeyKind, level: u32) -> (RnsPoly, RnsPoly) {
         let rows = self.rows(level);
         debug_assert_eq!(d.rows.len(), rows);
         let key = self.ksk(kind, level);
@@ -174,12 +228,14 @@ impl ToyBackend {
             // Lift digit j (residues < q_j) across the extended basis.
             let mut digit = RnsPoly::zero(&self.ctx, rows, true, false);
             let basis = digit.basis.clone();
-            for (row, &bi) in digit.rows.iter_mut().zip(&basis) {
-                let q = self.ctx.primes[bi];
-                for (x, &v) in row.iter_mut().zip(&d_coeff.rows[j]) {
+            let work = digit.rows.len() * self.ctx.n;
+            let src = &d_coeff.rows[j];
+            parallel::par_for_each_indexed(&mut digit.rows, work, |i, row| {
+                let q = self.ctx.primes[basis[i]];
+                for (x, &v) in row.iter_mut().zip(src) {
                     *x = v % q;
                 }
-            }
+            });
             digit.to_ntt(&self.ctx);
             acc0 = acc0.add(&digit.mul(&ksk.b, &self.ctx), &self.ctx);
             acc1 = acc1.add(&digit.mul(&ksk.a, &self.ctx), &self.ctx);
@@ -196,14 +252,21 @@ impl ToyBackend {
         debug_assert_eq!(sp_bi, self.ctx.special);
         let big_p = self.ctx.primes[self.ctx.special];
         let half = big_p / 2;
-        for (row, &bi) in p.rows.iter_mut().zip(&p.basis) {
-            let q = self.ctx.primes[bi];
+        let work = p.rows.len() * self.ctx.n;
+        let basis = p.basis.clone();
+        let sp = &sp_row;
+        parallel::par_for_each_indexed(&mut p.rows, work, |i, row| {
+            let q = self.ctx.primes[basis[i]];
             let p_inv = invmod(big_p % q, q);
-            for (x, &t) in row.iter_mut().zip(&sp_row) {
-                let t_mod = if t > half { submod(t % q, big_p % q, q) } else { t % q };
+            for (x, &t) in row.iter_mut().zip(sp) {
+                let t_mod = if t > half {
+                    submod(t % q, big_p % q, q)
+                } else {
+                    t % q
+                };
                 *x = mulmod(submod(*x, t_mod, q), p_inv, q);
             }
-        }
+        });
         p.to_ntt(&self.ctx);
         p
     }
@@ -271,21 +334,24 @@ impl Backend for ToyBackend {
         &self.params
     }
 
-    fn encrypt(&mut self, values: &[f64], level: u32) -> Result<ToyCt> {
+    fn encrypt(&self, values: &[f64], level: u32) -> Result<ToyCt> {
         if level > self.params.max_level {
-            return Err(BackendError::new(format!(
-                "encrypt: level {level} exceeds max {}",
+            return Err(BackendError::Unsupported(format!(
+                "encrypt at level {level} exceeds max {}",
                 self.params.max_level
             )));
         }
         if values.len() > self.enc.slots() {
-            return Err(BackendError::new("encrypt: too many values"));
+            return Err(BackendError::SlotOverflow {
+                len: values.len(),
+                slots: self.enc.slots(),
+            });
         }
         let coeffs = self.enc.encode(&self.expand(values), DELTA);
         Ok(self.rlwe_encrypt(&coeffs, level, DELTA))
     }
 
-    fn decrypt(&mut self, ct: &ToyCt) -> Result<Vec<f64>> {
+    fn decrypt(&self, ct: &ToyCt) -> Result<Vec<f64>> {
         let coeffs = self.rlwe_decrypt(ct);
         Ok(self.enc.decode(&coeffs, ct.scale))
     }
@@ -298,12 +364,18 @@ impl Backend for ToyBackend {
         ct.degree
     }
 
-    fn add(&mut self, a: &ToyCt, b: &ToyCt) -> Result<ToyCt> {
+    fn add(&self, a: &ToyCt, b: &ToyCt) -> Result<ToyCt> {
         if a.level != b.level {
-            return Err(BackendError::new("addcc: level mismatch"));
+            return Err(BackendError::LevelMismatch {
+                expected: a.level,
+                got: b.level,
+            });
         }
         if a.degree != b.degree {
-            return Err(BackendError::new("addcc: scale-degree mismatch"));
+            return Err(BackendError::ScaleDegreeMismatch {
+                expected: a.degree,
+                got: b.degree,
+            });
         }
         Ok(ToyCt {
             c0: a.c0.add(&b.c0, &self.ctx),
@@ -314,12 +386,18 @@ impl Backend for ToyBackend {
         })
     }
 
-    fn sub(&mut self, a: &ToyCt, b: &ToyCt) -> Result<ToyCt> {
+    fn sub(&self, a: &ToyCt, b: &ToyCt) -> Result<ToyCt> {
         if a.level != b.level {
-            return Err(BackendError::new("subcc: level mismatch"));
+            return Err(BackendError::LevelMismatch {
+                expected: a.level,
+                got: b.level,
+            });
         }
         if a.degree != b.degree {
-            return Err(BackendError::new("subcc: scale-degree mismatch"));
+            return Err(BackendError::ScaleDegreeMismatch {
+                expected: a.degree,
+                got: b.degree,
+            });
         }
         Ok(ToyCt {
             c0: a.c0.sub(&b.c0, &self.ctx),
@@ -330,29 +408,41 @@ impl Backend for ToyBackend {
         })
     }
 
-    fn add_plain(&mut self, a: &ToyCt, p: &[f64]) -> Result<ToyCt> {
+    fn add_plain(&self, a: &ToyCt, p: &[f64]) -> Result<ToyCt> {
         let m = self.encode_poly(p, a.c0.rows.len(), a.scale);
-        Ok(ToyCt { c0: a.c0.add(&m, &self.ctx), ..a.clone() })
+        Ok(ToyCt {
+            c0: a.c0.add(&m, &self.ctx),
+            ..a.clone()
+        })
     }
 
-    fn sub_plain(&mut self, a: &ToyCt, p: &[f64]) -> Result<ToyCt> {
+    fn sub_plain(&self, a: &ToyCt, p: &[f64]) -> Result<ToyCt> {
         let m = self.encode_poly(p, a.c0.rows.len(), a.scale);
-        Ok(ToyCt { c0: a.c0.sub(&m, &self.ctx), ..a.clone() })
+        Ok(ToyCt {
+            c0: a.c0.sub(&m, &self.ctx),
+            ..a.clone()
+        })
     }
 
-    fn mult(&mut self, a: &ToyCt, b: &ToyCt) -> Result<ToyCt> {
+    fn mult(&self, a: &ToyCt, b: &ToyCt) -> Result<ToyCt> {
         if a.level != b.level {
-            return Err(BackendError::new("multcc: level mismatch"));
+            return Err(BackendError::LevelMismatch {
+                expected: a.level,
+                got: b.level,
+            });
         }
         if a.degree != 1 || b.degree != 1 {
-            return Err(BackendError::new("multcc: operands must be at waterline scale"));
+            let got = if a.degree == 1 { b.degree } else { a.degree };
+            return Err(BackendError::ScaleDegreeMismatch { expected: 1, got });
         }
         if a.level < 1 {
-            return Err(BackendError::new("multcc: level must be >= 1"));
+            return Err(BackendError::LevelExhausted);
         }
         // Tensor (d0, d1, d2), then relinearize d2 back to rank 1.
         let d0 = a.c0.mul(&b.c0, &self.ctx);
-        let d1 = a.c0.mul(&b.c1, &self.ctx).add(&a.c1.mul(&b.c0, &self.ctx), &self.ctx);
+        let d1 =
+            a.c0.mul(&b.c1, &self.ctx)
+                .add(&a.c1.mul(&b.c0, &self.ctx), &self.ctx);
         let d2 = a.c1.mul(&b.c1, &self.ctx);
         let (k0, k1) = self.keyswitch(&d2, KeyKind::Relin, a.level);
         Ok(ToyCt {
@@ -364,12 +454,15 @@ impl Backend for ToyBackend {
         })
     }
 
-    fn mult_plain(&mut self, a: &ToyCt, p: &[f64]) -> Result<ToyCt> {
+    fn mult_plain(&self, a: &ToyCt, p: &[f64]) -> Result<ToyCt> {
         if a.degree != 1 {
-            return Err(BackendError::new("multcp: operand must be at waterline scale"));
+            return Err(BackendError::ScaleDegreeMismatch {
+                expected: 1,
+                got: a.degree,
+            });
         }
         if a.level < 1 {
-            return Err(BackendError::new("multcp: level must be >= 1"));
+            return Err(BackendError::LevelExhausted);
         }
         let m = self.encode_poly(p, a.c0.rows.len(), DELTA);
         Ok(ToyCt {
@@ -381,11 +474,15 @@ impl Backend for ToyBackend {
         })
     }
 
-    fn negate(&mut self, a: &ToyCt) -> Result<ToyCt> {
-        Ok(ToyCt { c0: a.c0.neg(&self.ctx), c1: a.c1.neg(&self.ctx), ..a.clone() })
+    fn negate(&self, a: &ToyCt) -> Result<ToyCt> {
+        Ok(ToyCt {
+            c0: a.c0.neg(&self.ctx),
+            c1: a.c1.neg(&self.ctx),
+            ..a.clone()
+        })
     }
 
-    fn rotate(&mut self, a: &ToyCt, offset: i64) -> Result<ToyCt> {
+    fn rotate(&self, a: &ToyCt, offset: i64) -> Result<ToyCt> {
         let t = self.enc.rotation_exponent(offset);
         if t == 1 {
             return Ok(a.clone());
@@ -413,12 +510,15 @@ impl Backend for ToyBackend {
         })
     }
 
-    fn rescale(&mut self, a: &ToyCt) -> Result<ToyCt> {
+    fn rescale(&self, a: &ToyCt) -> Result<ToyCt> {
         if a.degree != 2 {
-            return Err(BackendError::new("rescale: operand must have scale degree 2"));
+            return Err(BackendError::ScaleDegreeMismatch {
+                expected: 2,
+                got: a.degree,
+            });
         }
         if a.level < 1 {
-            return Err(BackendError::new("rescale: level must be >= 1"));
+            return Err(BackendError::LevelExhausted);
         }
         let mut c0 = a.c0.clone();
         let mut c1 = a.c1.clone();
@@ -428,26 +528,47 @@ impl Backend for ToyBackend {
             p.rescale_by_top(&self.ctx);
             p.to_ntt(&self.ctx);
         }
-        Ok(ToyCt { c0, c1, level: a.level - 1, degree: 1, scale: a.scale / q_top as f64 })
+        Ok(ToyCt {
+            c0,
+            c1,
+            level: a.level - 1,
+            degree: 1,
+            scale: a.scale / q_top as f64,
+        })
     }
 
-    fn modswitch(&mut self, a: &ToyCt, down: u32) -> Result<ToyCt> {
-        if down == 0 || down > a.level {
-            return Err(BackendError::new("modswitch: invalid down"));
+    fn modswitch(&self, a: &ToyCt, down: u32) -> Result<ToyCt> {
+        if down == 0 {
+            return Err(BackendError::Unsupported("modswitch by zero levels".into()));
+        }
+        if down > a.level {
+            return Err(BackendError::LevelExhausted);
         }
         let mut c0 = a.c0.clone();
         let mut c1 = a.c1.clone();
         c0.drop_top_rows(down as usize);
         c1.drop_top_rows(down as usize);
-        Ok(ToyCt { c0, c1, level: a.level - down, degree: a.degree, scale: a.scale })
+        Ok(ToyCt {
+            c0,
+            c1,
+            level: a.level - down,
+            degree: a.degree,
+            scale: a.scale,
+        })
     }
 
-    fn bootstrap(&mut self, a: &ToyCt, target: u32) -> Result<ToyCt> {
+    fn bootstrap(&self, a: &ToyCt, target: u32) -> Result<ToyCt> {
         if a.degree != 1 {
-            return Err(BackendError::new("bootstrap: operand must be at waterline scale"));
+            return Err(BackendError::ScaleDegreeMismatch {
+                expected: 1,
+                got: a.degree,
+            });
         }
         if target == 0 || target > self.params.max_level {
-            return Err(BackendError::new("bootstrap: target out of range"));
+            return Err(BackendError::Unsupported(format!(
+                "bootstrap target {target} outside 1..={}",
+                self.params.max_level
+            )));
         }
         // Documented substitution (DESIGN.md §4): level-restoring
         // re-encryption standing in for the EvalMod/CoeffToSlot circuit.
@@ -468,7 +589,7 @@ mod tests {
 
     #[test]
     fn encrypt_decrypt_roundtrip() {
-        let mut be = backend();
+        let be = backend();
         let values = vec![0.5, -1.25, 3.0, 0.0];
         let ct = be.encrypt(&values, 6).unwrap();
         let out = be.decrypt(&ct).unwrap();
@@ -481,7 +602,7 @@ mod tests {
 
     #[test]
     fn homomorphic_add_sub_negate() {
-        let mut be = backend();
+        let be = backend();
         let x = be.encrypt(&[2.0, -1.0], 4).unwrap();
         let y = be.encrypt(&[0.5, 3.0], 4).unwrap();
         let s = be.add(&x, &y).unwrap();
@@ -497,7 +618,7 @@ mod tests {
 
     #[test]
     fn plaintext_operands() {
-        let mut be = backend();
+        let be = backend();
         let x = be.encrypt(&[2.0, -1.0], 4).unwrap();
         let ap = be.add_plain(&x, &[10.0, 1.0]).unwrap();
         let out = be.decrypt(&ap).unwrap();
@@ -513,7 +634,7 @@ mod tests {
 
     #[test]
     fn ciphertext_multiplication_with_relinearization() {
-        let mut be = backend();
+        let be = backend();
         let x = be.encrypt(&[1.5, -2.0, 0.25], 4).unwrap();
         let y = be.encrypt(&[2.0, 0.5, 4.0], 4).unwrap();
         let m = be.mult(&x, &y).unwrap();
@@ -528,7 +649,7 @@ mod tests {
 
     #[test]
     fn deep_multiplication_chain_stays_accurate() {
-        let mut be = backend();
+        let be = backend();
         let mut v = be.encrypt(&[0.9], 6).unwrap();
         let mut want = 0.9f64;
         for _ in 0..5 {
@@ -543,14 +664,18 @@ mod tests {
 
     #[test]
     fn rotation_shifts_slots() {
-        let mut be = backend();
+        let be = backend();
         let values: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.1).collect();
         let x = be.encrypt(&values, 3).unwrap();
         let r = be.rotate(&x, 2).unwrap();
         let out = be.decrypt(&r).unwrap();
         for j in 0..16 {
             let want = values[(j + 2) % 16];
-            assert!((out[j] - want).abs() < 1e-5, "slot {j}: {} vs {want}", out[j]);
+            assert!(
+                (out[j] - want).abs() < 1e-5,
+                "slot {j}: {} vs {want}",
+                out[j]
+            );
         }
         // Negative rotation.
         let l = be.rotate(&x, -3).unwrap();
@@ -560,7 +685,7 @@ mod tests {
 
     #[test]
     fn modswitch_preserves_value() {
-        let mut be = backend();
+        let be = backend();
         let x = be.encrypt(&[1.234], 5).unwrap();
         let m = be.modswitch(&x, 3).unwrap();
         assert_eq!(be.level(&m), 2);
@@ -569,7 +694,7 @@ mod tests {
 
     #[test]
     fn bootstrap_restores_level_and_value() {
-        let mut be = backend();
+        let be = backend();
         let x = be.encrypt(&[0.77], 1).unwrap();
         let b = be.bootstrap(&x, 6).unwrap();
         assert_eq!(be.level(&b), 6);
@@ -578,7 +703,7 @@ mod tests {
 
     #[test]
     fn level_constraints_are_enforced() {
-        let mut be = backend();
+        let be = backend();
         let x = be.encrypt(&[1.0], 3).unwrap();
         let y = be.encrypt(&[1.0], 2).unwrap();
         assert!(be.add(&x, &y).is_err());
@@ -594,7 +719,7 @@ mod tests {
     fn sum_of_products_at_degree_2() {
         // addcc on two pending-rescale products, then one rescale —
         // exactly the lazy-waterline pattern the compiler emits.
-        let mut be = backend();
+        let be = backend();
         let a = be.encrypt(&[1.5], 4).unwrap();
         let b = be.encrypt(&[2.0], 4).unwrap();
         let c = be.encrypt(&[-0.5], 4).unwrap();

@@ -54,7 +54,10 @@ impl CompilerConfig {
     /// Whether this configuration applies level-aware unrolling.
     #[must_use]
     pub fn unrolls(self) -> bool {
-        matches!(self, CompilerConfig::PackingUnrolling | CompilerConfig::Halo)
+        matches!(
+            self,
+            CompilerConfig::PackingUnrolling | CompilerConfig::Halo
+        )
     }
 
     /// Whether this configuration tunes bootstrap target levels.
@@ -79,7 +82,10 @@ impl CompileOptions {
     /// Default options for the given parameters.
     #[must_use]
     pub fn new(params: CkksParams) -> CompileOptions {
-        CompileOptions { params, placement_filter: 96 }
+        CompileOptions {
+            params,
+            placement_filter: 96,
+        }
     }
 }
 

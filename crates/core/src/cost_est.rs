@@ -66,9 +66,7 @@ fn block_cost(f: &Function, block: BlockId, assumed: u64, cost: &CostModel) -> f
                 cost.latency_us(CostedOp::AddCP { level: level(0) })
                     + cost.latency_us(CostedOp::Encode)
             }
-            Opcode::Negate if cipher(0) => {
-                cost.latency_us(CostedOp::Negate { level: level(0) })
-            }
+            Opcode::Negate if cipher(0) => cost.latency_us(CostedOp::Negate { level: level(0) }),
             Opcode::Rotate { .. } if cipher(0) => {
                 cost.latency_us(CostedOp::Rotate { level: level(0) })
             }
@@ -97,9 +95,12 @@ mod tests {
         let mut b = FunctionBuilder::new("t", 8);
         let x = b.input_cipher("x");
         let w = b.input_cipher("w");
-        let r = b.for_loop(TripCount::dynamic("n"), &[w], 4, |b, a| {
-            vec![b.mul(a[0], x)]
-        });
+        let r = b.for_loop(
+            TripCount::dynamic("n"),
+            &[w],
+            4,
+            |b, a| vec![b.mul(a[0], x)],
+        );
         b.ret(&r);
         let mut f = b.finish();
         assign_levels(&mut f, &CompileOptions::new(CkksParams::test_small())).unwrap();
@@ -113,9 +114,12 @@ mod tests {
         let mut b = FunctionBuilder::new("t", 8);
         let x = b.input_cipher("x");
         let w = b.input_cipher("w");
-        let r = b.for_loop(TripCount::dynamic("n"), &[w], 4, |b, a| {
-            vec![b.mul(a[0], x)]
-        });
+        let r = b.for_loop(
+            TripCount::dynamic("n"),
+            &[w],
+            4,
+            |b, a| vec![b.mul(a[0], x)],
+        );
         b.ret(&r);
         let mut f = b.finish();
         assign_levels(&mut f, &CompileOptions::new(CkksParams::test_small())).unwrap();

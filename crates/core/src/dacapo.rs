@@ -87,9 +87,7 @@ mod tests {
         let mut b = FunctionBuilder::new("t", 8);
         let x = b.input_cipher("x");
         let w = b.input_cipher("w");
-        let r = b.for_loop(TripCount::Constant(4), &[w], 4, |b, a| {
-            vec![b.mul(a[0], x)]
-        });
+        let r = b.for_loop(TripCount::Constant(4), &[w], 4, |b, a| vec![b.mul(a[0], x)]);
         b.ret(&r);
         let mut f = b.finish();
         assert_eq!(full_unroll(&mut f).unwrap(), 1);
@@ -110,7 +108,11 @@ mod tests {
         });
         b.ret(&r);
         let mut f = b.finish();
-        assert_eq!(full_unroll(&mut f).unwrap(), 1 + 3, "outer once, 3 cloned inners");
+        assert_eq!(
+            full_unroll(&mut f).unwrap(),
+            1 + 3,
+            "outer once, 3 cloned inners"
+        );
         verify_traced(&f).unwrap();
         assert_eq!(f.count_ops(Opcode::is_mult), 6);
     }

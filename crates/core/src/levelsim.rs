@@ -103,7 +103,9 @@ pub fn plan_op(
             let v = op.operands[i];
             debug_assert_eq!(tys[i].degree, 2);
             debug_assert!(tys[i].level >= 1, "degree-2 values always have level >= 1");
-            cost_us += cost.latency_us(CostedOp::Rescale { level: tys[i].level });
+            cost_us += cost.latency_us(CostedOp::Rescale {
+                level: tys[i].level,
+            });
             let new_ty = CtType::cipher(tys[i].level - 1);
             for (j, &w) in op.operands.iter().enumerate() {
                 if w == v {
@@ -197,7 +199,9 @@ pub fn plan_op(
                 // rewrites them to CC forms; this is belt-and-braces).
                 vec![CtType::plain(0)]
             } else {
-                cost_us += cost.latency_us(CostedOp::AddCP { level: tys[0].level });
+                cost_us += cost.latency_us(CostedOp::AddCP {
+                    level: tys[0].level,
+                });
                 cost_us += cost.latency_us(CostedOp::Encode);
                 vec![tys[0]]
             }
@@ -212,14 +216,18 @@ pub fn plan_op(
                 if tys[0].level < 1 {
                     return Err(Underflow { op: op_id });
                 }
-                cost_us += cost.latency_us(CostedOp::MultCP { level: tys[0].level });
+                cost_us += cost.latency_us(CostedOp::MultCP {
+                    level: tys[0].level,
+                });
                 cost_us += cost.latency_us(CostedOp::Encode);
                 vec![CtType::cipher(tys[0].level).with_degree(2)]
             }
         }
         Opcode::Negate => {
             if tys[0].is_cipher() {
-                cost_us += cost.latency_us(CostedOp::Negate { level: tys[0].level });
+                cost_us += cost.latency_us(CostedOp::Negate {
+                    level: tys[0].level,
+                });
                 vec![tys[0]]
             } else {
                 vec![CtType::plain(0)]
@@ -227,7 +235,9 @@ pub fn plan_op(
         }
         Opcode::Rotate { .. } => {
             if tys[0].is_cipher() {
-                cost_us += cost.latency_us(CostedOp::Rotate { level: tys[0].level });
+                cost_us += cost.latency_us(CostedOp::Rotate {
+                    level: tys[0].level,
+                });
                 vec![tys[0]]
             } else {
                 vec![CtType::plain(0)]
@@ -237,7 +247,9 @@ pub fn plan_op(
             if tys[0].degree != 2 || tys[0].level < 1 {
                 return Err(Underflow { op: op_id });
             }
-            cost_us += cost.latency_us(CostedOp::Rescale { level: tys[0].level });
+            cost_us += cost.latency_us(CostedOp::Rescale {
+                level: tys[0].level,
+            });
             vec![CtType::cipher(tys[0].level - 1)]
         }
         Opcode::ModSwitch { down } => {
@@ -280,7 +292,11 @@ pub fn plan_op(
         Opcode::Yield | Opcode::Return => Vec::new(),
     };
 
-    Ok(StepPlan { coercions, result_tys, cost_us })
+    Ok(StepPlan {
+        coercions,
+        result_tys,
+        cost_us,
+    })
 }
 
 /// A pure type environment backed by the function's stored types plus an
@@ -295,7 +311,10 @@ impl<'f> SimTypes<'f> {
     /// Creates an environment reading base types from `f`.
     #[must_use]
     pub fn new(f: &'f Function) -> SimTypes<'f> {
-        SimTypes { f, map: HashMap::new() }
+        SimTypes {
+            f,
+            map: HashMap::new(),
+        }
     }
 
     /// Overrides the type of `v`.
@@ -355,11 +374,17 @@ pub fn sim_range(
                 cum.push(total);
             }
             Err(_) => {
-                return RangeSim { cum_cost: cum, underflow_at: Some(k) };
+                return RangeSim {
+                    cum_cost: cum,
+                    underflow_at: Some(k),
+                };
             }
         }
     }
-    RangeSim { cum_cost: cum, underflow_at: None }
+    RangeSim {
+        cum_cost: cum,
+        underflow_at: None,
+    }
 }
 
 #[cfg(test)]
@@ -446,7 +471,11 @@ mod tests {
         let ops = f.block(f.entry).ops.clone();
         let sim = sim_range(&f, &ops, &mut types, &cost(), 16);
         assert_eq!(sim.underflow_at, None);
-        assert_eq!(types.get(s), CtType::cipher(10).with_degree(2), "no rescale inserted");
+        assert_eq!(
+            types.get(s),
+            CtType::cipher(10).with_degree(2),
+            "no rescale inserted"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ use halo_ir::types::{CtType, Status};
 /// count, or windows exceeding the slot count.
 #[must_use]
 pub fn packable_indices(f: &Function, op_id: OpId) -> Option<Vec<usize>> {
-    let Opcode::For { body, num_elems, .. } = &f.op(op_id).opcode else {
+    let Opcode::For {
+        body, num_elems, ..
+    } = &f.op(op_id).opcode
+    else {
         return None;
     };
     let args = &f.block(*body).args;
@@ -88,7 +91,10 @@ fn mask_mul(
     let mask = f.insert_op1(
         block,
         *at,
-        Opcode::Const(ConstValue::Mask { lo: j * s, hi: (j + 1) * s }),
+        Opcode::Const(ConstValue::Mask {
+            lo: j * s,
+            hi: (j + 1) * s,
+        }),
         vec![],
         CtType::plain_unset(),
     );
@@ -108,7 +114,13 @@ fn mask_mul(
 fn add_tree(f: &mut Function, block: BlockId, at: &mut usize, mut vals: Vec<ValueId>) -> ValueId {
     let mut acc = vals.remove(0);
     for v in vals {
-        acc = f.insert_op1(block, *at, Opcode::AddCC, vec![acc, v], CtType::cipher_unset());
+        acc = f.insert_op1(
+            block,
+            *at,
+            Opcode::AddCC,
+            vec![acc, v],
+            CtType::cipher_unset(),
+        );
         *at += 1;
     }
     acc
@@ -129,12 +141,20 @@ fn replicate(
         let rot = f.insert_op1(
             block,
             *at,
-            Opcode::Rotate { offset: step as i64 },
+            Opcode::Rotate {
+                offset: step as i64,
+            },
             vec![v],
             CtType::cipher_unset(),
         );
         *at += 1;
-        v = f.insert_op1(block, *at, Opcode::AddCC, vec![v, rot], CtType::cipher_unset());
+        v = f.insert_op1(
+            block,
+            *at,
+            Opcode::AddCC,
+            vec![v, rot],
+            CtType::cipher_unset(),
+        );
         *at += 1;
         step *= 2;
     }
@@ -144,7 +164,11 @@ fn replicate(
 /// Packs one loop's cipher carried variables (`cipher_idx`, ≥ 2 entries).
 fn pack_one(f: &mut Function, block: BlockId, op_id: OpId, cipher_idx: &[usize]) {
     let (old_body, trip, num_elems) = match &f.op(op_id).opcode {
-        Opcode::For { body, trip, num_elems } => (*body, trip.clone(), *num_elems),
+        Opcode::For {
+            body,
+            trip,
+            num_elems,
+        } => (*body, trip.clone(), *num_elems),
         _ => unreachable!("pack_one on non-loop"),
     };
     let slots = f.slots;
@@ -152,8 +176,9 @@ fn pack_one(f: &mut Function, block: BlockId, op_id: OpId, cipher_idx: &[usize])
     let old_args = f.block(old_body).args.clone();
     let old_inits = f.op(op_id).operands.clone();
     let old_results = f.op(op_id).results.clone();
-    let plain_idx: Vec<usize> =
-        (0..old_args.len()).filter(|k| !cipher_idx.contains(k)).collect();
+    let plain_idx: Vec<usize> = (0..old_args.len())
+        .filter(|k| !cipher_idx.contains(k))
+        .collect();
 
     // --- Pack the inits in the parent block, before the loop. ---
     let mut at = f.position_in_block(block, op_id).expect("loop in block");
@@ -209,12 +234,18 @@ fn pack_one(f: &mut Function, block: BlockId, op_id: OpId, cipher_idx: &[usize])
     let new_for = f.insert_op(
         block,
         pos,
-        Opcode::For { trip, body: new_body, num_elems },
+        Opcode::For {
+            trip,
+            body: new_body,
+            num_elems,
+        },
         new_inits,
         &result_tys,
     );
     // Drop the old loop from the block (its body becomes unreachable).
-    let old_pos = f.position_in_block(block, op_id).expect("old loop still here");
+    let old_pos = f
+        .position_in_block(block, op_id)
+        .expect("old loop still here");
     f.block_mut(block).ops.remove(old_pos);
     let new_results = f.op(new_for).results.clone();
 
@@ -259,7 +290,11 @@ mod tests {
         verify_traced(&f).unwrap();
         let loop_op = f.loops_in_block(f.entry)[0];
         let body = f.for_body(loop_op);
-        assert_eq!(f.block(body).args.len(), 1, "single packed carried variable");
+        assert_eq!(
+            f.block(body).args.len(),
+            1,
+            "single packed carried variable"
+        );
         assert_eq!(f.op(loop_op).operands.len(), 1);
         // Unpack ladder: 2 windows × log2(16/4) = 2 rotates each in the
         // body head, plus the same after the loop.
@@ -272,7 +307,10 @@ mod tests {
         assert_eq!(body_rotates, 4);
         // Masks are multcp against Mask constants.
         let masks = f.count_ops(|o| matches!(o, Opcode::Const(ConstValue::Mask { .. })));
-        assert!(masks >= 6, "pack-in, unpack-in-body, pack-out, unpack-out masks: {masks}");
+        assert!(
+            masks >= 6,
+            "pack-in, unpack-in-body, pack-out, unpack-out masks: {masks}"
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub fn peel_loops(f: &mut Function) -> usize {
     fold_zero_trip_loops(f);
     loop {
         propagate_statuses(f);
-        let Some((block, op)) = find_peelable(f, f.entry, &already) else { break };
+        let Some((block, op)) = find_peelable(f, f.entry, &already) else {
+            break;
+        };
         peel_one(f, block, op);
         already.insert(op);
         total += 1;
@@ -48,11 +50,7 @@ pub fn peel_loops(f: &mut Function) -> usize {
 
 /// Finds the first not-yet-peeled loop (depth-first) with a
 /// plain-init/cipher-arg mismatch.
-fn find_peelable(
-    f: &Function,
-    block: BlockId,
-    already: &HashSet<OpId>,
-) -> Option<(BlockId, OpId)> {
+fn find_peelable(f: &Function, block: BlockId, already: &HashSet<OpId>) -> Option<(BlockId, OpId)> {
     for &op_id in &f.block(block).ops {
         if let Opcode::For { body, .. } = f.op(op_id).opcode {
             let op = f.op(op_id);
@@ -152,7 +150,9 @@ fn peel_one(f: &mut Function, block: BlockId, op_id: OpId) {
     for (&arg, &init) in args.iter().zip(&inits) {
         map.insert(arg, init);
     }
-    let pos = f.position_in_block(block, op_id).expect("loop in its block");
+    let pos = f
+        .position_in_block(block, op_id)
+        .expect("loop in its block");
     let yields = clone_body_ops(f, body, block, pos, &mut map);
 
     // The peeled iteration's yields become the loop's init args, and the
@@ -279,7 +279,10 @@ mod tests {
             .iter()
             .map(|&o| f.op(o).opcode.mnemonic())
             .collect();
-        assert!(entry_ops.contains(&"addcp"), "peeled add stays cp: {entry_ops:?}");
+        assert!(
+            entry_ops.contains(&"addcp"),
+            "peeled add stays cp: {entry_ops:?}"
+        );
         let body = f.for_body(f.loops_in_block(f.entry)[0]);
         let body_ops: Vec<_> = f
             .block(body)
@@ -287,7 +290,10 @@ mod tests {
             .iter()
             .map(|&o| f.op(o).opcode.mnemonic())
             .collect();
-        assert!(body_ops.contains(&"addcc"), "in-loop add normalized to cc: {body_ops:?}");
+        assert!(
+            body_ops.contains(&"addcc"),
+            "in-loop add normalized to cc: {body_ops:?}"
+        );
         assert!(!body_ops.contains(&"addcp"), "{body_ops:?}");
     }
 

@@ -56,17 +56,16 @@ pub fn compile(
     opts: &CompileOptions,
 ) -> Result<CompileResult, CompileError> {
     let start = Instant::now();
-    let mut f = src.clone();
-    let mut peeled = 0;
-    let mut packed = 0;
-    let mut unrolled = 0;
-    let mut tuned = 0;
 
-    match config {
+    // Each arm builds its own function from `src`, so nothing is cloned
+    // just to be thrown away.
+    let (mut f, peeled, packed, unrolled, tuned) = match config {
         CompilerConfig::DaCapo => {
+            let mut f = src.clone();
             full_unroll(&mut f)?;
             dce::run(&mut f);
             assign_levels(&mut f, opts)?;
+            (f, 0, 0, 0, 0)
         }
         _ => {
             // The loop-aware pipeline. Packing is *cost-aware*: packing
@@ -75,27 +74,28 @@ pub fn compile(
             // bodies (the paper's K-means observation, §7.1) — so when the
             // configuration packs, both variants are built and the
             // statically cheaper one wins (ties favor packing).
-            let build = |do_pack: bool| -> Result<(Function, usize, usize, usize, usize), CompileError> {
-                let mut f = src.clone();
-                let peeled = peel_loops(&mut f);
-                let mut unrolled = 0;
-                if config.unrolls() {
-                    unrolled = unroll_loops(&mut f, opts.params.max_level, do_pack);
-                }
-                let mut packed = 0;
-                if do_pack {
-                    packed = pack_loops(&mut f);
-                }
-                dce::run(&mut f);
-                assign_levels(&mut f, opts)?;
-                let mut tuned = 0;
-                if config.tunes() {
-                    tuned = tune_bootstrap_targets(&mut f);
-                    halo_ir::verify::verify_typed(&f, opts.params.max_level)?;
-                }
-                Ok((f, peeled, packed, unrolled, tuned))
-            };
-            let chosen = if config.packs() {
+            let build =
+                |do_pack: bool| -> Result<(Function, usize, usize, usize, usize), CompileError> {
+                    let mut f = src.clone();
+                    let peeled = peel_loops(&mut f);
+                    let mut unrolled = 0;
+                    if config.unrolls() {
+                        unrolled = unroll_loops(&mut f, opts.params.max_level, do_pack);
+                    }
+                    let mut packed = 0;
+                    if do_pack {
+                        packed = pack_loops(&mut f);
+                    }
+                    dce::run(&mut f);
+                    assign_levels(&mut f, opts)?;
+                    let mut tuned = 0;
+                    if config.tunes() {
+                        tuned = tune_bootstrap_targets(&mut f);
+                        halo_ir::verify::verify_typed(&f, opts.params.max_level)?;
+                    }
+                    Ok((f, peeled, packed, unrolled, tuned))
+                };
+            if config.packs() {
                 let with_pack = build(true)?;
                 if with_pack.2 == 0 {
                     // Nothing was packable; the variants are identical.
@@ -104,14 +104,17 @@ pub fn compile(
                     let without = build(false)?;
                     let cp = estimate_cost_us(&with_pack.0, ASSUMED_TRIPS);
                     let cu = estimate_cost_us(&without.0, ASSUMED_TRIPS);
-                    if cp <= cu { with_pack } else { without }
+                    if cp <= cu {
+                        with_pack
+                    } else {
+                        without
+                    }
                 }
             } else {
                 build(false)?
-            };
-            (f, peeled, packed, unrolled, tuned) = chosen;
+            }
         }
-    }
+    };
     dce::run(&mut f);
     halo_ir::verify::verify_typed(&f, opts.params.max_level)?;
 
@@ -223,8 +226,11 @@ mod tests {
         let mut dacapo_sizes = Vec::new();
         for n in [4u64, 8, 12] {
             let src = sample(TripCount::Constant(n));
-            dacapo_sizes
-                .push(code_size_bytes(&compile(&src, CompilerConfig::DaCapo, &opts()).unwrap().function));
+            dacapo_sizes.push(code_size_bytes(
+                &compile(&src, CompilerConfig::DaCapo, &opts())
+                    .unwrap()
+                    .function,
+            ));
         }
         assert!(
             dacapo_sizes[2] > dacapo_sizes[1] && dacapo_sizes[1] > dacapo_sizes[0],
@@ -238,7 +244,12 @@ mod tests {
         // HALO's size is a single constant for the dynamic-trip program —
         // the crossover vs DaCapo comes at larger iteration counts (the
         // paper uses 40; Table 7 is regenerated by the bench harness).
-        let halo = compile(&sample(TripCount::dynamic("n")), CompilerConfig::Halo, &opts()).unwrap();
+        let halo = compile(
+            &sample(TripCount::dynamic("n")),
+            CompilerConfig::Halo,
+            &opts(),
+        )
+        .unwrap();
         assert!(code_size_bytes(&halo.function) > 0);
     }
 }

@@ -173,7 +173,9 @@ fn plan_with_filter(
         .map(|w| {
             let lo = w * p / windows;
             let hi = ((w + 1) * p / windows).max(lo + 1);
-            (lo..hi).min_by_key(|&k| live_cipher[k].len()).expect("window non-empty")
+            (lo..hi)
+                .min_by_key(|&k| live_cipher[k].len())
+                .expect("window non-empty")
         })
         .collect();
     candidates.dedup();
@@ -200,7 +202,11 @@ fn plan_with_filter(
     let entry_reach = entry_sim.underflow_at.unwrap_or(p);
 
     let mut dp: Vec<Option<(f64, Option<usize>)>> = vec![None; p + 1];
-    let positions: Vec<usize> = candidates.iter().copied().chain(std::iter::once(p)).collect();
+    let positions: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .chain(std::iter::once(p))
+        .collect();
     for &j in &positions {
         if j <= entry_reach {
             dp[j] = Some((entry_sim.cum_cost[j], None));
@@ -272,7 +278,10 @@ fn insert_reset(
             at,
             Opcode::Bootstrap { target: max_level },
             vec![v],
-            &[CtType { status: Status::Cipher, ..CtType::cipher_unset() }],
+            &[CtType {
+                status: Status::Cipher,
+                ..CtType::cipher_unset()
+            }],
         );
         at += 1;
         let new_v = f.op(bs).results[0];

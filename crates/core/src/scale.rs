@@ -138,9 +138,15 @@ fn apply_plan(
                 let v3 = f.insert_op1(
                     block,
                     i,
-                    Opcode::ModSwitch { down: t.level - target },
+                    Opcode::ModSwitch {
+                        down: t.level - target,
+                    },
                     vec![cur],
-                    CtType { status: Status::Cipher, level: target, degree: t.degree },
+                    CtType {
+                        status: Status::Cipher,
+                        level: target,
+                        degree: t.degree,
+                    },
                 );
                 i += 1;
                 // Per-use: rewrite only this op's operand slot.
@@ -157,12 +163,7 @@ fn apply_plan(
 
 /// Coerces the value at `block[.. pos]`'s scope to `(floor, degree 1)`,
 /// inserting ops at `pos` and returning `(new_value, ops_inserted)`.
-fn coerce_to_floor(
-    f: &mut Function,
-    block: BlockId,
-    pos: usize,
-    v: ValueId,
-) -> (ValueId, usize) {
+fn coerce_to_floor(f: &mut Function, block: BlockId, pos: usize, v: ValueId) -> (ValueId, usize) {
     let mut cur = v;
     let mut inserted = 0usize;
     let t = f.ty(cur);
@@ -182,7 +183,9 @@ fn coerce_to_floor(
         cur = f.insert_op1(
             block,
             pos + inserted,
-            Opcode::ModSwitch { down: t.level - FLOOR_LEVEL },
+            Opcode::ModSwitch {
+                down: t.level - FLOOR_LEVEL,
+            },
             vec![cur],
             CtType::cipher(FLOOR_LEVEL),
         );
@@ -208,7 +211,13 @@ fn materialize_loop(
     for li in live_ins(f, body) {
         let t = f.ty(li);
         if t.status == Status::Cipher && t.degree == 2 {
-            let v2 = f.insert_op1(block, i, Opcode::Rescale, vec![li], CtType::cipher(t.level - 1));
+            let v2 = f.insert_op1(
+                block,
+                i,
+                Opcode::Rescale,
+                vec![li],
+                CtType::cipher(t.level - 1),
+            );
             i += 1;
             replace_uses_from(f, block, i, li, v2);
         }
@@ -272,7 +281,9 @@ fn materialize_loop(
         f.set_ty(r, t);
     }
 
-    Ok(f.position_in_block(block, op_id).expect("loop op still in block") + 1)
+    Ok(f.position_in_block(block, op_id)
+        .expect("loop op still in block")
+        + 1)
 }
 
 #[cfg(test)]
@@ -387,7 +398,10 @@ mod tests {
         // possibly one after the inner loop (its result is at level 0 and
         // is multiplied afterwards).
         let boots = f.count_ops(|o| matches!(o, Opcode::Bootstrap { .. }));
-        assert!(boots >= 3, "outer head + inner head + post-inner, got {boots}");
+        assert!(
+            boots >= 3,
+            "outer head + inner head + post-inner, got {boots}"
+        );
     }
 
     #[test]

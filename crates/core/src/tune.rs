@@ -157,11 +157,13 @@ pub fn tune_bootstrap_targets(f: &mut Function) -> usize {
                     let t = f.ty(res);
                     f.set_ty(res, t.at_level(t.level - delta));
                 }
-                OtherSide::Insert { consumer, operand_index } => {
+                OtherSide::Insert {
+                    consumer,
+                    operand_index,
+                } => {
                     let v = f.op(consumer).operands[operand_index];
                     let t = f.ty(v);
-                    let (block, pos) = find_op(f, consumer)
-                        .expect("consumer op reachable");
+                    let (block, pos) = find_op(f, consumer).expect("consumer op reachable");
                     let ms = f.insert_op1(
                         block,
                         pos,
@@ -202,7 +204,9 @@ fn elide_bootstraps(f: &mut Function, block: BlockId) -> usize {
                     let pos = f.position_in_block(block, op_id).expect("op in block");
                     f.block_mut(block).ops.remove(pos);
                 } else {
-                    f.op_mut(op_id).opcode = Opcode::ModSwitch { down: t.level - target };
+                    f.op_mut(op_id).opcode = Opcode::ModSwitch {
+                        down: t.level - target,
+                    };
                 }
                 elided += 1;
             }
@@ -323,12 +327,7 @@ fn analyze_block(
     }
 }
 
-fn mark(
-    groups: &mut Groups,
-    group_of: &mut HashMap<ValueId, usize>,
-    g: usize,
-    v: ValueId,
-) {
+fn mark(groups: &mut Groups, group_of: &mut HashMap<ValueId, usize>, g: usize, v: ValueId) {
     let r = groups.find(g);
     groups.affected[r].push(v);
     group_of.insert(v, r);

@@ -92,7 +92,11 @@ pub fn unroll_factor(
 /// original body (trip `n mod factor`).
 fn unroll_one(f: &mut Function, block: BlockId, op_id: OpId, factor: u64) {
     let (old_body, trip, num_elems) = match &f.op(op_id).opcode {
-        Opcode::For { body, trip, num_elems } => (*body, trip.clone(), *num_elems),
+        Opcode::For {
+            body,
+            trip,
+            num_elems,
+        } => (*body, trip.clone(), *num_elems),
         _ => unreachable!(),
     };
     let (main_trip, epi_trip) = trip.split_for_unroll(factor);
@@ -109,8 +113,11 @@ fn unroll_one(f: &mut Function, block: BlockId, op_id: OpId, factor: u64) {
         })
         .collect();
     for _ in 0..factor {
-        let mut map: HashMap<_, _> =
-            old_args.iter().copied().zip(carried.iter().copied()).collect();
+        let mut map: HashMap<_, _> = old_args
+            .iter()
+            .copied()
+            .zip(carried.iter().copied())
+            .collect();
         let at = f.block(new_body).ops.len();
         carried = clone_body_ops(f, old_body, new_body, at, &mut map);
     }
@@ -137,7 +144,11 @@ fn unroll_one(f: &mut Function, block: BlockId, op_id: OpId, factor: u64) {
         let epi = f.insert_op(
             block,
             pos + 1,
-            Opcode::For { trip: epi_trip, body: epi_body, num_elems },
+            Opcode::For {
+                trip: epi_trip,
+                body: epi_body,
+                num_elems,
+            },
             main_results.clone(),
             &result_tys,
         );

@@ -61,7 +61,11 @@ fn collect_block(
 /// terminated block, since the terminator's operands are handled like any
 /// op's).
 #[must_use]
-pub fn liveness(f: &Function, block: BlockId, live_out: &HashSet<ValueId>) -> Vec<HashSet<ValueId>> {
+pub fn liveness(
+    f: &Function,
+    block: BlockId,
+    live_out: &HashSet<ValueId>,
+) -> Vec<HashSet<ValueId>> {
     let ops = &f.block(block).ops;
     let mut live = vec![HashSet::new(); ops.len() + 1];
     live[ops.len()] = live_out.clone();
@@ -328,14 +332,24 @@ mod tests {
             vec![],
             crate::types::CtType::cipher_unset(),
         );
-        let m1 = f.push_op1(e, Opcode::MultCC, vec![x, x], crate::types::CtType::cipher_unset());
+        let m1 = f.push_op1(
+            e,
+            Opcode::MultCC,
+            vec![x, x],
+            crate::types::CtType::cipher_unset(),
+        );
         let bs = f.push_op1(
             e,
             Opcode::Bootstrap { target: 16 },
             vec![m1],
             crate::types::CtType::cipher_unset(),
         );
-        let m2 = f.push_op1(e, Opcode::MultCC, vec![bs, bs], crate::types::CtType::cipher_unset());
+        let m2 = f.push_op1(
+            e,
+            Opcode::MultCC,
+            vec![bs, bs],
+            crate::types::CtType::cipher_unset(),
+        );
         f.push_op(e, Opcode::Return, vec![m2], &[]);
         let d = mult_depth(&f, e);
         assert_eq!(d[&m1], 1);

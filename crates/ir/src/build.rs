@@ -32,7 +32,10 @@ impl FunctionBuilder {
     pub fn new(name: impl Into<String>, slots: usize) -> FunctionBuilder {
         let func = Function::new(name, slots);
         let entry = func.entry;
-        FunctionBuilder { func, stack: vec![entry] }
+        FunctionBuilder {
+            func,
+            stack: vec![entry],
+        }
     }
 
     fn cur(&self) -> BlockId {
@@ -108,7 +111,10 @@ impl FunctionBuilder {
         let (sa, sb) = (self.status(a), self.status(b));
         let joined = sa.join(sb);
         let block = self.cur();
-        let ty = CtType { status: joined, ..CtType::cipher_unset() };
+        let ty = CtType {
+            status: joined,
+            ..CtType::cipher_unset()
+        };
         match (sa, sb) {
             // Same status on both sides: the "CC" opcode covers both the
             // cipher–cipher and the (trace-time-resident) plain–plain case.
@@ -135,7 +141,10 @@ impl FunctionBuilder {
             return self.arith2(Opcode::AddCC, Opcode::AddCP, neg, a);
         }
         let block = self.cur();
-        let ty = CtType { status: sa.join(sb), ..CtType::cipher_unset() };
+        let ty = CtType {
+            status: sa.join(sb),
+            ..CtType::cipher_unset()
+        };
         match (sa, sb) {
             (Status::Cipher, Status::Plain) => {
                 self.func.push_op1(block, Opcode::SubCP, vec![a, b], ty)
@@ -152,15 +161,22 @@ impl FunctionBuilder {
     /// Negation (sign flip; level-free).
     pub fn negate(&mut self, a: ValueId) -> ValueId {
         let block = self.cur();
-        let ty = CtType { status: self.status(a), ..CtType::cipher_unset() };
+        let ty = CtType {
+            status: self.status(a),
+            ..CtType::cipher_unset()
+        };
         self.func.push_op1(block, Opcode::Negate, vec![a], ty)
     }
 
     /// Cyclic slot rotation by `offset` (positive = left).
     pub fn rotate(&mut self, a: ValueId, offset: i64) -> ValueId {
         let block = self.cur();
-        let ty = CtType { status: self.status(a), ..CtType::cipher_unset() };
-        self.func.push_op1(block, Opcode::Rotate { offset }, vec![a], ty)
+        let ty = CtType {
+            status: self.status(a),
+            ..CtType::cipher_unset()
+        };
+        self.func
+            .push_op1(block, Opcode::Rotate { offset }, vec![a], ty)
     }
 
     /// Sums the first `width` slots into every slot via a rotate-add ladder
@@ -170,7 +186,10 @@ impl FunctionBuilder {
     ///
     /// Panics if `width` is not a power of two.
     pub fn rotate_sum(&mut self, a: ValueId, width: usize) -> ValueId {
-        assert!(width.is_power_of_two(), "rotate_sum width must be a power of two");
+        assert!(
+            width.is_power_of_two(),
+            "rotate_sum width must be a power of two"
+        );
         let mut acc = a;
         let mut step = 1usize;
         while step < width {
@@ -204,7 +223,10 @@ impl FunctionBuilder {
         let mut args = Vec::with_capacity(inits.len());
         for &init in inits {
             let name = self.func.value(init).name.clone();
-            let ty = CtType { status: self.status(init), ..CtType::cipher_unset() };
+            let ty = CtType {
+                status: self.status(init),
+                ..CtType::cipher_unset()
+            };
             args.push(self.func.add_block_arg(body, ty, name));
         }
         self.stack.push(body);
@@ -228,7 +250,11 @@ impl FunctionBuilder {
         let block = self.cur();
         let op = self.func.push_op(
             block,
-            Opcode::For { trip, body, num_elems },
+            Opcode::For {
+                trip,
+                body,
+                num_elems,
+            },
             inits.to_vec(),
             &result_tys,
         );
@@ -238,8 +264,12 @@ impl FunctionBuilder {
     /// Terminates the function, declaring its outputs.
     pub fn ret(&mut self, outputs: &[ValueId]) {
         let block = self.cur();
-        assert_eq!(block, self.func.entry, "ret must be called at the top level");
-        self.func.push_op(block, Opcode::Return, outputs.to_vec(), &[]);
+        assert_eq!(
+            block, self.func.entry,
+            "ret must be called at the top level"
+        );
+        self.func
+            .push_op(block, Opcode::Return, outputs.to_vec(), &[]);
     }
 
     /// Finishes tracing and returns the function.
@@ -330,10 +360,7 @@ mod tests {
         assert_eq!(f.block(body).ops.len(), 3);
         assert!(f.terminator(body).is_some());
         // Carried-variable name propagates to the body argument.
-        assert_eq!(
-            f.value(f.block(body).args[0]).name.as_deref(),
-            Some("w")
-        );
+        assert_eq!(f.value(f.block(body).args[0]).name.as_deref(), Some("w"));
     }
 
     #[test]

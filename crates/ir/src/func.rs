@@ -163,12 +163,7 @@ impl Function {
     }
 
     /// Adds an argument of type `ty` to `block`, returning its value.
-    pub fn add_block_arg(
-        &mut self,
-        block: BlockId,
-        ty: CtType,
-        name: Option<String>,
-    ) -> ValueId {
+    pub fn add_block_arg(&mut self, block: BlockId, ty: CtType, name: Option<String>) -> ValueId {
         let index = self.blocks[block.0 as usize].args.len();
         let v = self.new_value(ValueKind::BlockArg { block, index }, ty, name);
         self.blocks[block.0 as usize].args.push(v);
@@ -193,7 +188,11 @@ impl Function {
         for (i, ty) in result_tys.iter().enumerate() {
             results.push(self.new_value(ValueKind::OpResult { op: id, index: i }, *ty, None));
         }
-        self.ops.push(Op { opcode, operands, results });
+        self.ops.push(Op {
+            opcode,
+            operands,
+            results,
+        });
         id
     }
 
@@ -277,7 +276,10 @@ impl Function {
     /// Position of op `op` within `block`, if present.
     #[must_use]
     pub fn position_in_block(&self, block: BlockId, op: OpId) -> Option<usize> {
-        self.blocks[block.0 as usize].ops.iter().position(|&o| o == op)
+        self.blocks[block.0 as usize]
+            .ops
+            .iter()
+            .position(|&o| o == op)
     }
 
     /// All `For` ops directly inside `block` (non-recursive), in order.
@@ -403,9 +405,7 @@ impl Function {
     #[must_use]
     pub fn outputs(&self) -> Vec<ValueId> {
         match self.terminator(self.entry) {
-            Some(t) if matches!(self.op(t).opcode, Opcode::Return) => {
-                self.op(t).operands.clone()
-            }
+            Some(t) if matches!(self.op(t).opcode, Opcode::Return) => self.op(t).operands.clone(),
             _ => Vec::new(),
         }
     }
@@ -487,7 +487,11 @@ mod tests {
         f.push_op(body, Opcode::Yield, vec![w2], &[]);
         let fo = f.push_op(
             e,
-            Opcode::For { trip: TripCount::Constant(3), body, num_elems: 4 },
+            Opcode::For {
+                trip: TripCount::Constant(3),
+                body,
+                num_elems: 4,
+            },
             vec![x],
             &[CtType::cipher_unset()],
         );

@@ -27,7 +27,11 @@ impl TripCount {
     /// A plain dynamic trip count reading symbol `sym`.
     #[must_use]
     pub fn dynamic(sym: impl Into<String>) -> TripCount {
-        TripCount::Dynamic { sym: sym.into(), add: 0, div: 1 }
+        TripCount::Dynamic {
+            sym: sym.into(),
+            add: 0,
+            div: 1,
+        }
     }
 
     /// Whether the trip count is known at compile time.
@@ -64,7 +68,11 @@ impl TripCount {
             TripCount::Constant(n) => TripCount::Constant(n.saturating_sub(1)),
             TripCount::Dynamic { sym, add, div } => {
                 debug_assert_eq!(*div, 1, "peel before unroll");
-                TripCount::Dynamic { sym: sym.clone(), add: add - 1, div: *div }
+                TripCount::Dynamic {
+                    sym: sym.clone(),
+                    add: add - 1,
+                    div: *div,
+                }
             }
             TripCount::DynamicRem { .. } => {
                 unreachable!("epilogue loops are never peeled")
@@ -83,14 +91,23 @@ impl TripCount {
     pub fn split_for_unroll(&self, factor: u64) -> (TripCount, TripCount) {
         assert!(factor > 0, "unroll factor must be positive");
         match self {
-            TripCount::Constant(n) => {
-                (TripCount::Constant(n / factor), TripCount::Constant(n % factor))
-            }
+            TripCount::Constant(n) => (
+                TripCount::Constant(n / factor),
+                TripCount::Constant(n % factor),
+            ),
             TripCount::Dynamic { sym, add, div } => {
                 assert_eq!(*div, 1, "cannot unroll an already-divided trip count");
                 (
-                    TripCount::Dynamic { sym: sym.clone(), add: *add, div: factor },
-                    TripCount::DynamicRem { sym: sym.clone(), add: *add, div: factor },
+                    TripCount::Dynamic {
+                        sym: sym.clone(),
+                        add: *add,
+                        div: factor,
+                    },
+                    TripCount::DynamicRem {
+                        sym: sym.clone(),
+                        add: *add,
+                        div: factor,
+                    },
                 )
             }
             TripCount::DynamicRem { .. } => panic!("cannot unroll an epilogue loop"),
@@ -201,7 +218,11 @@ pub enum Opcode {
     /// `body` holds one block whose args are the loop-carried variables and
     /// whose terminator is `Yield`. `num_elems` is the programmer-declared
     /// valid element count per carried ciphertext (packing input, §6.1).
-    For { trip: TripCount, body: BlockId, num_elems: usize },
+    For {
+        trip: TripCount,
+        body: BlockId,
+        num_elems: usize,
+    },
     /// Loop-body terminator; operands become the next iteration's args.
     Yield,
     /// Function terminator; operands are the program outputs.

@@ -46,7 +46,11 @@ fn print_block(f: &Function, block: BlockId, indent: usize, out: &mut String) {
                 };
                 let _ = writeln!(out, "{pad}{lhs}const {desc} : {}", f.ty(op.results[0]));
             }
-            Opcode::For { trip, num_elems, body } => {
+            Opcode::For {
+                trip,
+                num_elems,
+                body,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}{lhs}for {trip} iters, elems={num_elems}, init({}) {{",
@@ -98,7 +102,10 @@ fn print_block(f: &Function, block: BlockId, indent: usize, out: &mut String) {
                     "{pad}{lhs}{} {} : {}",
                     op.opcode.mnemonic(),
                     operands.join(", "),
-                    op.results.first().map(|&r| f.ty(r).to_string()).unwrap_or_default()
+                    op.results
+                        .first()
+                        .map(|&r| f.ty(r).to_string())
+                        .unwrap_or_default()
                 );
             }
         }

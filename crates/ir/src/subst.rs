@@ -40,9 +40,17 @@ pub fn clone_body_ops(
             .map(|&v| map.get(&v).copied().unwrap_or(v))
             .collect();
         let opcode = match &op.opcode {
-            Opcode::For { trip, body, num_elems } => {
+            Opcode::For {
+                trip,
+                body,
+                num_elems,
+            } => {
                 let new_body = deep_clone_block(f, *body, map);
-                Opcode::For { trip: trip.clone(), body: new_body, num_elems: *num_elems }
+                Opcode::For {
+                    trip: trip.clone(),
+                    body: new_body,
+                    num_elems: *num_elems,
+                }
             }
             other => other.clone(),
         };

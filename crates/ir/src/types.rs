@@ -83,13 +83,21 @@ impl CtType {
     /// A ciphertext type at the given level with waterline scale.
     #[must_use]
     pub fn cipher(level: Level) -> CtType {
-        CtType { status: Status::Cipher, level, degree: 1 }
+        CtType {
+            status: Status::Cipher,
+            level,
+            degree: 1,
+        }
     }
 
     /// A plaintext type (encoded at the given level, waterline scale).
     #[must_use]
     pub fn plain(level: Level) -> CtType {
-        CtType { status: Status::Plain, level, degree: 1 }
+        CtType {
+            status: Status::Plain,
+            level,
+            degree: 1,
+        }
     }
 
     /// A freshly traced ciphertext with no level assigned yet.

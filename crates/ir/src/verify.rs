@@ -39,7 +39,10 @@ impl fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 fn err<T>(op: OpId, message: impl Into<String>) -> Result<T, VerifyError> {
-    Err(VerifyError { op: Some(op), message: message.into() })
+    Err(VerifyError {
+        op: Some(op),
+        message: message.into(),
+    })
 }
 
 /// Verifies structure and encryption status of a traced program.
@@ -49,7 +52,12 @@ fn err<T>(op: OpId, message: impl Into<String>) -> Result<T, VerifyError> {
 /// Returns the first violation found (use-before-def, missing terminator,
 /// loop arity mismatch, wrong operand status for an opcode, …).
 pub fn verify_traced(f: &Function) -> Result<(), VerifyError> {
-    Verifier { f, check_levels: false, max_level: 0 }.run()
+    Verifier {
+        f,
+        check_levels: false,
+        max_level: 0,
+    }
+    .run()
 }
 
 /// Verifies a fully typed (scale-managed) program against `max_level` (the
@@ -61,7 +69,12 @@ pub fn verify_traced(f: &Function) -> Result<(), VerifyError> {
 /// level, a level/degree rule violation, or a loop whose boundary types are
 /// not matched.
 pub fn verify_typed(f: &Function, max_level: Level) -> Result<(), VerifyError> {
-    Verifier { f, check_levels: true, max_level }.run()
+    Verifier {
+        f,
+        check_levels: true,
+        max_level,
+    }
+    .run()
 }
 
 struct Verifier<'a> {
@@ -104,10 +117,7 @@ impl<'a> Verifier<'a> {
             let op = self.f.op(op_id);
             for &operand in &op.operands {
                 if !defined.contains(&operand) {
-                    return err(
-                        op_id,
-                        format!("operand {operand} used before definition"),
-                    );
+                    return err(op_id, format!("operand {operand} used before definition"));
                 }
             }
             let is_last = i + 1 == ops.len();
@@ -217,10 +227,16 @@ impl<'a> Verifier<'a> {
                     let rt = self.ty(op.results[0]);
                     if op.opcode.is_mult() {
                         if ta.degree != 1 || tb.degree != 1 {
-                            return err(op_id, "multcc operands must be at waterline scale (degree 1)");
+                            return err(
+                                op_id,
+                                "multcc operands must be at waterline scale (degree 1)",
+                            );
                         }
                         if ta.level < 1 {
-                            return err(op_id, "multcc requires level >= 1 (a rescale must remain possible)");
+                            return err(
+                                op_id,
+                                "multcc requires level >= 1 (a rescale must remain possible)",
+                            );
                         }
                         if rt.level != ta.level || rt.degree != 2 {
                             return err(op_id, "multcc result must keep level and have degree 2");
@@ -264,7 +280,10 @@ impl<'a> Verifier<'a> {
                     let rt = self.ty(op.results[0]);
                     if op.opcode.is_mult() {
                         if ta.degree != 1 {
-                            return err(op_id, "multcp operand must be at waterline scale (degree 1)");
+                            return err(
+                                op_id,
+                                "multcp operand must be at waterline scale (degree 1)",
+                            );
                         }
                         if ta.level < 1 {
                             return err(op_id, "multcp requires level >= 1");
@@ -285,7 +304,10 @@ impl<'a> Verifier<'a> {
                     if rt != ta {
                         return err(
                             op_id,
-                            format!("{} result type must equal operand type", op.opcode.mnemonic()),
+                            format!(
+                                "{} result type must equal operand type",
+                                op.opcode.mnemonic()
+                            ),
                         );
                     }
                 }
@@ -346,7 +368,10 @@ impl<'a> Verifier<'a> {
                     }
                     let rt = self.ty(op.results[0]);
                     if rt.level != *target || rt.degree != 1 {
-                        return err(op_id, "bootstrap result must be at the target level, degree 1");
+                        return err(
+                            op_id,
+                            "bootstrap result must be at the target level, degree 1",
+                        );
                     }
                 }
             }
@@ -495,10 +520,20 @@ mod tests {
             vec![],
             CtType::cipher(5),
         );
-        let m = f.push_op1(e, Opcode::MultCC, vec![x, x], CtType::cipher(5).with_degree(2));
+        let m = f.push_op1(
+            e,
+            Opcode::MultCC,
+            vec![x, x],
+            CtType::cipher(5).with_degree(2),
+        );
         let r = f.push_op1(e, Opcode::Rescale, vec![m], CtType::cipher(4));
         let ms = f.push_op1(e, Opcode::ModSwitch { down: 3 }, vec![r], CtType::cipher(1));
-        let bs = f.push_op1(e, Opcode::Bootstrap { target: 16 }, vec![ms], CtType::cipher(16));
+        let bs = f.push_op1(
+            e,
+            Opcode::Bootstrap { target: 16 },
+            vec![ms],
+            CtType::cipher(16),
+        );
         f.push_op(e, Opcode::Return, vec![bs], &[]);
         verify_typed(&f, 16).unwrap();
     }
@@ -535,7 +570,12 @@ mod tests {
             vec![],
             CtType::cipher(0),
         );
-        let r = f.push_op1(e, Opcode::MultCC, vec![x, x], CtType::cipher(0).with_degree(2));
+        let r = f.push_op1(
+            e,
+            Opcode::MultCC,
+            vec![x, x],
+            CtType::cipher(0).with_degree(2),
+        );
         f.push_op(e, Opcode::Return, vec![r], &[]);
         let e = verify_typed(&f, 16).unwrap_err();
         assert!(e.message.contains("level >= 1"), "{e}");
@@ -555,12 +595,21 @@ mod tests {
         );
         let body = f.add_block();
         let arg = f.add_block_arg(body, CtType::cipher(5), None);
-        let m = f.push_op1(body, Opcode::MultCC, vec![arg, arg], CtType::cipher(5).with_degree(2));
+        let m = f.push_op1(
+            body,
+            Opcode::MultCC,
+            vec![arg, arg],
+            CtType::cipher(5).with_degree(2),
+        );
         let r = f.push_op1(body, Opcode::Rescale, vec![m], CtType::cipher(4));
         f.push_op(body, Opcode::Yield, vec![r], &[]);
         let fo = f.push_op(
             e,
-            Opcode::For { trip: TripCount::Constant(2), body, num_elems: 4 },
+            Opcode::For {
+                trip: TripCount::Constant(2),
+                body,
+                num_elems: 4,
+            },
             vec![x],
             &[CtType::cipher(5)],
         );

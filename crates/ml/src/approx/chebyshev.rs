@@ -123,8 +123,8 @@ mod tests {
         for i in 0..=20 {
             let t: f64 = -1.0 + 0.1 * i as f64;
             // Direct: T0=1, T1=t, T2=2t²−1, T3=4t³−3t.
-            let direct = 0.5 - 1.0 * t + 0.25 * (2.0 * t * t - 1.0)
-                + 0.125 * (4.0 * t * t * t - 3.0 * t);
+            let direct =
+                0.5 - 1.0 * t + 0.25 * (2.0 * t * t - 1.0) + 0.125 * (4.0 * t * t * t - 3.0 * t);
             assert!((s.eval(t) - direct).abs() < 1e-12, "t = {t}");
         }
     }

@@ -268,7 +268,11 @@ mod tests {
         let (out, _) = run_unary(|b, x| eval_monomial(b, x, &coeffs), &xs);
         for (i, &x) in xs.iter().enumerate() {
             let want = coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c);
-            assert!((out[i] - want).abs() < 1e-9, "x = {x}: {} vs {want}", out[i]);
+            assert!(
+                (out[i] - want).abs() < 1e-9,
+                "x = {x}: {} vs {want}",
+                out[i]
+            );
         }
     }
 
@@ -316,7 +320,11 @@ mod tests {
 
     #[test]
     fn chebyshev_small_series_uses_babies_only() {
-        let s = ChebyshevSeries { coeffs: vec![1.0, 0.5, 0.25], a: -1.0, b: 1.0 };
+        let s = ChebyshevSeries {
+            coeffs: vec![1.0, 0.5, 0.25],
+            a: -1.0,
+            b: 1.0,
+        };
         let xs = [0.3, -0.7];
         let (out, f) = run_unary(|b, x| eval_chebyshev(b, x, &s), &xs);
         for (i, &x) in xs.iter().enumerate() {

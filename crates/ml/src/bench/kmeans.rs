@@ -139,7 +139,11 @@ mod tests {
 
     #[test]
     fn centroids_move_to_cluster_centers() {
-        let spec = BenchSpec { slots: 256, num_elems: 256, seed: 3 };
+        let spec = BenchSpec {
+            slots: 256,
+            num_elems: 256,
+            seed: 3,
+        };
         let f = KMeans.trace_dynamic(&spec);
         let inputs = KMeans.inputs(&spec).env("iters", 12);
         let out = reference_run(&f, &inputs, spec.slots).unwrap();
@@ -150,7 +154,11 @@ mod tests {
 
     #[test]
     fn traced_body_matches_reference_step() {
-        let spec = BenchSpec { slots: 64, num_elems: 64, seed: 4 };
+        let spec = BenchSpec {
+            slots: 64,
+            num_elems: 64,
+            seed: 4,
+        };
         let f = KMeans.trace_dynamic(&spec);
         let inputs = KMeans.inputs(&spec).env("iters", 1);
         let out = reference_run(&f, &inputs, spec.slots).unwrap();

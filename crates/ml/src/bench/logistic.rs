@@ -78,7 +78,11 @@ mod tests {
 
     #[test]
     fn training_learns_a_positive_weight() {
-        let spec = BenchSpec { slots: 512, num_elems: 512, seed: 5 };
+        let spec = BenchSpec {
+            slots: 512,
+            num_elems: 512,
+            seed: 5,
+        };
         let f = Logistic.trace_dynamic(&spec);
         let inputs = Logistic.inputs(&spec).env("iters", 40);
         let out = reference_run(&f, &inputs, spec.slots).unwrap();
@@ -103,7 +107,11 @@ mod tests {
 
     #[test]
     fn loss_decreases_over_iterations() {
-        let spec = BenchSpec { slots: 256, num_elems: 256, seed: 6 };
+        let spec = BenchSpec {
+            slots: 256,
+            num_elems: 256,
+            seed: 6,
+        };
         let f = Logistic.trace_dynamic(&spec);
         let (xv, yv) = data::classification_data(spec.num_elems, 4.0, spec.seed);
         let mut prev_loss = f64::INFINITY;

@@ -38,20 +38,32 @@ impl BenchSpec {
     /// The paper's scale: 65 536 slots, 4 096 samples.
     #[must_use]
     pub fn paper() -> BenchSpec {
-        BenchSpec { slots: 1 << 16, num_elems: 1 << 12, seed: 0xDA7A }
+        BenchSpec {
+            slots: 1 << 16,
+            num_elems: 1 << 12,
+            seed: 0xDA7A,
+        }
     }
 
     /// Small instance for tests: 64 slots, 4 samples (so even the
     /// 9-variable Multivariate benchmark packs: 9×4 ≤ 64).
     #[must_use]
     pub fn test_small() -> BenchSpec {
-        BenchSpec { slots: 64, num_elems: 4, seed: 0xDA7A }
+        BenchSpec {
+            slots: 64,
+            num_elems: 4,
+            seed: 0xDA7A,
+        }
     }
 
     /// Mid-size instance for integration tests: 1 024 slots, 64 samples.
     #[must_use]
     pub fn test_medium() -> BenchSpec {
-        BenchSpec { slots: 1 << 10, num_elems: 64, seed: 0xDA7A }
+        BenchSpec {
+            slots: 1 << 10,
+            num_elems: 64,
+            seed: 0xDA7A,
+        }
     }
 }
 
@@ -90,8 +102,11 @@ pub trait MlBenchmark {
 
     /// Traces with dynamic (symbolic) trip counts — the HALO-side form.
     fn trace_dynamic(&self, spec: &BenchSpec) -> Function {
-        let trips: Vec<TripCount> =
-            self.trip_symbols().iter().map(|s| TripCount::dynamic(*s)).collect();
+        let trips: Vec<TripCount> = self
+            .trip_symbols()
+            .iter()
+            .map(|s| TripCount::dynamic(*s))
+            .collect();
         self.trace(spec, &trips)
     }
 
@@ -175,10 +190,17 @@ mod tests {
         let names: Vec<_> = all_benchmarks().iter().map(|b| b.name()).collect();
         assert_eq!(
             names,
-            vec!["Linear", "Polynomial", "Multivariate", "Logistic", "K-means", "SVM", "PCA"]
+            vec![
+                "Linear",
+                "Polynomial",
+                "Multivariate",
+                "Logistic",
+                "K-means",
+                "SVM",
+                "PCA"
+            ]
         );
-        let carried: Vec<Vec<usize>> =
-            all_benchmarks().iter().map(|b| b.carried_vars()).collect();
+        let carried: Vec<Vec<usize>> = all_benchmarks().iter().map(|b| b.carried_vars()).collect();
         assert_eq!(
             carried,
             vec![

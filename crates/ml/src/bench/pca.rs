@@ -80,7 +80,9 @@ impl MlBenchmark for Pca {
         let slots = spec.slots;
         assert!(FEATURES * n <= slots, "windows must fit the ciphertext");
         let mut b = FunctionBuilder::new("pca", slots);
-        let fs: Vec<_> = (0..FEATURES).map(|j| b.input_cipher(format!("f{j}"))).collect();
+        let fs: Vec<_> = (0..FEATURES)
+            .map(|j| b.input_cipher(format!("f{j}")))
+            .collect();
         let v0 = b.input_cipher("v0");
 
         // Center the features once, outside the loop: g_j = (f_j − mean)·pad.
@@ -224,7 +226,11 @@ mod tests {
 
     #[test]
     fn converges_to_dominant_eigenvector() {
-        let spec = BenchSpec { slots: 512, num_elems: 128, seed: 11 };
+        let spec = BenchSpec {
+            slots: 512,
+            num_elems: 128,
+            seed: 11,
+        };
         let f = Pca.trace_dynamic(&spec);
         let inputs = Pca.inputs(&spec).env("outer", 8).env("inner", 4);
         let out = reference_run(&f, &inputs, spec.slots).unwrap();
@@ -242,7 +248,11 @@ mod tests {
 
     #[test]
     fn windows_hold_replicated_components() {
-        let spec = BenchSpec { slots: 256, num_elems: 64, seed: 11 };
+        let spec = BenchSpec {
+            slots: 256,
+            num_elems: 64,
+            seed: 11,
+        };
         let f = Pca.trace_dynamic(&spec);
         let inputs = Pca.inputs(&spec).env("outer", 3).env("inner", 4);
         let out = reference_run(&f, &inputs, spec.slots).unwrap();

@@ -189,7 +189,11 @@ mod tests {
     use halo_runtime::reference_run;
 
     fn converged_weights(bench: &dyn MlBenchmark, iters: u64) -> Vec<Vec<f64>> {
-        let spec = BenchSpec { slots: 256, num_elems: 256, seed: 1 };
+        let spec = BenchSpec {
+            slots: 256,
+            num_elems: 256,
+            seed: 1,
+        };
         let f = bench.trace_dynamic(&spec);
         let inputs = bench.inputs(&spec).env("iters", iters);
         reference_run(&f, &inputs, spec.slots).unwrap()
@@ -218,7 +222,10 @@ mod tests {
             let want = 0.6 * x * x - 0.4 * x + 0.1;
             worst = worst.max((pred - want).abs());
         }
-        assert!(worst < 0.05, "max fit error = {worst} (w2={w2}, w1={w1}, b={b})");
+        assert!(
+            worst < 0.05,
+            "max fit error = {worst} (w2={w2}, w1={w1}, b={b})"
+        );
     }
 
     #[test]

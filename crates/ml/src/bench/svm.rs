@@ -105,7 +105,11 @@ mod tests {
 
     #[test]
     fn learns_a_separating_boundary() {
-        let spec = BenchSpec { slots: 512, num_elems: 512, seed: 9 };
+        let spec = BenchSpec {
+            slots: 512,
+            num_elems: 512,
+            seed: 9,
+        };
         let f = Svm.trace_dynamic(&spec);
         let inputs = Svm.inputs(&spec).env("iters", 40);
         let out = reference_run(&f, &inputs, spec.slots).unwrap();
@@ -121,7 +125,10 @@ mod tests {
         assert!(acc > 0.9, "accuracy = {acc}, w = {w}, b = {bias}");
         // The averaged weight tracks w.
         let wavg = out[2][0];
-        assert!((wavg - w).abs() < 0.5 * w.abs() + 0.2, "wavg = {wavg}, w = {w}");
+        assert!(
+            (wavg - w).abs() < 0.5 * w.abs() + 0.2,
+            "wavg = {wavg}, w = {w}"
+        );
     }
 
     #[test]

@@ -183,12 +183,20 @@ mod tests {
     fn classification_labels_are_binary_and_correlated() {
         let (x, y) = classification_data(2048, 4.0, 7);
         assert!(y.iter().all(|&v| v == 0.0 || v == 1.0));
-        let pos_mean: f64 =
-            x.iter().zip(&y).filter(|&(_, &l)| l == 1.0).map(|(&a, _)| a).sum::<f64>()
-                / y.iter().filter(|&&l| l == 1.0).count() as f64;
-        let neg_mean: f64 =
-            x.iter().zip(&y).filter(|&(_, &l)| l == 0.0).map(|(&a, _)| a).sum::<f64>()
-                / y.iter().filter(|&&l| l == 0.0).count() as f64;
+        let pos_mean: f64 = x
+            .iter()
+            .zip(&y)
+            .filter(|&(_, &l)| l == 1.0)
+            .map(|(&a, _)| a)
+            .sum::<f64>()
+            / y.iter().filter(|&&l| l == 1.0).count() as f64;
+        let neg_mean: f64 = x
+            .iter()
+            .zip(&y)
+            .filter(|&(_, &l)| l == 0.0)
+            .map(|(&a, _)| a)
+            .sum::<f64>()
+            / y.iter().filter(|&&l| l == 0.0).count() as f64;
         assert!(pos_mean > neg_mean + 0.3);
     }
 

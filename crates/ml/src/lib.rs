@@ -17,5 +17,3 @@
 pub mod approx;
 pub mod bench;
 pub mod data;
-
-

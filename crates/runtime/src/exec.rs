@@ -97,8 +97,8 @@ pub enum RunError {
     /// A named input or trip symbol was not provided.
     MissingInput(String),
     /// The backend rejected an op (level/scale violation — indicates a
-    /// miscompiled program).
-    Backend(String),
+    /// miscompiled program). Carries the structured backend error.
+    Backend(BackendError),
     /// The program is malformed (should have been caught by the verifier).
     Malformed(String),
 }
@@ -117,21 +117,26 @@ impl std::error::Error for RunError {}
 
 impl From<BackendError> for RunError {
     fn from(e: BackendError) -> RunError {
-        RunError::Backend(e.message)
+        RunError::Backend(e)
     }
 }
 
-/// The interpreter. Borrows a backend; create one per program run or reuse
-/// across runs (keys and noise state persist in the backend).
+/// The interpreter. Borrows a backend *shared*; create one per program
+/// run or reuse across runs (keys and noise state persist in the backend
+/// behind its interior mutability). Because ops take `&self` end to end,
+/// several executors can drive one backend concurrently.
 pub struct Executor<'b, B: Backend> {
-    backend: &'b mut B,
+    backend: &'b B,
     cost: CostModel,
 }
 
 impl<'b, B: Backend> Executor<'b, B> {
     /// Wraps a backend.
-    pub fn new(backend: &'b mut B) -> Executor<'b, B> {
-        Executor { backend, cost: CostModel::new() }
+    pub fn new(backend: &'b B) -> Executor<'b, B> {
+        Executor {
+            backend,
+            cost: CostModel::new(),
+        }
     }
 
     /// Runs `f` with the given inputs.
@@ -139,7 +144,7 @@ impl<'b, B: Backend> Executor<'b, B> {
     /// # Errors
     ///
     /// See [`RunError`].
-    pub fn run(&mut self, f: &Function, inputs: &Inputs) -> Result<RunOutput, RunError> {
+    pub fn run(&self, f: &Function, inputs: &Inputs) -> Result<RunOutput, RunError> {
         let mut values: HashMap<ValueId, RtValue<B::Ct>> = HashMap::new();
         let mut stats = RunStats::default();
         self.run_block(f, f.entry, inputs, &mut values, &mut stats)?;
@@ -160,7 +165,7 @@ impl<'b, B: Backend> Executor<'b, B> {
 
     #[allow(clippy::too_many_lines)]
     fn run_block(
-        &mut self,
+        &self,
         f: &Function,
         block: BlockId,
         inputs: &Inputs,
@@ -270,14 +275,18 @@ impl<'b, B: Backend> Executor<'b, B> {
                         .ok_or_else(|| missing(op.operands[0]))?
                         .clone()
                     else {
-                        return Err(RunError::Malformed(format!("{mnemonic} cipher operand is plain")));
+                        return Err(RunError::Malformed(format!(
+                            "{mnemonic} cipher operand is plain"
+                        )));
                     };
                     let RtValue::Pt(p) = values
                         .get(&op.operands[1])
                         .ok_or_else(|| missing(op.operands[1]))?
                         .clone()
                     else {
-                        return Err(RunError::Malformed(format!("{mnemonic} plain operand is cipher")));
+                        return Err(RunError::Malformed(format!(
+                            "{mnemonic} plain operand is cipher"
+                        )));
                     };
                     let level = self.backend.level(&x);
                     let (r, us) = match op.opcode {
@@ -348,7 +357,11 @@ impl<'b, B: Backend> Executor<'b, B> {
                         return Err(RunError::Malformed("rescale of plaintext".into()));
                     };
                     let level = self.backend.level(&x);
-                    stats.record(mnemonic, self.cost.latency_us(CostedOp::Rescale { level }), false);
+                    stats.record(
+                        mnemonic,
+                        self.cost.latency_us(CostedOp::Rescale { level }),
+                        false,
+                    );
                     values.insert(op.results[0], RtValue::Ct(self.backend.rescale(&x)?));
                 }
                 Opcode::ModSwitch { down } => {
@@ -361,7 +374,10 @@ impl<'b, B: Backend> Executor<'b, B> {
                     };
                     let level = self.backend.level(&x);
                     stats.record(mnemonic, self.cost.modswitch_chain_us(level, *down), false);
-                    values.insert(op.results[0], RtValue::Ct(self.backend.modswitch(&x, *down)?));
+                    values.insert(
+                        op.results[0],
+                        RtValue::Ct(self.backend.modswitch(&x, *down)?),
+                    );
                 }
                 Opcode::Bootstrap { target } => {
                     let RtValue::Ct(x) = values
@@ -373,10 +389,14 @@ impl<'b, B: Backend> Executor<'b, B> {
                     };
                     stats.record(
                         mnemonic,
-                        self.cost.latency_us(CostedOp::Bootstrap { target: *target }),
+                        self.cost
+                            .latency_us(CostedOp::Bootstrap { target: *target }),
                         true,
                     );
-                    values.insert(op.results[0], RtValue::Ct(self.backend.bootstrap(&x, *target)?));
+                    values.insert(
+                        op.results[0],
+                        RtValue::Ct(self.backend.bootstrap(&x, *target)?),
+                    );
                 }
                 Opcode::For { trip, body, .. } => {
                     let n = trip.eval(&inputs.env).map_err(RunError::MissingInput)?;
@@ -460,9 +480,12 @@ mod tests {
         let m = b.mul(s, k);
         b.ret(&[m]);
         let f = b.finish();
-        let mut be = exact_backend();
-        let out = Executor::new(&mut be)
-            .run(&f, &Inputs::new().cipher("x", vec![2.0]).cipher("y", vec![3.0]))
+        let be = exact_backend();
+        let out = Executor::new(&be)
+            .run(
+                &f,
+                &Inputs::new().cipher("x", vec![2.0]).cipher("y", vec![3.0]),
+            )
             .unwrap();
         assert_eq!(out.outputs[0][0], 50.0);
         assert_eq!(out.stats.op_counts["addcc"], 1);
@@ -482,8 +505,8 @@ mod tests {
         b.ret(&r);
         let f = b.finish();
         for n in [0u64, 1, 7] {
-            let mut be = exact_backend();
-            let out = Executor::new(&mut be)
+            let be = exact_backend();
+            let out = Executor::new(&be)
                 .run(
                     &f,
                     &Inputs::new()
@@ -505,8 +528,8 @@ mod tests {
         });
         b.ret(&r);
         let f = b.finish();
-        let mut be = exact_backend();
-        let err = Executor::new(&mut be)
+        let be = exact_backend();
+        let err = Executor::new(&be)
             .run(&f, &Inputs::new().cipher("w0", vec![1.0]))
             .unwrap_err();
         assert_eq!(err, RunError::MissingInput("iters".into()));
@@ -522,8 +545,8 @@ mod tests {
         let r = b.add(x, m);
         b.ret(&[r]);
         let f = b.finish();
-        let mut be = exact_backend();
-        let out = Executor::new(&mut be)
+        let be = exact_backend();
+        let out = Executor::new(&be)
             .run(&f, &Inputs::new().cipher("x", vec![0.0]))
             .unwrap();
         assert_eq!(out.outputs[0][0], 3.0);
@@ -546,8 +569,8 @@ mod tests {
         let mut opts = CompileOptions::new(CkksParams::test_small());
         opts.params.poly_degree = 64;
         let compiled = compile(&src, CompilerConfig::TypeMatched, &opts).unwrap();
-        let mut be = exact_backend();
-        let out = Executor::new(&mut be)
+        let be = exact_backend();
+        let out = Executor::new(&be)
             .run(
                 &compiled.function,
                 &Inputs::new()

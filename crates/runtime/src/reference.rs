@@ -18,7 +18,11 @@ use crate::exec::{Inputs, RunError};
 /// # Errors
 ///
 /// [`RunError::MissingInput`] for unbound inputs or trip symbols.
-pub fn reference_run(f: &Function, inputs: &Inputs, slots: usize) -> Result<Vec<Vec<f64>>, RunError> {
+pub fn reference_run(
+    f: &Function,
+    inputs: &Inputs,
+    slots: usize,
+) -> Result<Vec<Vec<f64>>, RunError> {
     let mut values: HashMap<ValueId, Vec<f64>> = HashMap::new();
     run_block(f, f.entry, inputs, slots, &mut values)?;
     let term = f
@@ -78,15 +82,24 @@ fn run_block(
             }
             Opcode::AddCC | Opcode::AddCP => {
                 let (a, b) = (get(values, op.operands[0])?, get(values, op.operands[1])?);
-                values.insert(op.results[0], a.iter().zip(&b).map(|(x, y)| x + y).collect());
+                values.insert(
+                    op.results[0],
+                    a.iter().zip(&b).map(|(x, y)| x + y).collect(),
+                );
             }
             Opcode::SubCC | Opcode::SubCP => {
                 let (a, b) = (get(values, op.operands[0])?, get(values, op.operands[1])?);
-                values.insert(op.results[0], a.iter().zip(&b).map(|(x, y)| x - y).collect());
+                values.insert(
+                    op.results[0],
+                    a.iter().zip(&b).map(|(x, y)| x - y).collect(),
+                );
             }
             Opcode::MultCC | Opcode::MultCP => {
                 let (a, b) = (get(values, op.operands[0])?, get(values, op.operands[1])?);
-                values.insert(op.results[0], a.iter().zip(&b).map(|(x, y)| x * y).collect());
+                values.insert(
+                    op.results[0],
+                    a.iter().zip(&b).map(|(x, y)| x * y).collect(),
+                );
             }
             Opcode::Negate => {
                 let a = get(values, op.operands[0])?;
@@ -101,7 +114,9 @@ fn run_block(
                     (0..a.len()).map(|i| a[(i + s) % a.len()]).collect(),
                 );
             }
-            Opcode::Rescale | Opcode::ModSwitch { .. } | Opcode::Bootstrap { .. }
+            Opcode::Rescale
+            | Opcode::ModSwitch { .. }
+            | Opcode::Bootstrap { .. }
             | Opcode::Encrypt => {
                 // Level management (and trivial encryption) is
                 // semantically the identity.
@@ -109,7 +124,9 @@ fn run_block(
                 values.insert(op.results[0], a);
             }
             Opcode::For { trip, body, .. } => {
-                let n = trip.eval(inputs.env_map()).map_err(RunError::MissingInput)?;
+                let n = trip
+                    .eval(inputs.env_map())
+                    .map_err(RunError::MissingInput)?;
                 let args = f.block(*body).args.clone();
                 let mut carried: Vec<Vec<f64>> = op
                     .operands
@@ -160,7 +177,10 @@ mod tests {
         let f = b.finish();
         let out = reference_run(
             &f,
-            &Inputs::new().cipher("x", vec![3.0]).cipher("w0", vec![1.0]).env("n", 4),
+            &Inputs::new()
+                .cipher("x", vec![3.0])
+                .cipher("w0", vec![1.0])
+                .env("n", 4),
             8,
         )
         .unwrap();
@@ -183,8 +203,8 @@ mod tests {
             .cipher("x", (0..32).map(f64::from).collect())
             .cipher("y", vec![1.0; 32]);
         let ref_out = reference_run(&f, &inputs, 32).unwrap();
-        let mut be = SimBackend::exact(CkksParams::test_small());
-        let enc_out = Executor::new(&mut be).run(&f, &inputs).unwrap();
+        let be = SimBackend::exact(CkksParams::test_small());
+        let enc_out = Executor::new(&be).run(&f, &inputs).unwrap();
         assert_eq!(ref_out[0], enc_out.outputs[0]);
     }
 }

@@ -6,12 +6,9 @@
 //! cargo run --example compiler_explorer
 //! ```
 
-use halo_fhe::ckks::CkksParams;
-use halo_fhe::compiler::config::CompileOptions;
 use halo_fhe::compiler::{pack, peel, scale, tune, unroll};
-use halo_fhe::ir::op::TripCount;
 use halo_fhe::ir::print::print;
-use halo_fhe::ir::FunctionBuilder;
+use halo_fhe::prelude::*;
 
 fn main() {
     // The paper's Figure 2 program: y and a loop-carried, a starts plain.
@@ -43,7 +40,10 @@ fn main() {
     println!("===== after packing ({packed} loop) — Solution B-1 =====");
     println!("{}", print(&f));
 
-    let opts = CompileOptions::new(CkksParams { poly_degree: 64, ..CkksParams::paper() });
+    let opts = CompileOptions::new(CkksParams {
+        poly_degree: 64,
+        ..CkksParams::paper()
+    });
     scale::assign_levels(&mut f, &opts).expect("levels");
     println!("===== after type matching + scale management — Solution A-2 =====");
     println!("{}", print(&f));

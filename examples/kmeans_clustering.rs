@@ -6,15 +6,20 @@
 //! cargo run --example kmeans_clustering
 //! ```
 
-use halo_fhe::ckks::{CkksParams, SimBackend};
-use halo_fhe::compiler::{compile, CompileOptions, CompilerConfig};
 use halo_fhe::ml::bench::{BenchSpec, KMeans, MlBenchmark};
 use halo_fhe::ml::data;
-use halo_fhe::runtime::{Executor, Inputs};
+use halo_fhe::prelude::*;
 
 fn main() {
-    let spec = BenchSpec { slots: 512, num_elems: 128, seed: 3 };
-    let params = CkksParams { poly_degree: spec.slots * 2, ..CkksParams::paper() };
+    let spec = BenchSpec {
+        slots: 512,
+        num_elems: 128,
+        seed: 3,
+    };
+    let params = CkksParams {
+        poly_degree: spec.slots * 2,
+        ..CkksParams::paper()
+    };
     let opts = CompileOptions::new(params.clone());
 
     // Compile ONCE with a dynamic trip count.
@@ -29,15 +34,18 @@ fn main() {
 
     // Two 1-D clusters around 0.25 / 0.75; centroids start badly (0.4, 0.6).
     let points = data::cluster_data(spec.num_elems, [0.25, 0.75], 0.05, spec.seed);
-    println!("{:>5} {:>10} {:>10} {:>8} {:>12}", "iters", "c0", "c1", "boots", "modeled (s)");
+    println!(
+        "{:>5} {:>10} {:>10} {:>8} {:>12}",
+        "iters", "c0", "c1", "boots", "modeled (s)"
+    );
     for iters in [1u64, 2, 4, 8, 12] {
         let inputs = Inputs::new()
             .cipher("x", points.clone())
             .cipher("c0", vec![0.4])
             .cipher("c1", vec![0.6])
             .env("iters", iters);
-        let mut backend = SimBackend::new(params.clone());
-        let out = Executor::new(&mut backend)
+        let backend = SimBackend::new(params.clone());
+        let out = Executor::new(&backend)
             .run(&compiled.function, &inputs)
             .expect("runs");
         println!(

@@ -5,14 +5,19 @@
 //! cargo run --example logistic_training
 //! ```
 
-use halo_fhe::ckks::{CkksParams, SimBackend};
-use halo_fhe::compiler::{compile, CompileOptions, CompilerConfig};
 use halo_fhe::ml::bench::{BenchSpec, Logistic, MlBenchmark};
-use halo_fhe::runtime::{reference_run, rmse, Executor};
+use halo_fhe::prelude::*;
 
 fn main() {
-    let spec = BenchSpec { slots: 1 << 10, num_elems: 256, seed: 7 };
-    let params = CkksParams { poly_degree: spec.slots * 2, ..CkksParams::paper() };
+    let spec = BenchSpec {
+        slots: 1 << 10,
+        num_elems: 256,
+        seed: 7,
+    };
+    let params = CkksParams {
+        poly_degree: spec.slots * 2,
+        ..CkksParams::paper()
+    };
     let opts = CompileOptions::new(params.clone());
     let iters = 25u64;
 
@@ -37,11 +42,14 @@ fn main() {
             traced.clone()
         };
         let compiled = compile(&program, config, &opts).expect("compiles");
-        let mut backend = SimBackend::new(params.clone());
-        let out = Executor::new(&mut backend)
+        let backend = SimBackend::new(params.clone());
+        let out = Executor::new(&backend)
             .run(&compiled.function, &inputs)
             .expect("runs");
-        let err = rmse(&out.outputs[0][..spec.num_elems], &plain[0][..spec.num_elems]);
+        let err = rmse(
+            &out.outputs[0][..spec.num_elems],
+            &plain[0][..spec.num_elems],
+        );
         println!(
             "{:<18} {:>6} {:>12.2} {:>12.2} {:>10.2e}",
             config.name(),

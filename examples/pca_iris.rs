@@ -6,16 +6,21 @@
 //! cargo run --example pca_iris
 //! ```
 
-use halo_fhe::ckks::{CkksParams, SimBackend};
-use halo_fhe::compiler::{compile, CompileOptions, CompilerConfig};
 use halo_fhe::ml::bench::pca::{dominant_eigenvector, sample_count};
 use halo_fhe::ml::bench::{BenchSpec, MlBenchmark, Pca};
 use halo_fhe::ml::data;
-use halo_fhe::runtime::Executor;
+use halo_fhe::prelude::*;
 
 fn main() {
-    let spec = BenchSpec { slots: 512, num_elems: 128, seed: 11 };
-    let params = CkksParams { poly_degree: spec.slots * 2, ..CkksParams::paper() };
+    let spec = BenchSpec {
+        slots: 512,
+        num_elems: 128,
+        seed: 11,
+    };
+    let params = CkksParams {
+        poly_degree: spec.slots * 2,
+        ..CkksParams::paper()
+    };
     let opts = CompileOptions::new(params.clone());
 
     let traced = Pca.trace_dynamic(&spec);
@@ -37,8 +42,8 @@ fn main() {
 
     for (outer, inner) in [(2u64, 2u64), (4, 4), (8, 4), (8, 8)] {
         let inputs = Pca.inputs(&spec).env("outer", outer).env("inner", inner);
-        let mut backend = SimBackend::new(params.clone());
-        let out = Executor::new(&mut backend)
+        let backend = SimBackend::new(params.clone());
+        let out = Executor::new(&backend)
             .run(&compiled.function, &inputs)
             .expect("runs");
         let v: Vec<f64> = (0..4).map(|j| out.outputs[0][j * spec.num_elems]).collect();

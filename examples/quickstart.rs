@@ -5,11 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use halo_fhe::ckks::{CkksParams, SimBackend};
-use halo_fhe::compiler::{compile, CompileOptions, CompilerConfig};
-use halo_fhe::ir::op::TripCount;
-use halo_fhe::ir::FunctionBuilder;
-use halo_fhe::runtime::{Executor, Inputs};
+use halo_fhe::prelude::*;
 
 fn main() {
     // --- 1. Trace the program -------------------------------------------
@@ -37,7 +33,10 @@ fn main() {
     println!("traced program:\n{}", halo_fhe::ir::print::print(&traced));
 
     // --- 2. Compile under HALO ------------------------------------------
-    let params = CkksParams { poly_degree: slots * 2, ..CkksParams::paper() };
+    let params = CkksParams {
+        poly_degree: slots * 2,
+        ..CkksParams::paper()
+    };
     let opts = CompileOptions::new(params.clone());
     let compiled = compile(&traced, CompilerConfig::Halo, &opts).expect("compiles");
     println!(
@@ -46,15 +45,17 @@ fn main() {
     );
 
     // --- 3. Execute on encrypted data -----------------------------------
-    let xs: Vec<f64> = (0..256).map(|i| -1.0 + 2.0 * f64::from(i) / 255.0).collect();
+    let xs: Vec<f64> = (0..256)
+        .map(|i| -1.0 + 2.0 * f64::from(i) / 255.0)
+        .collect();
     let ys: Vec<f64> = xs.iter().map(|v| 0.8 * v).collect();
-    let mut backend = SimBackend::new(params);
+    let backend = SimBackend::new(params);
     for iters in [5u64, 20, 60] {
         let inputs = Inputs::new()
             .cipher("x", xs.clone())
             .cipher("y", ys.clone())
             .env("iters", iters);
-        let out = Executor::new(&mut backend)
+        let out = Executor::new(&backend)
             .run(&compiled.function, &inputs)
             .expect("runs");
         println!(

@@ -18,3 +18,19 @@ pub use halo_core as compiler;
 pub use halo_ir as ir;
 pub use halo_ml as ml;
 pub use halo_runtime as runtime;
+
+/// The one-stop API: everything a typical compile-and-run program needs.
+///
+/// ```no_run
+/// use halo_fhe::prelude::*;
+/// ```
+pub mod prelude {
+    pub use halo_ckks::backend::{Backend, BackendError, PlainKind};
+    pub use halo_ckks::params::CkksParams;
+    pub use halo_ckks::sim::{NoiseProfile, SimBackend};
+    pub use halo_ckks::toy::ToyBackend;
+    pub use halo_core::{compile, CompileOptions, CompileResult, CompilerConfig};
+    pub use halo_ir::op::TripCount;
+    pub use halo_ir::{Function, FunctionBuilder};
+    pub use halo_runtime::{reference_run, rmse, Executor, Inputs, RunError, RunStats};
+}

@@ -1,0 +1,136 @@
+//! Tentpole acceptance tests for the shared-state parallel execution
+//! engine: the parallel toy backend is *bit-identical* to the serial one,
+//! and a single `Arc<ToyBackend>` serves many threads concurrently.
+
+use std::sync::Arc;
+
+use halo_fhe::ckks::parallel;
+use halo_fhe::prelude::*;
+
+// Large enough that the per-limb loops cross `parallel::MIN_PAR_WORK`
+// and genuinely fan out across threads.
+const N: usize = 1024;
+const LEVELS: u32 = 4;
+const SLOTS: usize = N / 2;
+
+fn input_a() -> Vec<f64> {
+    (0..SLOTS).map(|i| (i as f64 / 97.0).sin()).collect()
+}
+
+fn input_b() -> Vec<f64> {
+    (0..SLOTS).map(|i| (i as f64 / 53.0).cos()).collect()
+}
+
+/// Encrypt → multiply → rescale → rotate → add → bootstrap → decrypt,
+/// exercising every parallelized code path (NTT, pointwise, rescale,
+/// key-switch digit decomposition, modswitch).
+fn workload(be: &ToyBackend) -> Vec<f64> {
+    let a = be.encrypt(&input_a(), LEVELS).expect("encrypt a");
+    let b = be.encrypt(&input_b(), LEVELS).expect("encrypt b");
+    let m = be
+        .rescale(&be.mult(&a, &b).expect("mult"))
+        .expect("rescale");
+    let r = be.rotate(&m, 3).expect("rotate");
+    let s = be
+        .add(&r, &be.modswitch(&b, 1).expect("modswitch"))
+        .expect("add");
+    let t = be.bootstrap(&s, LEVELS).expect("bootstrap");
+    be.decrypt(&t).expect("decrypt")
+}
+
+/// What the workload computes, in plain `f64` slot arithmetic.
+fn expected() -> Vec<f64> {
+    let (a, b) = (input_a(), input_b());
+    let prod: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
+    (0..SLOTS).map(|i| prod[(i + 3) % SLOTS] + b[i]).collect()
+}
+
+/// The hard tentpole requirement: with identical seeds, a 4-thread run
+/// decrypts to *bit-identical* `f64` slots as a 1-thread run. Both runs
+/// live in one test function so the process-global thread override is
+/// never raced by a sibling test.
+#[test]
+fn parallel_execution_is_bit_identical_to_serial() {
+    parallel::set_threads(Some(1));
+    let serial = workload(&ToyBackend::new(N, LEVELS, 0xB17));
+    parallel::set_threads(Some(4));
+    let parallel_out = workload(&ToyBackend::new(N, LEVELS, 0xB17));
+    parallel::set_threads(None);
+
+    assert_eq!(serial.len(), parallel_out.len());
+    for (slot, (s, p)) in serial.iter().zip(&parallel_out).enumerate() {
+        assert_eq!(
+            s.to_bits(),
+            p.to_bits(),
+            "slot {slot} differs between 1 and 4 threads: {s} vs {p}"
+        );
+    }
+    // Sanity: both are the *right* answer, not identically wrong.
+    for (slot, (s, e)) in serial.iter().zip(&expected()).enumerate() {
+        assert!((s - e).abs() < 1e-3, "slot {slot}: {s} vs expected {e}");
+    }
+}
+
+/// The redesigned `&self` Backend API in action: one backend behind an
+/// `Arc`, four threads encrypting/multiplying/bootstrapping through it
+/// at once — including concurrent lazy key-switching-key generation.
+#[test]
+fn one_arc_backend_serves_many_threads() {
+    let be = Arc::new(ToyBackend::new(N, LEVELS, 0x5AFE));
+    let outs: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let be = Arc::clone(&be);
+                scope.spawn(move || workload(&be))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("thread panicked"))
+            .collect()
+    });
+    let want = expected();
+    for (thread, out) in outs.iter().enumerate() {
+        for (slot, (got, exp)) in out.iter().zip(&want).enumerate() {
+            assert!(
+                (got - exp).abs() < 1e-3,
+                "thread {thread} slot {slot}: {got} vs {exp}"
+            );
+        }
+    }
+}
+
+/// An `Executor` borrows the backend, so several executors can share one
+/// backend instance across threads for whole compiled programs.
+#[test]
+fn executors_share_one_backend_across_threads() {
+    let mut b = FunctionBuilder::new("shared", SLOTS);
+    let x = b.input_cipher("x");
+    let y = b.input_cipher("y");
+    let m = b.mul(x, y);
+    let r = b.rotate(m, 1);
+    b.ret(&[r]);
+    let src = b.finish();
+    let opts = CompileOptions::new(CkksParams {
+        poly_degree: N,
+        max_level: LEVELS,
+        rf_bits: 40,
+    });
+    let compiled = compile(&src, CompilerConfig::TypeMatched, &opts).expect("compiles");
+
+    let be = ToyBackend::new(N, LEVELS, 0xEC);
+    let inputs = Inputs::new().cipher("x", input_a()).cipher("y", input_b());
+    let want = reference_run(&src, &inputs, SLOTS).expect("reference");
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(|| {
+                let out = Executor::new(&be)
+                    .run(&compiled.function, &inputs)
+                    .expect("runs");
+                for (slot, (got, exp)) in out.outputs[0].iter().zip(&want[0]).enumerate() {
+                    assert!((got - exp).abs() < 1e-3, "slot {slot}: {got} vs {exp}");
+                }
+            });
+        }
+    });
+}

@@ -1,10 +1,8 @@
 //! End-to-end integration: trace → compile (all five configurations) →
 //! execute → compare against plaintext reference semantics.
 
-use halo_fhe::compiler::{compile, CompileOptions, CompilerConfig};
-use halo_fhe::ckks::{CkksParams, SimBackend};
 use halo_fhe::ml::bench::{all_benchmarks, flat_benchmarks, BenchSpec, MlBenchmark};
-use halo_fhe::runtime::{reference_run, rmse, Executor, Inputs};
+use halo_fhe::prelude::*;
 
 const ITERS: u64 = 6;
 
@@ -19,11 +17,11 @@ fn run_exact(
     inputs: &Inputs,
     spec: &BenchSpec,
 ) -> (Vec<Vec<f64>>, halo_fhe::runtime::RunStats) {
-    let mut be = SimBackend::exact(CkksParams {
+    let be = SimBackend::exact(CkksParams {
         poly_degree: spec.slots * 2,
         ..CkksParams::paper()
     });
-    let out = Executor::new(&mut be).run(f, inputs).expect("execution");
+    let out = Executor::new(&be).run(f, inputs).expect("execution");
     (out.outputs, out.stats)
 }
 
@@ -76,14 +74,15 @@ fn all_flat_benchmarks_compile_and_match_reference_under_all_configs() {
 /// iteration-count combinations — DaCapo additionally via full unrolling.
 #[test]
 fn pca_nested_loop_compiles_and_matches_reference() {
-    let spec = BenchSpec { slots: 64, num_elems: 8, seed: 0xDA7A };
+    let spec = BenchSpec {
+        slots: 64,
+        num_elems: 8,
+        seed: 0xDA7A,
+    };
     let bench = halo_fhe::ml::bench::Pca;
     let src = bench.trace_dynamic(&spec);
     for (outer, inner) in [(2u64, 2u64), (2, 4), (4, 2)] {
-        let inputs = bench
-            .inputs(&spec)
-            .env("outer", outer)
-            .env("inner", inner);
+        let inputs = bench.inputs(&spec).env("outer", outer).env("inner", inner);
         let want = reference_run(&src, &inputs, spec.slots).expect("reference");
         for config in [CompilerConfig::TypeMatched, CompilerConfig::Halo] {
             let compiled = compile(&src, config, &opts(&spec))
@@ -178,16 +177,12 @@ fn noisy_execution_rmse_is_within_table4_bands() {
         let want = reference_run(&src, &inputs, spec.slots).unwrap();
         let compiled = compile(&src, CompilerConfig::Halo, &opts(&spec))
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
-        let mut be = SimBackend::new(CkksParams {
+        let be = SimBackend::new(CkksParams {
             poly_degree: spec.slots * 2,
             ..CkksParams::paper()
         });
-        let out = Executor::new(&mut be).run(&compiled.function, &inputs).unwrap();
+        let out = Executor::new(&be).run(&compiled.function, &inputs).unwrap();
         let err = rmse(&out.outputs[0], &want[0]);
-        assert!(
-            err > 0.0 && err < 5e-2,
-            "{}: rmse = {err}",
-            bench.name()
-        );
+        assert!(err > 0.0 && err < 5e-2, "{}: rmse = {err}", bench.name());
     }
 }

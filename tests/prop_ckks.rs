@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 
-use halo_fhe::ckks::backend::Backend;
-use halo_fhe::ckks::toy::ToyBackend;
-use halo_fhe::ckks::{CkksParams, SimBackend};
+use halo_fhe::prelude::*;
 
 const N: usize = 32; // 16 slots
 const LEVELS: u32 = 8;
@@ -40,7 +38,7 @@ fn op_strategy() -> impl Strategy<Value = HomOp> {
 /// Applies the op sequence over any backend, maintaining the waterline
 /// discipline (every result is rescaled back to degree 1 before reuse).
 fn run<B: Backend>(
-    be: &mut B,
+    be: &B,
     ops: &[HomOp],
     a0: &[f64],
     b0: &[f64],
@@ -92,14 +90,14 @@ proptest! {
         a0 in proptest::collection::vec(-1.0..1.0f64, N / 2),
         b0 in proptest::collection::vec(-1.0..1.0f64, N / 2),
     ) {
-        let mut sim = SimBackend::exact(CkksParams {
+        let sim = SimBackend::exact(CkksParams {
             poly_degree: N,
             max_level: LEVELS,
             rf_bits: 40,
         });
-        let mut toy = ToyBackend::new(N, LEVELS, 0x70FF);
-        let sim_out = run(&mut sim, &ops, &a0, &b0).expect("sim runs");
-        let toy_out = run(&mut toy, &ops, &a0, &b0).expect("toy runs");
+        let toy = ToyBackend::new(N, LEVELS, 0x70FF);
+        let sim_out = run(&sim, &ops, &a0, &b0).expect("sim runs");
+        let toy_out = run(&toy, &ops, &a0, &b0).expect("toy runs");
         for (slot, (s, t)) in sim_out.iter().zip(&toy_out).enumerate() {
             prop_assert!(
                 (s - t).abs() < 1e-2 + 1e-3 * s.abs(),
@@ -113,7 +111,7 @@ proptest! {
         values in proptest::collection::vec(-8.0..8.0f64, N / 2),
         level in 0u32..=LEVELS,
     ) {
-        let mut toy = ToyBackend::new(N, LEVELS, 0x5EED);
+        let toy = ToyBackend::new(N, LEVELS, 0x5EED);
         let ct = toy.encrypt(&values, level).expect("encrypts");
         let out = toy.decrypt(&ct).expect("decrypts");
         for (a, b) in values.iter().zip(&out) {
@@ -126,7 +124,7 @@ proptest! {
         a in proptest::collection::vec(-4.0..4.0f64, N / 2),
         b in proptest::collection::vec(-4.0..4.0f64, N / 2),
     ) {
-        let mut toy = ToyBackend::new(N, LEVELS, 0xADD);
+        let toy = ToyBackend::new(N, LEVELS, 0xADD);
         let ca = toy.encrypt(&a, 4).expect("encrypts");
         let cb = toy.encrypt(&b, 4).expect("encrypts");
         let sum = toy.add(&ca, &cb).expect("adds");
@@ -141,7 +139,7 @@ proptest! {
         a in proptest::collection::vec(-2.0..2.0f64, N / 2),
         b in proptest::collection::vec(-2.0..2.0f64, N / 2),
     ) {
-        let mut toy = ToyBackend::new(N, LEVELS, 0x3317);
+        let toy = ToyBackend::new(N, LEVELS, 0x3317);
         let ca = toy.encrypt(&a, 4).expect("encrypts");
         let cb = toy.encrypt(&b, 4).expect("encrypts");
         let prod = toy.mult(&ca, &cb).expect("mults");
@@ -162,7 +160,7 @@ proptest! {
         values in proptest::collection::vec(-2.0..2.0f64, N / 2),
         r in 1..15i64,
     ) {
-        let mut toy = ToyBackend::new(N, LEVELS, 0x407);
+        let toy = ToyBackend::new(N, LEVELS, 0x407);
         let ct = toy.encrypt(&values, 3).expect("encrypts");
         let rot = toy.rotate(&ct, r).expect("rotates");
         let out = toy.decrypt(&rot).expect("decrypts");
@@ -170,6 +168,86 @@ proptest! {
         for i in 0..n {
             let want = values[(i + r as usize) % n];
             prop_assert!((out[i] - want).abs() < 1e-4, "slot {i}");
+        }
+    }
+}
+
+/// One op of a random *straight-line* (loop-free) traced program.
+#[derive(Debug, Clone)]
+enum SlOp {
+    AddY,
+    SubY,
+    MulY,
+    MulConst(f64),
+    AddConst(f64),
+    Rotate(i64),
+    Negate,
+}
+
+fn sl_op_strategy() -> impl Strategy<Value = SlOp> {
+    prop_oneof![
+        Just(SlOp::AddY),
+        Just(SlOp::SubY),
+        Just(SlOp::MulY),
+        (-1.2..1.2f64).prop_map(SlOp::MulConst),
+        (-1.2..1.2f64).prop_map(SlOp::AddConst),
+        (1..8i64).prop_map(SlOp::Rotate),
+        Just(SlOp::Negate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// End-to-end agreement through the *compiler*: a random straight-line
+    /// program is traced, compiled (TypeMatched inserts every rescale,
+    /// modswitch, and bootstrap), then executed on both the exact toy
+    /// lattice backend and the exact simulation backend via the shared
+    /// `&self` Executor. The two executions must agree within toy noise.
+    #[test]
+    fn compiled_straight_line_programs_agree_on_toy_and_sim(
+        ops in proptest::collection::vec(sl_op_strategy(), 1..6),
+        x0 in proptest::collection::vec(-1.0..1.0f64, N / 2),
+        y0 in proptest::collection::vec(-1.0..1.0f64, N / 2),
+    ) {
+        let mut b = FunctionBuilder::new("sl", N / 2);
+        let x = b.input_cipher("x");
+        let y = b.input_cipher("y");
+        let mut v = x;
+        for op in &ops {
+            v = match op {
+                SlOp::AddY => b.add(v, y),
+                SlOp::SubY => b.sub(v, y),
+                SlOp::MulY => b.mul(v, y),
+                SlOp::MulConst(k) => {
+                    let c = b.const_splat(*k);
+                    b.mul(v, c)
+                }
+                SlOp::AddConst(k) => {
+                    let c = b.const_splat(*k);
+                    b.add(v, c)
+                }
+                SlOp::Rotate(r) => b.rotate(v, *r),
+                SlOp::Negate => b.negate(v),
+            };
+        }
+        b.ret(&[v]);
+        let src = b.finish();
+
+        let params = CkksParams { poly_degree: N, max_level: LEVELS, rf_bits: 40 };
+        let compiled = compile(&src, CompilerConfig::TypeMatched, &CompileOptions::new(params.clone()))
+            .expect("compiles");
+        let inputs = Inputs::new().cipher("x", x0.clone()).cipher("y", y0.clone());
+
+        let toy = ToyBackend::new(N, LEVELS, 0x51A7);
+        let sim = SimBackend::exact(params);
+        let toy_out = Executor::new(&toy).run(&compiled.function, &inputs).expect("toy runs");
+        let sim_out = Executor::new(&sim).run(&compiled.function, &inputs).expect("sim runs");
+        for (slot, (t, s)) in toy_out.outputs[0].iter().zip(&sim_out.outputs[0]).enumerate() {
+            prop_assert!(
+                (t - s).abs() < 1e-2 + 1e-3 * s.abs(),
+                "slot {slot}: toy {t} vs sim {s} (ops: {ops:?})"
+            );
         }
     }
 }

@@ -8,11 +8,8 @@
 
 use proptest::prelude::*;
 
-use halo_fhe::ckks::{CkksParams, SimBackend};
-use halo_fhe::compiler::{compile, CompileOptions, CompilerConfig};
-use halo_fhe::ir::op::TripCount;
-use halo_fhe::ir::{Function, FunctionBuilder, ValueId};
-use halo_fhe::runtime::{reference_run, rmse, Executor, Inputs};
+use halo_fhe::ir::ValueId;
+use halo_fhe::prelude::*;
 
 const SLOTS: usize = 16;
 const NUM_ELEMS: usize = 4;
@@ -59,13 +56,15 @@ fn program_strategy() -> impl Strategy<Value = ProgramSpec> {
         2..=4u64,
         proptest::collection::vec(0.3..0.9f64, NUM_ELEMS),
     )
-        .prop_map(|(carried, plain_inits, body_ops, trip, input_data)| ProgramSpec {
-            carried,
-            plain_inits,
-            body_ops,
-            trip,
-            input_data,
-        })
+        .prop_map(
+            |(carried, plain_inits, body_ops, trip, input_data)| ProgramSpec {
+                carried,
+                plain_inits,
+                body_ops,
+                trip,
+                input_data,
+            },
+        )
 }
 
 /// Builds the traced function from a spec.
@@ -136,22 +135,31 @@ fn build(spec: &ProgramSpec) -> Function {
 }
 
 fn check_all_configs(spec: &ProgramSpec) -> Result<(), TestCaseError> {
-    if std::env::var("HALO_PROP_TRACE").is_ok() { eprintln!("CASE: {spec:?}"); }
+    if std::env::var("HALO_PROP_TRACE").is_ok() {
+        eprintln!("CASE: {spec:?}");
+    }
     let src = build(spec);
     let inputs = Inputs::new().cipher("x", spec.input_data.clone());
     let want = reference_run(&src, &inputs, SLOTS).expect("reference runs");
     // Skip degenerate programs whose values blow up (rare with bounded
     // inputs, but a long mult chain can overflow f64).
-    if want.iter().flatten().any(|v| !v.is_finite() || v.abs() > 1e12) {
+    if want
+        .iter()
+        .flatten()
+        .any(|v| !v.is_finite() || v.abs() > 1e12)
+    {
         return Ok(());
     }
-    let params = CkksParams { poly_degree: SLOTS * 2, ..CkksParams::paper() };
+    let params = CkksParams {
+        poly_degree: SLOTS * 2,
+        ..CkksParams::paper()
+    };
     let opts = CompileOptions::new(params.clone());
     for config in CompilerConfig::ALL {
         let compiled = compile(&src, config, &opts)
             .map_err(|e| TestCaseError::fail(format!("{}: {e}", config.name())))?;
-        let mut be = SimBackend::exact(params.clone());
-        let out = Executor::new(&mut be)
+        let be = SimBackend::exact(params.clone());
+        let out = Executor::new(&be)
             .run(&compiled.function, &inputs)
             .map_err(|e| TestCaseError::fail(format!("{} exec: {e}", config.name())))?;
         for (k, (got, exp)) in out.outputs.iter().zip(&want).enumerate() {

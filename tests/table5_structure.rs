@@ -1,8 +1,8 @@
 //! The Table 5 count *structure* at the paper's 40 iterations, as
 //! executable assertions — the reproduction's core quantitative claims.
 
-use halo_core::CompilerConfig;
 use halo_fhe::ml::bench::{flat_benchmarks, MlBenchmark};
+use halo_fhe::prelude::*;
 
 // Reuse the bench harness (it is a normal library crate).
 use halo_bench::{bound_inputs, compile_bench, execute, Scale};
@@ -33,7 +33,14 @@ fn type_matched_counts_match_paper_structure() {
         assert_eq!(got, *want, "{}", bench.name());
     }
     // K-means: 2 head + 3 in-body per iteration, no peel (paper: 200).
-    assert_eq!(boots(&halo_fhe::ml::bench::KMeans, CompilerConfig::TypeMatched, 40), 200);
+    assert_eq!(
+        boots(
+            &halo_fhe::ml::bench::KMeans,
+            CompilerConfig::TypeMatched,
+            40
+        ),
+        200
+    );
 }
 
 /// Packing collapses multi-variable head bootstraps to one per iteration
@@ -59,9 +66,17 @@ fn optimization_ladder_is_monotone() {
         let pk = boots(bench.as_ref(), CompilerConfig::Packing, 40);
         let pu = boots(bench.as_ref(), CompilerConfig::PackingUnrolling, 40);
         let halo = boots(bench.as_ref(), CompilerConfig::Halo, 40);
-        assert!(pk <= tm + 1, "{}: packing must not regress (cost gate)", bench.name());
+        assert!(
+            pk <= tm + 1,
+            "{}: packing must not regress (cost gate)",
+            bench.name()
+        );
         assert!(pu <= pk, "{}: unrolling must not regress", bench.name());
-        assert!(halo <= pu, "{}: tuning+elision must not regress", bench.name());
+        assert!(
+            halo <= pu,
+            "{}: tuning+elision must not regress",
+            bench.name()
+        );
     }
 }
 
@@ -75,12 +90,16 @@ fn counts_are_scale_independent() {
         let small = {
             let compiled = compile_bench(&bench, config, &[12], Scale::Small).unwrap();
             let inputs = bound_inputs(&bench, &[12], Scale::Small);
-            execute(&compiled.function, &inputs, Scale::Small, false).stats.bootstrap_count
+            execute(&compiled.function, &inputs, Scale::Small, false)
+                .stats
+                .bootstrap_count
         };
         let medium = {
             let compiled = compile_bench(&bench, config, &[12], Scale::Medium).unwrap();
             let inputs = bound_inputs(&bench, &[12], Scale::Medium);
-            execute(&compiled.function, &inputs, Scale::Medium, false).stats.bootstrap_count
+            execute(&compiled.function, &inputs, Scale::Medium, false)
+                .stats
+                .bootstrap_count
         };
         assert_eq!(small, medium, "{config:?}");
     }

@@ -3,12 +3,7 @@
 //! plaintext reference — the simulation backend's semantics are thereby
 //! anchored to genuine lattice algebra.
 
-use halo_fhe::ckks::toy::ToyBackend;
-use halo_fhe::ckks::CkksParams;
-use halo_fhe::compiler::{compile, CompileOptions, CompilerConfig};
-use halo_fhe::ir::op::TripCount;
-use halo_fhe::ir::FunctionBuilder;
-use halo_fhe::runtime::{reference_run, Executor, Inputs};
+use halo_fhe::prelude::*;
 
 const N: usize = 32; // ring degree → 16 slots
 const LEVELS: u32 = 16;
@@ -44,8 +39,10 @@ fn compiled_dynamic_loop_runs_on_real_lattice_arithmetic() {
                 .cipher("w0", vec![1.0])
                 .env("n", iters);
             let want = reference_run(&src, &inputs, N / 2).expect("reference");
-            let mut be = ToyBackend::new(N, LEVELS, 0xA11CE);
-            let out = Executor::new(&mut be).run(&compiled.function, &inputs).expect("runs");
+            let be = ToyBackend::new(N, LEVELS, 0xA11CE);
+            let out = Executor::new(&be)
+                .run(&compiled.function, &inputs)
+                .expect("runs");
             assert!(
                 (out.outputs[0][0] - want[0][0]).abs() < 1e-3,
                 "{config:?} iters={iters}: {} vs {}",
@@ -73,8 +70,10 @@ fn compiled_rotation_and_masking_run_on_real_lattice_arithmetic() {
     let values: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.1).collect();
     let inputs = Inputs::new().cipher("x", values.clone());
     let want = reference_run(&src, &inputs, N / 2).expect("reference");
-    let mut be = ToyBackend::new(N, LEVELS, 7);
-    let out = Executor::new(&mut be).run(&compiled.function, &inputs).expect("runs");
+    let be = ToyBackend::new(N, LEVELS, 7);
+    let out = Executor::new(&be)
+        .run(&compiled.function, &inputs)
+        .expect("runs");
     for (slot, (&got, &exp)) in out.outputs[0].iter().zip(&want[0]).enumerate() {
         assert!((got - exp).abs() < 1e-3, "slot {slot}: {got} vs {exp}");
     }
@@ -105,8 +104,10 @@ fn packed_two_variable_loop_runs_on_real_lattice_arithmetic() {
         .cipher("v0", vec![0.0])
         .env("n", 3);
     let want = reference_run(&src, &inputs, N / 2).expect("reference");
-    let mut be = ToyBackend::new(N, LEVELS, 99);
-    let out = Executor::new(&mut be).run(&compiled.function, &inputs).expect("runs");
+    let be = ToyBackend::new(N, LEVELS, 99);
+    let out = Executor::new(&be)
+        .run(&compiled.function, &inputs)
+        .expect("runs");
     for (k, (got, exp)) in out.outputs.iter().zip(&want).enumerate() {
         assert!(
             (got[0] - exp[0]).abs() < 5e-3,
