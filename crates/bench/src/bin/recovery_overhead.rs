@@ -1,0 +1,8 @@
+//! Prints the recovery-overhead table: the resilient executor under a
+//! seeded 5 % transient-fault schedule vs the fault-free baseline.
+use halo_bench::tables::{print_recovery, recovery_rows, PAPER_ITERS};
+fn main() {
+    let scale = halo_bench::Scale::from_env();
+    let seed = 1;
+    print_recovery(&recovery_rows(scale, PAPER_ITERS, seed), seed);
+}

@@ -30,4 +30,7 @@ fn main() {
         .cloned()
         .collect();
     print_table8(&t8);
+    println!();
+    let seed = 1;
+    print_recovery(&recovery_rows(scale, PAPER_ITERS, seed), seed);
 }

@@ -14,11 +14,11 @@
 //! (`DESIGN.md` §4, substitution 1): the compiled op stream is real, the
 //! stopwatch is the paper's published per-op numbers.
 
-use halo_ckks::{CkksParams, SimBackend};
+use halo_ckks::{CkksParams, FaultInjectingBackend, FaultReport, FaultSpec, SimBackend};
 use halo_core::{compile, CompileError, CompileOptions, CompileResult, CompilerConfig};
 use halo_ir::Function;
 use halo_ml::bench::{BenchSpec, MlBenchmark};
-use halo_runtime::{reference_run, rmse, Executor, Inputs, RunStats};
+use halo_runtime::{reference_run, rmse, ExecError, ExecPolicy, Executor, Inputs, RunStats};
 
 pub mod tables;
 
@@ -138,6 +138,35 @@ pub fn execute(f: &Function, inputs: &Inputs, scale: Scale, noisy: bool) -> Meas
         stats: out.stats,
         outputs: out.outputs,
     }
+}
+
+/// Executes a compiled function on the *exact* simulation backend wrapped
+/// in a seeded [`FaultInjectingBackend`], under the given recovery
+/// policy. Returns the measurement plus the injected-fault report so
+/// callers can assert the schedule (the recovery-overhead table and the
+/// chaos suite both do).
+///
+/// # Errors
+///
+/// Returns the executor's error when recovery could not absorb the
+/// injected faults (e.g. retry budget exhausted outside any loop).
+pub fn execute_chaos(
+    f: &Function,
+    inputs: &Inputs,
+    scale: Scale,
+    spec: FaultSpec,
+    seed: u64,
+    policy: ExecPolicy,
+) -> Result<(Measured, FaultReport), ExecError> {
+    let be = FaultInjectingBackend::new(SimBackend::exact(scale.params()), spec, seed);
+    let out = Executor::with_policy(&be, policy).run(f, inputs)?;
+    Ok((
+        Measured {
+            stats: out.stats,
+            outputs: out.outputs,
+        },
+        be.report(),
+    ))
 }
 
 /// Compile + execute in one step.

@@ -2,12 +2,13 @@
 
 use std::time::Instant;
 
-use halo_ckks::{CostModel, CostedOp};
+use halo_ckks::{CostModel, CostedOp, FaultSpec};
 use halo_core::CompilerConfig;
 use halo_ir::print::code_size_bytes;
 use halo_ml::bench::{all_benchmarks, flat_benchmarks, Pca};
+use halo_runtime::ExecPolicy;
 
-use crate::{compile_bench, rmse_per_output, run_bench, Scale};
+use crate::{bound_inputs, compile_bench, execute_chaos, rmse_per_output, run_bench, Scale};
 
 /// The paper's iteration count for the flat-loop tables.
 pub const PAPER_ITERS: u64 = 40;
@@ -408,6 +409,118 @@ pub fn print_table8(points: &[PcaPoint]) {
     }
 }
 
+/// Recovery-overhead table row: one flat benchmark executed fault-free
+/// vs under seeded transient faults with the resilient policy.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Injected per-call transient fault rate.
+    pub fault_rate: f64,
+    /// Transient faults observed by the executor.
+    pub transients: u64,
+    /// Backend calls re-issued.
+    pub retries: u64,
+    /// Emergency bootstraps (degradation events).
+    pub emergency_bootstraps: u64,
+    /// Loop-header checkpoints taken.
+    pub checkpoints: u64,
+    /// Resumes from a checkpoint.
+    pub resumes: u64,
+    /// Fault-free modeled latency, µs.
+    pub base_us: f64,
+    /// Modeled latency under faults (includes backoff + checkpoint time).
+    pub faulty_us: f64,
+    /// Whether the recovered outputs matched the fault-free run exactly.
+    pub outputs_exact: bool,
+}
+
+/// The transient rate used by the recovery-overhead table (the chaos
+/// suite's acceptance rate: every benchmark must complete under it).
+pub const RECOVERY_FAULT_RATE: f64 = 0.05;
+
+/// Runs the six flat benchmarks fault-free and under seeded transient
+/// faults with [`ExecPolicy::resilient`], producing recovery-overhead
+/// rows. With the exact backend and transient-only faults the recovered
+/// outputs must be *bit-identical* to the fault-free run — retried calls
+/// recompute the same values.
+///
+/// # Panics
+///
+/// Panics if a benchmark fails to compile or recovery fails to complete
+/// a run (both violate the fault-tolerance acceptance criteria).
+#[must_use]
+pub fn recovery_rows(scale: Scale, iters: u64, seed: u64) -> Vec<RecoveryRow> {
+    let mut rows = Vec::new();
+    for bench in flat_benchmarks() {
+        let compiled = compile_bench(bench.as_ref(), CompilerConfig::Halo, &[iters], scale)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        let inputs = bound_inputs(bench.as_ref(), &[iters], scale);
+        let base = crate::execute(&compiled.function, &inputs, scale, false);
+        let (faulty, _report) = execute_chaos(
+            &compiled.function,
+            &inputs,
+            scale,
+            FaultSpec::transient_only(RECOVERY_FAULT_RATE),
+            seed,
+            ExecPolicy::resilient(),
+        )
+        .unwrap_or_else(|e| panic!("{}: recovery must complete: {e}", bench.name()));
+        let outputs_exact = base.outputs == faulty.outputs;
+        rows.push(RecoveryRow {
+            bench: bench.name(),
+            fault_rate: RECOVERY_FAULT_RATE,
+            transients: faulty.stats.transient_faults,
+            retries: faulty.stats.retries,
+            emergency_bootstraps: faulty.stats.emergency_bootstraps,
+            checkpoints: faulty.stats.checkpoints,
+            resumes: faulty.stats.resumes,
+            base_us: base.stats.total_us,
+            faulty_us: faulty.stats.total_us,
+            outputs_exact,
+        });
+    }
+    rows
+}
+
+/// Prints the recovery-overhead table.
+pub fn print_recovery(rows: &[RecoveryRow], seed: u64) {
+    let rate = rows.first().map_or(RECOVERY_FAULT_RATE, |r| r.fault_rate);
+    println!(
+        "Recovery overhead: resilient executor under {:.0}% transient faults (seed {seed})",
+        rate * 100.0
+    );
+    println!(
+        "  {:<13} {:>7} {:>8} {:>7} {:>7} {:>7} {:>10} {:>10} {:>9} {:>6}",
+        "benchmark",
+        "faults",
+        "retries",
+        "eboots",
+        "ckpts",
+        "resumes",
+        "base (s)",
+        "chaos (s)",
+        "overhead",
+        "exact"
+    );
+    for r in rows {
+        let overhead = 100.0 * (r.faulty_us - r.base_us) / r.base_us.max(1e-12);
+        println!(
+            "  {:<13} {:>7} {:>8} {:>7} {:>7} {:>7} {:>10.3} {:>10.3} {:>8.2}% {:>6}",
+            r.bench,
+            r.transients,
+            r.retries,
+            r.emergency_bootstraps,
+            r.checkpoints,
+            r.resumes,
+            r.base_us / 1e6,
+            r.faulty_us / 1e6,
+            overhead,
+            if r.outputs_exact { "yes" } else { "NO" }
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,6 +563,26 @@ mod tests {
         // Type-matched and HALO are iteration-proportional (§7.4).
         let ratio = at(4, CompilerConfig::Halo) / at(2, CompilerConfig::Halo);
         assert!((1.5..=2.5).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn recovery_rows_complete_with_exact_outputs() {
+        let rows = recovery_rows(Scale::Small, 4, 7);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            // Exact backend + transient-only faults: recovery recomputes
+            // identical values, so outputs must match bit-for-bit.
+            assert!(r.outputs_exact, "{}", r.bench);
+            // Recovery never makes the modeled run cheaper.
+            assert!(r.faulty_us >= r.base_us, "{}", r.bench);
+            // The resilient policy checkpoints every loop header.
+            assert!(r.checkpoints > 0, "{}", r.bench);
+        }
+        // 5% across six benchmarks: some faults must fire and be retried.
+        let faults: u64 = rows.iter().map(|r| r.transients).sum();
+        let retries: u64 = rows.iter().map(|r| r.retries).sum();
+        assert!(faults > 0, "5% rate must fire across six benchmarks");
+        assert!(retries >= faults.min(1));
     }
 
     #[test]

@@ -14,11 +14,14 @@ use std::fmt;
 use crate::params::CkksParams;
 
 /// An error raised by a backend: level/scale constraint violations,
-/// capacity overflows, or genuinely unsupported requests.
+/// capacity overflows, transient faults, or genuinely unsupported requests.
 ///
 /// Structured by kind so callers (notably the runtime's `RunError`) can
-/// match on *what* went wrong instead of parsing strings.
+/// match on *what* went wrong instead of parsing strings. The enum is
+/// `#[non_exhaustive]`: future backends may report new failure classes,
+/// so downstream matches must keep a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum BackendError {
     /// Binary-op operands sit at different levels.
     LevelMismatch {
@@ -44,25 +47,65 @@ pub enum BackendError {
     },
     /// No levels left for an op that must consume one (mult/rescale at
     /// level 0, modswitch below level 0).
-    LevelExhausted,
+    LevelExhausted {
+        /// The op that needed a level.
+        op: &'static str,
+        /// The operand's current level.
+        level: u32,
+        /// The level the op needs the operand to hold.
+        needed: u32,
+    },
+    /// A transient, retryable fault: the op failed for reasons unrelated
+    /// to its arguments (a device hiccup, an injected chaos fault, a lost
+    /// RPC in a remote backend) and may succeed if simply re-issued.
+    Transient {
+        /// The op that faulted.
+        op: &'static str,
+    },
     /// Anything the backend cannot express (out-of-range encrypt or
     /// bootstrap targets, zero-step modswitch, …).
     Unsupported(String),
+}
+
+impl BackendError {
+    /// Whether retrying the exact same op may succeed.
+    ///
+    /// Level/scale violations are deterministic — the same call will fail
+    /// the same way forever — while [`BackendError::Transient`] faults are
+    /// worth re-issuing.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, BackendError::Transient { .. })
+    }
 }
 
 impl fmt::Display for BackendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BackendError::LevelMismatch { expected, got } => {
-                write!(f, "operand levels differ ({expected} vs {got})")
+                write!(
+                    f,
+                    "operand levels differ: left operand at level {expected}, right at level {got}"
+                )
             }
             BackendError::ScaleDegreeMismatch { expected, got } => {
-                write!(f, "scale degree {got} where {expected} is required")
+                write!(
+                    f,
+                    "operand carries scale degree {got} where degree {expected} \
+                     (1 = waterline Rf, 2 = pending rescale) is required"
+                )
             }
             BackendError::SlotOverflow { len, slots } => {
-                write!(f, "{len} values exceed {slots} slots")
+                write!(f, "{len} values exceed the {slots} available slots")
             }
-            BackendError::LevelExhausted => write!(f, "no levels left for this op"),
+            BackendError::LevelExhausted { op, level, needed } => write!(
+                f,
+                "no levels left: {op} needs its operand at level >= {needed} but it sits at \
+                 level {level}"
+            ),
+            BackendError::Transient { op } => {
+                write!(f, "transient backend fault during {op} (retryable)")
+            }
             BackendError::Unsupported(what) => write!(f, "unsupported: {what}"),
         }
     }

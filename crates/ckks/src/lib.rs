@@ -12,6 +12,9 @@
 //!   (addcc/addcp, multcc/multcp, rotate, rescale, modswitch, bootstrap).
 //! - [`sim`] — the simulation backend: exact slot-vector semantics with a
 //!   calibrated noise model, usable at the paper's full parameters.
+//! - [`fault`] — a deterministic fault-injecting backend decorator
+//!   (transient failures, noise bursts, spurious level loss) used by the
+//!   chaos suite to exercise the runtime's recovery paths.
 //! - [`toy`] — an exact, from-scratch RNS-CKKS implementation (negacyclic
 //!   NTT, RNS arithmetic, RLWE encryption, relinearization and Galois
 //!   key-switching with a special prime) at reduced ring degree, used to
@@ -23,6 +26,7 @@
 
 pub mod backend;
 pub mod cost;
+pub mod fault;
 pub mod parallel;
 pub mod params;
 pub mod sim;
@@ -30,6 +34,7 @@ pub mod toy;
 
 pub use backend::{Backend, BackendError};
 pub use cost::{CostModel, CostedOp};
+pub use fault::{FaultInjectingBackend, FaultReport, FaultSpec};
 pub use params::CkksParams;
 pub use sim::SimBackend;
 pub use toy::ToyBackend;

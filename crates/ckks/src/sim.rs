@@ -268,7 +268,11 @@ impl Backend for SimBackend {
             return Err(BackendError::ScaleDegreeMismatch { expected: 1, got });
         }
         if a.level < 1 {
-            return Err(BackendError::LevelExhausted);
+            return Err(BackendError::LevelExhausted {
+                op: "multcc",
+                level: a.level,
+                needed: 1,
+            });
         }
         let mut v: Vec<f64> = a.values.iter().zip(&b.values).map(|(x, y)| x * y).collect();
         let sigma = self.noise.mult;
@@ -288,7 +292,11 @@ impl Backend for SimBackend {
             });
         }
         if a.level < 1 {
-            return Err(BackendError::LevelExhausted);
+            return Err(BackendError::LevelExhausted {
+                op: "multcp",
+                level: a.level,
+                needed: 1,
+            });
         }
         let pv = self.expand(p);
         let mut v: Vec<f64> = a.values.iter().zip(&pv).map(|(x, y)| x * y).collect();
@@ -331,7 +339,11 @@ impl Backend for SimBackend {
             });
         }
         if a.level < 1 {
-            return Err(BackendError::LevelExhausted);
+            return Err(BackendError::LevelExhausted {
+                op: "rescale",
+                level: a.level,
+                needed: 1,
+            });
         }
         let mut v = a.values.clone();
         let sigma = self.noise.rescale;
@@ -348,7 +360,11 @@ impl Backend for SimBackend {
             return Err(BackendError::Unsupported("modswitch by zero levels".into()));
         }
         if down > a.level {
-            return Err(BackendError::LevelExhausted);
+            return Err(BackendError::LevelExhausted {
+                op: "modswitch",
+                level: a.level,
+                needed: down,
+            });
         }
         let mut v = a.values.clone();
         let sigma = self.noise.modswitch;

@@ -436,7 +436,11 @@ impl Backend for ToyBackend {
             return Err(BackendError::ScaleDegreeMismatch { expected: 1, got });
         }
         if a.level < 1 {
-            return Err(BackendError::LevelExhausted);
+            return Err(BackendError::LevelExhausted {
+                op: "multcc",
+                level: a.level,
+                needed: 1,
+            });
         }
         // Tensor (d0, d1, d2), then relinearize d2 back to rank 1.
         let d0 = a.c0.mul(&b.c0, &self.ctx);
@@ -462,7 +466,11 @@ impl Backend for ToyBackend {
             });
         }
         if a.level < 1 {
-            return Err(BackendError::LevelExhausted);
+            return Err(BackendError::LevelExhausted {
+                op: "multcp",
+                level: a.level,
+                needed: 1,
+            });
         }
         let m = self.encode_poly(p, a.c0.rows.len(), DELTA);
         Ok(ToyCt {
@@ -518,7 +526,11 @@ impl Backend for ToyBackend {
             });
         }
         if a.level < 1 {
-            return Err(BackendError::LevelExhausted);
+            return Err(BackendError::LevelExhausted {
+                op: "rescale",
+                level: a.level,
+                needed: 1,
+            });
         }
         let mut c0 = a.c0.clone();
         let mut c1 = a.c1.clone();
@@ -542,7 +554,11 @@ impl Backend for ToyBackend {
             return Err(BackendError::Unsupported("modswitch by zero levels".into()));
         }
         if down > a.level {
-            return Err(BackendError::LevelExhausted);
+            return Err(BackendError::LevelExhausted {
+                op: "modswitch",
+                level: a.level,
+                needed: down,
+            });
         }
         let mut c0 = a.c0.clone();
         let mut c1 = a.c1.clone();

@@ -49,8 +49,34 @@ pub struct CompileResult {
 /// [`CompileError::DynamicTripNotSupported`] when the DaCapo configuration
 /// meets a dynamic trip count; [`CompileError::DepthInfeasible`] when no
 /// bootstrap plan can level the program; verification errors on internal
-/// invariant violations.
+/// invariant violations. A panic inside a pass (an internal-invariant
+/// `expect` tripped by a malformed source program) is caught at this
+/// boundary and surfaced as [`CompileError::Internal`] so callers never
+/// unwind through the compiler.
 pub fn compile(
+    src: &Function,
+    config: CompilerConfig,
+    opts: &CompileOptions,
+) -> Result<CompileResult, CompileError> {
+    // The passes are pure over (&Function, &CompileOptions), so resuming
+    // after a caught unwind cannot observe broken state in the caller's
+    // data: AssertUnwindSafe is sound here.
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        compile_inner(src, config, opts)
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        Err(CompileError::Internal(format!(
+            "compiler pass panicked: {msg}"
+        )))
+    })
+}
+
+fn compile_inner(
     src: &Function,
     config: CompilerConfig,
     opts: &CompileOptions,
@@ -215,6 +241,45 @@ mod tests {
 
         let halo = compile(&src, CompilerConfig::Halo, &opts()).unwrap();
         assert!(halo.tuned >= 1, "shallow body leaves slack to tune");
+    }
+
+    #[test]
+    fn pass_panics_surface_as_internal_errors() {
+        use halo_ir::func::BlockId;
+        use halo_ir::types::{CtType, LEVEL_UNSET};
+        // A malformed source program the verifier never saw: a loop whose
+        // body block id dangles. Passes indexing that block panic; the
+        // `compile` boundary must convert the unwind into an error.
+        let mut f = Function::new("bad", 32);
+        let entry = f.entry;
+        let cipher = CtType::cipher(LEVEL_UNSET);
+        let x = f.push_op1(entry, Opcode::Input { name: "x".into() }, vec![], cipher);
+        f.push_op(
+            entry,
+            Opcode::For {
+                trip: TripCount::Constant(3),
+                body: BlockId(99),
+                num_elems: 1,
+            },
+            vec![x],
+            &[cipher],
+        );
+        f.push_op(entry, Opcode::Return, vec![], &[]);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let results: Vec<_> = CompilerConfig::ALL
+            .into_iter()
+            .map(|config| compile(&f, config, &opts()))
+            .collect();
+        std::panic::set_hook(prev);
+        for (config, r) in CompilerConfig::ALL.into_iter().zip(results) {
+            let err = r.expect_err(config.name());
+            assert!(
+                matches!(err, CompileError::Internal(_) | CompileError::Verify(_)),
+                "{}: {err}",
+                config.name()
+            );
+        }
     }
 
     #[test]

@@ -107,6 +107,25 @@ impl Function {
         &mut self.ops[id.0 as usize]
     }
 
+    /// The op behind `id`, or `None` for a dangling id — the
+    /// non-panicking accessor the runtime uses on untrusted programs.
+    #[must_use]
+    pub fn try_op(&self, id: OpId) -> Option<&Op> {
+        self.ops.get(id.0 as usize)
+    }
+
+    /// The block behind `id`, or `None` for a dangling id.
+    #[must_use]
+    pub fn try_block(&self, id: BlockId) -> Option<&Block> {
+        self.blocks.get(id.0 as usize)
+    }
+
+    /// The type of value `id`, or `None` for a dangling id.
+    #[must_use]
+    pub fn try_ty(&self, id: ValueId) -> Option<CtType> {
+        self.values.get(id.0 as usize).map(|v| v.ty)
+    }
+
     /// The value behind `id`.
     #[must_use]
     pub fn value(&self, id: ValueId) -> &Value {

@@ -2,7 +2,10 @@
 //!
 //! - [`exec`] — the interpreter: runs a (typed or traced) function over any
 //!   [`halo_ckks::Backend`], resolving dynamic trip counts from a symbol
-//!   environment and accounting modeled latency per executed op.
+//!   environment and accounting modeled latency per executed op. An
+//!   [`ExecPolicy`] turns on self-healing: bounded retry for transient
+//!   faults, an emergency-bootstrap noise-budget guard, and loop-header
+//!   checkpoint/resume.
 //! - [`reference`](mod@reference) — an exact plaintext executor for the traced source
 //!   program, used as ground truth for RMSE measurements (Table 4).
 //! - [`stats`] — per-run op counts, bootstrap counts (Tables 5 and 8), and
@@ -13,6 +16,6 @@ pub mod exec;
 pub mod reference;
 pub mod stats;
 
-pub use exec::{Executor, Inputs, RunError, RunOutput};
+pub use exec::{ExecError, ExecPolicy, Executor, Inputs, RunError, RunOutput};
 pub use reference::reference_run;
 pub use stats::{rmse, RunStats};

@@ -20,6 +20,36 @@ pub struct RunStats {
     /// Portion of [`RunStats::total_us`] spent in bootstrapping (the
     /// hatched part of Figure 4's bars).
     pub bootstrap_us: f64,
+
+    // ------------------------------------------------------------------
+    // Recovery telemetry (all zero unless an `ExecPolicy` enables the
+    // corresponding mechanism *and* it fired).
+    // ------------------------------------------------------------------
+    /// Transient backend faults observed (whether or not retried).
+    pub transient_faults: u64,
+    /// Backend calls re-issued after a transient fault.
+    pub retries: u64,
+    /// Modeled retry backoff charged to [`RunStats::total_us`], in µs.
+    pub retry_backoff_us: f64,
+    /// Emergency bootstraps issued by the noise-budget guard — each one is
+    /// a degradation event: the run survived but paid a bootstrap the
+    /// compiler did not plan.
+    pub emergency_bootstraps: u64,
+    /// Level-aligning modswitches issued by the guard on mismatched
+    /// binary-op operands (also degradation events).
+    pub level_aligns: u64,
+    /// Emergency rescales issued by the guard to normalize a pending-rescale
+    /// (degree-2) value before an unplanned bootstrap could restore its
+    /// level budget (also degradation events). The plan's own later rescale
+    /// of that value then becomes a no-op.
+    pub emergency_rescales: u64,
+    /// Loop-header checkpoints taken.
+    pub checkpoints: u64,
+    /// Modeled checkpoint serialization time charged to
+    /// [`RunStats::total_us`], in µs.
+    pub checkpoint_us: f64,
+    /// Loop resumes from a checkpoint after a non-retryable fault.
+    pub resumes: u64,
 }
 
 impl RunStats {
@@ -43,6 +73,21 @@ impl RunStats {
     #[must_use]
     pub fn total_seconds(&self) -> f64 {
         self.total_us / 1e6
+    }
+
+    /// Degradation events: repairs the executor performed that the
+    /// compiled plan did not call for (emergency bootstraps and rescales,
+    /// level-aligning modswitches).
+    #[must_use]
+    pub fn degradations(&self) -> u64 {
+        self.emergency_bootstraps + self.level_aligns + self.emergency_rescales
+    }
+
+    /// Modeled recovery overhead charged to [`RunStats::total_us`], in µs
+    /// (retry backoff plus checkpoint serialization).
+    #[must_use]
+    pub fn recovery_overhead_us(&self) -> f64 {
+        self.retry_backoff_us + self.checkpoint_us
     }
 }
 

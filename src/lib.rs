@@ -26,11 +26,14 @@ pub use halo_runtime as runtime;
 /// ```
 pub mod prelude {
     pub use halo_ckks::backend::{Backend, BackendError, PlainKind};
+    pub use halo_ckks::fault::{FaultInjectingBackend, FaultReport, FaultSpec};
     pub use halo_ckks::params::CkksParams;
     pub use halo_ckks::sim::{NoiseProfile, SimBackend};
     pub use halo_ckks::toy::ToyBackend;
     pub use halo_core::{compile, CompileOptions, CompileResult, CompilerConfig};
     pub use halo_ir::op::TripCount;
     pub use halo_ir::{Function, FunctionBuilder};
-    pub use halo_runtime::{reference_run, rmse, Executor, Inputs, RunError, RunStats};
+    pub use halo_runtime::{
+        reference_run, rmse, ExecError, ExecPolicy, Executor, Inputs, RunError, RunStats,
+    };
 }

@@ -1,0 +1,221 @@
+//! Chaos suite: compiled loop benchmarks executed under a seeded
+//! fault-injection schedule, asserting the self-healing executor absorbs
+//! every injected fault class without panicking.
+//!
+//! CI runs this file across several seeds via the `HALO_CHAOS_SEED`
+//! environment variable (default 1), so the assertions are written to
+//! hold for *any* seed: recovery completes, transient-only and
+//! level-loss-only runs stay bit-exact (the exact simulation backend
+//! recomputes identical values on retry), and full chaos stays within a
+//! noise-burst tolerance of the plaintext reference.
+
+use halo_bench::{bound_inputs, compile_bench, execute, execute_chaos, Scale};
+use halo_fhe::ml::bench::flat_benchmarks;
+use halo_fhe::prelude::*;
+
+const ITERS: u64 = 6;
+
+fn chaos_seed() -> u64 {
+    std::env::var("HALO_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Transient faults under the resilient policy: every benchmark completes,
+/// outputs are bit-identical to the fault-free run, and the executor's
+/// fault counters agree with the injector's report.
+#[test]
+fn transient_faults_recover_bit_exact_across_benchmarks() {
+    let seed = chaos_seed();
+    let scale = Scale::Small;
+    let mut total_faults = 0;
+    for bench in flat_benchmarks() {
+        let compiled = compile_bench(bench.as_ref(), CompilerConfig::Halo, &[ITERS], scale)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        let inputs = bound_inputs(bench.as_ref(), &[ITERS], scale);
+        let base = execute(&compiled.function, &inputs, scale, false);
+        let (chaotic, report) = execute_chaos(
+            &compiled.function,
+            &inputs,
+            scale,
+            FaultSpec::transient_only(0.05),
+            seed,
+            ExecPolicy::resilient(),
+        )
+        .unwrap_or_else(|e| panic!("{} (seed {seed}): {e}", bench.name()));
+        assert_eq!(
+            base.outputs,
+            chaotic.outputs,
+            "{} (seed {seed}): retried ops must recompute identical values",
+            bench.name()
+        );
+        assert_eq!(
+            chaotic.stats.transient_faults,
+            report.observable_transients(),
+            "{} (seed {seed}): executor and injector disagree on fault count",
+            bench.name()
+        );
+        assert!(chaotic.stats.total_us >= base.stats.total_us);
+        total_faults += report.total();
+    }
+    assert!(total_faults > 0, "seed {seed} injected nothing at 5%");
+}
+
+/// Spurious level loss under the resilient policy: the emergency-bootstrap
+/// guard restores the level budget and outputs stay bit-exact (the exact
+/// backend's bootstrap is value-preserving).
+#[test]
+fn level_loss_recovers_bit_exact_across_benchmarks() {
+    let seed = chaos_seed();
+    let scale = Scale::Small;
+    let mut injected = 0;
+    for bench in flat_benchmarks() {
+        let compiled = compile_bench(bench.as_ref(), CompilerConfig::Halo, &[ITERS], scale)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        let inputs = bound_inputs(bench.as_ref(), &[ITERS], scale);
+        let base = execute(&compiled.function, &inputs, scale, false);
+        let (chaotic, report) = execute_chaos(
+            &compiled.function,
+            &inputs,
+            scale,
+            FaultSpec::level_loss_only(0.1),
+            seed,
+            ExecPolicy::resilient(),
+        )
+        .unwrap_or_else(|e| panic!("{} (seed {seed}): {e}", bench.name()));
+        assert_eq!(
+            base.outputs,
+            chaotic.outputs,
+            "{} (seed {seed}): healed run must match fault-free outputs",
+            bench.name()
+        );
+        injected += report.level_losses;
+    }
+    assert!(injected > 0, "seed {seed} injected no level losses at 10%");
+}
+
+/// Full chaos (every fault class at once): recovery completes and outputs
+/// stay within the burst-magnitude tolerance of the plaintext reference.
+#[test]
+fn full_chaos_stays_within_tolerance() {
+    let seed = chaos_seed();
+    let scale = Scale::Small;
+    let spec = scale.spec();
+    for bench in flat_benchmarks() {
+        let src = bench.trace_dynamic(&spec);
+        let inputs = bound_inputs(bench.as_ref(), &[ITERS], scale);
+        let want = reference_run(&src, &inputs, spec.slots).expect("reference");
+        let compiled = compile_bench(bench.as_ref(), CompilerConfig::Halo, &[ITERS], scale)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        let (chaotic, report) = execute_chaos(
+            &compiled.function,
+            &inputs,
+            scale,
+            FaultSpec::chaos(0.02),
+            seed,
+            ExecPolicy::resilient(),
+        )
+        .unwrap_or_else(|e| panic!("{} (seed {seed}): {e}", bench.name()));
+        assert!(report.total() > 0 || chaotic.stats.degradations() == 0);
+        for (got, want) in chaotic.outputs.iter().zip(&want) {
+            let n = spec.num_elems.min(got.len()).min(want.len());
+            let err = rmse(&got[..n], &want[..n]);
+            assert!(
+                err < 1e-2,
+                "{} (seed {seed}): rmse {err} exceeds burst tolerance",
+                bench.name()
+            );
+        }
+    }
+}
+
+/// `ExecPolicy::default()` is bit-identical to the pre-recovery executor:
+/// same outputs *and* same stats, even through a (fault-free) injecting
+/// wrapper.
+#[test]
+fn default_policy_is_bit_identical_to_plain_executor() {
+    let scale = Scale::Small;
+    for bench in flat_benchmarks() {
+        let compiled = compile_bench(bench.as_ref(), CompilerConfig::Halo, &[ITERS], scale)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        let inputs = bound_inputs(bench.as_ref(), &[ITERS], scale);
+        let plain = execute(&compiled.function, &inputs, scale, false);
+        let (wrapped, report) = execute_chaos(
+            &compiled.function,
+            &inputs,
+            scale,
+            FaultSpec::none(),
+            chaos_seed(),
+            ExecPolicy::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        assert_eq!(report.total(), 0);
+        assert_eq!(plain.outputs, wrapped.outputs, "{}", bench.name());
+        assert_eq!(plain.stats, wrapped.stats, "{}", bench.name());
+    }
+}
+
+/// Injected faults with recovery *disabled* surface as structured errors
+/// with op context — never panics. (At a 100% transient rate the very
+/// first backend call fails.)
+#[test]
+fn unrecovered_faults_error_with_context_instead_of_panicking() {
+    let scale = Scale::Small;
+    let bench = &flat_benchmarks()[0];
+    let compiled = compile_bench(bench.as_ref(), CompilerConfig::Halo, &[ITERS], scale).unwrap();
+    let inputs = bound_inputs(bench.as_ref(), &[ITERS], scale);
+    let err = execute_chaos(
+        &compiled.function,
+        &inputs,
+        scale,
+        FaultSpec::transient_only(1.0),
+        chaos_seed(),
+        ExecPolicy::default(),
+    )
+    .expect_err("a 100% fault rate with zero retries must fail");
+    assert!(
+        matches!(err.kind, RunError::Backend(ref b) if b.is_transient()),
+        "unexpected error: {err}"
+    );
+    assert!(err.to_string().contains("transient"), "{err}");
+}
+
+/// A malformed program (dangling loop body, missing operands) run under
+/// chaos errors cleanly rather than panicking the executor.
+#[test]
+fn malformed_program_under_chaos_errors_cleanly() {
+    use halo_fhe::ir::func::BlockId;
+    use halo_fhe::ir::op::Opcode;
+    use halo_fhe::ir::types::{CtType, LEVEL_UNSET};
+
+    let mut f = Function::new("bad", 4);
+    let entry = f.entry;
+    let cipher = CtType::cipher(LEVEL_UNSET);
+    let x = f.push_op1(entry, Opcode::Input { name: "x".into() }, vec![], cipher);
+    f.push_op(
+        entry,
+        Opcode::For {
+            trip: TripCount::Constant(3),
+            body: BlockId(99),
+            num_elems: 1,
+        },
+        vec![x],
+        &[cipher],
+    );
+    f.push_op(entry, Opcode::Return, vec![], &[]);
+
+    let be = FaultInjectingBackend::new(
+        SimBackend::exact(Scale::Small.params()),
+        FaultSpec::chaos(0.1),
+        chaos_seed(),
+    );
+    let inputs = Inputs::new().cipher("x", vec![1.0; 4]);
+    let err = Executor::with_policy(&be, ExecPolicy::resilient())
+        .run(&f, &inputs)
+        .expect_err("dangling body block must be a structured error");
+    assert!(
+        matches!(err.kind, RunError::Malformed(_)),
+        "unexpected error: {err}"
+    );
+}
