@@ -1,0 +1,37 @@
+//! CI schema check for the machine-readable bench artifacts: parses and
+//! validates `BENCH_ROTATE.json` and `BENCH_RUN_ALL.json` from
+//! `HALO_BENCH_JSON_DIR` (default `results/`), exiting non-zero on the
+//! first violation.
+//!
+//! ```sh
+//! cargo run --release -p halo-bench --bin bench_json_check
+//! ```
+
+use halo_bench::json::{self, Json};
+
+fn check(name: &str, validate: fn(&Json) -> Result<(), String>) -> Result<(), String> {
+    let dir = halo_bench::bench_json_dir().map_err(|e| format!("{name}: {e}"))?;
+    let path = dir.join(name);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("{name}: parse error: {e}"))?;
+    validate(&doc).map_err(|e| format!("{name}: schema violation: {e}"))?;
+    println!("OK {}", path.display());
+    Ok(())
+}
+
+fn main() {
+    let results = [
+        check("BENCH_ROTATE.json", json::validate_rotate),
+        check("BENCH_RUN_ALL.json", json::validate_run_all),
+    ];
+    let mut failed = false;
+    for r in results {
+        if let Err(e) = r {
+            eprintln!("FAIL {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

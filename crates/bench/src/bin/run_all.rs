@@ -1,7 +1,17 @@
 //! Regenerates every table and figure in sequence (the source of
-//! `EXPERIMENTS.md`'s measured columns).
+//! `EXPERIMENTS.md`'s measured columns), then writes the run's
+//! machine-readable trajectory to `BENCH_RUN_ALL.json` (schema
+//! `halo-bench-run-all/1`, destination `HALO_BENCH_JSON_DIR`, default
+//! `results/`).
+use std::time::Instant;
+
+use halo_bench::json::{self, num, Json};
 use halo_bench::tables::*;
+use halo_ckks::metrics;
+
 fn main() {
+    let wall = Instant::now();
+    metrics::reset();
     let scale = halo_bench::Scale::from_env();
     println!("== HALO evaluation, scale {scale:?} ==\n");
     print_table1(scale);
@@ -33,4 +43,30 @@ fn main() {
     println!();
     let seed = 1;
     print_recovery(&recovery_rows(scale, PAPER_ITERS, seed), seed);
+
+    let benchmarks: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            json::obj(vec![
+                ("bench", Json::Str(r.bench.into())),
+                ("config", Json::Str(format!("{:?}", r.config))),
+                ("bootstraps", num(r.bootstraps as f64)),
+                ("total_us", num(r.total_us)),
+                ("bootstrap_us", num(r.bootstrap_us)),
+            ])
+        })
+        .collect();
+    let doc = json::obj(vec![
+        ("schema", Json::Str("halo-bench-run-all/1".into())),
+        ("scale", Json::Str(format!("{scale:?}"))),
+        ("iters", num(PAPER_ITERS as f64)),
+        ("wall_ms", num(wall.elapsed().as_secs_f64() * 1e3)),
+        ("poly_allocs", num(metrics::snapshot().poly_allocs as f64)),
+        ("benchmarks", Json::Arr(benchmarks)),
+    ]);
+    json::validate_run_all(&doc).expect("emitted document must satisfy its own schema");
+    let dir = halo_bench::bench_json_dir().expect("bench json dir");
+    let path = dir.join("BENCH_RUN_ALL.json");
+    std::fs::write(&path, doc.pretty()).expect("write BENCH_RUN_ALL.json");
+    println!("\nwrote {}", path.display());
 }

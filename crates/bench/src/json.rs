@@ -1,0 +1,520 @@
+//! Minimal dependency-free JSON: a value tree, an emitter, a
+//! recursive-descent parser, and schema validators for the two
+//! machine-readable bench artifacts (`BENCH_ROTATE.json`,
+//! `BENCH_RUN_ALL.json`).
+//!
+//! The workspace deliberately vendors no serde; the bench trajectory only
+//! needs flat objects of numbers and strings, so a ~200-line JSON core
+//! keeps the artifact format honest (CI round-trips every emitted file
+//! through this parser before accepting it).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (emitted via `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on emit.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.emit(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn emit(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => emit_num(out, *x),
+            Json::Str(s) => emit_str(out, s),
+            Json::Arr(v) if v.is_empty() => out.push_str("[]"),
+            Json::Arr(v) => {
+                out.push('[');
+                for (i, item) in v.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad);
+                    item.emit(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(m) if m.is_empty() => out.push_str("{}"),
+            Json::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad);
+                    emit_str(out, k);
+                    out.push_str(": ");
+                    v.emit(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn emit_num(out: &mut String, x: f64) {
+    // JSON has no NaN/Inf; the validators reject them, but never emit
+    // something unparseable either.
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 9e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn emit_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document (the subset this crate emits: no `\uXXXX`
+/// surrogate pairs beyond the BMP escape itself).
+///
+/// # Errors
+///
+/// Returns a message with a byte offset on malformed input.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                members.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number '{s}' at byte {start}"))
+        }
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("bad \\u escape".to_string())?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Convenience: a finite, non-negative number under `key`.
+fn require_num(v: &Json, key: &str) -> Result<f64, String> {
+    let x = v
+        .get(key)
+        .ok_or(format!("missing key '{key}'"))?
+        .as_num()
+        .ok_or(format!("key '{key}' is not a number"))?;
+    if !x.is_finite() || x < 0.0 {
+        return Err(format!("key '{key}' must be finite and >= 0, got {x}"));
+    }
+    Ok(x)
+}
+
+fn require_str<'j>(v: &'j Json, key: &str) -> Result<&'j str, String> {
+    v.get(key)
+        .ok_or(format!("missing key '{key}'"))?
+        .as_str()
+        .ok_or(format!("key '{key}' is not a string"))
+}
+
+/// Counter sub-object shared by both rotate snapshots.
+fn check_counters(v: &Json, key: &str) -> Result<(), String> {
+    let obj = v.get(key).ok_or(format!("missing object '{key}'"))?;
+    for k in ["poly_allocs", "digit_decomposes", "digit_ntt_rows"] {
+        require_num(obj, k).map_err(|e| format!("{key}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Validates a `BENCH_ROTATE.json` document (schema
+/// `halo-bench-rotate/1`): hoisted-rotation microbenchmark results with
+/// op/alloc counter snapshots for the sequential and hoisted paths.
+///
+/// # Errors
+///
+/// Returns the first schema violation.
+pub fn validate_rotate(v: &Json) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != "halo-bench-rotate/1" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    for k in ["n", "levels", "batch", "reps", "threads"] {
+        let x = require_num(v, k)?;
+        if x < 1.0 {
+            return Err(format!("key '{k}' must be >= 1"));
+        }
+    }
+    let seq = require_num(v, "sequential_us")?;
+    let hoisted = require_num(v, "hoisted_us")?;
+    let speedup = require_num(v, "speedup")?;
+    if hoisted > 0.0 && (speedup - seq / hoisted).abs() > 1e-6 * speedup.max(1.0) {
+        return Err(format!(
+            "speedup {speedup} inconsistent with {seq} / {hoisted}"
+        ));
+    }
+    check_counters(v, "sequential")?;
+    check_counters(v, "hoisted")?;
+    // The hoisting contract: one decomposition per batch on the hoisted
+    // path, one per rotation on the sequential path.
+    let seq_dec = require_num(v.get("sequential").unwrap(), "digit_decomposes")?;
+    let hoist_dec = require_num(v.get("hoisted").unwrap(), "digit_decomposes")?;
+    if hoist_dec >= seq_dec {
+        return Err(format!(
+            "hoisted path must decompose less ({hoist_dec} vs {seq_dec})"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates a `BENCH_RUN_ALL.json` document (schema
+/// `halo-bench-run-all/1`): per-benchmark modeled latencies and bootstrap
+/// counts plus the run's wall time.
+///
+/// # Errors
+///
+/// Returns the first schema violation.
+pub fn validate_run_all(v: &Json) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != "halo-bench-run-all/1" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    require_str(v, "scale")?;
+    require_num(v, "iters")?;
+    require_num(v, "wall_ms")?;
+    require_num(v, "poly_allocs")?;
+    let benches = v
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .ok_or("missing array 'benchmarks'".to_string())?;
+    if benches.is_empty() {
+        return Err("'benchmarks' must be non-empty".into());
+    }
+    for (i, row) in benches.iter().enumerate() {
+        let ctx = |e| format!("benchmarks[{i}]: {e}");
+        require_str(row, "bench").map_err(ctx)?;
+        require_str(row, "config").map_err(ctx)?;
+        require_num(row, "bootstraps").map_err(ctx)?;
+        let total = require_num(row, "total_us").map_err(ctx)?;
+        let boot = require_num(row, "bootstrap_us").map_err(ctx)?;
+        if boot > total {
+            return Err(format!(
+                "benchmarks[{i}]: bootstrap_us {boot} exceeds total_us {total}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Builds an object from key/value pairs (emit-side convenience).
+#[must_use]
+pub fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+/// Shorthand for a numeric member.
+#[must_use]
+pub fn num(x: f64) -> Json {
+    Json::Num(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let doc = obj(vec![
+            ("schema", Json::Str("x/1".into())),
+            ("count", num(3.0)),
+            ("frac", num(0.125)),
+            ("name", Json::Str("a \"b\"\nc".into())),
+            (
+                "items",
+                Json::Arr(vec![num(1.0), Json::Null, Json::Bool(true)]),
+            ),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let text = doc.pretty();
+        assert!(text.ends_with('\n'));
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "tru", "{} x", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn integers_emit_without_decimal_point() {
+        assert_eq!(Json::Num(42.0).pretty().trim(), "42");
+        assert_eq!(Json::Num(0.5).pretty().trim(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).pretty().trim(), "null");
+    }
+
+    fn rotate_doc(hoist_dec: f64) -> Json {
+        let counters = |dec: f64| {
+            obj(vec![
+                ("poly_allocs", num(100.0)),
+                ("digit_decomposes", num(dec)),
+                ("digit_ntt_rows", num(80.0)),
+            ])
+        };
+        obj(vec![
+            ("schema", Json::Str("halo-bench-rotate/1".into())),
+            ("n", num(4096.0)),
+            ("levels", num(8.0)),
+            ("batch", num(8.0)),
+            ("reps", num(10.0)),
+            ("threads", num(4.0)),
+            ("sequential_us", num(800.0)),
+            ("hoisted_us", num(400.0)),
+            ("speedup", num(2.0)),
+            ("sequential", counters(8.0)),
+            ("hoisted", counters(hoist_dec)),
+        ])
+    }
+
+    #[test]
+    fn rotate_schema_validates_and_rejects() {
+        validate_rotate(&rotate_doc(1.0)).unwrap();
+        // Hoisted path decomposing as often as sequential is a regression.
+        assert!(validate_rotate(&rotate_doc(8.0)).is_err());
+        // Missing keys are caught.
+        assert!(validate_rotate(&obj(vec![(
+            "schema",
+            Json::Str("halo-bench-rotate/1".into())
+        )]))
+        .is_err());
+    }
+
+    #[test]
+    fn run_all_schema_validates_and_rejects() {
+        let row = obj(vec![
+            ("bench", Json::Str("linear".into())),
+            ("config", Json::Str("Halo".into())),
+            ("bootstraps", num(3.0)),
+            ("total_us", num(1000.0)),
+            ("bootstrap_us", num(900.0)),
+        ]);
+        let doc = obj(vec![
+            ("schema", Json::Str("halo-bench-run-all/1".into())),
+            ("scale", Json::Str("Small".into())),
+            ("iters", num(40.0)),
+            ("wall_ms", num(12.5)),
+            ("poly_allocs", num(0.0)),
+            ("benchmarks", Json::Arr(vec![row])),
+        ]);
+        validate_run_all(&doc).unwrap();
+        let empty = obj(vec![
+            ("schema", Json::Str("halo-bench-run-all/1".into())),
+            ("scale", Json::Str("Small".into())),
+            ("iters", num(40.0)),
+            ("wall_ms", num(12.5)),
+            ("poly_allocs", num(0.0)),
+            ("benchmarks", Json::Arr(vec![])),
+        ]);
+        assert!(validate_run_all(&empty).is_err());
+    }
+}

@@ -20,7 +20,21 @@ use halo_ir::Function;
 use halo_ml::bench::{BenchSpec, MlBenchmark};
 use halo_runtime::{reference_run, rmse, ExecError, ExecPolicy, Executor, Inputs, RunStats};
 
+pub mod json;
 pub mod tables;
+
+/// Resolves the directory for machine-readable bench artifacts
+/// (`HALO_BENCH_JSON_DIR`, default `results/`), creating it if needed.
+///
+/// # Errors
+///
+/// Propagates the create/canonicalize I/O error.
+pub fn bench_json_dir() -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var("HALO_BENCH_JSON_DIR").unwrap_or_else(|_| "results".into());
+    let path = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&path)?;
+    Ok(path)
+}
 
 /// Evaluation scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

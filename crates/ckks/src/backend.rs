@@ -217,6 +217,23 @@ pub trait Backend: Send + Sync {
     /// Fails if the backend lacks a rotation key for `offset`.
     fn rotate(&self, a: &Self::Ct, offset: i64) -> Result<Self::Ct>;
 
+    /// Rotates one ciphertext by every offset in `offsets`, returning one
+    /// result per offset in order.
+    ///
+    /// The default implementation is a sequential [`Backend::rotate`]
+    /// loop, so every backend works unchanged. Backends with hoisted
+    /// (Halevi–Shoup) key switching override this to share the digit
+    /// decomposition and per-digit NTTs across the whole batch; overrides
+    /// must stay *bit-identical* to the sequential loop — hoisting is a
+    /// latency optimization, never a semantic one.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any single rotation would.
+    fn rotate_batch(&self, a: &Self::Ct, offsets: &[i64]) -> Result<Vec<Self::Ct>> {
+        offsets.iter().map(|&o| self.rotate(a, o)).collect()
+    }
+
     /// Rescale: divide the scale by `Rf`, dropping one level (degree 2→1).
     ///
     /// # Errors

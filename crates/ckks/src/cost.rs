@@ -36,6 +36,10 @@ pub enum CostedOp {
     Negate { level: u32 },
     /// Slot rotation (Galois key switch).
     Rotate { level: u32 },
+    /// `count` rotations of one ciphertext with hoisted (Halevi–Shoup)
+    /// key switching: the digit decomposition and per-digit NTTs are paid
+    /// once, then each offset costs only its key-switch inner product.
+    RotateBatch { level: u32, count: u32 },
     /// One rescale at the given operand level.
     Rescale { level: u32 },
     /// One single-level modswitch at the given operand level.
@@ -76,6 +80,12 @@ const MULTCP_FACTOR: f64 = 0.55;
 const ROTATE_FACTOR: f64 = 0.95;
 /// `addcp`/`negate` relative to `addcc` (elementwise, no NTT).
 const ADDCP_FACTOR: f64 = 0.8;
+/// Fraction of a single rotation spent on the digit decomposition and
+/// per-digit forward NTTs — the part hoisting shares across a batch. The
+/// remaining `1 − f` (key-switch inner product + mod-down) is paid per
+/// offset. Calibrated against the toy backend, where decompose-side NTTs
+/// account for roughly half the rotation at mid levels.
+const HOIST_DECOMPOSE_FRACTION: f64 = 0.55;
 /// Encoding a plaintext operand (amortized; tiny next to any keyswitch).
 const ENCODE_US: f64 = 20.0;
 
@@ -114,11 +124,27 @@ impl CostModel {
                 ADDCP_FACTOR * interp(&MODSWITCH_POINTS, l(level))
             }
             CostedOp::Rotate { level } => ROTATE_FACTOR * interp(&MULTCC_POINTS, l(level)),
+            CostedOp::RotateBatch { level, count } => self.rotate_batch_us(level, count),
             CostedOp::Rescale { level } => interp(&RESCALE_POINTS, l(level)),
             CostedOp::ModSwitch { level } => interp(&MODSWITCH_POINTS, l(level)),
             CostedOp::Bootstrap { target } => interp(&BOOTSTRAP_POINTS, f64::from(target)),
             CostedOp::Encode => ENCODE_US,
         }
+    }
+
+    /// Latency of `count` hoisted rotations of one ciphertext at `level`.
+    ///
+    /// Amortized model: one shared decompose (`f` of a rotation) plus
+    /// `count` inner products (`1 − f` each), so
+    /// `rotate · (f + (1 − f)·count)`. A batch of one prices exactly like
+    /// a plain [`CostedOp::Rotate`]; an empty batch is free.
+    #[must_use]
+    pub fn rotate_batch_us(&self, level: u32, count: u32) -> f64 {
+        if count == 0 {
+            return 0.0;
+        }
+        let one = self.latency_us(CostedOp::Rotate { level });
+        one * (HOIST_DECOMPOSE_FRACTION + (1.0 - HOIST_DECOMPOSE_FRACTION) * f64::from(count))
     }
 
     /// Latency of a multi-level modswitch (`down` successive drops starting
@@ -202,6 +228,32 @@ mod tests {
         assert!(
             m.latency_us(CostedOp::AddCC { level: l })
                 < m.latency_us(CostedOp::Rescale { level: l })
+        );
+    }
+
+    #[test]
+    fn rotate_batch_amortizes_the_decomposition() {
+        let m = CostModel::new();
+        let l = 8;
+        let one = m.latency_us(CostedOp::Rotate { level: l });
+        // A batch of one is exactly a rotation; an empty batch is free.
+        assert!((m.rotate_batch_us(l, 1) - one).abs() < 1e-9);
+        assert_eq!(m.rotate_batch_us(l, 0), 0.0);
+        // k hoisted rotations beat k sequential ones, and the saving is
+        // exactly the k − 1 decompositions they share.
+        let k = 8;
+        let batch = m.rotate_batch_us(l, k);
+        assert!(
+            batch < f64::from(k) * one,
+            "{batch} vs {}",
+            f64::from(k) * one
+        );
+        let saving = f64::from(k) * one - batch;
+        assert!((saving - f64::from(k - 1) * 0.55 * one).abs() < 1e-6);
+        // The enum arm delegates.
+        assert_eq!(
+            m.latency_us(CostedOp::RotateBatch { level: l, count: k }),
+            batch
         );
     }
 

@@ -294,6 +294,14 @@ impl<B: Backend> Backend for FaultInjectingBackend<B> {
         self.corrupt(self.inner.rotate(a, offset)?)
     }
 
+    fn rotate_batch(&self, a: &B::Ct, offsets: &[i64]) -> Result<Vec<B::Ct>> {
+        // One fail point guards the whole batch — a hoisted rotation is
+        // one backend call, so it faults (and retries) as one unit.
+        self.fail_point("rotate")?;
+        let outs = self.inner.rotate_batch(a, offsets)?;
+        outs.into_iter().map(|ct| self.corrupt(ct)).collect()
+    }
+
     fn rescale(&self, a: &B::Ct) -> Result<B::Ct> {
         self.fail_point("rescale")?;
         self.corrupt(self.inner.rescale(a)?)

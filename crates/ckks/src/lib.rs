@@ -27,6 +27,7 @@
 pub mod backend;
 pub mod cost;
 pub mod fault;
+pub mod metrics;
 pub mod parallel;
 pub mod params;
 pub mod sim;
@@ -35,6 +36,7 @@ pub mod toy;
 pub use backend::{Backend, BackendError};
 pub use cost::{CostModel, CostedOp};
 pub use fault::{FaultInjectingBackend, FaultReport, FaultSpec};
+pub use metrics::MetricsSnapshot;
 pub use params::CkksParams;
 pub use sim::SimBackend;
 pub use toy::ToyBackend;

@@ -1,0 +1,114 @@
+//! Process-wide op/alloc counters for the toy backend's hot paths.
+//!
+//! The counters exist so tests and benchmarks can *prove* structural
+//! properties of the implementation rather than infer them from wall
+//! clock — e.g. that a hoisted `rotate_batch` performs exactly one digit
+//! decomposition (and one per-digit forward-NTT set) regardless of how
+//! many offsets it serves, or that the allocation-free key-switch loop
+//! really stopped allocating.
+//!
+//! All counters are relaxed atomics: they are statistics, not
+//! synchronization, and the limb-parallel regions that bump them must
+//! not serialize on a counter. Tests that assert on deltas must run in
+//! their own process (a dedicated integration-test binary) or serialize
+//! against other counter-touching tests, because the counters are global.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static POLY_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static NTT_FORWARD_ROWS: AtomicU64 = AtomicU64::new(0);
+static NTT_INVERSE_ROWS: AtomicU64 = AtomicU64::new(0);
+static DIGIT_DECOMPOSES: AtomicU64 = AtomicU64::new(0);
+static DIGIT_NTT_ROWS: AtomicU64 = AtomicU64::new(0);
+static KEYSWITCH_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of every counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `RnsPoly` row-set allocations (constructors and clones).
+    pub poly_allocs: u64,
+    /// Residue rows put through a forward NTT.
+    pub ntt_forward_rows: u64,
+    /// Residue rows put through an inverse NTT.
+    pub ntt_inverse_rows: u64,
+    /// Digit decompositions performed (one per key-switch *input*, however
+    /// many rotations the decomposition is then shared by).
+    pub digit_decomposes: u64,
+    /// Residue rows forward-NTT'd as part of digit decomposition — the
+    /// per-digit NTT work that hoisting amortizes across a batch.
+    pub digit_ntt_rows: u64,
+    /// Key-switch inner products evaluated (relinearization or Galois).
+    pub keyswitch_calls: u64,
+}
+
+/// Resets every counter to zero.
+pub fn reset() {
+    POLY_ALLOCS.store(0, Ordering::Relaxed);
+    NTT_FORWARD_ROWS.store(0, Ordering::Relaxed);
+    NTT_INVERSE_ROWS.store(0, Ordering::Relaxed);
+    DIGIT_DECOMPOSES.store(0, Ordering::Relaxed);
+    DIGIT_NTT_ROWS.store(0, Ordering::Relaxed);
+    KEYSWITCH_CALLS.store(0, Ordering::Relaxed);
+}
+
+/// Reads every counter.
+#[must_use]
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        poly_allocs: POLY_ALLOCS.load(Ordering::Relaxed),
+        ntt_forward_rows: NTT_FORWARD_ROWS.load(Ordering::Relaxed),
+        ntt_inverse_rows: NTT_INVERSE_ROWS.load(Ordering::Relaxed),
+        digit_decomposes: DIGIT_DECOMPOSES.load(Ordering::Relaxed),
+        digit_ntt_rows: DIGIT_NTT_ROWS.load(Ordering::Relaxed),
+        keyswitch_calls: KEYSWITCH_CALLS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn count_poly_alloc() {
+    POLY_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_ntt_forward_rows(rows: u64) {
+    NTT_FORWARD_ROWS.fetch_add(rows, Ordering::Relaxed);
+}
+
+pub(crate) fn count_ntt_inverse_rows(rows: u64) {
+    NTT_INVERSE_ROWS.fetch_add(rows, Ordering::Relaxed);
+}
+
+pub(crate) fn count_digit_decompose() {
+    DIGIT_DECOMPOSES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_digit_ntt_rows(rows: u64) {
+    DIGIT_NTT_ROWS.fetch_add(rows, Ordering::Relaxed);
+}
+
+pub(crate) fn count_keyswitch() {
+    KEYSWITCH_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        // Serialized against nothing: this test only checks monotonicity
+        // of its own increments, not absolute values.
+        let before = snapshot();
+        count_poly_alloc();
+        count_ntt_forward_rows(3);
+        count_digit_decompose();
+        count_digit_ntt_rows(5);
+        count_keyswitch();
+        count_ntt_inverse_rows(2);
+        let after = snapshot();
+        assert!(after.poly_allocs > before.poly_allocs);
+        assert!(after.ntt_forward_rows >= before.ntt_forward_rows + 3);
+        assert!(after.ntt_inverse_rows >= before.ntt_inverse_rows + 2);
+        assert!(after.digit_decomposes > before.digit_decomposes);
+        assert!(after.digit_ntt_rows >= before.digit_ntt_rows + 5);
+        assert!(after.keyswitch_calls > before.keyswitch_calls);
+    }
+}

@@ -319,6 +319,11 @@ impl Backend for SimBackend {
     fn rotate(&self, a: &SimCt, offset: i64) -> Result<SimCt> {
         let n = a.values.len() as i64;
         let shift = offset.rem_euclid(n) as usize;
+        if shift == 0 {
+            // Identity rotation: no key switch happens, so no rotation
+            // noise is added either.
+            return Ok(a.clone());
+        }
         let mut v: Vec<f64> = (0..a.values.len())
             .map(|i| a.values[(i + shift) % a.values.len()])
             .collect();

@@ -17,6 +17,38 @@ type TableKey = (usize, u64);
 /// sharing a `(N, p)` pair reuses one immutable table.
 static TABLE_CACHE: OnceLock<Mutex<HashMap<TableKey, Arc<NttTable>>>> = OnceLock::new();
 
+/// Process-wide memoized automorphism permutations, keyed by
+/// `(ring degree, exponent)` — shared across all primes of a basis
+/// because the index map is modulus-independent.
+type PermKey = (usize, usize);
+static PERM_CACHE: OnceLock<Mutex<HashMap<PermKey, Arc<Vec<usize>>>>> = OnceLock::new();
+
+/// The NTT-domain index permutation realizing the Galois automorphism
+/// `X → X^t` (odd `t`): `ntt(a(X^t))[k] = ntt(a)[map[k]]`.
+///
+/// [`NttTable::forward`] pre-twists by `ψ^i` and runs a natural-order DIT
+/// FFT, so output slot `k` holds the evaluation `a(ψ^{2k+1})`. Evaluating
+/// `a(X^t)` at `ψ^{2k+1}` is evaluating `a` at `ψ^{t·(2k+1)}`, i.e.
+/// reading slot `(t·(2k+1) mod 2N − 1)/2` — a pure index permutation, in
+/// exact modular arithmetic. This is what lets hoisted rotation apply the
+/// automorphism to already-NTT'd digits without any per-offset NTTs.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `t` is even (even exponents are
+/// not Galois automorphisms of the 2N-th cyclotomic ring).
+#[must_use]
+pub fn automorphism_indices(n: usize, t: usize) -> Arc<Vec<usize>> {
+    assert!(n.is_power_of_two(), "N must be a power of two");
+    assert_eq!(t % 2, 1, "automorphism exponent must be odd");
+    let cache = PERM_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("automorphism cache poisoned");
+    Arc::clone(map.entry((n, t % (2 * n))).or_insert_with(|| {
+        let m = 2 * n;
+        Arc::new((0..n).map(|k| ((t * (2 * k + 1)) % m - 1) / 2).collect())
+    }))
+}
+
 /// Precomputed twiddle tables for one `(N, p)` pair.
 #[derive(Debug, Clone)]
 pub struct NttTable {
@@ -208,6 +240,32 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "same (n, p) must reuse one table");
         let c = NttTable::shared(64, p);
         assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn automorphism_permutation_matches_coefficient_domain() {
+        // For every odd exponent: permuting NTT values must equal applying
+        // X → X^t on coefficients and then transforming — bit-exactly.
+        let n = 32;
+        let t_tbl = table(n);
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * i * 13 + 5) % t_tbl.p).collect();
+        let mut ntt_a = a.clone();
+        t_tbl.forward(&mut ntt_a);
+        for t in [3usize, 5, 25, 63] {
+            let perm = automorphism_indices(n, t);
+            let via_perm: Vec<u64> = perm.iter().map(|&k| ntt_a[k]).collect();
+            let mut want = crate::toy::encode::apply_automorphism(&a, t, t_tbl.p);
+            t_tbl.forward(&mut want);
+            assert_eq!(via_perm, want, "exponent {t}");
+        }
+    }
+
+    #[test]
+    fn automorphism_permutations_are_memoized() {
+        let a = automorphism_indices(64, 5);
+        let b = automorphism_indices(64, 5);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_ne!(*automorphism_indices(64, 25), *a);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::metrics;
 use crate::parallel;
 use crate::toy::modular::{addmod, invmod, is_prime, mulmod, submod};
 use crate::toy::ntt::NttTable;
@@ -89,7 +90,7 @@ impl RnsContext {
 /// The basis is a *prefix* of the context's level chain (`rows` rows over
 /// `primes[0..rows]`), optionally extended by the special prime
 /// (`with_special`).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct RnsPoly {
     /// Residue rows, aligned with `basis_primes`.
     pub rows: Vec<Vec<u64>>,
@@ -99,10 +100,25 @@ pub struct RnsPoly {
     pub ntt: bool,
 }
 
+/// Manual `Clone` so every deep copy of a row set shows up in the
+/// [`crate::metrics`] allocation counter (clones are exactly the copies
+/// the zero-alloc key-switch loop is meant to eliminate).
+impl Clone for RnsPoly {
+    fn clone(&self) -> RnsPoly {
+        metrics::count_poly_alloc();
+        RnsPoly {
+            rows: self.rows.clone(),
+            basis: self.basis.clone(),
+            ntt: self.ntt,
+        }
+    }
+}
+
 impl RnsPoly {
     /// The all-zero polynomial over `rows` level primes (+ special).
     #[must_use]
     pub fn zero(ctx: &RnsContext, rows: usize, with_special: bool, ntt: bool) -> RnsPoly {
+        metrics::count_poly_alloc();
         let mut basis: Vec<usize> = (0..rows).collect();
         if with_special {
             basis.push(ctx.special);
@@ -180,6 +196,7 @@ impl RnsPoly {
     /// parallel when large enough).
     pub fn to_ntt(&mut self, ctx: &RnsContext) {
         assert!(!self.ntt, "already in NTT form");
+        metrics::count_ntt_forward_rows(self.rows.len() as u64);
         let work = self.work();
         let basis = &self.basis;
         parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
@@ -191,6 +208,7 @@ impl RnsPoly {
     /// Converts to coefficient form in place.
     pub fn to_coeff(&mut self, ctx: &RnsContext) {
         assert!(self.ntt, "already in coefficient form");
+        metrics::count_ntt_inverse_rows(self.rows.len() as u64);
         let work = self.work();
         let basis = &self.basis;
         parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
@@ -207,6 +225,7 @@ impl RnsPoly {
     ) -> RnsPoly {
         assert_eq!(self.basis, other.basis, "basis mismatch");
         assert_eq!(self.ntt, other.ntt, "form mismatch");
+        metrics::count_poly_alloc();
         let rows = parallel::par_map_indexed(self.rows.len(), self.work(), |i| {
             let q = ctx.primes[self.basis[i]];
             self.rows[i]
@@ -234,9 +253,111 @@ impl RnsPoly {
         self.zip_with(other, ctx, submod)
     }
 
+    /// In-place pointwise sum: `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis or form mismatch.
+    pub fn add_assign(&mut self, other: &RnsPoly, ctx: &RnsContext) {
+        assert_eq!(self.basis, other.basis, "basis mismatch");
+        assert_eq!(self.ntt, other.ntt, "form mismatch");
+        let work = self.work();
+        let basis = &self.basis;
+        parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
+            let q = ctx.primes[basis[i]];
+            for (x, &y) in row.iter_mut().zip(&other.rows[i]) {
+                *x = addmod(*x, y, q);
+            }
+        });
+    }
+
+    /// In-place pointwise multiply-accumulate: `self += a · b` — the
+    /// key-switch inner-product kernel, with no intermediate row sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all three polynomials share one basis and are in NTT
+    /// form (ring products require evaluation form).
+    pub fn fma_assign(&mut self, a: &RnsPoly, b: &RnsPoly, ctx: &RnsContext) {
+        assert!(
+            self.ntt && a.ntt && b.ntt,
+            "multiply-accumulate requires NTT form"
+        );
+        assert_eq!(self.basis, a.basis, "basis mismatch");
+        assert_eq!(self.basis, b.basis, "basis mismatch");
+        let work = self.work();
+        let basis = &self.basis;
+        parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
+            let q = ctx.primes[basis[i]];
+            for ((x, &ya), &yb) in row.iter_mut().zip(&a.rows[i]).zip(&b.rows[i]) {
+                *x = addmod(*x, mulmod(ya, yb, q), q);
+            }
+        });
+    }
+
+    /// Overwrites `self` with one residue row of a coefficient-form
+    /// polynomial lifted across this basis (`row i = src mod q_i`) — the
+    /// digit-lift kernel of GHS key switching, reusing `self` as a scratch
+    /// buffer so the hot loop never allocates.
+    ///
+    /// Every element is written, so stale scratch contents are harmless.
+    /// Leaves `self` in coefficient form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` differs from the ring degree.
+    pub fn lift_from_row(&mut self, src: &[u64], ctx: &RnsContext) {
+        let work = self.work();
+        let basis = &self.basis;
+        parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
+            let q = ctx.primes[basis[i]];
+            for (x, &v) in row.iter_mut().zip(src) {
+                *x = v % q;
+            }
+        });
+        self.ntt = false;
+    }
+
+    /// Overwrites `self` with an index permutation of `src`:
+    /// `self.rows[i][k] = src.rows[i][perm[k]]` — the NTT-domain Galois
+    /// automorphism (see [`crate::toy::ntt::automorphism_indices`]),
+    /// reusing `self` as a scratch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis mismatch or if `perm.len()` differs from the ring
+    /// degree.
+    pub fn permute_from(&mut self, src: &RnsPoly, perm: &[usize]) {
+        assert_eq!(self.basis, src.basis, "basis mismatch");
+        let work = self.work();
+        parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
+            let s = &src.rows[i];
+            for (x, &p) in row.iter_mut().zip(perm) {
+                *x = s[p];
+            }
+        });
+        self.ntt = src.ntt;
+    }
+
+    /// Allocating variant of [`RnsPoly::permute_from`].
+    #[must_use]
+    pub fn permuted(&self, perm: &[usize]) -> RnsPoly {
+        metrics::count_poly_alloc();
+        let rows = parallel::par_map_indexed(self.rows.len(), self.work(), |i| {
+            let s = &self.rows[i];
+            perm.iter().map(|&p| s[p]).collect()
+        });
+        RnsPoly {
+            rows,
+            basis: self.basis.clone(),
+            ntt: self.ntt,
+        }
+    }
+
     /// Negation.
     #[must_use]
     pub fn neg(&self, ctx: &RnsContext) -> RnsPoly {
+        metrics::count_poly_alloc();
         let rows = parallel::par_map_indexed(self.rows.len(), self.work(), |i| {
             let q = ctx.primes[self.basis[i]];
             self.rows[i]
@@ -266,6 +387,7 @@ impl RnsPoly {
     #[must_use]
     pub fn mul_scalar_rows(&self, scalars: &[u64], ctx: &RnsContext) -> RnsPoly {
         assert_eq!(scalars.len(), self.basis.len());
+        metrics::count_poly_alloc();
         let rows = parallel::par_map_indexed(self.rows.len(), self.work(), |i| {
             let q = ctx.primes[self.basis[i]];
             let s = scalars[i];
@@ -462,6 +584,56 @@ mod tests {
         let got = p.centered_coeffs(&c);
         for (a, b) in coeffs.iter().zip(&got) {
             assert_eq!(i128::from(*a), *b);
+        }
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = RnsPoly::uniform(&c, 3, true, true, &mut rng);
+        let b = RnsPoly::uniform(&c, 3, true, true, &mut rng);
+        let d = RnsPoly::uniform(&c, 3, true, true, &mut rng);
+        let mut x = a.clone();
+        x.add_assign(&b, &c);
+        assert_eq!(x, a.add(&b, &c));
+        let mut y = a.clone();
+        y.fma_assign(&b, &d, &c);
+        assert_eq!(y, a.add(&b.mul(&d, &c), &c));
+    }
+
+    #[test]
+    fn permute_from_matches_permuted_and_overwrites_stale_scratch() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(8);
+        let src = RnsPoly::uniform(&c, 2, false, true, &mut rng);
+        // A cyclic shift as an arbitrary permutation.
+        let perm: Vec<usize> = (0..c.n).map(|k| (k + 5) % c.n).collect();
+        let want = src.permuted(&perm);
+        let mut scratch = RnsPoly::uniform(&c, 2, false, true, &mut rng);
+        scratch.permute_from(&src, &perm);
+        assert_eq!(scratch, want);
+    }
+
+    #[test]
+    fn lift_from_row_reuses_scratch_across_forms() {
+        let c = ctx();
+        let coeffs: Vec<i64> = (0..32).map(|i| i * 31 - 400).collect();
+        let p = RnsPoly::from_i64(&c, &coeffs, 3, false);
+        let mut scratch = RnsPoly::zero(&c, 3, true, false);
+        scratch.lift_from_row(&p.rows[1], &c);
+        let first = scratch.clone();
+        // Dirty the scratch (including its form flag), then lift again:
+        // every element is rewritten, so the result must be identical.
+        scratch.to_ntt(&c);
+        scratch.lift_from_row(&p.rows[1], &c);
+        assert_eq!(scratch, first);
+        assert!(!scratch.ntt);
+        for (row, &bi) in scratch.rows.iter().zip(&scratch.basis) {
+            let q = c.primes[bi];
+            for (x, src) in row.iter().zip(&p.rows[1]) {
+                assert_eq!(*x, src % q);
+            }
         }
     }
 

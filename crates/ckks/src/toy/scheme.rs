@@ -19,10 +19,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::backend::{Backend, BackendError, Result};
+use crate::metrics;
 use crate::parallel;
 use crate::params::CkksParams;
-use crate::toy::encode::{apply_automorphism, Encoder};
+use crate::toy::encode::Encoder;
 use crate::toy::modular::{invmod, mulmod, submod};
+use crate::toy::ntt::automorphism_indices;
 use crate::toy::poly::{RnsContext, RnsPoly};
 
 /// The waterline scale of the toy instance (independent of the simulated
@@ -77,6 +79,18 @@ pub struct ToyBackend {
     sk_squared: Vec<i64>,
     rng: Mutex<StdRng>,
     keys: Mutex<HashMap<(KeyKind, u32), SharedKsk>>,
+    /// Master seed for per-`(kind, level)` key-generation RNGs — see
+    /// [`ToyBackend::key_rng`].
+    key_seed: u64,
+}
+
+/// One round of SplitMix64 — the seed-derivation mixer for the keyed
+/// key-generation RNGs.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl ToyBackend {
@@ -107,6 +121,7 @@ impl ToyBackend {
             sk_squared,
             rng: Mutex::new(rng),
             keys: Mutex::new(HashMap::new()),
+            key_seed: seed,
         }
     }
 
@@ -114,16 +129,26 @@ impl ToyBackend {
         self.ctx.rows_at_level(level)
     }
 
-    /// Small error polynomial (centered, σ ≈ 2).
+    /// Small error polynomial (centered, σ ≈ 2) from the encryption RNG.
     fn error_coeffs(&self) -> Vec<i64> {
         let mut rng = self.rng.lock().expect("rng lock");
-        (0..self.ctx.n)
-            .map(|_| {
-                (0..4)
-                    .map(|_| i64::from(rng.gen_range(-1i8..=1)))
-                    .sum::<i64>()
-            })
-            .collect()
+        error_coeffs_with(self.ctx.n, &mut rng)
+    }
+
+    /// The dedicated key-generation RNG for one `(kind, level)` pair,
+    /// derived from the master seed by SplitMix64 chaining. Keying the
+    /// draw per key (instead of pulling from the shared encryption RNG)
+    /// makes key material independent of *generation order*, which is
+    /// what lets [`ToyBackend::ksk`] generate outside the cache lock:
+    /// concurrent first-touchers may race, but every candidate they
+    /// produce is bit-identical.
+    fn key_rng(&self, kind: KeyKind, level: u32) -> StdRng {
+        let tag = match kind {
+            KeyKind::Relin => 0,
+            KeyKind::Galois(t) => 1 + t as u64,
+        };
+        let mixed = splitmix(self.key_seed ^ splitmix(tag ^ splitmix(u64::from(level))));
+        StdRng::seed_from_u64(mixed)
     }
 
     /// The secret key embedded at the given basis, NTT form.
@@ -164,33 +189,25 @@ impl ToyBackend {
         m.centered_coeffs(&self.ctx)
     }
 
-    /// Lazily generates (and caches) the key-switching key for `kind` at
-    /// `level`. The cache holds `Arc`s so hot ops share keys without deep
-    /// clones; the map lock is held across generation so the RNG draw
-    /// order stays deterministic even under concurrent callers.
-    fn ksk(&self, kind: KeyKind, level: u32) -> SharedKsk {
-        let mut keys = self.keys.lock().expect("key cache lock");
-        if let Some(k) = keys.get(&(kind, level)) {
-            return Arc::clone(k);
-        }
+    /// Generates the key-switching key chain for `kind` at `level` from
+    /// its dedicated RNG (see [`ToyBackend::key_rng`]).
+    fn generate_ksk(&self, kind: KeyKind, level: u32) -> Vec<Ksk> {
+        let mut rng = self.key_rng(kind, level);
         let w: Vec<i64> = match kind {
             KeyKind::Relin => self.sk_squared.clone(),
             KeyKind::Galois(t) => automorphism_i64(&self.sk, t),
         };
         let rows = self.rows(level);
         let p_special = self.ctx.primes[self.ctx.special];
+        let s = self.sk_poly(rows, true);
+        let mut w_poly = RnsPoly::from_i64(&self.ctx, &w, rows, true);
+        w_poly.to_ntt(&self.ctx);
         let mut digits = Vec::with_capacity(rows);
         for j in 0..rows {
-            let a = {
-                let mut rng = self.rng.lock().expect("rng lock");
-                RnsPoly::uniform(&self.ctx, rows, true, true, &mut rng)
-            };
-            let e_coeffs = self.error_coeffs();
+            let a = RnsPoly::uniform(&self.ctx, rows, true, true, &mut rng);
+            let e_coeffs = error_coeffs_with(self.ctx.n, &mut rng);
             let mut e = RnsPoly::from_i64(&self.ctx, &e_coeffs, rows, true);
             e.to_ntt(&self.ctx);
-            let s = self.sk_poly(rows, true);
-            let mut w_poly = RnsPoly::from_i64(&self.ctx, &w, rows, true);
-            w_poly.to_ntt(&self.ctx);
             // P·E_j ≡ δ_ij·(P mod q_j) over the level primes, 0 mod P.
             let factors: Vec<u64> = w_poly
                 .basis
@@ -209,36 +226,77 @@ impl ToyBackend {
                 .sub(&a.mul(&s, &self.ctx), &self.ctx);
             digits.push(Ksk { b, a });
         }
-        let digits = Arc::new(digits);
-        keys.insert((kind, level), Arc::clone(&digits));
+        digits
+    }
+
+    /// Lazily generates (and caches) the key-switching key for `kind` at
+    /// `level`. The cache holds `Arc`s so hot ops share keys without deep
+    /// clones. Generation happens *outside* the cache lock — holding the
+    /// mutex across a multi-NTT key generation would serialize concurrent
+    /// executors on first touch — and determinism survives the race
+    /// because key material is drawn from a per-`(kind, level)` RNG, so
+    /// every racing candidate is bit-identical and the double-checked
+    /// insert keeps whichever landed first.
+    fn ksk(&self, kind: KeyKind, level: u32) -> SharedKsk {
+        if let Some(k) = self
+            .keys
+            .lock()
+            .expect("key cache lock")
+            .get(&(kind, level))
+        {
+            return Arc::clone(k);
+        }
+        let fresh = Arc::new(self.generate_ksk(kind, level));
+        let mut keys = self.keys.lock().expect("key cache lock");
+        Arc::clone(keys.entry((kind, level)).or_insert(fresh))
+    }
+
+    /// GHS digit decomposition of `d` (NTT, level basis): residue row `j`
+    /// lifted across the extended basis `{q_0…q_l, P}` and transformed to
+    /// NTT form. One call performs *all* the per-digit NTT work of a key
+    /// switch — hoisted rotation shares the returned digits across every
+    /// offset of a batch.
+    fn decompose(&self, d: &RnsPoly) -> Vec<RnsPoly> {
+        metrics::count_digit_decompose();
+        let rows = d.rows.len();
+        let mut d_coeff = d.clone();
+        d_coeff.to_coeff(&self.ctx);
+        let mut digits = Vec::with_capacity(rows);
+        for j in 0..rows {
+            let mut digit = RnsPoly::zero(&self.ctx, rows, true, false);
+            digit.lift_from_row(&d_coeff.rows[j], &self.ctx);
+            metrics::count_digit_ntt_rows(digit.rows.len() as u64);
+            digit.to_ntt(&self.ctx);
+            digits.push(digit);
+        }
         digits
     }
 
     /// Switches `d` (NTT, level basis) from secret `w` to `s`, returning
     /// the additive pair `(k0, k1)` with `k0 + k1·s ≈ d·w`.
+    ///
+    /// The inner loop is allocation-free: one scratch buffer holds each
+    /// lifted digit in turn and the accumulators are written in place via
+    /// [`RnsPoly::fma_assign`] — no per-digit row sets, no
+    /// `acc = acc.add(...)` rebuilds.
     fn keyswitch(&self, d: &RnsPoly, kind: KeyKind, level: u32) -> (RnsPoly, RnsPoly) {
+        metrics::count_keyswitch();
         let rows = self.rows(level);
         debug_assert_eq!(d.rows.len(), rows);
         let key = self.ksk(kind, level);
+        metrics::count_digit_decompose();
         let mut d_coeff = d.clone();
         d_coeff.to_coeff(&self.ctx);
+        let mut scratch = RnsPoly::zero(&self.ctx, rows, true, false);
         let mut acc0 = RnsPoly::zero(&self.ctx, rows, true, true);
         let mut acc1 = RnsPoly::zero(&self.ctx, rows, true, true);
         for (j, ksk) in key.iter().enumerate() {
             // Lift digit j (residues < q_j) across the extended basis.
-            let mut digit = RnsPoly::zero(&self.ctx, rows, true, false);
-            let basis = digit.basis.clone();
-            let work = digit.rows.len() * self.ctx.n;
-            let src = &d_coeff.rows[j];
-            parallel::par_for_each_indexed(&mut digit.rows, work, |i, row| {
-                let q = self.ctx.primes[basis[i]];
-                for (x, &v) in row.iter_mut().zip(src) {
-                    *x = v % q;
-                }
-            });
-            digit.to_ntt(&self.ctx);
-            acc0 = acc0.add(&digit.mul(&ksk.b, &self.ctx), &self.ctx);
-            acc1 = acc1.add(&digit.mul(&ksk.a, &self.ctx), &self.ctx);
+            scratch.lift_from_row(&d_coeff.rows[j], &self.ctx);
+            metrics::count_digit_ntt_rows(scratch.rows.len() as u64);
+            scratch.to_ntt(&self.ctx);
+            acc0.fma_assign(&scratch, &ksk.b, &self.ctx);
+            acc1.fma_assign(&scratch, &ksk.a, &self.ctx);
         }
         (self.mod_down_special(acc0), self.mod_down_special(acc1))
     }
@@ -287,6 +345,13 @@ impl ToyBackend {
         m.to_ntt(&self.ctx);
         m
     }
+}
+
+/// Small centered error coefficients (σ ≈ 2) drawn from an explicit RNG.
+fn error_coeffs_with(n: usize, rng: &mut StdRng) -> Vec<i64> {
+    (0..n)
+        .map(|_| (0..4).map(|_| i64::from(rng.gen_range(-1i8..=1))).sum())
+        .collect()
 }
 
 /// Schoolbook negacyclic product of small signed coefficient vectors.
@@ -442,16 +507,18 @@ impl Backend for ToyBackend {
                 needed: 1,
             });
         }
-        // Tensor (d0, d1, d2), then relinearize d2 back to rank 1.
-        let d0 = a.c0.mul(&b.c0, &self.ctx);
-        let d1 =
-            a.c0.mul(&b.c1, &self.ctx)
-                .add(&a.c1.mul(&b.c0, &self.ctx), &self.ctx);
+        // Tensor (d0, d1, d2), then relinearize d2 back to rank 1. The
+        // cross term and key-switch fold-in run in place.
+        let mut d0 = a.c0.mul(&b.c0, &self.ctx);
+        let mut d1 = a.c0.mul(&b.c1, &self.ctx);
+        d1.fma_assign(&a.c1, &b.c0, &self.ctx);
         let d2 = a.c1.mul(&b.c1, &self.ctx);
         let (k0, k1) = self.keyswitch(&d2, KeyKind::Relin, a.level);
+        d0.add_assign(&k0, &self.ctx);
+        d1.add_assign(&k1, &self.ctx);
         Ok(ToyCt {
-            c0: d0.add(&k0, &self.ctx),
-            c1: d1.add(&k1, &self.ctx),
+            c0: d0,
+            c1: d1,
             level: a.level,
             degree: 2,
             scale: a.scale * b.scale,
@@ -491,31 +558,57 @@ impl Backend for ToyBackend {
     }
 
     fn rotate(&self, a: &ToyCt, offset: i64) -> Result<ToyCt> {
-        let t = self.enc.rotation_exponent(offset);
-        if t == 1 {
-            return Ok(a.clone());
+        // Delegate to the hoisted path with a single offset: one code path
+        // means `rotate_batch` is bit-identical to a sequential rotate loop
+        // by construction.
+        let mut out = self.rotate_batch(a, std::slice::from_ref(&offset))?;
+        Ok(out.pop().expect("one rotation per offset"))
+    }
+
+    fn rotate_batch(&self, a: &ToyCt, offsets: &[i64]) -> Result<Vec<ToyCt>> {
+        // Identity rotations (offset ≡ 0 mod slots) never need the digit
+        // decomposition; skip it entirely when the batch is all-identity.
+        if offsets.iter().all(|&o| self.enc.rotation_exponent(o) == 1) {
+            return Ok(vec![a.clone(); offsets.len()]);
         }
-        // Apply X → X^t in coefficient form, then switch s(X^t) → s.
-        let mut c0 = a.c0.clone();
-        let mut c1 = a.c1.clone();
-        c0.to_coeff(&self.ctx);
-        c1.to_coeff(&self.ctx);
-        for poly in [&mut c0, &mut c1] {
-            let basis = poly.basis.clone();
-            for (row, &bi) in poly.rows.iter_mut().zip(&basis) {
-                *row = apply_automorphism(row, t, self.ctx.primes[bi]);
+        let rows = a.c1.rows.len();
+        // Halevi–Shoup hoisting: decompose c1 and NTT the lifted digits
+        // *once*, then realize each offset's automorphism as an NTT-domain
+        // index permutation of the shared digits (see
+        // `ntt::automorphism_indices`) followed by its own key-switch
+        // inner product.
+        let digits = self.decompose(&a.c1);
+        let mut scratch = RnsPoly::zero(&self.ctx, rows, true, true);
+        let mut out = Vec::with_capacity(offsets.len());
+        for &offset in offsets {
+            let t = self.enc.rotation_exponent(offset);
+            if t == 1 {
+                out.push(a.clone());
+                continue;
             }
+            let key = self.ksk(KeyKind::Galois(t), a.level);
+            let perm = automorphism_indices(self.ctx.n, t);
+            metrics::count_keyswitch();
+            let mut acc0 = RnsPoly::zero(&self.ctx, rows, true, true);
+            let mut acc1 = RnsPoly::zero(&self.ctx, rows, true, true);
+            for (digit, ksk) in digits.iter().zip(key.iter()) {
+                scratch.permute_from(digit, &perm);
+                acc0.fma_assign(&scratch, &ksk.b, &self.ctx);
+                acc1.fma_assign(&scratch, &ksk.a, &self.ctx);
+            }
+            let k0 = self.mod_down_special(acc0);
+            let k1 = self.mod_down_special(acc1);
+            let mut c0 = a.c0.permuted(&perm);
+            c0.add_assign(&k0, &self.ctx);
+            out.push(ToyCt {
+                c0,
+                c1: k1,
+                level: a.level,
+                degree: a.degree,
+                scale: a.scale,
+            });
         }
-        c0.to_ntt(&self.ctx);
-        c1.to_ntt(&self.ctx);
-        let (k0, k1) = self.keyswitch(&c1, KeyKind::Galois(t), a.level);
-        Ok(ToyCt {
-            c0: c0.add(&k0, &self.ctx),
-            c1: k1,
-            level: a.level,
-            degree: a.degree,
-            scale: a.scale,
-        })
+        Ok(out)
     }
 
     fn rescale(&self, a: &ToyCt) -> Result<ToyCt> {
@@ -729,6 +822,60 @@ mod tests {
         assert!(be.rescale(&x).is_err(), "degree-1 rescale");
         assert!(be.modswitch(&x, 4).is_err());
         assert!(be.bootstrap(&x, 7).is_err());
+    }
+
+    #[test]
+    fn rotate_batch_is_bit_identical_to_sequential_rotates() {
+        let be = backend();
+        let values: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.25 - 1.0).collect();
+        let x = be.encrypt(&values, 4).unwrap();
+        let offsets = [0i64, 1, -2, 5, 17, 1];
+        let batch = be.rotate_batch(&x, &offsets).unwrap();
+        assert_eq!(batch.len(), offsets.len());
+        for (&o, hoisted) in offsets.iter().zip(&batch) {
+            let seq = be.rotate(&x, o).unwrap();
+            assert_eq!(seq.c0, hoisted.c0, "offset {o}: c0 differs");
+            assert_eq!(seq.c1, hoisted.c1, "offset {o}: c1 differs");
+            assert_eq!(seq.level, hoisted.level);
+            assert_eq!(seq.degree, hoisted.degree);
+        }
+    }
+
+    #[test]
+    fn rotate_by_full_slot_cycle_is_identity() {
+        let be = backend();
+        let x = be.encrypt(&[1.0, 2.0, 3.0], 3).unwrap();
+        let slots = 16i64;
+        for offset in [0, slots, -slots, 3 * slots] {
+            let r = be.rotate(&x, offset).unwrap();
+            assert_eq!(r.c0, x.c0, "offset {offset} must be a no-op");
+            assert_eq!(r.c1, x.c1);
+        }
+    }
+
+    #[test]
+    fn key_generation_is_order_independent() {
+        // Two same-seed backends touching keys in different orders must
+        // produce bit-identical ciphertexts: the keyed per-(kind, level)
+        // RNG decouples key material from generation order, which is the
+        // property that lets `ksk` generate outside the cache lock.
+        let be1 = backend();
+        let be2 = backend();
+        let x1 = be1.encrypt(&[0.5, -0.25, 2.0], 4).unwrap();
+        let x2 = be2.encrypt(&[0.5, -0.25, 2.0], 4).unwrap();
+        // be1: rotate 2 then 3 then mult; be2: mult then rotate 3 then 2.
+        let r2_a = be1.rotate(&x1, 2).unwrap();
+        let r3_a = be1.rotate(&x1, 3).unwrap();
+        let m_a = be1.mult(&x1, &x1).unwrap();
+        let m_b = be2.mult(&x2, &x2).unwrap();
+        let r3_b = be2.rotate(&x2, 3).unwrap();
+        let r2_b = be2.rotate(&x2, 2).unwrap();
+        assert_eq!(r2_a.c0, r2_b.c0);
+        assert_eq!(r2_a.c1, r2_b.c1);
+        assert_eq!(r3_a.c0, r3_b.c0);
+        assert_eq!(r3_a.c1, r3_b.c1);
+        assert_eq!(m_a.c0, m_b.c0);
+        assert_eq!(m_a.c1, m_b.c1);
     }
 
     #[test]

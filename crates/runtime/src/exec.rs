@@ -11,7 +11,7 @@
 //! mechanism is off and execution is bit-identical to the plain
 //! interpreter.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use halo_ckks::backend::{Backend, BackendError};
@@ -516,14 +516,91 @@ impl<'b, B: Backend> Executor<'b, B> {
         let blk = f
             .try_block(block)
             .ok_or_else(|| ExecError::from(dangling_block(block)))?;
+        // Rotation-hoisting peephole: rotations fanning out from one SSA
+        // value execute as a single `rotate_batch`, sharing the digit
+        // decomposition. Groups are recomputed per call so loop bodies
+        // re-batch on every iteration.
+        let hoist = rotation_fanouts(f, &blk.ops);
+        let mut done: HashSet<OpId> = HashSet::new();
         for &op_id in &blk.ops {
+            if done.remove(&op_id) {
+                continue; // already served by an earlier batch this pass
+            }
             let op = f
                 .try_op(op_id)
                 .ok_or_else(|| ExecError::from(dangling_op(op_id)))?;
+            if let Some(group) = hoist.get(&op_id) {
+                let handled = self
+                    .exec_rotate_group(f, group, values, stats)
+                    .map_err(|e| e.contextualize(op_id, op.opcode.mnemonic(), block))?;
+                if handled {
+                    done.extend(group.iter().skip(1).copied());
+                    continue;
+                }
+            }
             self.exec_op(f, op, inputs, values, stats)
                 .map_err(|e| e.contextualize(op_id, op.opcode.mnemonic(), block))?;
         }
         Ok(())
+    }
+
+    /// Executes one rotation fan-out group through
+    /// [`Backend::rotate_batch`], amortizing the hoisted decomposition
+    /// across the whole group in both the backend and the cost model.
+    ///
+    /// Returns `Ok(false)` (caller falls back to per-op execution) when
+    /// the group turns out not to be batchable: the source is a plaintext
+    /// or not yet computed, or an op is not a ciphertext rotation.
+    fn exec_rotate_group(
+        &self,
+        f: &Function,
+        group: &[OpId],
+        values: &mut HashMap<ValueId, RtValue<B::Ct>>,
+        stats: &mut RunStats,
+    ) -> Result<bool, ExecError> {
+        let mut offsets = Vec::with_capacity(group.len());
+        let mut results = Vec::with_capacity(group.len());
+        let mut src = None;
+        for &id in group {
+            let op = f
+                .try_op(id)
+                .ok_or_else(|| ExecError::from(dangling_op(id)))?;
+            let Opcode::Rotate { offset } = op.opcode else {
+                return Ok(false);
+            };
+            src = Some(operand(op, 0)?);
+            offsets.push(offset);
+            results.push(result(op, 0)?);
+        }
+        let Some(src) = src else { return Ok(false) };
+        let Some(RtValue::Ct(x)) = values.get(&src) else {
+            return Ok(false); // plaintext (or missing) source: no key switch to hoist
+        };
+        let x = x.clone();
+        let level = self.backend.level(&x);
+        let k = offsets.len() as u32;
+        let batch_us = self.cost.rotate_batch_us(level, k);
+        let single_us = self.cost.latency_us(CostedOp::Rotate { level });
+        // Each rotation stays visible in op_counts; the amortized price is
+        // spread evenly across the group.
+        for _ in 0..k {
+            stats.record("rotate", batch_us / f64::from(k), false);
+        }
+        let outs = self.call(stats, || self.backend.rotate_batch(&x, &offsets))?;
+        if outs.len() != results.len() {
+            return Err(ExecError::from(RunError::Malformed(format!(
+                "rotate_batch returned {} results for {} offsets",
+                outs.len(),
+                results.len()
+            ))));
+        }
+        stats.hoisted_batches += 1;
+        stats.hoisted_rotations += u64::from(k);
+        stats.hoist_saved_us += (single_us * f64::from(k) - batch_us).max(0.0);
+        for (r, ct) in results.into_iter().zip(outs) {
+            values.insert(r, RtValue::Ct(ct));
+        }
+        Ok(true)
     }
 
     #[allow(clippy::too_many_lines)]
@@ -905,6 +982,27 @@ impl<'b, B: Backend> Executor<'b, B> {
 // structured error instead).
 // ----------------------------------------------------------------------
 
+/// Finds rotation fan-outs in one block: `rotate` ops sharing a source
+/// value, in block order, keyed by the group's first op. Only groups of
+/// two or more are kept — a lone rotation gains nothing from hoisting.
+fn rotation_fanouts(f: &Function, ops: &[OpId]) -> HashMap<OpId, Vec<OpId>> {
+    let mut by_src: HashMap<ValueId, Vec<OpId>> = HashMap::new();
+    for &id in ops {
+        if let Some(op) = f.try_op(id) {
+            if matches!(op.opcode, Opcode::Rotate { .. }) {
+                if let Some(&src) = op.operands.first() {
+                    by_src.entry(src).or_default().push(id);
+                }
+            }
+        }
+    }
+    by_src
+        .into_values()
+        .filter(|g| g.len() >= 2)
+        .map(|g| (g[0], g))
+        .collect()
+}
+
 fn operand(op: &Op, i: usize) -> Result<ValueId, ExecError> {
     op.operands.get(i).copied().ok_or_else(|| {
         ExecError::from(RunError::Malformed(format!(
@@ -1011,6 +1109,88 @@ mod tests {
                 .unwrap();
             assert_eq!(out.outputs[0][0], 1.0 + 2.0 * n as f64, "n = {n}");
         }
+    }
+
+    #[test]
+    fn rotation_fanout_is_hoisted_into_one_batch() {
+        // Three rotations of the same SSA value must route through one
+        // rotate_batch call, be recorded as three `rotate` ops, and save
+        // modeled latency versus three individual rotations.
+        let mut b = FunctionBuilder::new("t", 32);
+        let x = b.input_cipher("x");
+        let r1 = b.rotate(x, 1);
+        let r2 = b.rotate(x, 2);
+        let r3 = b.rotate(x, 5);
+        let s = b.add(r1, r2);
+        let s = b.add(s, r3);
+        b.ret(&[s]);
+        let f = b.finish();
+        let values: Vec<f64> = (0..32).map(f64::from).collect();
+        let be = exact_backend();
+        let out = Executor::new(&be)
+            .run(&f, &Inputs::new().cipher("x", values.clone()))
+            .unwrap();
+        let want: Vec<f64> = (0..32)
+            .map(|i| values[(i + 1) % 32] + values[(i + 2) % 32] + values[(i + 5) % 32])
+            .collect();
+        for (got, want) in out.outputs[0].iter().zip(&want) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+        assert_eq!(out.stats.op_counts["rotate"], 3);
+        assert_eq!(out.stats.hoisted_batches, 1);
+        assert_eq!(out.stats.hoisted_rotations, 3);
+        assert!(out.stats.hoist_saved_us > 0.0);
+    }
+
+    #[test]
+    fn lone_and_plaintext_rotations_are_not_batched() {
+        let mut b = FunctionBuilder::new("t", 32);
+        let x = b.input_cipher("x");
+        let p = b.input_plain("p");
+        let r = b.rotate(x, 1); // lone cipher rotation: no fan-out
+        let q1 = b.rotate(p, 1); // plaintext fan-out: rotates fold at runtime
+        let q2 = b.rotate(p, 2);
+        let m1 = b.mul(r, q1);
+        let m2 = b.mul(r, q2);
+        let s = b.add(m1, m2);
+        b.ret(&[s]);
+        let f = b.finish();
+        let be = exact_backend();
+        let out = Executor::new(&be)
+            .run(
+                &f,
+                &Inputs::new()
+                    .cipher("x", vec![1.0; 32])
+                    .plain("p", (0..32).map(f64::from).collect()),
+            )
+            .unwrap();
+        assert_eq!(out.stats.hoisted_batches, 0);
+        assert_eq!(out.stats.hoisted_rotations, 0);
+        assert_eq!(out.stats.hoist_saved_us, 0.0);
+        // The lone cipher rotation is still priced as a plain rotate.
+        assert_eq!(out.stats.op_counts["rotate"], 1);
+    }
+
+    #[test]
+    fn hoisted_groups_rebatch_every_loop_iteration() {
+        // A fan-out inside a loop body must re-batch per iteration: the
+        // done-set is per-pass, not per-function.
+        let mut b = FunctionBuilder::new("t", 32);
+        let x = b.input_cipher("x");
+        let r = b.for_loop(TripCount::Constant(3), &[x], 4, |b, a| {
+            let r1 = b.rotate(a[0], 1);
+            let r2 = b.rotate(a[0], 2);
+            vec![b.add(r1, r2)]
+        });
+        b.ret(&r);
+        let f = b.finish();
+        let be = exact_backend();
+        let out = Executor::new(&be)
+            .run(&f, &Inputs::new().cipher("x", vec![1.0; 32]))
+            .unwrap();
+        assert_eq!(out.stats.hoisted_batches, 3);
+        assert_eq!(out.stats.hoisted_rotations, 6);
+        assert_eq!(out.stats.op_counts["rotate"], 6);
     }
 
     #[test]

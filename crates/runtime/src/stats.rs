@@ -50,6 +50,19 @@ pub struct RunStats {
     pub checkpoint_us: f64,
     /// Loop resumes from a checkpoint after a non-retryable fault.
     pub resumes: u64,
+
+    // ------------------------------------------------------------------
+    // Hoisted-rotation telemetry (all zero unless the executor's rotation
+    // fan-out peephole fired).
+    // ------------------------------------------------------------------
+    /// Rotation fan-out groups routed through `Backend::rotate_batch`.
+    pub hoisted_batches: u64,
+    /// Individual rotations served by those batches (each still counted
+    /// under `rotate` in [`RunStats::op_counts`]).
+    pub hoisted_rotations: u64,
+    /// Modeled latency saved by hoisting versus pricing each rotation
+    /// individually, in µs (already deducted from [`RunStats::total_us`]).
+    pub hoist_saved_us: f64,
 }
 
 impl RunStats {

@@ -1,0 +1,67 @@
+//! Op/alloc counter assertions for hoisted rotation. These live in their
+//! own integration-test binary (and one test function) because the
+//! metrics counters are process-global: sibling tests running ciphertext
+//! ops concurrently would perturb the deltas.
+
+use halo_fhe::ckks::metrics;
+use halo_fhe::prelude::*;
+
+const N: usize = 64;
+const LEVELS: u32 = 6;
+
+#[test]
+fn hoisted_batch_decomposes_once_and_allocates_less() {
+    let be = ToyBackend::new(N, LEVELS, 0xCAFE);
+    let values: Vec<f64> = (0..N / 2).map(|i| (i as f64 / 5.0).cos()).collect();
+    let ct = be.encrypt(&values, LEVELS).expect("encrypt");
+    let offsets: Vec<i64> = (1..=8).collect();
+
+    // Warm every Galois key and NTT table so the measured sections count
+    // only steady-state key-switching work.
+    std::hint::black_box(be.rotate_batch(&ct, &offsets).expect("warm-up"));
+
+    // One hoisted batch: exactly one digit decomposition, and exactly the
+    // per-digit NTT row count of a *single* rotation — that work is shared
+    // across all eight offsets.
+    metrics::reset();
+    let batch = be.rotate_batch(&ct, &offsets).expect("rotate_batch");
+    let hoisted = metrics::snapshot();
+    assert_eq!(batch.len(), offsets.len());
+    assert_eq!(
+        hoisted.digit_decomposes, 1,
+        "a hoisted batch must decompose exactly once"
+    );
+    assert_eq!(hoisted.keyswitch_calls, offsets.len() as u64);
+
+    metrics::reset();
+    std::hint::black_box(be.rotate(&ct, 1).expect("rotate"));
+    let single = metrics::snapshot();
+    assert_eq!(
+        hoisted.digit_ntt_rows, single.digit_ntt_rows,
+        "the batch must run one per-digit forward-NTT set, same as one rotation"
+    );
+
+    // The sequential path decomposes (and NTTs digits) once per rotation.
+    metrics::reset();
+    for &o in &offsets {
+        std::hint::black_box(be.rotate(&ct, o).expect("rotate"));
+    }
+    let sequential = metrics::snapshot();
+    assert_eq!(sequential.digit_decomposes, offsets.len() as u64);
+    assert_eq!(
+        sequential.digit_ntt_rows,
+        single.digit_ntt_rows * offsets.len() as u64
+    );
+    assert!(
+        hoisted.poly_allocs < sequential.poly_allocs,
+        "hoisting must allocate less: {} vs {}",
+        hoisted.poly_allocs,
+        sequential.poly_allocs
+    );
+    assert!(
+        hoisted.ntt_forward_rows < sequential.ntt_forward_rows,
+        "hoisting must run fewer forward NTT rows: {} vs {}",
+        hoisted.ntt_forward_rows,
+        sequential.ntt_forward_rows
+    );
+}

@@ -1,0 +1,149 @@
+//! Tentpole acceptance tests for hoisted rotation key-switching:
+//! `rotate_batch` is bit-identical to a sequential `rotate` loop for
+//! arbitrary offset sets at every thread count, the executor's rotation
+//! fan-out peephole preserves program semantics end to end, and hoisted
+//! batches survive the chaos suite's fault injection.
+
+use proptest::prelude::*;
+
+use halo_fhe::ckks::parallel;
+use halo_fhe::prelude::*;
+
+const N: usize = 64; // 32 slots
+const LEVELS: u32 = 6;
+const SLOTS: usize = N / 2;
+
+fn sample_values() -> Vec<f64> {
+    (0..SLOTS).map(|i| (i as f64 / 7.0).sin()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole contract, as a property: for random offset sets
+    /// (duplicates, negatives, identities and all) the hoisted batch
+    /// decrypts to the *same bits* as mapping `rotate` over the offsets —
+    /// at 1, 2, and 4 worker threads. Thread counts live inside one test
+    /// so the process-global override is never raced.
+    #[test]
+    fn rotate_batch_matches_sequential_rotates_at_every_thread_count(
+        offsets in proptest::collection::vec(-40i64..40, 1..6),
+        seed in 0u64..4,
+        level in 1u32..=LEVELS,
+    ) {
+        let mut per_thread_count = Vec::new();
+        for threads in [1usize, 2, 4] {
+            parallel::set_threads(Some(threads));
+            let be = ToyBackend::new(N, LEVELS, 0xC0DE + seed);
+            let ct = be.encrypt(&sample_values(), level).expect("encrypt");
+            let batch = be.rotate_batch(&ct, &offsets).expect("rotate_batch");
+            prop_assert_eq!(batch.len(), offsets.len());
+            let mut decrypted = Vec::new();
+            for (&o, hoisted) in offsets.iter().zip(&batch) {
+                let seq = be.rotate(&ct, o).expect("rotate");
+                let seq_out = be.decrypt(&seq).expect("decrypt");
+                let hoist_out = be.decrypt(hoisted).expect("decrypt");
+                for (slot, (s, h)) in seq_out.iter().zip(&hoist_out).enumerate() {
+                    prop_assert!(
+                        s.to_bits() == h.to_bits(),
+                        "offset {o}, slot {slot}, {threads} thread(s): {s} vs {h}"
+                    );
+                }
+                decrypted.push(hoist_out);
+            }
+            per_thread_count.push(decrypted);
+        }
+        parallel::set_threads(None);
+        // And the whole batch is thread-count invariant, bit for bit.
+        for other in &per_thread_count[1..] {
+            prop_assert_eq!(&per_thread_count[0], other);
+        }
+    }
+}
+
+/// Builds a function whose loop body fans three rotations out of one SSA
+/// value — the shape the executor's peephole batches.
+fn fanout_program() -> Function {
+    let mut b = FunctionBuilder::new("fanout", SLOTS);
+    let x = b.input_cipher("x");
+    let r = b.for_loop(TripCount::dynamic("n"), &[x], 4, |b, a| {
+        let r1 = b.rotate(a[0], 1);
+        let r2 = b.rotate(a[0], 2);
+        let r3 = b.rotate(a[0], 4);
+        let s = b.add(r1, r2);
+        vec![b.add(s, r3)]
+    });
+    b.ret(&r);
+    b.finish()
+}
+
+/// What `fanout_program` computes in plain slot arithmetic.
+fn fanout_reference(values: &[f64], iters: usize) -> Vec<f64> {
+    let mut v = values.to_vec();
+    for _ in 0..iters {
+        v = (0..v.len())
+            .map(|i| v[(i + 1) % v.len()] + v[(i + 2) % v.len()] + v[(i + 4) % v.len()])
+            .collect();
+    }
+    v
+}
+
+/// End-to-end through the executor on the exact toy backend: the hoisted
+/// fan-out computes the right values and the stats show every rotation
+/// was served by a batch.
+#[test]
+fn executor_hoists_fanouts_on_the_toy_backend() {
+    let f = fanout_program();
+    let be = ToyBackend::new(N, LEVELS, 0xF00D);
+    let values = sample_values();
+    let iters = 2u64;
+    let out = Executor::new(&be)
+        .run(
+            &f,
+            &Inputs::new().cipher("x", values.clone()).env("n", iters),
+        )
+        .expect("runs");
+    let want = fanout_reference(&values, iters as usize);
+    for (slot, (got, exp)) in out.outputs[0].iter().zip(&want).enumerate() {
+        assert!((got - exp).abs() < 1e-3, "slot {slot}: {got} vs {exp}");
+    }
+    assert_eq!(out.stats.hoisted_batches, iters, "one batch per iteration");
+    assert_eq!(out.stats.hoisted_rotations, 3 * iters);
+    assert_eq!(out.stats.op_counts["rotate"], 3 * iters);
+    assert!(out.stats.hoist_saved_us > 0.0);
+}
+
+/// Chaos: hoisted batches under transient fault injection retry as a
+/// unit and still produce the fault-free answer, for every seed.
+#[test]
+fn hoisted_batches_survive_fault_injection() {
+    let f = fanout_program();
+    let params = CkksParams {
+        poly_degree: N,
+        max_level: LEVELS,
+        rf_bits: 40,
+    };
+    let inputs = Inputs::new().cipher("x", sample_values()).env("n", 3);
+    let base = Executor::new(&SimBackend::exact(params.clone()))
+        .run(&f, &inputs)
+        .expect("fault-free run");
+    assert!(base.stats.hoisted_rotations > 0);
+    let mut total_faults = 0;
+    for seed in 0..6 {
+        let be = FaultInjectingBackend::new(
+            SimBackend::exact(params.clone()),
+            FaultSpec::transient_only(0.10),
+            seed,
+        );
+        let out = Executor::with_policy(&be, ExecPolicy::resilient())
+            .run(&f, &inputs)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            base.outputs, out.outputs,
+            "seed {seed}: retried batches must recompute identical values"
+        );
+        assert_eq!(out.stats.hoisted_rotations, base.stats.hoisted_rotations);
+        total_faults += be.report().total();
+    }
+    assert!(total_faults > 0, "nothing injected at 10% over 6 seeds");
+}
