@@ -1,10 +1,12 @@
 //! CI schema check for the machine-readable bench artifacts: parses and
-//! validates `BENCH_ROTATE.json` and `BENCH_RUN_ALL.json` from
+//! validates `BENCH_ROTATE.json`, `BENCH_RUN_ALL.json`, and (when present
+//! or requested with `--fuzz`) `FUZZ_REPORT.json` from
 //! `HALO_BENCH_JSON_DIR` (default `results/`), exiting non-zero on the
 //! first violation.
 //!
 //! ```sh
 //! cargo run --release -p halo-bench --bin bench_json_check
+//! cargo run --release -p halo-bench --bin bench_json_check -- --fuzz
 //! ```
 
 use halo_bench::json::{self, Json};
@@ -20,10 +22,21 @@ fn check(name: &str, validate: fn(&Json) -> Result<(), String>) -> Result<(), St
 }
 
 fn main() {
-    let results = [
+    // `--fuzz` makes FUZZ_REPORT.json mandatory (the fuzz-smoke CI job);
+    // otherwise it is validated only if present, so plain bench runs don't
+    // require a fuzzing campaign first.
+    let require_fuzz = std::env::args().skip(1).any(|a| a == "--fuzz");
+    let fuzz_present = halo_bench::bench_json_dir()
+        .map(|d| d.join("FUZZ_REPORT.json").exists())
+        .unwrap_or(false);
+
+    let mut results = vec![
         check("BENCH_ROTATE.json", json::validate_rotate),
         check("BENCH_RUN_ALL.json", json::validate_run_all),
     ];
+    if require_fuzz || fuzz_present {
+        results.push(check("FUZZ_REPORT.json", json::validate_fuzz_report));
+    }
     let mut failed = false;
     for r in results {
         if let Err(e) = r {

@@ -405,6 +405,54 @@ pub fn validate_run_all(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `FUZZ_REPORT.json` document (schema `halo-fuzz-report/1`):
+/// differential-fuzzing run coverage plus, per failure, the seed, stage,
+/// diagnosis, and a reproduction command line.
+///
+/// # Errors
+///
+/// Returns the first schema violation.
+pub fn validate_fuzz_report(v: &Json) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != "halo-fuzz-report/1" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    let seeds = require_num(v, "seeds")?;
+    for k in ["start_seed", "ran", "skipped"] {
+        require_num(v, k)?;
+    }
+    let ran = require_num(v, "ran")?;
+    let skipped = require_num(v, "skipped")?;
+    if ran + skipped > seeds {
+        return Err(format!(
+            "ran {ran} + skipped {skipped} exceeds seeds {seeds}"
+        ));
+    }
+    if !matches!(v.get("pass_verify"), Some(Json::Bool(_))) {
+        return Err("key 'pass_verify' must be a boolean".into());
+    }
+    let failures = v
+        .get("failures")
+        .and_then(Json::as_arr)
+        .ok_or("missing array 'failures'".to_string())?;
+    for (i, row) in failures.iter().enumerate() {
+        let ctx = |e| format!("failures[{i}]: {e}");
+        require_num(row, "seed").map_err(ctx)?;
+        let stage = require_str(row, "stage").map_err(ctx)?;
+        if stage == "pass-verify" {
+            require_str(row, "pass").map_err(ctx)?;
+        }
+        require_str(row, "detail").map_err(ctx)?;
+        let repro = require_str(row, "repro").map_err(ctx)?;
+        if !repro.contains("--seed") {
+            return Err(format!("failures[{i}]: repro lacks a --seed flag"));
+        }
+        require_num(row, "shrink_steps").map_err(ctx)?;
+        require_str(row, "shrunk_spec").map_err(ctx)?;
+    }
+    Ok(())
+}
+
 /// Builds an object from key/value pairs (emit-side convenience).
 #[must_use]
 pub fn obj(members: Vec<(&str, Json)>) -> Json {
@@ -516,5 +564,74 @@ mod tests {
             ("benchmarks", Json::Arr(vec![])),
         ]);
         assert!(validate_run_all(&empty).is_err());
+    }
+
+    fn fuzz_doc(failures: Vec<Json>) -> Json {
+        obj(vec![
+            ("schema", Json::Str("halo-fuzz-report/1".into())),
+            ("seeds", num(32.0)),
+            ("start_seed", num(0.0)),
+            ("ran", num(30.0)),
+            ("skipped", num(2.0)),
+            ("pass_verify", Json::Bool(true)),
+            ("failures", Json::Arr(failures)),
+        ])
+    }
+
+    #[test]
+    fn fuzz_report_schema_validates_and_rejects() {
+        // Green run: empty failures.
+        validate_fuzz_report(&fuzz_doc(vec![])).unwrap();
+        // Red run with a localized pass-verify failure.
+        let failure = obj(vec![
+            ("seed", num(17.0)),
+            ("stage", Json::Str("pass-verify".into())),
+            ("pass", Json::Str("peel".into())),
+            ("detail", Json::Str("arity mismatch".into())),
+            (
+                "repro",
+                Json::Str("cargo run -p halo-fuzz -- --seed 17".into()),
+            ),
+            ("shrink_steps", num(4.0)),
+            ("shrunk_size", num(9.0)),
+            ("shrunk_spec", Json::Str("ProgramSpec { .. }".into())),
+        ]);
+        validate_fuzz_report(&fuzz_doc(vec![failure.clone()])).unwrap();
+        // A pass-verify failure without its pass name is invalid.
+        let mut no_pass = failure.clone();
+        if let Json::Obj(members) = &mut no_pass {
+            members.retain(|(k, _)| k != "pass");
+        }
+        assert!(validate_fuzz_report(&fuzz_doc(vec![no_pass])).is_err());
+        // A repro line that can't reproduce (no seed) is invalid.
+        let mut no_seed = failure;
+        if let Json::Obj(members) = &mut no_seed {
+            for (k, v) in members.iter_mut() {
+                if k == "repro" {
+                    *v = Json::Str("cargo run -p halo-fuzz".into());
+                }
+            }
+        }
+        assert!(validate_fuzz_report(&fuzz_doc(vec![no_seed])).is_err());
+        // Coverage accounting must be consistent.
+        let mut bad_counts = fuzz_doc(vec![]);
+        if let Json::Obj(members) = &mut bad_counts {
+            for (k, v) in members.iter_mut() {
+                if k == "ran" {
+                    *v = num(33.0);
+                }
+            }
+        }
+        assert!(validate_fuzz_report(&bad_counts).is_err());
+        // Wrong schema string.
+        let mut wrong = fuzz_doc(vec![]);
+        if let Json::Obj(members) = &mut wrong {
+            for (k, v) in members.iter_mut() {
+                if k == "schema" {
+                    *v = Json::Str("halo-fuzz-report/2".into());
+                }
+            }
+        }
+        assert!(validate_fuzz_report(&wrong).is_err());
     }
 }

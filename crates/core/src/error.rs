@@ -29,6 +29,15 @@ pub enum CompileError {
     },
     /// Verification failed after a pass — an internal invariant violation.
     Verify(VerifyError),
+    /// A pass broke a verifier invariant, localized by the per-pass
+    /// verification hooks ([`crate::pipeline::PipelineHooks`]) to the
+    /// first pass after which the program stopped verifying.
+    PassVerify {
+        /// The name of the offending pass ([`crate::pipeline::Pass::name`]).
+        pass: &'static str,
+        /// The underlying verification failure.
+        err: VerifyError,
+    },
     /// Any other internal inconsistency.
     Internal(String),
 }
@@ -49,6 +58,9 @@ impl fmt::Display for CompileError {
                 write!(f, "packing infeasible: {detail}")
             }
             CompileError::Verify(e) => write!(f, "post-pass verification failed: {e}"),
+            CompileError::PassVerify { pass, err } => {
+                write!(f, "pass '{pass}' broke an invariant: {err}")
+            }
             CompileError::Internal(s) => write!(f, "internal compiler error: {s}"),
         }
     }

@@ -54,4 +54,4 @@ pub mod unroll;
 
 pub use config::{CompileOptions, CompilerConfig};
 pub use error::CompileError;
-pub use pipeline::{compile, CompileResult};
+pub use pipeline::{compile, compile_with_hooks, CompileResult, Pass, PassRecord, PipelineHooks};

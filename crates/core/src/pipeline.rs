@@ -20,6 +20,124 @@ use crate::unroll::unroll_loops;
 /// pipeline estimates costs (the paper's evaluation iteration count).
 const ASSUMED_TRIPS: u64 = 40;
 
+/// A named compiler pass, as observed by per-pass pipeline hooks.
+///
+/// `Dce` is the clean-up run before scale management (the program is still
+/// *traced* — no levels); `FinalDce` is the post-everything clean-up on the
+/// fully *typed* program. [`Pass::is_typed`] picks the verifier that
+/// applies at each boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// First-iteration loop peeling (§5.1).
+    Peel,
+    /// Level-aware loop unrolling (§6.2).
+    Unroll,
+    /// Loop-carried ciphertext packing (§6.1).
+    Pack,
+    /// DaCapo's full loop unrolling (§2.4).
+    FullUnroll,
+    /// Dead-code elimination on the traced program.
+    Dce,
+    /// Scale management: level assignment, modswitch floors, bootstrap
+    /// placement (§5.2–5.3).
+    AssignLevels,
+    /// Bootstrap target-level tuning (§6.3).
+    Tune,
+    /// Final dead-code elimination on the typed program.
+    FinalDce,
+}
+
+impl Pass {
+    /// Every pass, in pipeline order.
+    pub const ALL: [Pass; 8] = [
+        Pass::Peel,
+        Pass::Unroll,
+        Pass::Pack,
+        Pass::FullUnroll,
+        Pass::Dce,
+        Pass::AssignLevels,
+        Pass::Tune,
+        Pass::FinalDce,
+    ];
+
+    /// Stable name used in errors and failure artifacts.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Peel => "peel",
+            Pass::Unroll => "unroll",
+            Pass::Pack => "pack",
+            Pass::FullUnroll => "full-unroll",
+            Pass::Dce => "dce",
+            Pass::AssignLevels => "levels",
+            Pass::Tune => "tune",
+            Pass::FinalDce => "final-dce",
+        }
+    }
+
+    /// Looks a pass up by its [`Pass::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Pass> {
+        Pass::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Whether the program carries concrete levels after this pass (so
+    /// the typed verifier applies instead of the traced one).
+    #[must_use]
+    pub fn is_typed(self) -> bool {
+        matches!(self, Pass::AssignLevels | Pass::Tune | Pass::FinalDce)
+    }
+}
+
+/// One entry of the per-pass execution trace.
+#[derive(Debug, Clone)]
+pub struct PassRecord {
+    /// Which pass ran.
+    pub pass: Pass,
+    /// Static op count after the pass.
+    pub ops_after: usize,
+    /// Whether the inter-pass verifier ran (and passed) at this boundary.
+    pub verified: bool,
+}
+
+/// A test-only program mutation fired right after a named pass runs.
+pub type PassMutation<'a> = &'a mut dyn FnMut(&mut Function);
+
+/// Debug-mode instrumentation threaded through [`compile_with_hooks`].
+///
+/// With `verify_each_pass` the structural verifier (and, once levels are
+/// assigned, the typed verifier) runs after every pass, so an invariant
+/// violation is attributed to the *first* pass that introduced it
+/// ([`CompileError::PassVerify`]) instead of surfacing at the end of the
+/// pipeline — or worse, as a silent miscompile. `mutate_after` is a
+/// test-only fault-injection point: the differential fuzzer uses it to
+/// prove a known-bad pass mutation is caught and localized correctly.
+///
+/// The default hooks are inert; [`compile`] uses them, so the plain entry
+/// point stays overhead-free apart from trace bookkeeping.
+#[derive(Default)]
+pub struct PipelineHooks<'a> {
+    /// Verify the program at every pass boundary.
+    pub verify_each_pass: bool,
+    /// Mutate the program right after the named pass runs (before that
+    /// boundary's verification). Fires in every pipeline variant that
+    /// executes the pass (the cost-aware packing driver builds two).
+    pub mutate_after: Option<(Pass, PassMutation<'a>)>,
+    /// Record of the passes that ran, in execution order.
+    pub trace: Vec<PassRecord>,
+}
+
+impl PipelineHooks<'_> {
+    /// Hooks with per-pass verification enabled and no injection.
+    #[must_use]
+    pub fn verifying() -> Self {
+        PipelineHooks {
+            verify_each_pass: true,
+            ..PipelineHooks::default()
+        }
+    }
+}
+
 /// The outcome of compiling a traced program under one configuration.
 #[derive(Debug, Clone)]
 pub struct CompileResult {
@@ -58,11 +176,31 @@ pub fn compile(
     config: CompilerConfig,
     opts: &CompileOptions,
 ) -> Result<CompileResult, CompileError> {
+    compile_with_hooks(src, config, opts, &mut PipelineHooks::default())
+}
+
+/// Compiles `src` under `config` with debug-mode instrumentation.
+///
+/// Identical to [`compile`] except that `hooks` observe (and can verify or
+/// perturb) the program at every pass boundary; `hooks.trace` records the
+/// passes that ran.
+///
+/// # Errors
+///
+/// Everything [`compile`] raises, plus [`CompileError::PassVerify`] when
+/// `hooks.verify_each_pass` is set and a pass boundary fails verification.
+pub fn compile_with_hooks(
+    src: &Function,
+    config: CompilerConfig,
+    opts: &CompileOptions,
+    hooks: &mut PipelineHooks<'_>,
+) -> Result<CompileResult, CompileError> {
     // The passes are pure over (&Function, &CompileOptions), so resuming
     // after a caught unwind cannot observe broken state in the caller's
-    // data: AssertUnwindSafe is sound here.
+    // data; the hooks' trace may miss the panicking pass's record, which
+    // is fine for a diagnostic artifact: AssertUnwindSafe is sound here.
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        compile_inner(src, config, opts)
+        compile_inner(src, config, opts, hooks)
     }))
     .unwrap_or_else(|payload| {
         let msg = payload
@@ -76,10 +214,44 @@ pub fn compile(
     })
 }
 
+/// Runs the hook protocol at one pass boundary: apply any injected
+/// mutation, verify (traced or typed per [`Pass::is_typed`]), and record
+/// the trace entry. Verification failures are attributed to `pass`.
+fn pass_boundary(
+    f: &mut Function,
+    pass: Pass,
+    opts: &CompileOptions,
+    hooks: &mut PipelineHooks<'_>,
+) -> Result<(), CompileError> {
+    if let Some((target, mutate)) = hooks.mutate_after.as_mut() {
+        if *target == pass {
+            mutate(f);
+        }
+    }
+    if hooks.verify_each_pass {
+        let check = if pass.is_typed() {
+            halo_ir::verify::verify_typed(f, opts.params.max_level)
+        } else {
+            halo_ir::verify::verify_traced(f)
+        };
+        check.map_err(|err| CompileError::PassVerify {
+            pass: pass.name(),
+            err,
+        })?;
+    }
+    hooks.trace.push(PassRecord {
+        pass,
+        ops_after: f.num_ops(),
+        verified: hooks.verify_each_pass,
+    });
+    Ok(())
+}
+
 fn compile_inner(
     src: &Function,
     config: CompilerConfig,
     opts: &CompileOptions,
+    hooks: &mut PipelineHooks<'_>,
 ) -> Result<CompileResult, CompileError> {
     let start = Instant::now();
 
@@ -89,8 +261,11 @@ fn compile_inner(
         CompilerConfig::DaCapo => {
             let mut f = src.clone();
             full_unroll(&mut f)?;
+            pass_boundary(&mut f, Pass::FullUnroll, opts, hooks)?;
             dce::run(&mut f);
+            pass_boundary(&mut f, Pass::Dce, opts, hooks)?;
             assign_levels(&mut f, opts)?;
+            pass_boundary(&mut f, Pass::AssignLevels, opts, hooks)?;
             (f, 0, 0, 0, 0)
         }
         _ => {
@@ -101,33 +276,41 @@ fn compile_inner(
             // configuration packs, both variants are built and the
             // statically cheaper one wins (ties favor packing).
             let build =
-                |do_pack: bool| -> Result<(Function, usize, usize, usize, usize), CompileError> {
+                |do_pack: bool,
+                 hooks: &mut PipelineHooks<'_>|
+                 -> Result<(Function, usize, usize, usize, usize), CompileError> {
                     let mut f = src.clone();
                     let peeled = peel_loops(&mut f);
+                    pass_boundary(&mut f, Pass::Peel, opts, hooks)?;
                     let mut unrolled = 0;
                     if config.unrolls() {
                         unrolled = unroll_loops(&mut f, opts.params.max_level, do_pack);
+                        pass_boundary(&mut f, Pass::Unroll, opts, hooks)?;
                     }
                     let mut packed = 0;
                     if do_pack {
                         packed = pack_loops(&mut f);
+                        pass_boundary(&mut f, Pass::Pack, opts, hooks)?;
                     }
                     dce::run(&mut f);
+                    pass_boundary(&mut f, Pass::Dce, opts, hooks)?;
                     assign_levels(&mut f, opts)?;
+                    pass_boundary(&mut f, Pass::AssignLevels, opts, hooks)?;
                     let mut tuned = 0;
                     if config.tunes() {
                         tuned = tune_bootstrap_targets(&mut f);
                         halo_ir::verify::verify_typed(&f, opts.params.max_level)?;
+                        pass_boundary(&mut f, Pass::Tune, opts, hooks)?;
                     }
                     Ok((f, peeled, packed, unrolled, tuned))
                 };
             if config.packs() {
-                let with_pack = build(true)?;
+                let with_pack = build(true, hooks)?;
                 if with_pack.2 == 0 {
                     // Nothing was packable; the variants are identical.
                     with_pack
                 } else {
-                    let without = build(false)?;
+                    let without = build(false, hooks)?;
                     let cp = estimate_cost_us(&with_pack.0, ASSUMED_TRIPS);
                     let cu = estimate_cost_us(&without.0, ASSUMED_TRIPS);
                     if cp <= cu {
@@ -137,12 +320,13 @@ fn compile_inner(
                     }
                 }
             } else {
-                build(false)?
+                build(false, hooks)?
             }
         }
     };
     dce::run(&mut f);
     halo_ir::verify::verify_typed(&f, opts.params.max_level)?;
+    pass_boundary(&mut f, Pass::FinalDce, opts, hooks)?;
 
     let static_bootstraps = f.count_ops(|o| matches!(o, Opcode::Bootstrap { .. }));
     Ok(CompileResult {
@@ -280,6 +464,113 @@ mod tests {
                 config.name()
             );
         }
+    }
+
+    #[test]
+    fn hooks_trace_records_passes_in_order() {
+        let src = sample(TripCount::dynamic("n"));
+        let mut hooks = PipelineHooks::verifying();
+        compile_with_hooks(&src, CompilerConfig::Halo, &opts(), &mut hooks).unwrap();
+        let passes: Vec<Pass> = hooks.trace.iter().map(|r| r.pass).collect();
+        // The cost-aware packing driver builds the packed variant first;
+        // the prefix must be the loop-aware pipeline in order, ending with
+        // the final clean-up.
+        assert_eq!(
+            &passes[..6],
+            &[
+                Pass::Peel,
+                Pass::Unroll,
+                Pass::Pack,
+                Pass::Dce,
+                Pass::AssignLevels,
+                Pass::Tune
+            ]
+        );
+        assert_eq!(*passes.last().unwrap(), Pass::FinalDce);
+        assert!(hooks.trace.iter().all(|r| r.verified && r.ops_after > 0));
+
+        // The DaCapo arm has its own trace shape.
+        let mut hooks = PipelineHooks::verifying();
+        compile_with_hooks(
+            &sample(TripCount::Constant(4)),
+            CompilerConfig::DaCapo,
+            &opts(),
+            &mut hooks,
+        )
+        .unwrap();
+        let passes: Vec<Pass> = hooks.trace.iter().map(|r| r.pass).collect();
+        assert_eq!(
+            passes,
+            vec![
+                Pass::FullUnroll,
+                Pass::Dce,
+                Pass::AssignLevels,
+                Pass::FinalDce
+            ]
+        );
+    }
+
+    #[test]
+    fn injected_bad_mutation_is_localized_to_the_offending_pass() {
+        use halo_ir::func::OpId;
+        let src = sample(TripCount::dynamic("n"));
+
+        // Break the traced program right after peeling: drop an operand
+        // from the first `For` op, an arity mismatch the structural
+        // verifier must attribute to "peel".
+        let mut drop_for_operand = |f: &mut Function| {
+            let mut target: Option<OpId> = None;
+            f.walk_ops(|_, id| {
+                if target.is_none() && matches!(f.op(id).opcode, Opcode::For { .. }) {
+                    target = Some(id);
+                }
+            });
+            let id = target.expect("generated program has a loop");
+            f.op_mut(id).operands.pop();
+        };
+        let mut hooks = PipelineHooks {
+            verify_each_pass: true,
+            mutate_after: Some((Pass::Peel, &mut drop_for_operand)),
+            trace: Vec::new(),
+        };
+        let err = compile_with_hooks(&src, CompilerConfig::Halo, &opts(), &mut hooks).unwrap_err();
+        match err {
+            CompileError::PassVerify { pass, .. } => assert_eq!(pass, "peel"),
+            other => panic!("expected PassVerify, got {other}"),
+        }
+
+        // Break the typed program after level assignment: corrupt the
+        // first op result's level. The typed verifier must attribute the
+        // failure to "levels".
+        let mut corrupt_level = |f: &mut Function| {
+            let mut target: Option<OpId> = None;
+            f.walk_ops(|_, id| {
+                if target.is_none() && !f.op(id).results.is_empty() {
+                    target = Some(id);
+                }
+            });
+            let id = target.expect("program has a result-producing op");
+            let v = f.op(id).results[0];
+            f.value_mut(v).ty.level = 999;
+        };
+        let mut hooks = PipelineHooks {
+            verify_each_pass: true,
+            mutate_after: Some((Pass::AssignLevels, &mut corrupt_level)),
+            trace: Vec::new(),
+        };
+        let err = compile_with_hooks(&src, CompilerConfig::Halo, &opts(), &mut hooks).unwrap_err();
+        match err {
+            CompileError::PassVerify { pass, .. } => assert_eq!(pass, "levels"),
+            other => panic!("expected PassVerify, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pass_names_round_trip() {
+        for p in Pass::ALL {
+            assert_eq!(Pass::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Pass::from_name("nonsense"), None);
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! Differential execution: one generated program, every compiler
+//! configuration, three executors, one verdict.
+//!
+//! The oracle stack, in order of authority:
+//!
+//! 1. [`halo_runtime::reference_run`] on the traced source — exact
+//!    plaintext ground truth.
+//! 2. The exact simulation backend per compiled configuration — must match
+//!    the reference within a tolerance that only covers f64 accumulation.
+//! 3. The noisy simulation backend, run twice with one seed — must be
+//!    bit-identical (the noise model is deterministic).
+//! 4. The toy RNS-CKKS backend (real NTT/RNS lattice arithmetic) — must
+//!    match the reference within the calibrated noise envelope.
+//!
+//! All configurations compile the same dynamic-trip program except DaCapo,
+//! which gets the constant twin (freezing each dynamic trip to the value
+//! the environment would supply) — the cross-check DaCapo-vs-HALO is
+//! exactly the paper's correctness claim.
+
+use halo_ckks::{CkksParams, SimBackend, ToyBackend};
+use halo_core::{
+    compile_with_hooks, CompileError, CompileOptions, CompilerConfig, Pass, PipelineHooks,
+};
+use halo_ir::verify::verify_traced;
+use halo_ir::Function;
+use halo_runtime::{reference_run, rmse, Executor};
+
+use crate::gen::{bind_inputs, build, ProgramSpec, SLOTS};
+use crate::mutate::known_bad_mutation;
+
+/// Where in the differential pipeline a case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stage {
+    /// The generator emitted an invalid program (a fuzzer bug).
+    Generate,
+    /// A configuration failed to compile a valid program.
+    Compile,
+    /// The per-pass verifier localized an invariant violation.
+    PassVerify {
+        /// [`Pass::name`] of the offending pass.
+        pass: String,
+    },
+    /// A compiled program failed to execute.
+    Exec,
+    /// Compiled output disagreed with the oracle beyond tolerance.
+    Mismatch,
+    /// Two identically-seeded noisy runs were not bit-identical.
+    Determinism,
+}
+
+impl Stage {
+    /// Stable name for reports and shrink-equivalence.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Generate => "generate",
+            Stage::Compile => "compile",
+            Stage::PassVerify { .. } => "pass-verify",
+            Stage::Exec => "exec",
+            Stage::Mismatch => "mismatch",
+            Stage::Determinism => "determinism",
+        }
+    }
+}
+
+/// A failed differential case.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The originating generator seed.
+    pub seed: u64,
+    /// Where the case failed.
+    pub stage: Stage,
+    /// The configuration involved, when one was.
+    pub config: Option<&'static str>,
+    /// Human-readable diagnosis (verifier message, RMSE, ...).
+    pub detail: String,
+}
+
+/// Knobs for one differential run.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Cross-check on the toy RNS-CKKS backend (slower; skipped when the
+    /// reference magnitude exceeds [`DiffOptions::toy_magnitude_cap`]).
+    pub check_toy: bool,
+    /// Run the per-pass verifier at every pass boundary.
+    pub verify_passes: bool,
+    /// RMSE tolerance on the exact sim backend, per unit of output
+    /// magnitude (f64 accumulation only).
+    pub exact_rmse: f64,
+    /// RMSE tolerance on the toy backend, per unit of output magnitude
+    /// (rf_bits = 40 fixed-point noise, calibrated against the e2e suite).
+    pub toy_rmse: f64,
+    /// Skip cases whose reference output exceeds this magnitude (mult
+    /// chains can overflow f64; nothing to differentially test there).
+    pub magnitude_cap: f64,
+    /// Largest reference magnitude the toy backend's fixed-point encoding
+    /// represents accurately at these parameters.
+    pub toy_magnitude_cap: f64,
+    /// Inject the known-bad mutation after this pass (test-only): the run
+    /// must then fail with [`Stage::PassVerify`] naming that pass.
+    pub inject: Option<Pass>,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            check_toy: true,
+            verify_passes: true,
+            exact_rmse: 1e-6,
+            toy_rmse: 2e-2,
+            magnitude_cap: 1e6,
+            toy_magnitude_cap: 8.0,
+            inject: None,
+        }
+    }
+}
+
+/// A passed (or skipped) differential case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// All oracles agreed.
+    Ok,
+    /// The case was skipped, with the reason (degenerate magnitude).
+    Skipped(String),
+}
+
+/// Compilation parameters for the fuzz corpus: 16 slots so the toy
+/// backend (ring degree 32) can execute the same compiled program.
+#[must_use]
+pub fn fuzz_params() -> CkksParams {
+    CkksParams {
+        poly_degree: SLOTS * 2,
+        max_level: 16,
+        rf_bits: 40,
+    }
+}
+
+/// An error exceeds its tolerance — treating NaN as exceeding, so a
+/// poisoned output can never pass an oracle.
+fn exceeds(err: f64, bound: f64) -> bool {
+    err.is_nan() || err >= bound
+}
+
+fn fail(seed: u64, stage: Stage, config: Option<&'static str>, detail: String) -> FuzzFailure {
+    FuzzFailure {
+        seed,
+        stage,
+        config,
+        detail,
+    }
+}
+
+/// Runs one spec through the full differential pipeline.
+///
+/// # Errors
+///
+/// Returns the first [`FuzzFailure`] encountered; the caller shrinks and
+/// reports it.
+pub fn run_case(spec: &ProgramSpec, opts: &DiffOptions) -> Result<Verdict, FuzzFailure> {
+    let seed = spec.seed;
+    let src = build(spec, true);
+    verify_traced(&src)
+        .map_err(|e| fail(seed, Stage::Generate, None, format!("traced verify: {e}")))?;
+    let inputs = bind_inputs(spec);
+    let want = reference_run(&src, &inputs, SLOTS)
+        .map_err(|e| fail(seed, Stage::Generate, None, format!("reference: {e}")))?;
+
+    let max_abs = want.iter().flatten().fold(0.0f64, |m, v| m.max(v.abs()));
+    if !max_abs.is_finite() || max_abs > opts.magnitude_cap {
+        return Ok(Verdict::Skipped(format!("reference magnitude {max_abs:e}")));
+    }
+    let scale = max_abs.max(1.0);
+
+    let params = fuzz_params();
+    let copts = CompileOptions::new(params.clone());
+    let configs: &[CompilerConfig] = if opts.inject.is_some() {
+        // Injection targets the loop-aware pipeline; Halo runs every pass.
+        &[CompilerConfig::Halo]
+    } else {
+        &CompilerConfig::ALL
+    };
+
+    let mut sim_outputs: Vec<(&'static str, Vec<Vec<f64>>)> = Vec::new();
+    let mut halo_fn: Option<Function> = None;
+    let mut dacapo_fn: Option<Function> = None;
+    for &config in configs {
+        // DaCapo cannot compile dynamic trips; it gets the constant twin.
+        let cfg_src = if config == CompilerConfig::DaCapo {
+            build(spec, false)
+        } else {
+            src.clone()
+        };
+        let mut mutation = opts.inject.map(known_bad_mutation);
+        let mut hooks = PipelineHooks {
+            verify_each_pass: opts.verify_passes,
+            mutate_after: match (opts.inject, mutation.as_mut()) {
+                (Some(pass), Some(m)) => Some((pass, m.as_mut())),
+                _ => None,
+            },
+            trace: Vec::new(),
+        };
+        let compiled = compile_with_hooks(&cfg_src, config, &copts, &mut hooks).map_err(|e| {
+            let stage = match &e {
+                CompileError::PassVerify { pass, .. } => Stage::PassVerify {
+                    pass: (*pass).to_string(),
+                },
+                _ => Stage::Compile,
+            };
+            fail(seed, stage, Some(config.name()), e.to_string())
+        })?;
+
+        // Oracle 2: exact simulation vs the plaintext reference.
+        let be = SimBackend::exact(params.clone());
+        let out = Executor::new(&be)
+            .run(&compiled.function, &inputs)
+            .map_err(|e| fail(seed, Stage::Exec, Some(config.name()), e.to_string()))?;
+        if out.outputs.len() != want.len() {
+            return Err(fail(
+                seed,
+                Stage::Mismatch,
+                Some(config.name()),
+                format!(
+                    "{} outputs, reference has {}",
+                    out.outputs.len(),
+                    want.len()
+                ),
+            ));
+        }
+        for (k, (got, exp)) in out.outputs.iter().zip(&want).enumerate() {
+            let err = rmse(got, exp);
+            if exceeds(err, opts.exact_rmse * scale) {
+                return Err(fail(
+                    seed,
+                    Stage::Mismatch,
+                    Some(config.name()),
+                    format!(
+                        "sim output {k}: rmse {err:e} > {:e} (got {:?} want {:?})",
+                        opts.exact_rmse * scale,
+                        &got[..4.min(got.len())],
+                        &exp[..4.min(exp.len())]
+                    ),
+                ));
+            }
+        }
+        if config == CompilerConfig::Halo {
+            halo_fn = Some(compiled.function.clone());
+        }
+        if config == CompilerConfig::DaCapo {
+            dacapo_fn = Some(compiled.function.clone());
+        }
+        sim_outputs.push((config.name(), out.outputs));
+    }
+
+    // Oracle 2b: configurations must agree with *each other*, not just
+    // each within tolerance of the reference.
+    if let Some((base_name, base)) = sim_outputs.first() {
+        for (name, outs) in &sim_outputs[1..] {
+            for (k, (a, b)) in base.iter().zip(outs).enumerate() {
+                let err = rmse(a, b);
+                if exceeds(err, 2.0 * opts.exact_rmse * scale) {
+                    return Err(fail(
+                        seed,
+                        Stage::Mismatch,
+                        Some(name),
+                        format!("output {k}: {base_name} vs {name} rmse {err:e}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Oracle 3: noisy-sim determinism — same seed, bit-identical outputs.
+    if let Some(f) = &halo_fn {
+        let run_noisy = || {
+            let be = SimBackend::with_noise(
+                params.clone(),
+                halo_ckks::sim::NoiseProfile::default(),
+                seed ^ 0x5EED,
+            );
+            Executor::new(&be).run(f, &inputs)
+        };
+        let a = run_noisy()
+            .map_err(|e| fail(seed, Stage::Exec, Some("halo"), format!("noisy: {e}")))?;
+        let b = run_noisy()
+            .map_err(|e| fail(seed, Stage::Exec, Some("halo"), format!("noisy: {e}")))?;
+        if a.outputs != b.outputs {
+            return Err(fail(
+                seed,
+                Stage::Determinism,
+                Some("halo"),
+                "identically-seeded noisy runs differ bitwise".into(),
+            ));
+        }
+    }
+
+    // Oracle 4: the toy backend's genuine lattice arithmetic. Its
+    // fixed-point encoding (rf_bits = 40 at ring degree 32) only covers
+    // modest magnitudes, so larger cases check only sim oracles.
+    if opts.check_toy && max_abs <= opts.toy_magnitude_cap {
+        for (name, f) in [("dacapo", &dacapo_fn), ("halo", &halo_fn)] {
+            let Some(f) = f else { continue };
+            let be = ToyBackend::new(params.poly_degree, params.max_level, seed ^ 0x70F);
+            let out = Executor::new(&be)
+                .run(f, &inputs)
+                .map_err(|e| fail(seed, Stage::Exec, Some(name), format!("toy: {e}")))?;
+            for (k, (got, exp)) in out.outputs.iter().zip(&want).enumerate() {
+                let err = rmse(got, exp);
+                if exceeds(err, opts.toy_rmse * scale) {
+                    return Err(fail(
+                        seed,
+                        Stage::Mismatch,
+                        Some(name),
+                        format!("toy output {k}: rmse {err:e} > {:e}", opts.toy_rmse * scale),
+                    ));
+                }
+            }
+        }
+    }
+
+    Ok(Verdict::Ok)
+}

@@ -1,0 +1,411 @@
+//! The seeded random program generator.
+//!
+//! Emits well-formed traced IR shaped like the paper's benchmark space:
+//! nested static/dynamic-trip loops, loop-carried ciphertext variables,
+//! rotations, and mixed cipher/plain arithmetic. Two properties make every
+//! generated program a valid differential-testing subject:
+//!
+//! 1. **Pool-index operand encoding.** Operands are indices into the pool
+//!    of values in scope, taken modulo the pool length — any index is
+//!    well-formed, so shrinking (dropping ops, truncating loops) can never
+//!    produce a dangling reference.
+//! 2. **Period preservation.** Inputs are `NUM_ELEMS`-periodic slot
+//!    vectors, and every emitted op (elementwise arithmetic, rotation)
+//!    preserves that period — the packing contract of §6.1 holds by
+//!    construction, so packing must be a semantic no-op.
+//!
+//! Dynamic trip counts are generated `>= 1`: peeling always executes the
+//! first iteration, so a trip count that could resolve to 0 at run time is
+//! outside HALO's supported program space (constant-0 trips are fine — the
+//! compiler folds them away statically, and the generator emits them).
+
+use halo_ir::func::ValueId;
+use halo_ir::op::TripCount;
+use halo_ir::{Function, FunctionBuilder};
+use halo_runtime::Inputs;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Slots per ciphertext (ring degree 32 on the toy backend).
+pub const SLOTS: usize = 16;
+/// Programmer-declared valid elements per carried ciphertext.
+pub const NUM_ELEMS: usize = 4;
+
+/// One straight-line op. Operand fields are pool indices (mod pool len);
+/// constants are quantized to eighths so printed specs reproduce exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenOp {
+    /// Pool\[a\] + pool\[b\].
+    Add(usize, usize),
+    /// Pool\[a\] − pool\[b\].
+    Sub(usize, usize),
+    /// Pool\[a\] · pool\[b\].
+    Mul(usize, usize),
+    /// Pool\[a\] + c/8.
+    AddConst(usize, i32),
+    /// Pool\[a\] · c/8.
+    MulConst(usize, i32),
+    /// Cyclic rotation of pool\[a\] by the offset.
+    Rotate(usize, i64),
+    /// −pool\[a\].
+    Negate(usize),
+}
+
+/// A body/program item: a straight-line op or a (possibly nested) loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenItem {
+    /// A straight-line op.
+    Op(GenOp),
+    /// A structured loop.
+    Loop(GenLoop),
+}
+
+/// A structured loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenLoop {
+    /// Trip count (the resolved value when `dynamic`).
+    pub trip: u64,
+    /// Whether the trip count is a run-time symbol (HALO's headline case;
+    /// the DaCapo twin freezes it to `trip`).
+    pub dynamic: bool,
+    /// Number of loop-carried variables.
+    pub carried: usize,
+    /// Per carried variable: initialize from a plain constant (true) or
+    /// from a pool value (false). Plain inits exercise peeling's
+    /// encryption-status matching.
+    pub plain_inits: Vec<bool>,
+    /// Loop body items.
+    pub body: Vec<GenItem>,
+}
+
+/// A complete generated program, reproducible from `seed` alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSpec {
+    /// The generator seed that produced (or shrank from) this spec.
+    pub seed: u64,
+    /// Top-level items.
+    pub items: Vec<GenItem>,
+    /// Slot data for cipher input `x` (`NUM_ELEMS` values, tiled).
+    pub input_x: Vec<f64>,
+    /// Slot data for cipher input `y` (`NUM_ELEMS` values, tiled).
+    pub input_y: Vec<f64>,
+}
+
+impl ProgramSpec {
+    /// A structural size metric: strictly decreased by every shrinking
+    /// candidate, so greedy shrinking terminates.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        fn items_size(items: &[GenItem]) -> u64 {
+            items
+                .iter()
+                .map(|it| match it {
+                    GenItem::Op(_) => 1,
+                    GenItem::Loop(l) => {
+                        2 + l.trip + l.carried as u64 + u64::from(l.dynamic) + items_size(&l.body)
+                    }
+                })
+                .sum()
+        }
+        items_size(&self.items)
+    }
+}
+
+fn gen_op(rng: &mut StdRng) -> GenOp {
+    let idx = |rng: &mut StdRng| rng.gen_range(0..32usize);
+    match rng.gen_range(0..8u32) {
+        0 => GenOp::Add(idx(rng), idx(rng)),
+        1 => GenOp::Sub(idx(rng), idx(rng)),
+        // Multiplication weighted up: level consumption is where
+        // bootstrapping management earns its keep.
+        2 | 3 => GenOp::Mul(idx(rng), idx(rng)),
+        4 => GenOp::AddConst(idx(rng), rng.gen_range(-6..=6)),
+        5 => GenOp::MulConst(idx(rng), rng.gen_range(-6..=6)),
+        6 => GenOp::Rotate(idx(rng), rng.gen_range(1..=7)),
+        _ => GenOp::Negate(idx(rng)),
+    }
+}
+
+fn gen_loop(rng: &mut StdRng, depth: usize) -> GenLoop {
+    let dynamic = rng.gen_bool(0.5);
+    // Dynamic trips are >= 1 (see module docs); constant trips include the
+    // degenerate 0 and 1 cases the compiler folds.
+    let trip = if dynamic {
+        rng.gen_range(1..=4u64)
+    } else {
+        rng.gen_range(0..=4u64)
+    };
+    let carried = rng.gen_range(1..=3usize);
+    let plain_inits = (0..carried).map(|_| rng.gen_bool(0.3)).collect();
+    let n_body = rng.gen_range(2..=5usize);
+    let mut body: Vec<GenItem> = (0..n_body).map(|_| GenItem::Op(gen_op(rng))).collect();
+    if depth == 0 && rng.gen_bool(0.35) {
+        body.push(GenItem::Loop(gen_loop(rng, depth + 1)));
+        // A consumer after the nested loop so its results feed the pool.
+        body.push(GenItem::Op(gen_op(rng)));
+    }
+    GenLoop {
+        trip,
+        dynamic,
+        carried,
+        plain_inits,
+        body,
+    }
+}
+
+fn gen_data(rng: &mut StdRng) -> Vec<f64> {
+    // Bounded away from 0 and 1 keeps mult chains from collapsing to 0 or
+    // exploding too often; constants can still drive values anywhere.
+    (0..NUM_ELEMS).map(|_| rng.gen_range(0.3..0.9)).collect()
+}
+
+/// Generates the program for `seed`. Deterministic: the same seed always
+/// yields the same spec.
+#[must_use]
+pub fn gen_spec(seed: u64) -> ProgramSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut items = Vec::new();
+    for _ in 0..rng.gen_range(1..=2usize) {
+        for _ in 0..rng.gen_range(0..=2usize) {
+            items.push(GenItem::Op(gen_op(&mut rng)));
+        }
+        items.push(GenItem::Loop(gen_loop(&mut rng, 0)));
+    }
+    for _ in 0..rng.gen_range(0..=2usize) {
+        items.push(GenItem::Op(gen_op(&mut rng)));
+    }
+    ProgramSpec {
+        seed,
+        items,
+        input_x: gen_data(&mut rng),
+        input_y: gen_data(&mut rng),
+    }
+}
+
+/// Emits `items` into the builder, growing `pool` with every result.
+/// `next_sym` numbers dynamic-trip symbols `n0, n1, ...` in pre-order —
+/// [`bind_inputs`] walks the same order, so symbols and environment values
+/// always line up.
+fn emit_items(
+    b: &mut FunctionBuilder,
+    items: &[GenItem],
+    pool: &mut Vec<ValueId>,
+    dynamic: bool,
+    next_sym: &mut usize,
+) {
+    for item in items {
+        match item {
+            GenItem::Op(op) => {
+                let pick = |i: usize, pool: &[ValueId]| pool[i % pool.len()];
+                let v = match *op {
+                    GenOp::Add(i, j) => {
+                        let (a, c) = (pick(i, pool), pick(j, pool));
+                        b.add(a, c)
+                    }
+                    GenOp::Sub(i, j) => {
+                        let (a, c) = (pick(i, pool), pick(j, pool));
+                        b.sub(a, c)
+                    }
+                    GenOp::Mul(i, j) => {
+                        let (a, c) = (pick(i, pool), pick(j, pool));
+                        b.mul(a, c)
+                    }
+                    GenOp::AddConst(i, c) => {
+                        let a = pick(i, pool);
+                        let k = b.const_splat(f64::from(c) * 0.125);
+                        b.add(a, k)
+                    }
+                    GenOp::MulConst(i, c) => {
+                        let a = pick(i, pool);
+                        let k = b.const_splat(f64::from(c) * 0.125);
+                        b.mul(a, k)
+                    }
+                    GenOp::Rotate(i, r) => {
+                        let a = pick(i, pool);
+                        b.rotate(a, r)
+                    }
+                    GenOp::Negate(i) => {
+                        let a = pick(i, pool);
+                        b.negate(a)
+                    }
+                };
+                pool.push(v);
+            }
+            GenItem::Loop(l) => {
+                let sym = *next_sym;
+                *next_sym += 1;
+                let trip = if l.dynamic && dynamic {
+                    TripCount::dynamic(format!("n{sym}"))
+                } else {
+                    TripCount::Constant(l.trip)
+                };
+                let inits: Vec<ValueId> = (0..l.carried)
+                    .map(|k| {
+                        if l.plain_inits[k] {
+                            b.const_splat(0.25 + 0.125 * k as f64)
+                        } else {
+                            pool[(k * 7 + 1) % pool.len()]
+                        }
+                    })
+                    .collect();
+                let carried = l.carried;
+                let body_items = &l.body;
+                let outer_pool = pool.clone();
+                let results = b.for_loop(trip, &inits, NUM_ELEMS, |b, args| {
+                    // Body scope: carried variables first (so low indices
+                    // favor them), then everything visible outside.
+                    let mut body_pool: Vec<ValueId> = args.to_vec();
+                    body_pool.extend_from_slice(&outer_pool);
+                    emit_items(b, body_items, &mut body_pool, dynamic, next_sym);
+                    // Yield the last `carried` values computed (possibly
+                    // plain — peeling must cope).
+                    (0..carried)
+                        .map(|k| body_pool[body_pool.len() - 1 - k])
+                        .collect()
+                });
+                pool.extend(results);
+            }
+        }
+    }
+}
+
+/// Builds the traced function for `spec`.
+///
+/// With `dynamic = false` every dynamic trip count is frozen to its
+/// resolved value — the *constant twin* the DaCapo baseline can compile.
+/// Both variants compute the same function for the environment
+/// [`bind_inputs`] produces.
+#[must_use]
+pub fn build(spec: &ProgramSpec, dynamic: bool) -> Function {
+    let mut b = FunctionBuilder::new("fuzz", SLOTS);
+    let x = b.input_cipher("x");
+    let y = b.input_cipher("y");
+    let mut pool = vec![x, y];
+    let mut next_sym = 0usize;
+    emit_items(&mut b, &spec.items, &mut pool, dynamic, &mut next_sym);
+    let n_out = pool.len().min(3);
+    let outs: Vec<ValueId> = pool[pool.len() - n_out..].to_vec();
+    b.ret(&outs);
+    b.finish()
+}
+
+/// Binds input data and the trip-count environment for `spec`, numbering
+/// symbols in the same pre-order as [`build`].
+#[must_use]
+pub fn bind_inputs(spec: &ProgramSpec) -> Inputs {
+    fn walk(items: &[GenItem], next_sym: &mut usize, inputs: &mut Vec<(String, u64)>) {
+        for item in items {
+            if let GenItem::Loop(l) = item {
+                let sym = *next_sym;
+                *next_sym += 1;
+                if l.dynamic {
+                    inputs.push((format!("n{sym}"), l.trip));
+                } else {
+                    // The symbol number is consumed even for constant
+                    // trips so nested numbering matches `build`.
+                }
+                walk(&l.body, next_sym, inputs);
+            }
+        }
+    }
+    let mut env = Vec::new();
+    let mut next_sym = 0usize;
+    walk(&spec.items, &mut next_sym, &mut env);
+    let mut inputs = Inputs::new()
+        .cipher("x", spec.input_x.clone())
+        .cipher("y", spec.input_y.clone());
+    for (sym, val) in env {
+        inputs = inputs.env(sym, val);
+    }
+    inputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ir::verify::verify_traced;
+    use halo_runtime::reference_run;
+
+    #[test]
+    fn generated_programs_are_well_formed() {
+        for seed in 0..64u64 {
+            let spec = gen_spec(seed);
+            assert!(!spec.items.is_empty(), "seed {seed}");
+            for dynamic in [true, false] {
+                let f = build(&spec, dynamic);
+                verify_traced(&f).unwrap_or_else(|e| panic!("seed {seed} dynamic={dynamic}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 7, 123, u64::MAX] {
+            assert_eq!(gen_spec(seed), gen_spec(seed));
+        }
+    }
+
+    #[test]
+    fn dynamic_and_constant_twins_agree_on_the_reference() {
+        for seed in 0..32u64 {
+            let spec = gen_spec(seed);
+            let inputs = bind_inputs(&spec);
+            let dynamic = reference_run(&build(&spec, true), &inputs, SLOTS).unwrap();
+            let frozen = reference_run(&build(&spec, false), &inputs, SLOTS).unwrap();
+            assert_eq!(dynamic, frozen, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dynamic_trips_are_never_zero() {
+        fn check(items: &[GenItem]) {
+            for item in items {
+                if let GenItem::Loop(l) = item {
+                    if l.dynamic {
+                        assert!(l.trip >= 1);
+                    }
+                    check(&l.body);
+                }
+            }
+        }
+        for seed in 0..256u64 {
+            check(&gen_spec(seed).items);
+        }
+    }
+
+    #[test]
+    fn corpus_covers_the_advertised_grammar() {
+        // Across a modest seed range the generator must actually produce
+        // the features the fuzzer claims to exercise.
+        let specs: Vec<ProgramSpec> = (0..128).map(gen_spec).collect();
+        fn any_loop(items: &[GenItem], pred: &impl Fn(&GenLoop) -> bool) -> bool {
+            items.iter().any(|it| match it {
+                GenItem::Op(_) => false,
+                GenItem::Loop(l) => pred(l) || any_loop(&l.body, pred),
+            })
+        }
+        fn any_op(items: &[GenItem], pred: &impl Fn(&GenOp) -> bool) -> bool {
+            items.iter().any(|it| match it {
+                GenItem::Op(o) => pred(o),
+                GenItem::Loop(l) => any_op(&l.body, pred),
+            })
+        }
+        let has = |p: &dyn Fn(&GenLoop) -> bool| specs.iter().any(|s| any_loop(&s.items, &p));
+        assert!(has(&|l| l.dynamic), "dynamic trips");
+        assert!(has(&|l| !l.dynamic), "static trips");
+        assert!(has(&|l| l.trip == 0 && !l.dynamic), "zero-trip loops");
+        assert!(has(&|l| l.carried > 1), "multiple carried vars");
+        assert!(has(&|l| l.plain_inits.iter().any(|&p| p)), "plain inits");
+        assert!(
+            has(&|l| l.body.iter().any(|it| matches!(it, GenItem::Loop(_)))),
+            "nested loops"
+        );
+        let has_op = |p: &dyn Fn(&GenOp) -> bool| specs.iter().any(|s| any_op(&s.items, &p));
+        assert!(has_op(&|o| matches!(o, GenOp::Rotate(..))), "rotations");
+        assert!(has_op(&|o| matches!(o, GenOp::Mul(..))), "ciphertext mults");
+        assert!(
+            has_op(&|o| matches!(o, GenOp::MulConst(..) | GenOp::AddConst(..))),
+            "plain-operand arithmetic"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # halo-fuzz — differential compiler fuzzing
+//!
+//! Finds miscompiles before users do (DESIGN.md §11): a seeded generator
+//! emits random loop programs shaped like the paper's benchmark space, and
+//! every compiler configuration's output is cross-checked against the
+//! plaintext reference, against the other configurations, and against the
+//! toy RNS-CKKS backend's genuine lattice arithmetic — with the per-pass
+//! verifier ([`halo_core::PipelineHooks`]) localizing any invariant
+//! violation to the first pass that introduced it.
+//!
+//! - [`gen`] — the random program generator (pool-index operand encoding,
+//!   period-preserving op set).
+//! - [`diff`] — the differential pipeline: reference → exact sim → noisy
+//!   determinism → toy backend.
+//! - [`shrink`] — greedy structural shrinking of failing cases.
+//! - [`mutate`] — known-bad pass mutations for harness self-tests.
+//! - [`report`] — the `FUZZ_REPORT.json` artifact (`halo-fuzz-report/1`).
+//!
+//! The `halo-fuzz` binary drives it all; `cargo run -p halo-fuzz -- --help`
+//! for the CLI, or reproduce a CI failure with `--seed N`.
+
+pub mod diff;
+pub mod gen;
+pub mod mutate;
+pub mod report;
+pub mod shrink;
+
+pub use diff::{run_case, DiffOptions, FuzzFailure, Stage, Verdict};
+pub use gen::{bind_inputs, build, gen_spec, ProgramSpec};
+pub use mutate::known_bad_mutation;
+pub use report::{FuzzReport, ReportedFailure};
+pub use shrink::shrink;

@@ -1,0 +1,218 @@
+//! The `halo-fuzz` CLI: seeded differential fuzzing of the compiler.
+//!
+//! ```text
+//! cargo run -p halo-fuzz -- --seeds 200          # a fuzzing campaign
+//! cargo run -p halo-fuzz -- --seed 17            # reproduce one case
+//! cargo run -p halo-fuzz -- --inject-bad-pass peel   # harness self-test
+//! ```
+//!
+//! Exit code 0 means zero miscompiles (or, with `--inject-bad-pass`, that
+//! every injected bug was caught and localized to the right pass). A
+//! `FUZZ_REPORT.json` artifact is written either way.
+
+use halo_core::Pass;
+use halo_fuzz::diff::{run_case, DiffOptions, Stage, Verdict};
+use halo_fuzz::gen::gen_spec;
+use halo_fuzz::report::{FuzzReport, ReportedFailure};
+use halo_fuzz::shrink::shrink;
+
+const USAGE: &str = "\
+halo-fuzz: differential compiler fuzzing (HALO vs DaCapo vs reference)
+
+USAGE: halo-fuzz [OPTIONS]
+
+OPTIONS:
+  --seeds <N>             number of seeds to run (default 32)
+  --start <S>             first seed (default 0)
+  --seed <X>              run exactly one seed (implies --seeds 1 --start X)
+  --no-toy                skip the toy RNS-CKKS backend oracle
+  --no-pass-verify        disable the per-pass verifier
+  --shrink-steps <N>      max candidate evaluations while shrinking (default 300)
+  --inject-bad-pass <P>   self-test: inject a known-bad mutation after pass
+                          P ('peel' or 'levels'); every case must then fail
+                          with a PassVerify localized to P
+  --help                  print this help
+";
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    check_toy: bool,
+    verify_passes: bool,
+    shrink_steps: usize,
+    inject: Option<Pass>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 32,
+        start: 0,
+        check_toy: true,
+        verify_passes: true,
+        shrink_steps: 300,
+        inject: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--start" => {
+                args.start = value("--start")?
+                    .parse()
+                    .map_err(|e| format!("--start: {e}"))?;
+            }
+            "--seed" => {
+                args.start = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+                args.seeds = 1;
+            }
+            "--no-toy" => args.check_toy = false,
+            "--no-pass-verify" => args.verify_passes = false,
+            "--shrink-steps" => {
+                args.shrink_steps = value("--shrink-steps")?
+                    .parse()
+                    .map_err(|e| format!("--shrink-steps: {e}"))?;
+            }
+            "--inject-bad-pass" => {
+                let name = value("--inject-bad-pass")?;
+                let pass =
+                    Pass::from_name(&name).ok_or_else(|| format!("unknown pass '{name}'"))?;
+                if !halo_fuzz::mutate::INJECTABLE.contains(&pass) {
+                    return Err(format!(
+                        "pass '{name}' has no known-bad mutation (use 'peel' or 'levels')"
+                    ));
+                }
+                args.inject = Some(pass);
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let opts = DiffOptions {
+        check_toy: args.check_toy,
+        verify_passes: args.verify_passes,
+        inject: args.inject,
+        ..DiffOptions::default()
+    };
+
+    let mut report = FuzzReport {
+        seeds: args.seeds,
+        start_seed: args.start,
+        pass_verify: args.verify_passes,
+        ..FuzzReport::default()
+    };
+    // Self-test accounting: how many injected bugs were caught at (and
+    // only at) the expected pass.
+    let mut localized = 0u64;
+    let mut mislocalized = 0u64;
+
+    let t0 = std::time::Instant::now();
+    for seed in args.start..args.start.saturating_add(args.seeds) {
+        let spec = gen_spec(seed);
+        match run_case(&spec, &opts) {
+            Ok(Verdict::Ok) => report.ran += 1,
+            Ok(Verdict::Skipped(why)) => {
+                report.skipped += 1;
+                eprintln!("seed {seed}: skipped ({why})");
+            }
+            Err(failure) => {
+                report.ran += 1;
+                if let Some(expected) = args.inject {
+                    // Self-test mode: the failure is the point — check it
+                    // landed on the right pass instead of shrinking.
+                    let hit = matches!(
+                        &failure.stage,
+                        Stage::PassVerify { pass } if pass == expected.name()
+                    );
+                    if hit {
+                        localized += 1;
+                    } else {
+                        mislocalized += 1;
+                        eprintln!(
+                            "seed {seed}: injected '{}' NOT localized: {} ({})",
+                            expected.name(),
+                            failure.stage.name(),
+                            failure.detail
+                        );
+                    }
+                    report.failures.push(ReportedFailure {
+                        failure,
+                        shrunk: spec,
+                        shrink_steps: 0,
+                    });
+                } else {
+                    eprintln!(
+                        "seed {seed}: FAIL at {} ({}): {}",
+                        failure.stage.name(),
+                        failure.config.unwrap_or("-"),
+                        failure.detail
+                    );
+                    let (shrunk, steps) = shrink(&spec, &failure, &opts, args.shrink_steps);
+                    eprintln!(
+                        "seed {seed}: shrunk {} -> {} in {steps} steps: {shrunk:?}",
+                        spec.size(),
+                        shrunk.size()
+                    );
+                    report.failures.push(ReportedFailure {
+                        failure,
+                        shrunk,
+                        shrink_steps: steps,
+                    });
+                }
+            }
+        }
+    }
+
+    match report.write() {
+        Ok(path) => eprintln!("report: {}", path.display()),
+        Err(e) => {
+            eprintln!("error: writing FUZZ_REPORT.json: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let secs = t0.elapsed().as_secs_f64();
+    if let Some(expected) = args.inject {
+        println!(
+            "halo-fuzz self-test: injected '{}' over {} cases: {} localized, {} mislocalized, {} skipped ({secs:.1}s)",
+            expected.name(),
+            report.ran,
+            localized,
+            mislocalized,
+            report.skipped
+        );
+        if mislocalized > 0 || localized == 0 {
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "halo-fuzz: {} cases, {} skipped, {} failures ({secs:.1}s)",
+            report.ran,
+            report.skipped,
+            report.failures.len()
+        );
+        if !report.failures.is_empty() {
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Known-bad pass mutations (test-only).
+//!
+//! Each mutation models a realistic pass bug and is applied through
+//! [`halo_core::PipelineHooks::mutate_after`]; the per-pass verifier must
+//! catch it at the boundary of the pass it was injected after — proving
+//! the harness localizes real bugs, not just that programs usually work.
+
+use halo_core::Pass;
+use halo_ir::func::OpId;
+use halo_ir::op::Opcode;
+use halo_ir::Function;
+
+/// The injectable passes: one breaking a *traced* invariant (structure),
+/// one breaking a *typed* invariant (levels).
+pub const INJECTABLE: [Pass; 2] = [Pass::Peel, Pass::AssignLevels];
+
+/// Builds the known-bad mutation for `pass`.
+///
+/// - After `peel`: drop one operand from the first `For` op — the arity
+///   mismatch a pass forgetting to thread a carried variable would cause.
+/// - After `levels`: corrupt one result's level — the stale-metadata bug a
+///   pass rewriting ops without re-inferring types would cause.
+///
+/// Other passes fall back to the structural mutation (applied wherever
+/// they run); only [`INJECTABLE`] is exercised by the CLI.
+#[must_use]
+pub fn known_bad_mutation(pass: Pass) -> Box<dyn FnMut(&mut Function)> {
+    match pass {
+        Pass::AssignLevels | Pass::Tune | Pass::FinalDce => Box::new(|f: &mut Function| {
+            // Corrupt a *compute* op's result: input/const levels are
+            // boundary data the verifier takes on trust, but a computed
+            // level inconsistent with its operands is exactly the
+            // invariant `verify_typed` owns.
+            let mut target: Option<OpId> = None;
+            f.walk_ops(|_, id| {
+                let op = f.op(id);
+                if target.is_none()
+                    && !op.results.is_empty()
+                    && !matches!(op.opcode, Opcode::Input { .. } | Opcode::Const(_))
+                {
+                    target = Some(id);
+                }
+            });
+            if let Some(id) = target {
+                let v = f.op(id).results[0];
+                f.value_mut(v).ty.level = 999;
+            }
+        }),
+        _ => Box::new(|f: &mut Function| {
+            let mut target: Option<OpId> = None;
+            f.walk_ops(|_, id| {
+                if target.is_none() && matches!(f.op(id).opcode, Opcode::For { .. }) {
+                    target = Some(id);
+                }
+            });
+            if let Some(id) = target {
+                f.op_mut(id).operands.pop();
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ir::verify::verify_traced;
+
+    #[test]
+    fn structural_mutation_breaks_a_loop_program() {
+        let spec = crate::gen::gen_spec(3);
+        let mut f = crate::gen::build(&spec, true);
+        verify_traced(&f).expect("valid before mutation");
+        let mut mutate = known_bad_mutation(Pass::Peel);
+        mutate(&mut f);
+        verify_traced(&f).expect_err("invalid after dropping a For operand");
+    }
+}

@@ -1,0 +1,152 @@
+//! Greedy structural case shrinking.
+//!
+//! Every candidate strictly reduces [`ProgramSpec::size`], so the greedy
+//! accept-and-restart loop terminates. Candidates are sound by
+//! construction: operands are pool indices taken modulo the pool length
+//! ([`crate::gen`]), so dropping ops or truncating carried variables can
+//! never dangle a reference. A candidate is accepted when the case still
+//! fails at the *same stage* (same [`Stage::name`], and for pass-verify
+//! failures the same pass) — shrinking must not wander onto a different
+//! bug.
+
+use crate::diff::{run_case, DiffOptions, FuzzFailure, Stage};
+use crate::gen::{GenItem, ProgramSpec};
+
+/// Whether two failures count as "the same bug" for shrinking purposes.
+fn same_failure(a: &Stage, b: &Stage) -> bool {
+    match (a, b) {
+        (Stage::PassVerify { pass: pa }, Stage::PassVerify { pass: pb }) => pa == pb,
+        _ => a.name() == b.name(),
+    }
+}
+
+/// All single-step reductions of `items`, paired with nothing — the spec
+/// wrapper happens in [`candidates`].
+fn item_candidates(items: &[GenItem]) -> Vec<Vec<GenItem>> {
+    let mut out = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        // Drop the item entirely.
+        let mut dropped = items.to_vec();
+        dropped.remove(i);
+        out.push(dropped);
+        if let GenItem::Loop(l) = item {
+            let with = |l2: crate::gen::GenLoop| {
+                let mut v = items.to_vec();
+                v[i] = GenItem::Loop(l2);
+                v
+            };
+            // Reduce the trip count (dynamic trips stay >= 1).
+            let floor = u64::from(l.dynamic);
+            if l.trip > floor {
+                let mut l2 = l.clone();
+                l2.trip -= 1;
+                out.push(with(l2));
+            }
+            // Freeze a dynamic trip to a constant.
+            if l.dynamic {
+                let mut l2 = l.clone();
+                l2.dynamic = false;
+                out.push(with(l2));
+            }
+            // Drop the last carried variable.
+            if l.carried > 1 {
+                let mut l2 = l.clone();
+                l2.carried -= 1;
+                l2.plain_inits.truncate(l2.carried);
+                out.push(with(l2));
+            }
+            // Recurse into the body.
+            for body2 in item_candidates(&l.body) {
+                let mut l2 = l.clone();
+                l2.body = body2;
+                out.push(with(l2));
+            }
+        }
+    }
+    out
+}
+
+fn candidates(spec: &ProgramSpec) -> Vec<ProgramSpec> {
+    item_candidates(&spec.items)
+        .into_iter()
+        .map(|items| ProgramSpec {
+            items,
+            ..spec.clone()
+        })
+        .collect()
+}
+
+/// Shrinks `spec` while it keeps failing like `original`; returns the
+/// smallest reproducer found and the number of accepted reductions.
+/// `max_steps` bounds the total candidate evaluations (each runs the full
+/// differential pipeline).
+#[must_use]
+pub fn shrink(
+    spec: &ProgramSpec,
+    original: &FuzzFailure,
+    opts: &DiffOptions,
+    max_steps: usize,
+) -> (ProgramSpec, usize) {
+    let mut best = spec.clone();
+    let mut accepted = 0usize;
+    let mut evals = 0usize;
+    'outer: loop {
+        for cand in candidates(&best) {
+            debug_assert!(cand.size() < best.size());
+            if evals >= max_steps {
+                break 'outer;
+            }
+            evals += 1;
+            if let Err(f) = run_case(&cand, opts) {
+                if same_failure(&f.stage, &original.stage) {
+                    best = cand;
+                    accepted += 1;
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+    (best, accepted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_spec;
+
+    #[test]
+    fn every_candidate_strictly_shrinks() {
+        for seed in 0..64u64 {
+            let spec = gen_spec(seed);
+            for cand in candidates(&spec) {
+                assert!(
+                    cand.size() < spec.size(),
+                    "seed {seed}: {} !< {}",
+                    cand.size(),
+                    spec.size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_an_impossible_tolerance_reaches_a_small_core() {
+        // Force a universal failure (negative tolerance): the shrinker
+        // should then strip the program down to very few items, proving it
+        // actually reduces rather than stopping at the first fixpoint.
+        let spec = gen_spec(5);
+        let opts = DiffOptions {
+            exact_rmse: -1.0,
+            check_toy: false,
+            ..DiffOptions::default()
+        };
+        let failure = run_case(&spec, &opts).expect_err("negative tolerance always fails");
+        let (small, accepted) = shrink(&spec, &failure, &opts, 400);
+        assert!(accepted > 0, "no reduction accepted");
+        assert!(small.size() < spec.size());
+        // The shrunk case must still reproduce.
+        let again = run_case(&small, &opts).expect_err("shrunk case still fails");
+        assert!(same_failure(&again.stage, &failure.stage));
+    }
+}

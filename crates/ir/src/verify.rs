@@ -19,18 +19,61 @@ use crate::op::Opcode;
 use crate::types::{CtType, Level, Status};
 
 /// A verification failure.
+///
+/// Carries enough context to diagnose a broken program without a
+/// debugger: the offending op, its opcode mnemonic, and the block that
+/// owns it (fuzz-found miscompiles are reported through this type, so the
+/// `Display` form must stand on its own in a failure artifact).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyError {
     /// The offending op, when attributable.
     pub op: Option<OpId>,
+    /// The opcode mnemonic of the offending op, when attributable.
+    pub mnemonic: Option<&'static str>,
+    /// The block owning the offending op, when attributable.
+    pub block: Option<BlockId>,
     /// Human-readable description.
     pub message: String,
+}
+
+impl VerifyError {
+    /// A failure attributed to one op (mnemonic and owning block are
+    /// filled in by the verifier before the error is returned).
+    #[must_use]
+    pub fn at(op: OpId, message: impl Into<String>) -> VerifyError {
+        VerifyError {
+            op: Some(op),
+            mnemonic: None,
+            block: None,
+            message: message.into(),
+        }
+    }
+
+    /// A failure not attributable to a single op.
+    #[must_use]
+    pub fn general(message: impl Into<String>) -> VerifyError {
+        VerifyError {
+            op: None,
+            mnemonic: None,
+            block: None,
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.op {
-            Some(op) => write!(f, "op #{}: {}", op.0, self.message),
+            Some(op) => {
+                write!(f, "op #{}", op.0)?;
+                match (self.mnemonic, self.block) {
+                    (Some(m), Some(b)) => write!(f, " ({m} in block b{})", b.0)?,
+                    (Some(m), None) => write!(f, " ({m})")?,
+                    (None, Some(b)) => write!(f, " (block b{})", b.0)?,
+                    (None, None) => {}
+                }
+                write!(f, ": {}", self.message)
+            }
             None => write!(f, "{}", self.message),
         }
     }
@@ -39,10 +82,7 @@ impl fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 fn err<T>(op: OpId, message: impl Into<String>) -> Result<T, VerifyError> {
-    Err(VerifyError {
-        op: Some(op),
-        message: message.into(),
-    })
+    Err(VerifyError::at(op, message))
 }
 
 /// Verifies structure and encryption status of a traced program.
@@ -85,21 +125,39 @@ struct Verifier<'a> {
 
 impl<'a> Verifier<'a> {
     fn run(&self) -> Result<(), VerifyError> {
+        self.run_inner().map_err(|e| self.enrich(e))
+    }
+
+    /// Fills in the opcode mnemonic and owning block of an op-attributed
+    /// error (once, on the error path, so the hot path stays lookup-free).
+    fn enrich(&self, mut e: VerifyError) -> VerifyError {
+        if let Some(op) = e.op {
+            if e.mnemonic.is_none() {
+                e.mnemonic = self.f.try_op(op).map(|o| o.opcode.mnemonic());
+            }
+            if e.block.is_none() {
+                let mut owner = None;
+                self.f.walk_ops(|block, op_id| {
+                    if op_id == op {
+                        owner = Some(block);
+                    }
+                });
+                e.block = owner;
+            }
+        }
+        e
+    }
+
+    fn run_inner(&self) -> Result<(), VerifyError> {
         let entry = self.f.entry;
         if !self.f.block(entry).args.is_empty() {
-            return Err(VerifyError {
-                op: None,
-                message: "entry block must have no arguments".into(),
-            });
+            return Err(VerifyError::general("entry block must have no arguments"));
         }
         let mut defined: HashSet<ValueId> = HashSet::new();
         self.check_block(entry, &mut defined, None)?;
         match self.f.terminator(entry) {
             Some(t) if matches!(self.f.op(t).opcode, Opcode::Return) => Ok(()),
-            _ => Err(VerifyError {
-                op: None,
-                message: "entry block must end in return".into(),
-            }),
+            _ => Err(VerifyError::general("entry block must end in return")),
         }
     }
 
@@ -396,10 +454,10 @@ impl<'a> Verifier<'a> {
                     // Type-matched loop property (paper §5.2): init, body
                     // arg, yield, and result types must all agree per
                     // carried variable.
-                    let term = self.f.terminator(*body).ok_or(VerifyError {
-                        op: Some(op_id),
-                        message: "loop body missing yield".into(),
-                    })?;
+                    let term = self
+                        .f
+                        .terminator(*body)
+                        .ok_or_else(|| VerifyError::at(op_id, "loop body missing yield"))?;
                     let yields = self.f.op(term).operands.clone();
                     for (k, &arg) in body_args.iter().enumerate() {
                         let t_init = self.ty(op.operands[k]);
@@ -419,10 +477,8 @@ impl<'a> Verifier<'a> {
                 }
             }
             Opcode::Yield => {
-                let for_op = enclosing_for.ok_or(VerifyError {
-                    op: Some(op_id),
-                    message: "yield outside a loop body".into(),
-                })?;
+                let for_op = enclosing_for
+                    .ok_or_else(|| VerifyError::at(op_id, "yield outside a loop body"))?;
                 let want = self.f.op(for_op).results.len();
                 if n_operands != want {
                     return err(
@@ -579,6 +635,62 @@ mod tests {
         f.push_op(e, Opcode::Return, vec![r], &[]);
         let e = verify_typed(&f, 16).unwrap_err();
         assert!(e.message.contains("level >= 1"), "{e}");
+    }
+
+    #[test]
+    fn errors_carry_mnemonic_and_owning_block() {
+        // A violation inside a loop body must name the op, its opcode
+        // mnemonic, and the owning block — fuzz failures are diagnosed
+        // from this Display output alone.
+        let mut f = Function::new("t", 8);
+        let e = f.entry;
+        let x = f.push_op1(
+            e,
+            Opcode::Input { name: "x".into() },
+            vec![],
+            CtType::cipher(5),
+        );
+        let y = f.push_op1(
+            e,
+            Opcode::Input { name: "y".into() },
+            vec![],
+            CtType::cipher(3),
+        );
+        let body = f.add_block();
+        let arg = f.add_block_arg(body, CtType::cipher(5), None);
+        // addcc over operands at different levels: the violation.
+        let bad = f.push_op1(body, Opcode::AddCC, vec![arg, y], CtType::cipher(5));
+        f.push_op(body, Opcode::Yield, vec![bad], &[]);
+        let fo = f.push_op(
+            e,
+            Opcode::For {
+                trip: TripCount::Constant(2),
+                body,
+                num_elems: 4,
+            },
+            vec![x],
+            &[CtType::cipher(5)],
+        );
+        let res = f.op(fo).results[0];
+        f.push_op(e, Opcode::Return, vec![res], &[]);
+        let err = verify_typed(&f, 16).unwrap_err();
+        assert_eq!(err.mnemonic, Some("addcc"));
+        assert_eq!(err.block, Some(body));
+        let shown = err.to_string();
+        assert!(
+            shown.contains("addcc") && shown.contains(&format!("block b{}", body.0)),
+            "{shown}"
+        );
+    }
+
+    #[test]
+    fn entry_level_errors_have_no_op_context() {
+        let f = Function::new("empty", 8);
+        let err = verify_traced(&f).unwrap_err();
+        assert_eq!(err.op, None);
+        assert_eq!(err.mnemonic, None);
+        assert_eq!(err.block, None);
+        assert_eq!(err.to_string(), "entry block must end in return");
     }
 
     #[test]

@@ -181,6 +181,89 @@ fn unrecovered_faults_error_with_context_instead_of_panicking() {
     assert!(err.to_string().contains("transient"), "{err}");
 }
 
+/// Deterministic pick of fuzz-generated programs whose reference outputs
+/// are well-conditioned for chaos tolerances (recovery assertions need a
+/// bounded magnitude; the fuzzer proper handles the wild ones).
+fn fuzz_chaos_corpus(n: usize) -> Vec<(halo_fuzz::ProgramSpec, Function, Inputs, Vec<Vec<f64>>)> {
+    let mut picked = Vec::new();
+    for seed in 0..200u64 {
+        if picked.len() == n {
+            break;
+        }
+        let spec = halo_fuzz::gen_spec(seed);
+        let src = halo_fuzz::build(&spec, true);
+        let inputs = halo_fuzz::bind_inputs(&spec);
+        let Ok(want) = reference_run(&src, &inputs, halo_fuzz::gen::SLOTS) else {
+            continue;
+        };
+        let max_abs = want.iter().flatten().fold(0.0f64, |m, v| m.max(v.abs()));
+        if !max_abs.is_finite() || max_abs > 4.0 {
+            continue;
+        }
+        picked.push((spec, src, inputs, want));
+    }
+    assert_eq!(
+        picked.len(),
+        n,
+        "corpus scan found too few bounded programs"
+    );
+    picked
+}
+
+/// Fuzz-generated programs under every fault class: recovery is a property
+/// of the executor, not of the hand-written benchmark shapes. One
+/// generated program (nested loops, rotations, plain inits) per fault
+/// class, seeded from `HALO_CHAOS_SEED` like the rest of the suite.
+#[test]
+fn fuzz_generated_programs_recover_across_fault_classes() {
+    let seed = chaos_seed();
+    let params = halo_fuzz::diff::fuzz_params();
+    let copts = CompileOptions::new(params.clone());
+    let corpus = fuzz_chaos_corpus(3);
+    let classes: [(&str, FaultSpec); 3] = [
+        ("transient", FaultSpec::transient_only(0.05)),
+        ("level-loss", FaultSpec::level_loss_only(0.1)),
+        ("chaos", FaultSpec::chaos(0.02)),
+    ];
+    for ((spec, src, inputs, want), (class, faults)) in corpus.iter().zip(classes) {
+        let compiled = compile(src, CompilerConfig::Halo, &copts)
+            .unwrap_or_else(|e| panic!("fuzz seed {}: {e}", spec.seed));
+
+        // Fault-free baseline on the exact backend.
+        let base = Executor::new(&SimBackend::exact(params.clone()))
+            .run(&compiled.function, inputs)
+            .unwrap_or_else(|e| panic!("fuzz seed {}: {e}", spec.seed));
+
+        let be = FaultInjectingBackend::new(SimBackend::exact(params.clone()), faults, seed);
+        let chaotic = Executor::with_policy(&be, ExecPolicy::resilient())
+            .run(&compiled.function, inputs)
+            .unwrap_or_else(|e| panic!("fuzz seed {} {class} (seed {seed}): {e}", spec.seed));
+
+        if class == "chaos" {
+            // Noise bursts degrade values; recovery keeps them within the
+            // burst tolerance of the plaintext reference.
+            let max_abs = want.iter().flatten().fold(0.0f64, |m, v| m.max(v.abs()));
+            for (got, exp) in chaotic.outputs.iter().zip(want) {
+                let n = halo_fuzz::gen::NUM_ELEMS.min(got.len()).min(exp.len());
+                let err = rmse(&got[..n], &exp[..n]);
+                assert!(
+                    err < 1e-2 * max_abs.max(1.0),
+                    "fuzz seed {} {class} (seed {seed}): rmse {err}",
+                    spec.seed
+                );
+            }
+        } else {
+            // Transients and level losses heal bit-exactly on the exact
+            // backend (retry recomputes, emergency bootstrap preserves).
+            assert_eq!(
+                base.outputs, chaotic.outputs,
+                "fuzz seed {} {class} (seed {seed}): healed run must be bit-exact",
+                spec.seed
+            );
+        }
+    }
+}
+
 /// A malformed program (dangling loop body, missing operands) run under
 /// chaos errors cleanly rather than panicking the executor.
 #[test]

@@ -1,0 +1,228 @@
+//! Edge cases for the individual compiler passes (`core::{peel, unroll,
+//! pack, tune}`): degenerate trip counts, unroll factors clamped by the
+//! trip count, unpackable loops, and peeling already-matched loops.
+
+use halo_fhe::compiler::pack::packable_indices;
+use halo_fhe::compiler::peel::peel_loops;
+use halo_fhe::compiler::tune::tune_bootstrap_targets;
+use halo_fhe::compiler::unroll::unroll_factor;
+use halo_fhe::ir::func::OpId;
+use halo_fhe::ir::op::Opcode;
+use halo_fhe::prelude::*;
+
+const SLOTS: usize = 16;
+const NUM_ELEMS: usize = 4;
+
+fn opts() -> CompileOptions {
+    CompileOptions::new(CkksParams {
+        poly_degree: SLOTS * 2,
+        ..CkksParams::paper()
+    })
+}
+
+/// Two carried cipher vars, one plain init, depth-2 body — the standard
+/// peel/pack/unroll subject at a parameterized trip count.
+fn sample(trip: TripCount) -> Function {
+    let mut b = FunctionBuilder::new("edge", SLOTS);
+    let x = b.input_cipher("x");
+    let y0 = b.input_cipher("y");
+    let a0 = b.const_splat(0.5);
+    let r = b.for_loop(trip, &[y0, a0], NUM_ELEMS, |b, args| {
+        let x2 = b.mul(x, args[0]);
+        let y2 = b.mul(x2, x2);
+        let a2 = b.add(args[1], y2);
+        vec![y2, a2]
+    });
+    b.ret(&r);
+    b.finish()
+}
+
+fn first_for_op(f: &Function) -> OpId {
+    let mut target = None;
+    f.walk_ops(|_, id| {
+        if target.is_none() && matches!(f.op(id).opcode, Opcode::For { .. }) {
+            target = Some(id);
+        }
+    });
+    target.expect("program has a loop")
+}
+
+fn check_against_reference(src: &Function, inputs: &Inputs) {
+    let want = reference_run(src, inputs, SLOTS).expect("reference runs");
+    for config in CompilerConfig::ALL {
+        let compiled =
+            compile(src, config, &opts()).unwrap_or_else(|e| panic!("{}: {e}", config.name()));
+        let be = SimBackend::exact(opts().params.clone());
+        let out = Executor::new(&be)
+            .run(&compiled.function, inputs)
+            .unwrap_or_else(|e| panic!("{} exec: {e}", config.name()));
+        for (k, (got, exp)) in out.outputs.iter().zip(&want).enumerate() {
+            assert!(
+                rmse(got, exp) < 1e-9,
+                "{} output {k}: got {:?} want {:?}",
+                config.name(),
+                &got[..4],
+                &exp[..4]
+            );
+        }
+    }
+}
+
+#[test]
+fn constant_trip_zero_compiles_to_the_init_values() {
+    // A 0-trip loop is dead: every configuration must fold it and return
+    // the loop inits unchanged.
+    let src = sample(TripCount::Constant(0));
+    let inputs = Inputs::new()
+        .cipher("x", vec![0.8, 0.6, 0.7, 0.5])
+        .cipher("y", vec![0.4, 0.3, 0.9, 0.2]);
+    check_against_reference(&src, &inputs);
+}
+
+#[test]
+fn constant_trip_one_compiles_to_a_single_iteration() {
+    // Trip 1 is the peeling boundary case: the peeled copy IS the whole
+    // loop, and the residual loop body must fold away, not run again.
+    let src = sample(TripCount::Constant(1));
+    let inputs = Inputs::new()
+        .cipher("x", vec![0.8, 0.6, 0.7, 0.5])
+        .cipher("y", vec![0.4, 0.3, 0.9, 0.2]);
+    check_against_reference(&src, &inputs);
+}
+
+#[test]
+fn dynamic_trip_one_matches_reference_too() {
+    let src = sample(TripCount::dynamic("n"));
+    let inputs = Inputs::new()
+        .cipher("x", vec![0.8, 0.6, 0.7, 0.5])
+        .cipher("y", vec![0.4, 0.3, 0.9, 0.2])
+        .env("n", 1);
+    let want = reference_run(&src, &inputs, SLOTS).expect("reference");
+    // DaCapo rejects dynamic trips; every loop-aware config must be exact.
+    for config in [
+        CompilerConfig::TypeMatched,
+        CompilerConfig::Packing,
+        CompilerConfig::PackingUnrolling,
+        CompilerConfig::Halo,
+    ] {
+        let compiled = compile(&src, config, &opts()).expect("compiles");
+        let be = SimBackend::exact(opts().params.clone());
+        let out = Executor::new(&be).run(&compiled.function, &inputs).unwrap();
+        for (got, exp) in out.outputs.iter().zip(&want) {
+            assert!(rmse(got, exp) < 1e-9, "{}", config.name());
+        }
+    }
+}
+
+#[test]
+fn unroll_factor_never_exceeds_the_trip_count() {
+    // The depth-2 body at L=16 would allow a factor of 8, but a 2-trip
+    // loop can absorb at most 2 — the formula clamps to the trip count.
+    let mut f = sample(TripCount::Constant(2));
+    peel_loops(&mut f);
+    let op = first_for_op(&f);
+    let factor = unroll_factor(&f, op, 16, false);
+    assert!(
+        factor.is_none() || factor.unwrap() <= 2,
+        "factor {factor:?} exceeds the trip count"
+    );
+
+    // Trip 1 can never be unrolled (factor <= 1 is unprofitable).
+    let mut f1 = sample(TripCount::Constant(4));
+    peel_loops(&mut f1);
+    let op1 = first_for_op(&f1);
+    // Sanity: an unclamped dynamic-trip factor at the same depth is > 2,
+    // proving the constant-trip clamp above actually bit.
+    let mut fd = sample(TripCount::dynamic("n"));
+    peel_loops(&mut fd);
+    let opd = first_for_op(&fd);
+    let unclamped = unroll_factor(&fd, opd, 16, false).expect("deep budget unrolls");
+    assert!(unclamped > 2, "unclamped factor {unclamped}");
+    let clamped = unroll_factor(&f1, op1, 16, false).expect("trip 4 unrolls");
+    assert!(clamped <= 4, "clamped factor {clamped}");
+}
+
+#[test]
+fn packing_a_single_carried_variable_is_rejected() {
+    // One carried cipher variable: nothing to pack (m < 2). The pass must
+    // decline, and the Packing configuration must still compile correctly.
+    let mut b = FunctionBuilder::new("single", SLOTS);
+    let x = b.input_cipher("x");
+    let w0 = b.input_cipher("w");
+    let r = b.for_loop(TripCount::dynamic("n"), &[w0], NUM_ELEMS, |b, args| {
+        let p = b.mul(args[0], x);
+        vec![p]
+    });
+    b.ret(&r);
+    let src = b.finish();
+
+    let mut peeled = src.clone();
+    peel_loops(&mut peeled);
+    let op = first_for_op(&peeled);
+    assert_eq!(
+        packable_indices(&peeled, op),
+        None,
+        "a single carried variable must not be packable"
+    );
+
+    let compiled = compile(&src, CompilerConfig::Packing, &opts()).expect("compiles");
+    assert_eq!(compiled.packed, 0, "nothing to pack");
+    let inputs = Inputs::new()
+        .cipher("x", vec![0.9, 0.8, 0.7, 0.6])
+        .cipher("w", vec![1.0, 0.5, 0.25, 0.75])
+        .env("n", 3);
+    let want = reference_run(&src, &inputs, SLOTS).unwrap();
+    let be = SimBackend::exact(opts().params.clone());
+    let out = Executor::new(&be).run(&compiled.function, &inputs).unwrap();
+    for (got, exp) in out.outputs.iter().zip(&want) {
+        assert!(rmse(got, exp) < 1e-9);
+    }
+}
+
+#[test]
+fn peel_of_an_already_type_matched_loop_is_a_no_op() {
+    // All-cipher inits, cipher yields: statuses already match, so peeling
+    // has nothing to do and must not duplicate the body.
+    let mut b = FunctionBuilder::new("matched", SLOTS);
+    let x = b.input_cipher("x");
+    let y0 = b.input_cipher("y");
+    let z0 = b.input_cipher("z");
+    let r = b.for_loop(TripCount::dynamic("n"), &[y0, z0], NUM_ELEMS, |b, args| {
+        let y2 = b.mul(args[0], x);
+        let z2 = b.add(args[1], y2);
+        vec![y2, z2]
+    });
+    b.ret(&r);
+    let mut f = b.finish();
+    let ops_before = f.num_ops();
+    let peeled = peel_loops(&mut f);
+    assert_eq!(peeled, 0, "type-matched loop must not be peeled");
+    assert_eq!(f.num_ops(), ops_before, "peel must not add ops");
+
+    // And through the full pipeline the peel counter stays 0.
+    let compiled = compile(&f, CompilerConfig::Halo, &opts()).expect("compiles");
+    assert_eq!(compiled.peeled, 0);
+}
+
+#[test]
+fn tune_has_nothing_to_do_without_bootstraps() {
+    // A shallow straight-line program levels without any bootstrap; the
+    // tuner must report zero adjustments rather than inventing targets.
+    let mut b = FunctionBuilder::new("shallow", SLOTS);
+    let x = b.input_cipher("x");
+    let y = b.input_cipher("y");
+    let s = b.mul(x, y);
+    b.ret(&[s]);
+    let src = b.finish();
+    let compiled = compile(&src, CompilerConfig::Halo, &opts()).expect("compiles");
+    assert_eq!(compiled.static_bootstraps, 0);
+    assert_eq!(compiled.tuned, 0);
+
+    let mut f = compiled.function.clone();
+    assert_eq!(tune_bootstrap_targets(&mut f), 0);
+    assert_eq!(
+        f.num_ops(),
+        compiled.function.num_ops(),
+        "tuning must be the identity here"
+    );
+}

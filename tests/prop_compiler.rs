@@ -176,6 +176,35 @@ fn check_all_configs(spec: &ProgramSpec) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Promoted proptest regression (`ae43b389…` in
+/// `prop_compiler.proptest-regressions`): three carried variables, two of
+/// them plain-initialized, a body that multiplies carried state by
+/// constants and re-adds it. Historically this shape broke peeling's
+/// handling of plain *yields* feeding cipher-typed loop arguments — the
+/// packed pipeline then dropped the plain-init contributions. Named here
+/// so the case survives a regression-file wipe and stays diagnosable.
+#[test]
+fn regression_plain_inits_with_const_mults_survive_all_configs() {
+    let spec = ProgramSpec {
+        carried: 3,
+        plain_inits: vec![false, true, true],
+        body_ops: vec![
+            OpKind::AddConst(76730, -2),
+            OpKind::MulConst(10048347655098019966, 2),
+            OpKind::MulConst(2125113468100037514, 3),
+            OpKind::Add(5189694065212980713, 4128847317509837442),
+        ],
+        trip: 2,
+        input_data: vec![
+            0.4911888328900308,
+            0.7184329973240304,
+            0.48832409506758506,
+            0.48553465355481534,
+        ],
+    };
+    check_all_configs(&spec).unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
