@@ -1,12 +1,14 @@
 //! CI schema check for the machine-readable bench artifacts: parses and
-//! validates `BENCH_ROTATE.json`, `BENCH_RUN_ALL.json`, and (when present
-//! or requested with `--fuzz`) `FUZZ_REPORT.json` from
+//! validates `BENCH_ROTATE.json`, `BENCH_RUN_ALL.json`, and — when
+//! present or made mandatory with `--fuzz` / `--crash` — the
+//! `FUZZ_REPORT.json` and `CRASH_REPORT.json` campaign reports, all from
 //! `HALO_BENCH_JSON_DIR` (default `results/`), exiting non-zero on the
 //! first violation.
 //!
 //! ```sh
 //! cargo run --release -p halo-bench --bin bench_json_check
 //! cargo run --release -p halo-bench --bin bench_json_check -- --fuzz
+//! cargo run --release -p halo-bench --bin bench_json_check -- --crash
 //! ```
 
 use halo_bench::json::{self, Json};
@@ -22,20 +24,28 @@ fn check(name: &str, validate: fn(&Json) -> Result<(), String>) -> Result<(), St
 }
 
 fn main() {
-    // `--fuzz` makes FUZZ_REPORT.json mandatory (the fuzz-smoke CI job);
-    // otherwise it is validated only if present, so plain bench runs don't
-    // require a fuzzing campaign first.
-    let require_fuzz = std::env::args().skip(1).any(|a| a == "--fuzz");
-    let fuzz_present = halo_bench::bench_json_dir()
-        .map(|d| d.join("FUZZ_REPORT.json").exists())
-        .unwrap_or(false);
+    // `--fuzz` / `--crash` make the respective campaign report mandatory
+    // (the fuzz-smoke and crash-resume CI jobs); otherwise each is
+    // validated only if present, so plain bench runs don't require a
+    // fuzzing or crash campaign first.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let require_fuzz = args.iter().any(|a| a == "--fuzz");
+    let require_crash = args.iter().any(|a| a == "--crash");
+    let present = |name: &str| {
+        halo_bench::bench_json_dir()
+            .map(|d| d.join(name).exists())
+            .unwrap_or(false)
+    };
 
     let mut results = vec![
         check("BENCH_ROTATE.json", json::validate_rotate),
         check("BENCH_RUN_ALL.json", json::validate_run_all),
     ];
-    if require_fuzz || fuzz_present {
+    if require_fuzz || present("FUZZ_REPORT.json") {
         results.push(check("FUZZ_REPORT.json", json::validate_fuzz_report));
+    }
+    if require_crash || present("CRASH_REPORT.json") {
+        results.push(check("CRASH_REPORT.json", json::validate_crash_report));
     }
     let mut failed = false;
     for r in results {

@@ -1,0 +1,362 @@
+//! Process-level crash-resume harness: spawns a child process running the
+//! `linear` benchmark under durable execution, SIGKILLs it at a matrix of
+//! snapshot generations, resumes from the on-disk store, and asserts the
+//! final decrypted output is bit-identical (exact backend) to an
+//! uninterrupted run. A corruption leg damages the newest generation file
+//! and asserts resume falls back to the previous generation.
+//!
+//! ```sh
+//! cargo run --release -p halo-bench --bin crash_resume
+//! ```
+//!
+//! Emits `results/CRASH_REPORT.json` (schema `halo-crash-report/1`,
+//! validated by `bench_json_check --crash`) and exits non-zero on any
+//! divergence or abort. Work directories live under
+//! `target/crash_resume/` (override with `HALO_CRASH_DIR`); the child is
+//! this same binary re-invoked with `--child`, slowed to one snapshot per
+//! `HALO_SNAP_DELAY_MS` so the parent can aim its kill.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use halo_bench::json::{self, num, obj, Json};
+use halo_bench::Scale;
+use halo_ckks::SimBackend;
+use halo_core::{compile, CompilerConfig};
+use halo_ir::Function;
+use halo_ml::bench::{BenchSpec, Linear, MlBenchmark};
+use halo_runtime::{DiskStore, ExecPolicy, Executor, Inputs, SnapshotStore};
+
+/// Loop iterations the benchmark runs (one snapshot generation each).
+const ITERS: u64 = 12;
+/// Snapshot generations after which the child is killed.
+const KILL_POINTS: [u64; 6] = [1, 2, 4, 6, 8, 10];
+/// Dataset seeds: each changes the encrypted inputs, so bit-identity is
+/// re-proven on different ciphertext contents.
+const SEEDS: [u64; 2] = [1, 2];
+/// Generations the store retains (≥ 2 so fallback has somewhere to go).
+const KEEP: usize = 3;
+
+/// Wraps the disk store so every snapshot write takes a visible amount of
+/// wall time — the window the parent uses to land its SIGKILL between
+/// generations rather than straddling the whole run in one scheduler tick.
+struct DelayStore {
+    inner: DiskStore,
+    delay: Duration,
+}
+
+impl SnapshotStore for DelayStore {
+    fn put(&self, bytes: &[u8]) -> io::Result<u64> {
+        std::thread::sleep(self.delay);
+        self.inner.put(bytes)
+    }
+    fn generations(&self) -> io::Result<Vec<u64>> {
+        self.inner.generations()
+    }
+    fn get(&self, generation: u64) -> io::Result<Vec<u8>> {
+        self.inner.get(generation)
+    }
+}
+
+/// The benchmark program and its bound inputs for one dataset seed.
+fn workload(seed: u64) -> (Function, Inputs) {
+    let spec = BenchSpec {
+        seed: 0xC4A5 ^ seed,
+        ..Scale::Small.spec()
+    };
+    let src = Linear.trace_dynamic(&spec);
+    let compiled = compile(
+        &src,
+        CompilerConfig::Halo,
+        &halo_bench::options(Scale::Small),
+    )
+    .expect("linear benchmark compiles");
+    let mut inputs = Linear.inputs(&spec);
+    for sym in Linear.trip_symbols() {
+        inputs = inputs.env(sym, ITERS);
+    }
+    (compiled.function, inputs)
+}
+
+fn backend() -> SimBackend {
+    SimBackend::exact(Scale::Small.params())
+}
+
+fn bits(outputs: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    outputs
+        .iter()
+        .map(|v| v.iter().map(|x| x.to_bits()).collect())
+        .collect()
+}
+
+fn policy(dir: &Path) -> ExecPolicy {
+    ExecPolicy {
+        snapshot_keep: KEEP,
+        ..ExecPolicy::durable(dir)
+    }
+}
+
+/// Child mode: run the workload durably into `dir`, one delayed snapshot
+/// per loop iteration, until killed (or done).
+fn run_child(dir: &Path, seed: u64) -> ! {
+    let delay_ms: u64 = std::env::var("HALO_SNAP_DELAY_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let (f, inputs) = workload(seed);
+    let store = DelayStore {
+        inner: DiskStore::open(dir, KEEP).expect("open store"),
+        delay: Duration::from_millis(delay_ms),
+    };
+    let be = backend();
+    Executor::with_policy(&be, policy(dir))
+        .run_durable_with_store(&f, &inputs, &store)
+        .expect("child run");
+    std::process::exit(0);
+}
+
+struct Trial {
+    kind: &'static str,
+    seed: u64,
+    kill_point: u64,
+    generations_at_resume: usize,
+    resumes_from_disk: u64,
+    corrupt_snapshots_skipped: u64,
+    bit_identical: bool,
+    aborted: bool,
+}
+
+impl Trial {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("kind", Json::Str(self.kind.into())),
+            ("seed", num(self.seed as f64)),
+            ("kill_point", num(self.kill_point as f64)),
+            (
+                "generations_at_resume",
+                num(self.generations_at_resume as f64),
+            ),
+            ("resumes_from_disk", num(self.resumes_from_disk as f64)),
+            (
+                "corrupt_snapshots_skipped",
+                num(self.corrupt_snapshots_skipped as f64),
+            ),
+            ("bit_identical", Json::Bool(self.bit_identical)),
+        ])
+    }
+}
+
+/// Resume in-process from `dir` and compare against the baseline bits.
+fn resume_and_compare(
+    kind: &'static str,
+    dir: &Path,
+    seed: u64,
+    kill_point: u64,
+    baseline: &[Vec<u64>],
+) -> Trial {
+    let (f, inputs) = workload(seed);
+    let generations_at_resume = DiskStore::open(dir, KEEP)
+        .and_then(|s| s.generations())
+        .map(|g| g.len())
+        .unwrap_or(0);
+    let be = backend();
+    match Executor::with_policy(&be, policy(dir)).resume(&f, &inputs) {
+        Ok(out) => Trial {
+            kind,
+            seed,
+            kill_point,
+            generations_at_resume,
+            resumes_from_disk: out.stats.resumes_from_disk,
+            corrupt_snapshots_skipped: out.stats.corrupt_snapshots_skipped,
+            bit_identical: bits(&out.outputs) == baseline,
+            aborted: false,
+        },
+        Err(e) => {
+            eprintln!("ABORT {kind} k={kill_point} seed={seed}: {e}");
+            Trial {
+                kind,
+                seed,
+                kill_point,
+                generations_at_resume,
+                resumes_from_disk: 0,
+                corrupt_snapshots_skipped: 0,
+                bit_identical: false,
+                aborted: true,
+            }
+        }
+    }
+}
+
+/// Kill trial: spawn the child, wait for `kill_point` generations, SIGKILL
+/// it, resume from disk.
+fn kill_trial(base: &Path, kill_point: u64, seed: u64, baseline: &[Vec<u64>]) -> Trial {
+    let dir = base.join(format!("kill-k{kill_point}-s{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create trial dir");
+
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = Command::new(exe)
+        .args(["--child", "--dir"])
+        .arg(&dir)
+        .args(["--seed", &seed.to_string()])
+        .env("HALO_SNAP_DELAY_MS", "40")
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn child");
+
+    // Generation numbers grow monotonically even though pruning caps the
+    // file count at KEEP, so poll the newest number, not the count.
+    let store = DiskStore::open(&dir, KEEP).expect("open store");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let newest = store
+            .generations()
+            .ok()
+            .and_then(|g| g.last().copied())
+            .unwrap_or(0);
+        if newest >= kill_point || Instant::now() > deadline {
+            break;
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            break; // child finished before the kill point
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = child.kill(); // SIGKILL on unix: no destructors, no flushing
+    let _ = child.wait();
+
+    resume_and_compare("kill", &dir, seed, kill_point, baseline)
+}
+
+/// Corruption trial: run durably to completion in-process, flip a byte in
+/// the newest generation file, resume — must fall back, not abort.
+fn corrupt_trial(base: &Path, seed: u64, baseline: &[Vec<u64>]) -> Trial {
+    let dir = base.join(format!("corrupt-s{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create trial dir");
+
+    let (f, inputs) = workload(seed);
+    let be = backend();
+    Executor::with_policy(&be, policy(&dir))
+        .run_durable(&f, &inputs)
+        .expect("uninterrupted durable run");
+
+    let store = DiskStore::open(&dir, KEEP).expect("open store");
+    let newest = *store
+        .generations()
+        .expect("generations")
+        .last()
+        .expect("at least one generation");
+    let path = dir.join(format!("snap-{newest:016x}.halosnap"));
+    let mut bytes = std::fs::read(&path).expect("read newest generation");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("write corrupted generation");
+
+    let mut t = resume_and_compare("corrupt", &dir, seed, newest, baseline);
+    if t.corrupt_snapshots_skipped < 1 || t.resumes_from_disk < 1 {
+        eprintln!(
+            "FAIL corrupt seed={seed}: expected generation fallback, got \
+             skipped={} resumes={}",
+            t.corrupt_snapshots_skipped, t.resumes_from_disk
+        );
+        t.bit_identical = false;
+    }
+    t
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--child") {
+        let dir = args
+            .iter()
+            .position(|a| a == "--dir")
+            .and_then(|i| args.get(i + 1))
+            .expect("--child requires --dir");
+        let seed = args
+            .iter()
+            .position(|a| a == "--seed")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .expect("--child requires --seed");
+        run_child(Path::new(dir), seed);
+    }
+
+    let start = Instant::now();
+    let base = PathBuf::from(
+        std::env::var("HALO_CRASH_DIR").unwrap_or_else(|_| "target/crash_resume".into()),
+    );
+
+    let mut trials = Vec::new();
+    for &seed in &SEEDS {
+        // Uninterrupted baseline, same backend construction as every
+        // resume (exact backend: zero noise, so bit-identity is the only
+        // acceptable outcome).
+        let (f, inputs) = workload(seed);
+        let be = backend();
+        let baseline = bits(
+            &Executor::with_policy(&be, policy(&base))
+                .run(&f, &inputs)
+                .expect("baseline run")
+                .outputs,
+        );
+
+        for &k in &KILL_POINTS {
+            let t = kill_trial(&base, k, seed, &baseline);
+            println!(
+                "{} kill k={k} seed={seed}: gens={} resumed={} skipped={}",
+                if t.bit_identical { "OK  " } else { "FAIL" },
+                t.generations_at_resume,
+                t.resumes_from_disk,
+                t.corrupt_snapshots_skipped,
+            );
+            trials.push(t);
+        }
+
+        let t = corrupt_trial(&base, seed, &baseline);
+        println!(
+            "{} corrupt seed={seed}: gens={} resumed={} skipped={}",
+            if t.bit_identical { "OK  " } else { "FAIL" },
+            t.generations_at_resume,
+            t.resumes_from_disk,
+            t.corrupt_snapshots_skipped,
+        );
+        trials.push(t);
+    }
+
+    let passed = trials.iter().filter(|t| t.bit_identical).count();
+    let failed = trials.len() - passed;
+    let aborts = trials.iter().filter(|t| t.aborted).count();
+    let doc = obj(vec![
+        ("schema", Json::Str("halo-crash-report/1".into())),
+        ("bench", Json::Str(Linear.name().into())),
+        ("scale", Json::Str("small".into())),
+        ("iters", num(ITERS as f64)),
+        ("snapshot_keep", num(KEEP as f64)),
+        ("seeds", num(SEEDS.len() as f64)),
+        ("wall_ms", num(start.elapsed().as_secs_f64() * 1e3)),
+        ("passed", num(passed as f64)),
+        ("failed", num(failed as f64)),
+        ("aborts", num(aborts as f64)),
+        (
+            "trials",
+            Json::Arr(trials.iter().map(Trial::to_json).collect()),
+        ),
+    ]);
+
+    let dir = halo_bench::bench_json_dir().expect("bench json dir");
+    let out = dir.join("CRASH_REPORT.json");
+    std::fs::write(&out, doc.pretty()).expect("write report");
+    println!(
+        "wrote {} ({} trials, {passed} passed, {failed} failed, {aborts} aborts)",
+        out.display(),
+        trials.len(),
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+    json::validate_crash_report(&doc).expect("self-check: emitted report must satisfy its schema");
+}

@@ -453,6 +453,97 @@ pub fn validate_fuzz_report(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `CRASH_REPORT.json` document (schema
+/// `halo-crash-report/1`): the process-kill crash-resume matrix. Every
+/// trial must carry its kind (`kill` = SIGKILL mid-run then resume,
+/// `corrupt` = newest generation damaged then resume), the kill point,
+/// resume telemetry, and the bit-identity verdict; the aggregate counts
+/// must be consistent with the trial rows, and a green report has zero
+/// aborts and zero failures.
+///
+/// # Errors
+///
+/// Returns the first schema violation.
+pub fn validate_crash_report(v: &Json) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != "halo-crash-report/1" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    require_str(v, "bench")?;
+    require_str(v, "scale")?;
+    for k in ["iters", "snapshot_keep", "seeds", "wall_ms"] {
+        require_num(v, k)?;
+    }
+    if require_num(v, "snapshot_keep")? < 2.0 {
+        return Err("snapshot_keep must be >= 2 for generation fallback".into());
+    }
+    let passed = require_num(v, "passed")?;
+    let failed = require_num(v, "failed")?;
+    let aborts = require_num(v, "aborts")?;
+    let trials = v
+        .get("trials")
+        .and_then(Json::as_arr)
+        .ok_or("missing array 'trials'".to_string())?;
+    if trials.is_empty() {
+        return Err("'trials' must be non-empty".into());
+    }
+    let mut bit_identical = 0.0;
+    let mut corrupt_trials = 0;
+    for (i, row) in trials.iter().enumerate() {
+        let ctx = |e| format!("trials[{i}]: {e}");
+        let kind = require_str(row, "kind").map_err(ctx)?;
+        if !matches!(kind, "kill" | "corrupt") {
+            return Err(format!("trials[{i}]: unknown kind '{kind}'"));
+        }
+        require_num(row, "seed").map_err(ctx)?;
+        require_num(row, "kill_point").map_err(ctx)?;
+        require_num(row, "generations_at_resume").map_err(ctx)?;
+        let resumes = require_num(row, "resumes_from_disk").map_err(ctx)?;
+        let skipped = require_num(row, "corrupt_snapshots_skipped").map_err(ctx)?;
+        match row.get("bit_identical") {
+            Some(Json::Bool(ok)) => {
+                if *ok {
+                    bit_identical += 1.0;
+                }
+            }
+            _ => return Err(format!("trials[{i}]: 'bit_identical' must be a boolean")),
+        }
+        if kind == "corrupt" {
+            corrupt_trials += 1;
+            if skipped < 1.0 {
+                return Err(format!(
+                    "trials[{i}]: corrupt trial must skip >= 1 generation, got {skipped}"
+                ));
+            }
+            if resumes < 1.0 {
+                return Err(format!(
+                    "trials[{i}]: corrupt trial must fall back to an older generation"
+                ));
+            }
+        }
+    }
+    if corrupt_trials == 0 {
+        return Err("matrix must include at least one 'corrupt' trial".into());
+    }
+    if passed + failed != trials.len() as f64 {
+        return Err(format!(
+            "passed {passed} + failed {failed} does not cover {} trials",
+            trials.len()
+        ));
+    }
+    if bit_identical != passed {
+        return Err(format!(
+            "passed {passed} inconsistent with {bit_identical} bit-identical trials"
+        ));
+    }
+    if failed > 0.0 || aborts > 0.0 {
+        return Err(format!(
+            "report is red: {failed} failed trials, {aborts} aborts"
+        ));
+    }
+    Ok(())
+}
+
 /// Builds an object from key/value pairs (emit-side convenience).
 #[must_use]
 pub fn obj(members: Vec<(&str, Json)>) -> Json {
@@ -564,6 +655,100 @@ mod tests {
             ("benchmarks", Json::Arr(vec![])),
         ]);
         assert!(validate_run_all(&empty).is_err());
+    }
+
+    fn crash_trial(kind: &str, ok: bool, skipped: f64) -> Json {
+        obj(vec![
+            ("kind", Json::Str(kind.into())),
+            ("seed", num(1.0)),
+            ("kill_point", num(4.0)),
+            ("generations_at_resume", num(3.0)),
+            ("resumes_from_disk", num(1.0)),
+            ("corrupt_snapshots_skipped", num(skipped)),
+            ("bit_identical", Json::Bool(ok)),
+        ])
+    }
+
+    fn crash_doc(trials: Vec<Json>, passed: f64, failed: f64, aborts: f64) -> Json {
+        obj(vec![
+            ("schema", Json::Str("halo-crash-report/1".into())),
+            ("bench", Json::Str("linear".into())),
+            ("scale", Json::Str("small".into())),
+            ("iters", num(12.0)),
+            ("snapshot_keep", num(3.0)),
+            ("seeds", num(2.0)),
+            ("wall_ms", num(900.0)),
+            ("passed", num(passed)),
+            ("failed", num(failed)),
+            ("aborts", num(aborts)),
+            ("trials", Json::Arr(trials)),
+        ])
+    }
+
+    #[test]
+    fn crash_report_schema_validates_and_rejects() {
+        let green = crash_doc(
+            vec![
+                crash_trial("kill", true, 0.0),
+                crash_trial("corrupt", true, 1.0),
+            ],
+            2.0,
+            0.0,
+            0.0,
+        );
+        validate_crash_report(&green).unwrap();
+
+        // A diverged trial makes the report red.
+        let red = crash_doc(
+            vec![
+                crash_trial("kill", false, 0.0),
+                crash_trial("corrupt", true, 1.0),
+            ],
+            1.0,
+            1.0,
+            0.0,
+        );
+        assert!(validate_crash_report(&red).is_err());
+
+        // Any abort is red even if outputs matched.
+        let aborted = crash_doc(
+            vec![
+                crash_trial("kill", true, 0.0),
+                crash_trial("corrupt", true, 1.0),
+            ],
+            2.0,
+            0.0,
+            1.0,
+        );
+        assert!(validate_crash_report(&aborted).is_err());
+
+        // A corrupt trial that did not fall back is a lie.
+        let no_fallback = crash_doc(
+            vec![
+                crash_trial("kill", true, 0.0),
+                crash_trial("corrupt", true, 0.0),
+            ],
+            2.0,
+            0.0,
+            0.0,
+        );
+        assert!(validate_crash_report(&no_fallback).is_err());
+
+        // The matrix must exercise the corruption leg at all.
+        let kills_only = crash_doc(vec![crash_trial("kill", true, 0.0)], 1.0, 0.0, 0.0);
+        assert!(validate_crash_report(&kills_only).is_err());
+
+        // Aggregate counters must cover the trial rows.
+        let bad_counts = crash_doc(
+            vec![
+                crash_trial("kill", true, 0.0),
+                crash_trial("corrupt", true, 1.0),
+            ],
+            5.0,
+            0.0,
+            0.0,
+        );
+        assert!(validate_crash_report(&bad_counts).is_err());
     }
 
     fn fuzz_doc(failures: Vec<Json>) -> Json {

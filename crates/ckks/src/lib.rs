@@ -15,6 +15,9 @@
 //! - [`fault`] — a deterministic fault-injecting backend decorator
 //!   (transient failures, noise bursts, spurious level loss) used by the
 //!   chaos suite to exercise the runtime's recovery paths.
+//! - [`snapshot`] — ciphertext/RNG-state serialization
+//!   ([`SnapshotBackend`]) powering the runtime's durable crash-safe
+//!   execution layer (DESIGN.md §12).
 //! - [`toy`] — an exact, from-scratch RNS-CKKS implementation (negacyclic
 //!   NTT, RNS arithmetic, RLWE encryption, relinearization and Galois
 //!   key-switching with a special prime) at reduced ring degree, used to
@@ -31,6 +34,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod params;
 pub mod sim;
+pub mod snapshot;
 pub mod toy;
 
 pub use backend::{Backend, BackendError};
@@ -39,4 +43,5 @@ pub use fault::{FaultInjectingBackend, FaultReport, FaultSpec};
 pub use metrics::MetricsSnapshot;
 pub use params::CkksParams;
 pub use sim::SimBackend;
+pub use snapshot::{SnapError, SnapReader, SnapshotBackend};
 pub use toy::ToyBackend;

@@ -19,6 +19,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::backend::{Backend, BackendError, Result};
 use crate::params::CkksParams;
+use crate::snapshot::{put_f64, put_u32, put_u64, SnapError, SnapReader, SnapshotBackend};
 
 /// Per-op-class relative noise magnitudes.
 ///
@@ -95,11 +96,23 @@ impl SimCt {
 ///
 /// Ops take `&self`; the noise RNG is the only mutable state and sits
 /// behind a mutex, so the backend is freely shareable across threads.
+/// The noise RNG plus its replay coordinates. The sim backend's draws are
+/// homogeneous — every perturbed slot consumes exactly one
+/// `gen_range(-1.0..1.0)` — so (seed, draw count) pins the stream position
+/// exactly: reseeding and burning `draws` values restores it. That is what
+/// [`SnapshotBackend::rng_save`] persists for durable resume.
+#[derive(Debug)]
+struct CountedRng {
+    rng: StdRng,
+    draws: u64,
+}
+
 #[derive(Debug)]
 pub struct SimBackend {
     params: CkksParams,
     noise: NoiseProfile,
-    rng: Mutex<StdRng>,
+    seed: u64,
+    rng: Mutex<CountedRng>,
 }
 
 impl SimBackend {
@@ -123,7 +136,11 @@ impl SimBackend {
         SimBackend {
             params,
             noise,
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            seed,
+            rng: Mutex::new(CountedRng {
+                rng: StdRng::seed_from_u64(seed),
+                draws: 0,
+            }),
         }
     }
 
@@ -131,11 +148,12 @@ impl SimBackend {
         if sigma == 0.0 {
             return;
         }
-        let mut rng = self.rng.lock().expect("rng lock");
+        let mut g = self.rng.lock().expect("rng lock");
+        g.draws += values.len() as u64;
         for v in values {
             // Symmetric uniform relative error with a small absolute floor,
             // mimicking fixed-point noise at the scale's precision.
-            let eps: f64 = rng.gen_range(-1.0..1.0) * sigma;
+            let eps: f64 = g.rng.gen_range(-1.0..1.0) * sigma;
             *v += eps * (v.abs() + 1e-2);
         }
     }
@@ -405,6 +423,80 @@ impl Backend for SimBackend {
     }
 }
 
+/// Durable-execution support (`halo-snap/1`, see `halo-runtime` and
+/// DESIGN.md §12). Wire format `halo-ct-sim/1`: slot count, slot values as
+/// raw IEEE-754 bits, level, degree. RNG replay state: construction seed
+/// plus the homogeneous draw counter.
+impl SnapshotBackend for SimBackend {
+    fn ct_format(&self) -> &'static str {
+        "halo-ct-sim/1"
+    }
+
+    fn ct_save(&self, ct: &SimCt, out: &mut Vec<u8>) {
+        put_u32(out, u32::try_from(ct.values.len()).expect("slots fit u32"));
+        for &v in &ct.values {
+            put_f64(out, v);
+        }
+        put_u32(out, ct.level);
+        put_u32(out, ct.degree);
+    }
+
+    fn ct_load(&self, r: &mut SnapReader<'_>) -> std::result::Result<SimCt, SnapError> {
+        let n = r.read_len()?;
+        if n > self.params.slots() {
+            return Err(SnapError::Malformed(format!(
+                "ciphertext carries {n} slots but params allow {}",
+                self.params.slots()
+            )));
+        }
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(r.f64()?);
+        }
+        let level = r.u32()?;
+        let degree = r.u32()?;
+        if level > self.params.max_level {
+            return Err(SnapError::Malformed(format!(
+                "level {level} exceeds max {}",
+                self.params.max_level
+            )));
+        }
+        if !(1..=2).contains(&degree) {
+            return Err(SnapError::Malformed(format!(
+                "scale degree {degree} not in 1..=2"
+            )));
+        }
+        Ok(SimCt {
+            values,
+            level,
+            degree,
+        })
+    }
+
+    fn rng_save(&self, out: &mut Vec<u8>) {
+        let g = self.rng.lock().expect("rng lock");
+        put_u64(out, self.seed);
+        put_u64(out, g.draws);
+    }
+
+    fn rng_load(&self, r: &mut SnapReader<'_>) -> std::result::Result<(), SnapError> {
+        let seed = r.u64()?;
+        let draws = r.u64()?;
+        if seed != self.seed {
+            return Err(SnapError::Malformed(format!(
+                "snapshot RNG seed {seed:#x} does not match backend seed {:#x}",
+                self.seed
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..draws {
+            let _: f64 = rng.gen_range(-1.0..1.0);
+        }
+        *self.rng.lock().expect("rng lock") = CountedRng { rng, draws };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,5 +601,40 @@ mod tests {
         assert_eq!(a, b2, "seeded noise must be deterministic");
         assert!((a - 1.0).abs() < 1e-3, "noise should be small: {a}");
         assert!((a - 1.0).abs() > 0.0, "noise should be nonzero");
+    }
+
+    #[test]
+    fn rng_replay_restores_stream_position() {
+        let params = CkksParams::test_small();
+        let b1 = SimBackend::new(params.clone());
+        let x = b1.encrypt(&[1.0], 5).unwrap();
+        let _ = b1.mult(&x, &x).unwrap(); // advance the stream
+        let mut blob = Vec::new();
+        b1.rng_save(&mut blob);
+        let after_save = b1.decrypt(&b1.mult(&x, &x).unwrap()).unwrap();
+
+        // A fresh same-seed backend restored from the blob draws the same
+        // continuation the original did.
+        let b2 = SimBackend::new(params.clone());
+        b2.rng_load(&mut SnapReader::new(&blob)).unwrap();
+        let replayed = b2.decrypt(&b2.mult(&x, &x).unwrap()).unwrap();
+        assert_eq!(after_save, replayed);
+
+        // Seed mismatch is rejected.
+        let other = SimBackend::with_noise(params, NoiseProfile::default(), 99);
+        assert!(other.rng_load(&mut SnapReader::new(&blob)).is_err());
+    }
+
+    #[test]
+    fn ct_save_load_roundtrip_bit_exact() {
+        let b = backend();
+        let ct = b.encrypt(&[1.5, -2.25, 0.0], 7).unwrap();
+        let m = b.mult(&ct, &ct).unwrap(); // degree-2 case
+        for c in [&ct, &m] {
+            let mut out = Vec::new();
+            b.ct_save(c, &mut out);
+            let back = b.ct_load(&mut SnapReader::new(&out)).unwrap();
+            assert_eq!(&back, c);
+        }
     }
 }

@@ -22,6 +22,7 @@ use crate::backend::{Backend, BackendError, Result};
 use crate::metrics;
 use crate::parallel;
 use crate::params::CkksParams;
+use crate::snapshot::{put_f64, put_u32, put_u64, put_u8, SnapError, SnapReader, SnapshotBackend};
 use crate::toy::encode::Encoder;
 use crate::toy::modular::{invmod, mulmod, submod};
 use crate::toy::ntt::automorphism_indices;
@@ -33,7 +34,7 @@ use crate::toy::poly::{RnsContext, RnsPoly};
 const DELTA: f64 = (1u64 << 40) as f64;
 
 /// A toy ciphertext: an RLWE pair plus CKKS metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ToyCt {
     c0: RnsPoly,
     c1: RnsPoly,
@@ -70,6 +71,19 @@ enum KeyKind {
 /// locks are taken only on the calling thread, never inside the
 /// limb-parallel regions, which keeps the RNG stream (and therefore every
 /// ciphertext) bit-identical no matter how many worker threads run.
+/// The shared encryption RNG plus its replay log. `StdRng` state is not
+/// extractable, so durable resume ([`SnapshotBackend`]) records the draw
+/// *events* instead: the only consumer of this stream is
+/// [`ToyBackend::rlwe_encrypt`], whose draw count is fully determined by
+/// the row count it encrypts at. Reseeding and replaying the logged events
+/// restores the exact stream position.
+#[derive(Debug)]
+struct EncRng {
+    rng: StdRng,
+    /// Row count of each `rlwe_encrypt` performed so far, in order.
+    events: Vec<u32>,
+}
+
 #[derive(Debug)]
 pub struct ToyBackend {
     ctx: RnsContext,
@@ -77,7 +91,7 @@ pub struct ToyBackend {
     params: CkksParams,
     sk: Vec<i64>,
     sk_squared: Vec<i64>,
-    rng: Mutex<StdRng>,
+    rng: Mutex<EncRng>,
     keys: Mutex<HashMap<(KeyKind, u32), SharedKsk>>,
     /// Master seed for per-`(kind, level)` key-generation RNGs — see
     /// [`ToyBackend::key_rng`].
@@ -119,7 +133,10 @@ impl ToyBackend {
             params,
             sk,
             sk_squared,
-            rng: Mutex::new(rng),
+            rng: Mutex::new(EncRng {
+                rng,
+                events: Vec::new(),
+            }),
             keys: Mutex::new(HashMap::new()),
             key_seed: seed,
         }
@@ -127,12 +144,6 @@ impl ToyBackend {
 
     fn rows(&self, level: u32) -> usize {
         self.ctx.rows_at_level(level)
-    }
-
-    /// Small error polynomial (centered, σ ≈ 2) from the encryption RNG.
-    fn error_coeffs(&self) -> Vec<i64> {
-        let mut rng = self.rng.lock().expect("rng lock");
-        error_coeffs_with(self.ctx.n, &mut rng)
     }
 
     /// The dedicated key-generation RNG for one `(kind, level)` pair,
@@ -163,13 +174,17 @@ impl ToyBackend {
         let rows = self.rows(level);
         let mut m = RnsPoly::from_i128(&self.ctx, msg, rows, false);
         m.to_ntt(&self.ctx);
-        let e_coeffs = self.error_coeffs();
+        // One lock for the whole draw so the (error, mask) pair is a
+        // single replayable event in the durable-resume log.
+        let (e_coeffs, a) = {
+            let mut g = self.rng.lock().expect("rng lock");
+            g.events.push(u32::try_from(rows).expect("rows fit u32"));
+            let e = error_coeffs_with(self.ctx.n, &mut g.rng);
+            let a = RnsPoly::uniform(&self.ctx, rows, false, true, &mut g.rng);
+            (e, a)
+        };
         let mut e = RnsPoly::from_i64(&self.ctx, &e_coeffs, rows, false);
         e.to_ntt(&self.ctx);
-        let a = {
-            let mut rng = self.rng.lock().expect("rng lock");
-            RnsPoly::uniform(&self.ctx, rows, false, true, &mut rng)
-        };
         let s = self.sk_poly(rows, false);
         let c0 = m.add(&e, &self.ctx).sub(&a.mul(&s, &self.ctx), &self.ctx);
         ToyCt {
@@ -688,6 +703,154 @@ impl Backend for ToyBackend {
     }
 }
 
+/// Serializes one [`RnsPoly`]: NTT flag, row count, prime-index basis,
+/// then the raw residue rows (`n` limbs each).
+fn poly_save(p: &RnsPoly, out: &mut Vec<u8>) {
+    put_u8(out, u8::from(p.ntt));
+    put_u32(out, u32::try_from(p.rows.len()).expect("rows fit u32"));
+    for &bi in &p.basis {
+        put_u32(out, u32::try_from(bi).expect("basis index fits u32"));
+    }
+    for row in &p.rows {
+        for &x in row {
+            put_u64(out, x);
+        }
+    }
+}
+
+/// Deserializes one [`RnsPoly`], validating the basis against the context
+/// and every limb against its prime modulus.
+fn poly_load(ctx: &RnsContext, r: &mut SnapReader<'_>) -> std::result::Result<RnsPoly, SnapError> {
+    let ntt = match r.u8()? {
+        0 => false,
+        1 => true,
+        t => return Err(SnapError::Malformed(format!("NTT flag byte {t}"))),
+    };
+    let nrows = r.read_len()?;
+    if nrows == 0 || nrows > ctx.primes.len() {
+        return Err(SnapError::Malformed(format!(
+            "polynomial has {nrows} rows but the context has {} primes",
+            ctx.primes.len()
+        )));
+    }
+    let mut basis = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let bi = r.u32()? as usize;
+        if bi >= ctx.primes.len() {
+            return Err(SnapError::Malformed(format!(
+                "basis index {bi} out of range"
+            )));
+        }
+        basis.push(bi);
+    }
+    let mut rows = Vec::with_capacity(nrows);
+    for &bi in &basis {
+        let q = ctx.primes[bi];
+        let mut row = Vec::with_capacity(ctx.n);
+        for _ in 0..ctx.n {
+            let x = r.u64()?;
+            if x >= q {
+                return Err(SnapError::Malformed(format!(
+                    "limb {x} not reduced mod {q}"
+                )));
+            }
+            row.push(x);
+        }
+        rows.push(row);
+    }
+    Ok(RnsPoly { rows, basis, ntt })
+}
+
+/// Durable-execution support (`halo-snap/1`, see `halo-runtime` and
+/// DESIGN.md §12). Wire format `halo-ct-toy/1`: level, degree, scale bits,
+/// then the two RLWE component polynomials as raw RNS limb matrices. RNG
+/// replay state: the construction seed plus the ordered log of
+/// `rlwe_encrypt` row counts (the secret key's own draws are replayed
+/// implicitly, exactly as the constructor performs them). Key-switching
+/// keys need no snapshotting at all — they come from per-`(kind, level)`
+/// derived RNGs and regenerate bit-identically on demand.
+impl SnapshotBackend for ToyBackend {
+    fn ct_format(&self) -> &'static str {
+        "halo-ct-toy/1"
+    }
+
+    fn ct_save(&self, ct: &ToyCt, out: &mut Vec<u8>) {
+        put_u32(out, ct.level);
+        put_u32(out, ct.degree);
+        put_f64(out, ct.scale);
+        poly_save(&ct.c0, out);
+        poly_save(&ct.c1, out);
+    }
+
+    fn ct_load(&self, r: &mut SnapReader<'_>) -> std::result::Result<ToyCt, SnapError> {
+        let level = r.u32()?;
+        let degree = r.u32()?;
+        let scale = r.f64()?;
+        if level > self.params.max_level {
+            return Err(SnapError::Malformed(format!(
+                "level {level} exceeds max {}",
+                self.params.max_level
+            )));
+        }
+        if !(1..=2).contains(&degree) {
+            return Err(SnapError::Malformed(format!(
+                "scale degree {degree} not in 1..=2"
+            )));
+        }
+        let c0 = poly_load(&self.ctx, r)?;
+        let c1 = poly_load(&self.ctx, r)?;
+        Ok(ToyCt {
+            c0,
+            c1,
+            level,
+            degree,
+            scale,
+        })
+    }
+
+    fn rng_save(&self, out: &mut Vec<u8>) {
+        let g = self.rng.lock().expect("rng lock");
+        put_u64(out, self.key_seed);
+        put_u32(out, u32::try_from(g.events.len()).expect("events fit u32"));
+        for &rows in &g.events {
+            put_u32(out, rows);
+        }
+    }
+
+    fn rng_load(&self, r: &mut SnapReader<'_>) -> std::result::Result<(), SnapError> {
+        let seed = r.u64()?;
+        if seed != self.key_seed {
+            return Err(SnapError::Malformed(format!(
+                "snapshot RNG seed {seed:#x} does not match backend seed {:#x}",
+                self.key_seed
+            )));
+        }
+        let count = r.read_len()?;
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let rows = r.u32()?;
+            if rows == 0 || rows as usize > self.ctx.primes.len() {
+                return Err(SnapError::Malformed(format!(
+                    "event row count {rows} out of range"
+                )));
+            }
+            events.push(rows);
+        }
+        // Replay: the constructor's secret-key draws, then each logged
+        // encryption's (error, uniform mask) draw pair.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..self.ctx.n {
+            let _ = rng.gen_range(-1i8..=1);
+        }
+        for &rows in &events {
+            let _ = error_coeffs_with(self.ctx.n, &mut rng);
+            let _ = RnsPoly::uniform(&self.ctx, rows as usize, false, true, &mut rng);
+        }
+        *self.rng.lock().expect("rng lock") = EncRng { rng, events };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -893,5 +1056,40 @@ mod tests {
         let r = be.rescale(&s).unwrap();
         let got = be.decrypt(&r).unwrap()[0];
         assert!((got - 1.5).abs() < 1e-4, "{got}");
+    }
+
+    #[test]
+    fn ct_save_load_roundtrip_bit_exact() {
+        let be = backend();
+        let x = be.encrypt(&[1.25, -0.5], 5).unwrap();
+        let m = be.mult(&x, &x).unwrap(); // degree-2, NTT-form components
+        let r = be.rescale(&m).unwrap(); // shorter basis
+        for ct in [&x, &m, &r] {
+            let mut out = Vec::new();
+            be.ct_save(ct, &mut out);
+            let back = be.ct_load(&mut SnapReader::new(&out)).unwrap();
+            assert_eq!(&back, ct);
+        }
+    }
+
+    #[test]
+    fn rng_replay_reproduces_future_encryptions() {
+        let be1 = ToyBackend::new(16, 6, 0xFEED);
+        let _ = be1.encrypt(&[0.5], 4).unwrap();
+        let _ = be1.bootstrap(&be1.encrypt(&[0.25], 1).unwrap(), 6).unwrap();
+        let mut blob = Vec::new();
+        be1.rng_save(&mut blob);
+        let next_a = be1.encrypt(&[0.75], 3).unwrap();
+
+        // A fresh same-seed backend restored from the blob produces a
+        // bit-identical next encryption.
+        let be2 = ToyBackend::new(16, 6, 0xFEED);
+        be2.rng_load(&mut SnapReader::new(&blob)).unwrap();
+        let next_b = be2.encrypt(&[0.75], 3).unwrap();
+        assert_eq!(next_a, next_b);
+
+        // Seed mismatch is rejected.
+        let other = ToyBackend::new(16, 6, 0xBEEF);
+        assert!(other.rng_load(&mut SnapReader::new(&blob)).is_err());
     }
 }

@@ -11,20 +11,30 @@
 //! mechanism is off and execution is bit-identical to the plain
 //! interpreter.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::path::PathBuf;
+use std::time::Instant;
 
 use halo_ckks::backend::{Backend, BackendError};
+use halo_ckks::snapshot::SnapshotBackend;
 use halo_ckks::{CostModel, CostedOp};
 use halo_ir::func::{BlockId, Function, OpId, ValueId};
 use halo_ir::op::{ConstValue, Op, Opcode};
 use halo_ir::types::{Status, LEVEL_UNSET};
 
+use crate::snapshot::{decode_snapshot, encode_snapshot, DecodedSnapshot};
 use crate::stats::RunStats;
+use crate::store::{DiskStore, SnapshotStore};
 
 /// A runtime value: a backend ciphertext or a plaintext slot vector.
-enum RtValue<C> {
+/// Public so the `halo-snap/1` codec ([`crate::snapshot`]) can serialize
+/// the executor's value environment.
+pub enum RtValue<C> {
+    /// A backend ciphertext.
     Ct(C),
+    /// A plaintext slot vector.
     Pt(Vec<f64>),
 }
 
@@ -114,6 +124,11 @@ pub enum RunError {
     Backend(BackendError),
     /// The program is malformed (should have been caught by the verifier).
     Malformed(String),
+    /// The durable snapshot layer failed outside the tolerated paths
+    /// (e.g. the snapshot store directory cannot be opened). Individual
+    /// snapshot write failures and corrupt generations are *not* errors —
+    /// they degrade to skipped snapshots and generation fallback.
+    Snapshot(String),
 }
 
 impl fmt::Display for RunError {
@@ -122,6 +137,7 @@ impl fmt::Display for RunError {
             RunError::MissingInput(n) => write!(f, "missing input or symbol: {n}"),
             RunError::Backend(m) => write!(f, "backend rejected op: {m}"),
             RunError::Malformed(m) => write!(f, "malformed program: {m}"),
+            RunError::Snapshot(m) => write!(f, "snapshot store failure: {m}"),
         }
     }
 }
@@ -236,6 +252,14 @@ pub struct ExecPolicy {
     /// Upper bound on checkpoint resumes per loop, so a deterministic
     /// failure cannot spin forever.
     pub max_resumes: u32,
+    /// Directory of the on-disk [`SnapshotStore`] for durable execution
+    /// (`None` disables disk snapshots). Used by
+    /// [`Executor::run_durable`] / [`Executor::resume`]; the plain
+    /// [`Executor::run`] ignores it.
+    pub durable_path: Option<PathBuf>,
+    /// Snapshot generations the durable store retains (clamped to ≥ 2 so
+    /// corruption fallback always has an older generation to fall to).
+    pub snapshot_keep: usize,
 }
 
 impl Default for ExecPolicy {
@@ -246,6 +270,8 @@ impl Default for ExecPolicy {
             emergency_bootstrap: false,
             checkpoint_every: 0,
             max_resumes: 0,
+            durable_path: None,
+            snapshot_keep: 3,
         }
     }
 }
@@ -262,6 +288,20 @@ impl ExecPolicy {
             emergency_bootstrap: true,
             checkpoint_every: 1,
             max_resumes: 32,
+            durable_path: None,
+            snapshot_keep: 3,
+        }
+    }
+
+    /// [`ExecPolicy::resilient`] plus durable on-disk snapshots in `dir`:
+    /// every top-level loop-header crossing persists a `halo-snap/1`
+    /// checkpoint via the atomic-rename [`DiskStore`], and
+    /// [`Executor::resume`] can continue a killed run from `dir`.
+    #[must_use]
+    pub fn durable(dir: impl Into<PathBuf>) -> ExecPolicy {
+        ExecPolicy {
+            durable_path: Some(dir.into()),
+            ..ExecPolicy::resilient()
         }
     }
 
@@ -276,6 +316,50 @@ impl ExecPolicy {
 /// emergency bootstrap's own result can be corrupted again, so the guards
 /// re-check and re-repair — but never unboundedly.
 const MAX_HEAL_ATTEMPTS: u32 = 4;
+
+/// A validated resume target extracted from an on-disk snapshot: the
+/// entry-block `for` op to fast-forward to and the loop state to re-enter
+/// it with. (The full value environment travels separately — it seeds the
+/// run's value map directly.)
+struct ResumePoint<C> {
+    loop_op: OpId,
+    iter: u64,
+    carried: Vec<RtValue<C>>,
+}
+
+/// Durable-execution context threaded through one `run_durable`/`resume`
+/// call. Built only in [`SnapshotBackend`]-bounded entry points — the
+/// `encode` closure captures the concrete backend there, so the generic
+/// `Backend` interior of the executor never needs the stronger bound.
+///
+/// Only *top-level* loops (ops of the entry block) write disk snapshots:
+/// a nested loop's state is reconstructed by re-running its enclosing
+/// iteration, which the enclosing loop's snapshot already covers.
+struct DurableCtx<'a, C> {
+    store: &'a dyn SnapshotStore,
+    /// Persist a snapshot every `every` loop-header crossings (≥ 1).
+    every: u64,
+    /// Serializes one `halo-snap/1` blob for the current program state.
+    #[allow(clippy::type_complexity)]
+    encode: &'a dyn Fn(OpId, u64, &HashMap<ValueId, RtValue<C>>, &[RtValue<C>]) -> Vec<u8>,
+    /// Pending resume target, consumed by the first matching loop header.
+    resume: RefCell<Option<ResumePoint<C>>>,
+}
+
+/// Whether a snapshot's loop op is a structurally valid resume target for
+/// `f`: an existing `for` op of the entry block whose carried-value count
+/// matches. Anything else means the snapshot belongs to a different (or
+/// corrupted) program and is skipped like a checksum failure.
+fn loop_op_resumable<C>(f: &Function, snap: &DecodedSnapshot<C>) -> bool {
+    let Some(op) = f.try_op(snap.loop_op) else {
+        return false;
+    };
+    if !matches!(op.opcode, Opcode::For { .. }) || op.operands.len() != snap.carried.len() {
+        return false;
+    }
+    f.try_block(f.entry)
+        .is_some_and(|b| b.ops.contains(&snap.loop_op))
+}
 
 /// The interpreter. Borrows a backend *shared*; create one per program
 /// run or reuse across runs (keys and noise state persist in the backend
@@ -316,9 +400,22 @@ impl<'b, B: Backend> Executor<'b, B> {
     /// backend faults are retried and loop failures resume from the last
     /// checkpoint before an error is surfaced.
     pub fn run(&self, f: &Function, inputs: &Inputs) -> Result<RunOutput, ExecError> {
-        let mut values: HashMap<ValueId, RtValue<B::Ct>> = HashMap::new();
-        let mut stats = RunStats::default();
-        self.run_block(f, f.entry, inputs, &mut values, &mut stats)?;
+        self.run_core(f, inputs, None, HashMap::new(), RunStats::default())
+    }
+
+    /// The shared run loop behind [`Executor::run`] and the durable entry
+    /// points: `values` and `stats` arrive pre-seeded when resuming from a
+    /// snapshot, and `dur` (when present) makes loop headers persist
+    /// snapshots and honors a pending resume point.
+    fn run_core(
+        &self,
+        f: &Function,
+        inputs: &Inputs,
+        dur: Option<&DurableCtx<'_, B::Ct>>,
+        mut values: HashMap<ValueId, RtValue<B::Ct>>,
+        mut stats: RunStats,
+    ) -> Result<RunOutput, ExecError> {
+        self.run_block(f, f.entry, inputs, &mut values, &mut stats, dur)?;
 
         let term = f
             .terminator(f.entry)
@@ -512,6 +609,7 @@ impl<'b, B: Backend> Executor<'b, B> {
         inputs: &Inputs,
         values: &mut HashMap<ValueId, RtValue<B::Ct>>,
         stats: &mut RunStats,
+        dur: Option<&DurableCtx<'_, B::Ct>>,
     ) -> Result<(), ExecError> {
         let blk = f
             .try_block(block)
@@ -526,6 +624,15 @@ impl<'b, B: Backend> Executor<'b, B> {
             if done.remove(&op_id) {
                 continue; // already served by an earlier batch this pass
             }
+            // Resuming from a snapshot: the restored value environment
+            // already holds every result computed before the snapshot's
+            // loop header, so fast-forward to the target loop op.
+            if let Some(d) = dur {
+                let target = d.resume.borrow().as_ref().map(|rp| rp.loop_op);
+                if target.is_some_and(|t| t != op_id) {
+                    continue;
+                }
+            }
             let op = f
                 .try_op(op_id)
                 .ok_or_else(|| ExecError::from(dangling_op(op_id)))?;
@@ -538,7 +645,7 @@ impl<'b, B: Backend> Executor<'b, B> {
                     continue;
                 }
             }
-            self.exec_op(f, op, inputs, values, stats)
+            self.exec_op(f, op_id, op, inputs, values, stats, dur)
                 .map_err(|e| e.contextualize(op_id, op.opcode.mnemonic(), block))?;
         }
         Ok(())
@@ -603,14 +710,16 @@ impl<'b, B: Backend> Executor<'b, B> {
         Ok(true)
     }
 
-    #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     fn exec_op(
         &self,
         f: &Function,
+        op_id: OpId,
         op: &Op,
         inputs: &Inputs,
         values: &mut HashMap<ValueId, RtValue<B::Ct>>,
         stats: &mut RunStats,
+        dur: Option<&DurableCtx<'_, B::Ct>>,
     ) -> Result<(), ExecError> {
         let slots = self.backend.params().slots();
         let mnemonic = op.opcode.mnemonic();
@@ -834,7 +943,7 @@ impl<'b, B: Backend> Executor<'b, B> {
                     RtValue::Ct(self.call(stats, || self.backend.bootstrap(&x, *target))?),
                 );
             }
-            Opcode::For { .. } => self.run_loop(f, op, inputs, values, stats)?,
+            Opcode::For { .. } => self.run_loop(f, op_id, op, inputs, values, stats, dur)?,
             Opcode::Encrypt => {
                 let RtValue::Pt(v) = lookup(values, operand(op, 0)?)? else {
                     return Err(ExecError::from(RunError::Malformed(
@@ -863,14 +972,19 @@ impl<'b, B: Backend> Executor<'b, B> {
     /// Executes a `for` loop, checkpointing the carried environment at
     /// loop-header boundaries per the policy and resuming from the last
     /// checkpoint when an iteration dies to a non-retryable backend
-    /// fault.
+    /// fault. Under a [`DurableCtx`], loop headers additionally persist
+    /// `halo-snap/1` snapshots to the snapshot store, and a pending
+    /// on-disk resume point re-enters the loop at its saved iteration.
+    #[allow(clippy::too_many_arguments)]
     fn run_loop(
         &self,
         f: &Function,
+        op_id: OpId,
         op: &Op,
         inputs: &Inputs,
         values: &mut HashMap<ValueId, RtValue<B::Ct>>,
         stats: &mut RunStats,
+        dur: Option<&DurableCtx<'_, B::Ct>>,
     ) -> Result<(), ExecError> {
         let Opcode::For { trip, body, .. } = &op.opcode else {
             return Err(ExecError::from(RunError::Malformed(
@@ -903,6 +1017,23 @@ impl<'b, B: Backend> Executor<'b, B> {
         let mut checkpoint: Option<(u64, Vec<RtValue<B::Ct>>)> = None;
         let mut resumes_left = self.policy.max_resumes;
         let mut i = 0u64;
+        // A pending on-disk resume point for *this* loop re-enters at the
+        // saved iteration with the saved carried values. The header it
+        // resumes at is not re-persisted — the store already holds it.
+        let mut last_persisted: Option<u64> = None;
+        if let Some(d) = dur {
+            let matches_self = d
+                .resume
+                .borrow()
+                .as_ref()
+                .is_some_and(|rp| rp.loop_op == op_id);
+            if matches_self {
+                let rp = d.resume.borrow_mut().take().expect("checked above");
+                i = rp.iter.min(n);
+                carried = rp.carried;
+                last_persisted = Some(rp.iter);
+            }
+        }
         while i < n {
             if every > 0
                 && i.is_multiple_of(every)
@@ -920,6 +1051,25 @@ impl<'b, B: Backend> Executor<'b, B> {
                 stats.checkpoint_us += us;
                 stats.total_us += us;
                 checkpoint = Some((i, carried.clone()));
+            }
+            if let Some(d) = dur {
+                if i.is_multiple_of(d.every) && last_persisted != Some(i) {
+                    // Persist a durable snapshot at this header. A failed
+                    // write (full disk, injected fault) skips this
+                    // generation and the run continues — durability
+                    // degrades to the previous generation.
+                    let t0 = Instant::now();
+                    let bytes = (d.encode)(op_id, i, values, &carried);
+                    let written = d.store.put(&bytes).is_ok();
+                    let us = t0.elapsed().as_secs_f64() * 1e6;
+                    if written {
+                        stats.snapshot_writes += 1;
+                        stats.snapshot_bytes += bytes.len() as u64;
+                    }
+                    stats.disk_snapshot_us += us;
+                    stats.total_us += us;
+                    last_persisted = Some(i);
+                }
             }
             match self.run_iteration(f, body, &args, &carried, inputs, values, stats) {
                 Ok(next) => {
@@ -961,7 +1111,11 @@ impl<'b, B: Backend> Executor<'b, B> {
         for (&a, c) in args.iter().zip(carried) {
             values.insert(a, c.clone());
         }
-        self.run_block(f, body, inputs, values, stats)?;
+        // Nested loops run without the durable context: only top-level
+        // headers persist snapshots (re-running the enclosing iteration
+        // reconstructs inner-loop state), and a resume fast-forward must
+        // never skip body ops.
+        self.run_block(f, body, inputs, values, stats, None)?;
         let term = f.terminator(body).ok_or_else(|| {
             ExecError::from(RunError::Malformed("loop body missing yield".into()))
         })?;
@@ -973,6 +1127,153 @@ impl<'b, B: Backend> Executor<'b, B> {
             .iter()
             .map(|&v| lookup(values, v))
             .collect()
+    }
+}
+
+/// Durable execution: available when the backend supports ciphertext and
+/// RNG-state serialization ([`SnapshotBackend`] — both shipped backends
+/// and the fault decorator do).
+impl<'b, B: SnapshotBackend> Executor<'b, B> {
+    /// Opens the policy's on-disk snapshot store.
+    fn open_store(&self) -> Result<DiskStore, ExecError> {
+        let path = self.policy.durable_path.as_ref().ok_or_else(|| {
+            ExecError::from(RunError::Snapshot(
+                "policy has no durable_path (construct it with ExecPolicy::durable)".into(),
+            ))
+        })?;
+        DiskStore::open(path, self.policy.snapshot_keep).map_err(|e| {
+            ExecError::from(RunError::Snapshot(format!(
+                "cannot open snapshot store {}: {e}",
+                path.display()
+            )))
+        })
+    }
+
+    /// Runs `f` with durable snapshots: every top-level loop-header
+    /// crossing (per [`ExecPolicy::checkpoint_every`]) persists a
+    /// `halo-snap/1` checkpoint to the policy's [`DiskStore`]. Outputs
+    /// are identical to [`Executor::run`] under the same policy — the
+    /// snapshots are pure observers; only the durable telemetry in
+    /// [`RunStats`] differs.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::run`], plus [`RunError::Snapshot`] if the store
+    /// directory cannot be opened. Individual snapshot-write failures are
+    /// tolerated (the generation is skipped).
+    pub fn run_durable(&self, f: &Function, inputs: &Inputs) -> Result<RunOutput, ExecError> {
+        let store = self.open_store()?;
+        self.run_durable_with_store(f, inputs, &store)
+    }
+
+    /// [`Executor::run_durable`] against an explicit store (tests inject
+    /// [`crate::store::MemStore`] or [`crate::store::FaultyStore`] here).
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::run`].
+    pub fn run_durable_with_store(
+        &self,
+        f: &Function,
+        inputs: &Inputs,
+        store: &dyn SnapshotStore,
+    ) -> Result<RunOutput, ExecError> {
+        let encode = |loop_op: OpId,
+                      iter: u64,
+                      values: &HashMap<ValueId, RtValue<B::Ct>>,
+                      carried: &[RtValue<B::Ct>]| {
+            encode_snapshot(self.backend, &f.name, loop_op, iter, values, carried)
+        };
+        let ctx = DurableCtx {
+            store,
+            every: self.policy.checkpoint_every.max(1),
+            encode: &encode,
+            resume: RefCell::new(None),
+        };
+        self.run_core(f, inputs, Some(&ctx), HashMap::new(), RunStats::default())
+    }
+
+    /// Resumes a killed durable run from the policy's snapshot store.
+    ///
+    /// Generations are scanned newest-first; the first one that passes
+    /// checksum verification, structural validation against `f`, and RNG
+    /// restoration wins. Corrupt generations (truncated file, flipped
+    /// bit, foreign snapshot) are counted in
+    /// [`RunStats::corrupt_snapshots_skipped`] and skipped. If no usable
+    /// generation exists — including an empty store — the run starts
+    /// fresh, so `resume` is always safe to call. The resumed run keeps
+    /// persisting new snapshots as it progresses.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::run_durable`].
+    pub fn resume(&self, f: &Function, inputs: &Inputs) -> Result<RunOutput, ExecError> {
+        let store = self.open_store()?;
+        self.resume_with_store(f, inputs, &store)
+    }
+
+    /// [`Executor::resume`] against an explicit store.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::run_durable`].
+    pub fn resume_with_store(
+        &self,
+        f: &Function,
+        inputs: &Inputs,
+        store: &dyn SnapshotStore,
+    ) -> Result<RunOutput, ExecError> {
+        let mut stats = RunStats::default();
+        let gens = store.generations().map_err(|e| {
+            ExecError::from(RunError::Snapshot(format!("cannot list generations: {e}")))
+        })?;
+        let mut restored: Option<DecodedSnapshot<B::Ct>> = None;
+        for &g in gens.iter().rev() {
+            let usable = store
+                .get(g)
+                .ok()
+                .and_then(|bytes| decode_snapshot(self.backend, &f.name, &bytes).ok())
+                .filter(|snap| loop_op_resumable(f, snap))
+                // RNG restoration is all-or-nothing: a failed load leaves
+                // the backend untouched, so the generation can be skipped.
+                .filter(|snap| snap.apply_rng(self.backend).is_ok());
+            match usable {
+                Some(snap) => {
+                    restored = Some(snap);
+                    break;
+                }
+                None => stats.corrupt_snapshots_skipped += 1,
+            }
+        }
+        let (values, resume) = match restored {
+            Some(snap) => {
+                stats.resumes_from_disk += 1;
+                (
+                    snap.values,
+                    Some(ResumePoint {
+                        loop_op: snap.loop_op,
+                        iter: snap.iter,
+                        carried: snap.carried,
+                    }),
+                )
+            }
+            // Nothing usable (e.g. killed before the first snapshot, or
+            // every generation corrupt): start over from scratch.
+            None => (HashMap::new(), None),
+        };
+        let encode = |loop_op: OpId,
+                      iter: u64,
+                      values: &HashMap<ValueId, RtValue<B::Ct>>,
+                      carried: &[RtValue<B::Ct>]| {
+            encode_snapshot(self.backend, &f.name, loop_op, iter, values, carried)
+        };
+        let ctx = DurableCtx {
+            store,
+            every: self.policy.checkpoint_every.max(1),
+            encode: &encode,
+            resume: RefCell::new(resume),
+        };
+        self.run_core(f, inputs, Some(&ctx), values, stats)
     }
 }
 

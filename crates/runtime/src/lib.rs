@@ -11,11 +11,23 @@
 //! - [`stats`] — per-run op counts, bootstrap counts (Tables 5 and 8), and
 //!   modeled latency split into bootstrap vs other (Figure 4's hatched
 //!   bars).
+//! - [`snapshot`] — the `halo-snap/1` codec: versioned, checksummed binary
+//!   snapshots of a running program (cursor, value environment, RNG replay
+//!   state) for durable crash-safe execution (DESIGN.md §12).
+//! - [`store`] — where snapshots live: the atomic-rename [`DiskStore`]
+//!   keeping K generations, the in-memory [`MemStore`], and the
+//!   fault-injecting [`FaultyStore`] chaos decorator.
 
 pub mod exec;
 pub mod reference;
+pub mod snapshot;
 pub mod stats;
+pub mod store;
 
-pub use exec::{ExecError, ExecPolicy, Executor, Inputs, RunError, RunOutput};
+pub use exec::{ExecError, ExecPolicy, Executor, Inputs, RtValue, RunError, RunOutput};
 pub use reference::reference_run;
+pub use snapshot::{decode_snapshot, encode_snapshot, DecodedSnapshot, SNAP_FORMAT};
 pub use stats::{rmse, RunStats};
+pub use store::{
+    DiskStore, FaultyStore, MemStore, SnapshotStore, StoreFaultReport, StoreFaultSpec,
+};

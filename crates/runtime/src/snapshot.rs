@@ -1,0 +1,257 @@
+//! The `halo-snap/1` snapshot codec: one durable checkpoint of a running
+//! program, serialized to a single self-verifying byte blob.
+//!
+//! A snapshot captures everything `Executor::resume` needs to continue a
+//! loop from a header crossing in a *new process*:
+//!
+//! - the execution cursor — function name, the `for` op being executed,
+//!   and the iteration about to run;
+//! - the full value environment and the loop-carried values, ciphertexts
+//!   serialized through the backend's [`SnapshotBackend`] codec;
+//! - the backend's RNG replay state, so resumed noise/encryption draws are
+//!   bit-identical to the draws the crashed process would have made.
+//!
+//! Wire layout (little-endian, hand-rolled like `halo-bench`'s JSON):
+//!
+//! ```text
+//! "HALOSNAP" | version u32 | ct_format str | function str |
+//! poly_degree u64 | max_level u32 | loop_op u32 | iteration u64 |
+//! rng blob (len-prefixed) | value count u32 | { id u32, RtValue }… |
+//! carried count u32 | RtValue… | FNV-1a-64 checksum u64
+//! ```
+//!
+//! An `RtValue` is a tag byte (`0` plaintext, `1` ciphertext) followed by
+//! the payload. The trailing checksum covers every preceding byte, so a
+//! truncated file or a single flipped bit is detected before any state is
+//! restored; decoding is side-effect-free until
+//! [`DecodedSnapshot::apply_rng`] is explicitly invoked.
+
+use std::collections::HashMap;
+
+use halo_ckks::snapshot::{
+    fnv1a64, put_bytes, put_f64, put_str, put_u32, put_u64, put_u8, SnapError, SnapReader,
+    SnapshotBackend,
+};
+use halo_ir::func::{OpId, ValueId};
+
+use crate::exec::RtValue;
+
+/// The snapshot format name, embedded in crash reports and logs.
+pub const SNAP_FORMAT: &str = "halo-snap/1";
+
+const MAGIC: &[u8; 8] = b"HALOSNAP";
+const VERSION: u32 = 1;
+
+const TAG_PT: u8 = 0;
+const TAG_CT: u8 = 1;
+
+/// A decoded, checksum-verified snapshot. RNG state is carried as a raw
+/// blob and only applied to a backend via [`DecodedSnapshot::apply_rng`],
+/// so a snapshot that later fails structural validation (e.g. its loop op
+/// does not exist in the function) can be discarded without having
+/// disturbed the backend.
+pub struct DecodedSnapshot<C> {
+    /// The `for` op the snapshot was taken in.
+    pub loop_op: OpId,
+    /// The iteration about to execute when the snapshot was taken.
+    pub iter: u64,
+    /// The full value environment at the loop header.
+    pub values: HashMap<ValueId, RtValue<C>>,
+    /// The loop-carried values at the header.
+    pub carried: Vec<RtValue<C>>,
+    rng: Vec<u8>,
+}
+
+impl<C> DecodedSnapshot<C> {
+    /// Restores the backend's RNG stream to the snapshot position.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] if the saved replay state is malformed or was taken
+    /// under a different seed.
+    pub fn apply_rng<B: SnapshotBackend<Ct = C>>(&self, backend: &B) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(&self.rng);
+        backend.rng_load(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SnapError::Malformed(
+                "trailing bytes after RNG state".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn put_rtvalue<B: SnapshotBackend>(backend: &B, v: &RtValue<B::Ct>, out: &mut Vec<u8>) {
+    match v {
+        RtValue::Pt(p) => {
+            put_u8(out, TAG_PT);
+            put_u32(out, u32::try_from(p.len()).expect("slots fit u32"));
+            for &x in p {
+                put_f64(out, x);
+            }
+        }
+        RtValue::Ct(c) => {
+            put_u8(out, TAG_CT);
+            backend.ct_save(c, out);
+        }
+    }
+}
+
+fn read_rtvalue<B: SnapshotBackend>(
+    backend: &B,
+    r: &mut SnapReader<'_>,
+) -> Result<RtValue<B::Ct>, SnapError> {
+    match r.u8()? {
+        TAG_PT => {
+            let n = r.read_len()?;
+            let mut p = Vec::with_capacity(n);
+            for _ in 0..n {
+                p.push(r.f64()?);
+            }
+            Ok(RtValue::Pt(p))
+        }
+        TAG_CT => Ok(RtValue::Ct(backend.ct_load(r)?)),
+        t => Err(SnapError::Malformed(format!("value tag byte {t}"))),
+    }
+}
+
+/// Serializes one loop-header checkpoint to a `halo-snap/1` blob.
+///
+/// The value map is written in ascending `ValueId` order, so identical
+/// program states always produce identical bytes regardless of hash-map
+/// iteration order.
+#[must_use]
+pub fn encode_snapshot<B: SnapshotBackend>(
+    backend: &B,
+    function: &str,
+    loop_op: OpId,
+    iter: u64,
+    values: &HashMap<ValueId, RtValue<B::Ct>>,
+    carried: &[RtValue<B::Ct>],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION);
+    put_str(&mut out, backend.ct_format());
+    put_str(&mut out, function);
+    put_u64(&mut out, backend.params().poly_degree as u64);
+    put_u32(&mut out, backend.params().max_level);
+    put_u32(&mut out, loop_op.0);
+    put_u64(&mut out, iter);
+    let mut rng = Vec::new();
+    backend.rng_save(&mut rng);
+    put_bytes(&mut out, &rng);
+    let mut ids: Vec<ValueId> = values.keys().copied().collect();
+    ids.sort_by_key(|v| v.0);
+    put_u32(&mut out, u32::try_from(ids.len()).expect("values fit u32"));
+    for id in ids {
+        put_u32(&mut out, id.0);
+        put_rtvalue(backend, &values[&id], &mut out);
+    }
+    put_u32(
+        &mut out,
+        u32::try_from(carried.len()).expect("carried fit u32"),
+    );
+    for v in carried {
+        put_rtvalue(backend, v, &mut out);
+    }
+    let sum = fnv1a64(&out);
+    put_u64(&mut out, sum);
+    out
+}
+
+/// Verifies and decodes a `halo-snap/1` blob for resuming `function` on
+/// `backend`.
+///
+/// The trailing checksum is verified over the whole payload first, then
+/// every header field is checked against the resuming backend (ciphertext
+/// format, parameters) and function name — a snapshot from a different
+/// program, backend, or parameter set is rejected, never half-applied.
+///
+/// # Errors
+///
+/// [`SnapError`] on truncation, checksum mismatch, or any header/payload
+/// field that fails validation.
+pub fn decode_snapshot<B: SnapshotBackend>(
+    backend: &B,
+    function: &str,
+    bytes: &[u8],
+) -> Result<DecodedSnapshot<B::Ct>, SnapError> {
+    if bytes.len() < 8 {
+        return Err(SnapError::Truncated {
+            need: 8,
+            have: bytes.len(),
+        });
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    let computed = fnv1a64(payload);
+    if stored != computed {
+        return Err(SnapError::Malformed(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+        )));
+    }
+    let mut r = SnapReader::new(payload);
+    if r.take(MAGIC.len())? != MAGIC {
+        return Err(SnapError::Malformed("bad magic".into()));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(SnapError::Malformed(format!(
+            "snapshot version {version}, this runtime reads {VERSION}"
+        )));
+    }
+    let fmt = r.str()?;
+    if fmt != backend.ct_format() {
+        return Err(SnapError::Malformed(format!(
+            "ciphertext format {fmt:?} does not match backend {:?}",
+            backend.ct_format()
+        )));
+    }
+    let func = r.str()?;
+    if func != function {
+        return Err(SnapError::Malformed(format!(
+            "snapshot is for function {func:?}, resuming {function:?}"
+        )));
+    }
+    let poly_degree = r.u64()?;
+    let max_level = r.u32()?;
+    if poly_degree != backend.params().poly_degree as u64 || max_level != backend.params().max_level
+    {
+        return Err(SnapError::Malformed(format!(
+            "snapshot parameters (N={poly_degree}, L={max_level}) do not match backend (N={}, L={})",
+            backend.params().poly_degree,
+            backend.params().max_level
+        )));
+    }
+    let loop_op = OpId(r.u32()?);
+    let iter = r.u64()?;
+    let rng = r.bytes()?.to_vec();
+    let nvalues = r.read_len()?;
+    let mut values = HashMap::with_capacity(nvalues);
+    for _ in 0..nvalues {
+        let id = ValueId(r.u32()?);
+        let v = read_rtvalue(backend, &mut r)?;
+        if values.insert(id, v).is_some() {
+            return Err(SnapError::Malformed(format!("duplicate value id {}", id.0)));
+        }
+    }
+    let ncarried = r.read_len()?;
+    let mut carried = Vec::with_capacity(ncarried);
+    for _ in 0..ncarried {
+        carried.push(read_rtvalue(backend, &mut r)?);
+    }
+    if r.remaining() != 0 {
+        return Err(SnapError::Malformed(format!(
+            "{} trailing bytes after snapshot payload",
+            r.remaining()
+        )));
+    }
+    Ok(DecodedSnapshot {
+        loop_op,
+        iter,
+        values,
+        carried,
+        rng,
+    })
+}

@@ -52,6 +52,28 @@ pub struct RunStats {
     pub resumes: u64,
 
     // ------------------------------------------------------------------
+    // Durable-execution telemetry (all zero unless the run went through
+    // `Executor::run_durable` / `Executor::resume`).
+    // ------------------------------------------------------------------
+    /// Snapshots successfully persisted to the [`SnapshotStore`]
+    /// (failed writes — e.g. injected ENOSPC — are skipped, not counted).
+    ///
+    /// [`SnapshotStore`]: crate::store::SnapshotStore
+    pub snapshot_writes: u64,
+    /// Total bytes of snapshot payload persisted.
+    pub snapshot_bytes: u64,
+    /// Wall-clock time spent encoding and writing disk snapshots, in µs
+    /// (measured, unlike the modeled latencies; charged to
+    /// [`RunStats::total_us`]).
+    pub disk_snapshot_us: f64,
+    /// Runs that started from an on-disk snapshot instead of iteration 0.
+    pub resumes_from_disk: u64,
+    /// Snapshot generations rejected during resume (truncated file,
+    /// checksum mismatch, structural validation failure) before a good
+    /// one — or a fresh start — was found.
+    pub corrupt_snapshots_skipped: u64,
+
+    // ------------------------------------------------------------------
     // Hoisted-rotation telemetry (all zero unless the executor's rotation
     // fan-out peephole fired).
     // ------------------------------------------------------------------
@@ -96,11 +118,12 @@ impl RunStats {
         self.emergency_bootstraps + self.level_aligns + self.emergency_rescales
     }
 
-    /// Modeled recovery overhead charged to [`RunStats::total_us`], in µs
-    /// (retry backoff plus checkpoint serialization).
+    /// Recovery overhead charged to [`RunStats::total_us`], in µs: modeled
+    /// retry backoff and checkpoint serialization, plus the *measured*
+    /// time spent writing durable disk snapshots.
     #[must_use]
     pub fn recovery_overhead_us(&self) -> f64 {
-        self.retry_backoff_us + self.checkpoint_us
+        self.retry_backoff_us + self.checkpoint_us + self.disk_snapshot_us
     }
 }
 

@@ -29,11 +29,13 @@ pub mod prelude {
     pub use halo_ckks::fault::{FaultInjectingBackend, FaultReport, FaultSpec};
     pub use halo_ckks::params::CkksParams;
     pub use halo_ckks::sim::{NoiseProfile, SimBackend};
+    pub use halo_ckks::snapshot::SnapshotBackend;
     pub use halo_ckks::toy::ToyBackend;
     pub use halo_core::{compile, CompileOptions, CompileResult, CompilerConfig};
     pub use halo_ir::op::TripCount;
     pub use halo_ir::{Function, FunctionBuilder};
     pub use halo_runtime::{
-        reference_run, rmse, ExecError, ExecPolicy, Executor, Inputs, RunError, RunStats,
+        reference_run, rmse, DiskStore, ExecError, ExecPolicy, Executor, FaultyStore, Inputs,
+        MemStore, RunError, RunStats, SnapshotStore, StoreFaultSpec,
     };
 }

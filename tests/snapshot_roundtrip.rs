@@ -1,0 +1,158 @@
+//! Snapshot codec properties: `halo-snap/1` blobs round-trip bit-exactly
+//! for both backends across levels/scales, and any truncation or bit flip
+//! is rejected by the trailing checksum — never half-applied.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use halo_fhe::ckks::snapshot::SnapReader;
+use halo_fhe::ir::func::{OpId, ValueId};
+use halo_fhe::prelude::*;
+use halo_fhe::runtime::{decode_snapshot, encode_snapshot, RtValue};
+
+const N: usize = 32; // 16 slots
+const LEVELS: u32 = 8;
+
+fn sim() -> SimBackend {
+    SimBackend::new(CkksParams {
+        poly_degree: N,
+        max_level: LEVELS,
+        rf_bits: 51,
+    })
+}
+
+fn toy() -> ToyBackend {
+    ToyBackend::new(N, LEVELS, 0xD15C)
+}
+
+type SnapState<C> = (HashMap<ValueId, RtValue<C>>, Vec<RtValue<C>>, Vec<u8>);
+
+/// Builds a snapshot of a small synthetic program state: a value map with
+/// plaintexts and ciphertexts at the given levels plus a carried vector.
+fn snapshot_state<B: SnapshotBackend>(
+    be: &B,
+    levels: &[u32],
+    values_data: &[f64],
+) -> SnapState<B::Ct> {
+    let mut values = HashMap::new();
+    values.insert(ValueId(0), RtValue::Pt(values_data.to_vec()));
+    for (i, &lv) in levels.iter().enumerate() {
+        let ct = be.encrypt(values_data, lv).expect("encrypt");
+        values.insert(ValueId(1 + i as u32), RtValue::Ct(ct));
+    }
+    let carried = vec![
+        RtValue::Ct(be.encrypt(&[0.5], LEVELS).expect("encrypt")),
+        RtValue::Pt(vec![1.0, -2.0]),
+    ];
+    let bytes = encode_snapshot(be, "prog", OpId(7), 3, &values, &carried);
+    (values, carried, bytes)
+}
+
+fn assert_pt_eq<C>(a: &RtValue<C>, b: &RtValue<C>) -> bool {
+    match (a, b) {
+        (RtValue::Pt(x), RtValue::Pt(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+        }
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sim ciphertexts round-trip bit-exactly at every level/degree mix.
+    #[test]
+    fn sim_snapshot_roundtrips(
+        lv1 in 1..=LEVELS,
+        lv2 in 1..=LEVELS,
+        data in proptest::collection::vec(-10.0..10.0f64, 1..8),
+    ) {
+        let be = sim();
+        let (values, carried, bytes) = snapshot_state(&be, &[lv1, lv2], &data);
+        let snap = decode_snapshot(&be, "prog", &bytes).expect("decodes");
+        prop_assert_eq!(snap.loop_op, OpId(7));
+        prop_assert_eq!(snap.iter, 3);
+        prop_assert_eq!(snap.values.len(), values.len());
+        prop_assert_eq!(snap.carried.len(), carried.len());
+        for (id, v) in &values {
+            match (v, &snap.values[id]) {
+                (RtValue::Ct(a), RtValue::Ct(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(assert_pt_eq(a, b)),
+            }
+        }
+        snap.apply_rng(&be).expect("rng applies");
+    }
+
+    /// Toy ciphertexts (real RNS limb matrices) round-trip bit-exactly.
+    #[test]
+    fn toy_snapshot_roundtrips(
+        lv in 1..=LEVELS,
+        data in proptest::collection::vec(-2.0..2.0f64, 1..8),
+    ) {
+        let be = toy();
+        let (values, _carried, bytes) = snapshot_state(&be, &[lv], &data);
+        let snap = decode_snapshot(&be, "prog", &bytes).expect("decodes");
+        for (id, v) in &values {
+            match (v, &snap.values[id]) {
+                (RtValue::Ct(a), RtValue::Ct(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(assert_pt_eq(a, b)),
+            }
+        }
+        snap.apply_rng(&be).expect("rng applies");
+    }
+
+    /// Every possible truncation of a valid snapshot is rejected.
+    #[test]
+    fn truncation_rejected(cut_frac in 0.0..1.0f64) {
+        let be = sim();
+        let (_, _, bytes) = snapshot_state(&be, &[2, 5], &[1.0, 2.0]);
+        let cut = ((cut_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        prop_assert!(decode_snapshot(&be, "prog", &bytes[..cut]).is_err());
+    }
+
+    /// A single flipped bit anywhere in the blob — payload or the
+    /// checksum itself — is rejected.
+    #[test]
+    fn bitflip_rejected(pos_frac in 0.0..1.0f64, bit in 0u8..8) {
+        let be = sim();
+        let (_, _, mut bytes) = snapshot_state(&be, &[3], &[0.25]);
+        let pos = ((pos_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(decode_snapshot(&be, "prog", &bytes).is_err());
+    }
+}
+
+/// Cross-backend, cross-program, and cross-parameter snapshots are all
+/// rejected by header validation.
+#[test]
+fn foreign_snapshots_rejected() {
+    let be = sim();
+    let (_, _, bytes) = snapshot_state(&be, &[4], &[1.0]);
+
+    // Wrong function name.
+    assert!(decode_snapshot(&be, "other", &bytes).is_err());
+
+    // Wrong backend family (ciphertext format mismatch).
+    assert!(decode_snapshot(&toy(), "prog", &bytes).is_err());
+
+    // Wrong parameters.
+    let bigger = SimBackend::new(CkksParams {
+        poly_degree: 2 * N,
+        max_level: LEVELS,
+        rf_bits: 51,
+    });
+    assert!(decode_snapshot(&bigger, "prog", &bytes).is_err());
+}
+
+/// The RNG blob inside a snapshot binds to the backend seed: restoring on
+/// a backend constructed with a different seed fails instead of silently
+/// diverging.
+#[test]
+fn rng_seed_mismatch_rejected() {
+    let be = toy();
+    let mut blob = Vec::new();
+    be.rng_save(&mut blob);
+    let other = ToyBackend::new(N, LEVELS, 0xBAD5EED);
+    assert!(other.rng_load(&mut SnapReader::new(&blob)).is_err());
+}
