@@ -1,12 +1,13 @@
 //! CI schema check for the machine-readable bench artifacts: parses and
 //! validates `BENCH_ROTATE.json`, `BENCH_RUN_ALL.json`, and — when
-//! present or made mandatory with `--fuzz` / `--crash` — the
-//! `FUZZ_REPORT.json` and `CRASH_REPORT.json` campaign reports, all from
-//! `HALO_BENCH_JSON_DIR` (default `results/`), exiting non-zero on the
-//! first violation.
+//! present or made mandatory with `--ntt` / `--fuzz` / `--crash` — the
+//! `BENCH_NTT.json` microbenchmark and the `FUZZ_REPORT.json` /
+//! `CRASH_REPORT.json` campaign reports, all from `HALO_BENCH_JSON_DIR`
+//! (default `results/`), exiting non-zero on the first violation.
 //!
 //! ```sh
 //! cargo run --release -p halo-bench --bin bench_json_check
+//! cargo run --release -p halo-bench --bin bench_json_check -- --ntt
 //! cargo run --release -p halo-bench --bin bench_json_check -- --fuzz
 //! cargo run --release -p halo-bench --bin bench_json_check -- --crash
 //! ```
@@ -29,6 +30,7 @@ fn main() {
     // validated only if present, so plain bench runs don't require a
     // fuzzing or crash campaign first.
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let require_ntt = args.iter().any(|a| a == "--ntt");
     let require_fuzz = args.iter().any(|a| a == "--fuzz");
     let require_crash = args.iter().any(|a| a == "--crash");
     let present = |name: &str| {
@@ -41,6 +43,9 @@ fn main() {
         check("BENCH_ROTATE.json", json::validate_rotate),
         check("BENCH_RUN_ALL.json", json::validate_run_all),
     ];
+    if require_ntt || present("BENCH_NTT.json") {
+        results.push(check("BENCH_NTT.json", json::validate_ntt));
+    }
     if require_fuzz || present("FUZZ_REPORT.json") {
         results.push(check("FUZZ_REPORT.json", json::validate_fuzz_report));
     }

@@ -366,6 +366,53 @@ pub fn validate_rotate(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `BENCH_NTT.json` document (schema `halo-bench-ntt/1`):
+/// the lazy-reduction NTT / NTT-resident-key microbenchmark. Records the
+/// per-limb transform cost and the ct-ct multiply latency under the eager
+/// Barrett path (the pre-redesign baseline arithmetic) and the default
+/// lazy Harvey/Shoup path, plus the deferred-reduction count proving the
+/// lazy path was actually exercised.
+///
+/// # Errors
+///
+/// Returns the first schema violation.
+pub fn validate_ntt(v: &Json) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != "halo-bench-ntt/1" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    for k in ["n", "levels", "reps", "threads"] {
+        let x = require_num(v, k)?;
+        if x < 1.0 {
+            return Err(format!("key '{k}' must be >= 1"));
+        }
+    }
+    let ntt_eager = require_num(v, "ntt_eager_ns_per_limb")?;
+    let ntt_lazy = require_num(v, "ntt_lazy_ns_per_limb")?;
+    let ntt_speedup = require_num(v, "ntt_speedup")?;
+    if ntt_lazy > 0.0 && (ntt_speedup - ntt_eager / ntt_lazy).abs() > 1e-6 * ntt_speedup.max(1.0) {
+        return Err(format!(
+            "ntt_speedup {ntt_speedup} inconsistent with {ntt_eager} / {ntt_lazy}"
+        ));
+    }
+    let mult_eager = require_num(v, "mult_eager_us")?;
+    let mult_lazy = require_num(v, "mult_lazy_us")?;
+    let mult_speedup = require_num(v, "mult_speedup")?;
+    if mult_lazy > 0.0
+        && (mult_speedup - mult_eager / mult_lazy).abs() > 1e-6 * mult_speedup.max(1.0)
+    {
+        return Err(format!(
+            "mult_speedup {mult_speedup} inconsistent with {mult_eager} / {mult_lazy}"
+        ));
+    }
+    // The lazy path must have actually deferred reductions, or the
+    // "lazy" column silently measured the eager code.
+    if require_num(v, "lazy_reductions_skipped")? < 1.0 {
+        return Err("lazy_reductions_skipped must be >= 1".into());
+    }
+    Ok(())
+}
+
 /// Validates a `BENCH_RUN_ALL.json` document (schema
 /// `halo-bench-run-all/1`): per-benchmark modeled latencies and bootstrap
 /// counts plus the run's wall time.
@@ -626,6 +673,45 @@ mod tests {
             Json::Str("halo-bench-rotate/1".into())
         )]))
         .is_err());
+    }
+
+    fn ntt_doc(lazy_skipped: f64) -> Json {
+        obj(vec![
+            ("schema", Json::Str("halo-bench-ntt/1".into())),
+            ("n", num(4096.0)),
+            ("levels", num(8.0)),
+            ("reps", num(50.0)),
+            ("threads", num(4.0)),
+            ("ntt_eager_ns_per_limb", num(9000.0)),
+            ("ntt_lazy_ns_per_limb", num(3000.0)),
+            ("ntt_speedup", num(3.0)),
+            ("mult_eager_us", num(2400.0)),
+            ("mult_lazy_us", num(1000.0)),
+            ("mult_speedup", num(2.4)),
+            ("lazy_reductions_skipped", num(lazy_skipped)),
+        ])
+    }
+
+    #[test]
+    fn ntt_schema_validates_and_rejects() {
+        validate_ntt(&ntt_doc(1_000_000.0)).unwrap();
+        // A "lazy" column that never deferred a reduction measured the
+        // wrong code path.
+        assert!(validate_ntt(&ntt_doc(0.0)).is_err());
+        // Inconsistent speedup ratios are caught.
+        let mut bad = ntt_doc(1.0);
+        if let Json::Obj(members) = &mut bad {
+            for (k, v) in members.iter_mut() {
+                if k == "mult_speedup" {
+                    *v = num(7.0);
+                }
+            }
+        }
+        assert!(validate_ntt(&bad).is_err());
+        // Missing keys are caught.
+        assert!(
+            validate_ntt(&obj(vec![("schema", Json::Str("halo-bench-ntt/1".into()))])).is_err()
+        );
     }
 
     #[test]

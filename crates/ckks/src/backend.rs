@@ -231,7 +231,20 @@ pub trait Backend: Send + Sync {
     ///
     /// Fails if any single rotation would.
     fn rotate_batch(&self, a: &Self::Ct, offsets: &[i64]) -> Result<Vec<Self::Ct>> {
-        offsets.iter().map(|&o| self.rotate(a, o)).collect()
+        // Duplicate offsets reuse the first result instead of paying the
+        // full rotation again — rotations are deterministic, so the clone
+        // is bit-identical to recomputing.
+        let mut out: Vec<Self::Ct> = Vec::with_capacity(offsets.len());
+        let mut seen: Vec<(i64, usize)> = Vec::new();
+        for &o in offsets {
+            if let Some(&(_, i)) = seen.iter().find(|&&(prev, _)| prev == o) {
+                out.push(out[i].clone());
+            } else {
+                seen.push((o, out.len()));
+                out.push(self.rotate(a, o)?);
+            }
+        }
+        Ok(out)
     }
 
     /// Rescale: divide the scale by `Rf`, dropping one level (degree 2→1).

@@ -16,6 +16,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static POLY_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static POOL_REUSES: AtomicU64 = AtomicU64::new(0);
+static LAZY_REDUCTIONS_SKIPPED: AtomicU64 = AtomicU64::new(0);
 static NTT_FORWARD_ROWS: AtomicU64 = AtomicU64::new(0);
 static NTT_INVERSE_ROWS: AtomicU64 = AtomicU64::new(0);
 static DIGIT_DECOMPOSES: AtomicU64 = AtomicU64::new(0);
@@ -25,8 +27,16 @@ static KEYSWITCH_CALLS: AtomicU64 = AtomicU64::new(0);
 /// A point-in-time reading of every counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
-    /// `RnsPoly` row-set allocations (constructors and clones).
+    /// Fresh heap allocations of limb buffers. Pool-recycled buffers
+    /// (see `toy::poly`'s buffer pool) do not count — this is the metric
+    /// the zero-copy/zero-alloc hot-path tests assert on.
     pub poly_allocs: u64,
+    /// Limb buffers acquired from the recycling pool instead of the heap.
+    pub pool_reuses: u64,
+    /// Per-element modular canonicalizations elided by the lazy-reduction
+    /// kernels (Harvey butterflies, Shoup products) relative to the eager
+    /// per-op path. Zero when `ReductionMode::Eager` is active.
+    pub lazy_reductions_skipped: u64,
     /// Residue rows put through a forward NTT.
     pub ntt_forward_rows: u64,
     /// Residue rows put through an inverse NTT.
@@ -44,6 +54,8 @@ pub struct MetricsSnapshot {
 /// Resets every counter to zero.
 pub fn reset() {
     POLY_ALLOCS.store(0, Ordering::Relaxed);
+    POOL_REUSES.store(0, Ordering::Relaxed);
+    LAZY_REDUCTIONS_SKIPPED.store(0, Ordering::Relaxed);
     NTT_FORWARD_ROWS.store(0, Ordering::Relaxed);
     NTT_INVERSE_ROWS.store(0, Ordering::Relaxed);
     DIGIT_DECOMPOSES.store(0, Ordering::Relaxed);
@@ -56,6 +68,8 @@ pub fn reset() {
 pub fn snapshot() -> MetricsSnapshot {
     MetricsSnapshot {
         poly_allocs: POLY_ALLOCS.load(Ordering::Relaxed),
+        pool_reuses: POOL_REUSES.load(Ordering::Relaxed),
+        lazy_reductions_skipped: LAZY_REDUCTIONS_SKIPPED.load(Ordering::Relaxed),
         ntt_forward_rows: NTT_FORWARD_ROWS.load(Ordering::Relaxed),
         ntt_inverse_rows: NTT_INVERSE_ROWS.load(Ordering::Relaxed),
         digit_decomposes: DIGIT_DECOMPOSES.load(Ordering::Relaxed),
@@ -66,6 +80,14 @@ pub fn snapshot() -> MetricsSnapshot {
 
 pub(crate) fn count_poly_alloc() {
     POLY_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_pool_reuse() {
+    POOL_REUSES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_lazy_reductions_skipped(n: u64) {
+    LAZY_REDUCTIONS_SKIPPED.fetch_add(n, Ordering::Relaxed);
 }
 
 pub(crate) fn count_ntt_forward_rows(rows: u64) {
@@ -103,6 +125,8 @@ mod tests {
         count_digit_ntt_rows(5);
         count_keyswitch();
         count_ntt_inverse_rows(2);
+        count_pool_reuse();
+        count_lazy_reductions_skipped(11);
         let after = snapshot();
         assert!(after.poly_allocs > before.poly_allocs);
         assert!(after.ntt_forward_rows >= before.ntt_forward_rows + 3);
@@ -110,5 +134,7 @@ mod tests {
         assert!(after.digit_decomposes > before.digit_decomposes);
         assert!(after.digit_ntt_rows >= before.digit_ntt_rows + 5);
         assert!(after.keyswitch_calls > before.keyswitch_calls);
+        assert!(after.pool_reuses > before.pool_reuses);
+        assert!(after.lazy_reductions_skipped >= before.lazy_reductions_skipped + 11);
     }
 }

@@ -86,6 +86,42 @@ where
     });
 }
 
+/// Applies `f(limb_index, limb_slice)` to every `limb_len`-sized chunk of
+/// one contiguous limb-major buffer — the flat-layout counterpart of
+/// [`par_for_each_indexed`]. Threads partition whole limbs, so each chunk
+/// is touched by exactly one worker and the schedule is bit-identical to
+/// the serial loop for pure per-limb `f`.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `limb_len`.
+pub fn par_for_each_limb<F>(data: &mut [u64], limb_len: usize, total_work: usize, f: F)
+where
+    F: Fn(usize, &mut [u64]) + Sync,
+{
+    assert_eq!(data.len() % limb_len.max(1), 0, "ragged limb buffer");
+    let limbs = data.len().checked_div(limb_len).unwrap_or(0);
+    let workers = threads().min(limbs.max(1));
+    if workers <= 1 || total_work < MIN_PAR_WORK {
+        for (i, limb) in data.chunks_mut(limb_len.max(1)).enumerate() {
+            f(i, limb);
+        }
+        return;
+    }
+    let per_worker = limbs.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (c, slab) in data.chunks_mut(per_worker * limb_len).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = c * per_worker;
+                for (i, limb) in slab.chunks_mut(limb_len).enumerate() {
+                    f(base + i, limb);
+                }
+            });
+        }
+    });
+}
+
 /// Builds one output item per index in parallel (the allocating
 /// counterpart of [`par_for_each_indexed`], for `zip_with`-style ops).
 pub fn par_map_indexed<T, F>(count: usize, total_work: usize, f: F) -> Vec<T>
@@ -129,6 +165,28 @@ mod tests {
         par_for_each_indexed(&mut v, 7, |i, x| *x += i as u64);
         set_threads(None);
         assert_eq!(v, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn limb_chunks_agree_between_serial_and_parallel() {
+        let _g = GUARD.lock().unwrap();
+        let limb = 64;
+        let mut a: Vec<u64> = (0..limb as u64 * 7).collect();
+        let mut b = a.clone();
+        set_threads(Some(1));
+        par_for_each_limb(&mut a, limb, MIN_PAR_WORK * 2, |i, chunk| {
+            for x in chunk.iter_mut() {
+                *x = x.wrapping_mul(i as u64 + 7);
+            }
+        });
+        set_threads(Some(4));
+        par_for_each_limb(&mut b, limb, MIN_PAR_WORK * 2, |i, chunk| {
+            for x in chunk.iter_mut() {
+                *x = x.wrapping_mul(i as u64 + 7);
+            }
+        });
+        set_threads(None);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,4 +1,174 @@
 //! 64-bit modular arithmetic: the scalar substrate of the RNS backend.
+//!
+//! Two reduction disciplines coexist (see [`ReductionMode`]):
+//!
+//! - **Eager**: every scalar op canonicalizes to `[0, p)` immediately via
+//!   widening `%` — the original, obviously-correct path, kept as the
+//!   differential oracle.
+//! - **Lazy**: hot kernels carry 2p/4p-redundant values through whole
+//!   passes and canonicalize once at the end, using precomputed
+//!   Shoup companions ([`shoup_precompute`] / [`mul_shoup_lazy`]) for
+//!   fixed multiplicands (twiddles, key material) and a precomputed
+//!   Barrett [`Modulus`] for variable×variable products.
+//!
+//! Both disciplines compute the same residue, so every kernel's
+//! *canonical* output is bit-identical between modes — test-enforced.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which reduction discipline the toy backend's hot kernels use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReductionMode {
+    /// Canonicalize after every scalar op (widening `%`).
+    Eager,
+    /// Harvey/Shoup lazy representation through whole kernel passes,
+    /// one final reduction. The default.
+    Lazy,
+}
+
+/// Process-global mode: 0 = lazy (default), 1 = eager. Kernels read this
+/// once per public call, so a concurrent flip never produces a mixed
+/// pass — and both modes are bit-identical anyway.
+static REDUCTION_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the reduction discipline (tests flip between the two to prove
+/// bit-identity; benchmarks flip to measure the lazy win).
+pub fn set_reduction_mode(mode: ReductionMode) {
+    REDUCTION_MODE.store(u8::from(mode == ReductionMode::Eager), Ordering::SeqCst);
+}
+
+/// The current reduction discipline.
+#[must_use]
+pub fn reduction_mode() -> ReductionMode {
+    if REDUCTION_MODE.load(Ordering::SeqCst) == 1 {
+        ReductionMode::Eager
+    } else {
+        ReductionMode::Lazy
+    }
+}
+
+/// A prime modulus with precomputed Barrett constants: reduces full
+/// 128-bit products with five 64-bit multiplies instead of a 128-bit
+/// division. Requires `p < 2^62` (all toy-chain primes are ≤ 2^59).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Modulus {
+    /// The prime.
+    pub p: u64,
+    /// `2p`, the lazy-representation bound for Shoup products.
+    pub twice_p: u64,
+    /// `⌊2^128 / p⌋`, low word.
+    ratio_lo: u64,
+    /// `⌊2^128 / p⌋`, high word.
+    ratio_hi: u64,
+}
+
+impl Modulus {
+    /// Precomputes Barrett constants for prime `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ p < 2^62`.
+    #[must_use]
+    pub fn new(p: u64) -> Modulus {
+        assert!((2..1 << 62).contains(&p), "modulus {p} out of range");
+        // p is odd (an NTT prime), so ⌊2^128/p⌋ = ⌊(2^128 − 1)/p⌋.
+        let ratio = u128::MAX / u128::from(p);
+        Modulus {
+            p,
+            twice_p: 2 * p,
+            ratio_lo: ratio as u64,
+            ratio_hi: (ratio >> 64) as u64,
+        }
+    }
+
+    /// Barrett reduction of a full 128-bit value: `z mod p`, canonical.
+    ///
+    /// The quotient estimate `q = ⌊z·ratio/2^128⌋` undershoots the true
+    /// quotient by at most 2, so the remainder lands in `[0, 3p)` and two
+    /// conditional subtractions canonicalize it (`3p < 2^64` holds for
+    /// `p < 2^62`).
+    #[inline]
+    #[must_use]
+    pub fn reduce_u128(&self, z: u128) -> u64 {
+        let z_lo = z as u64;
+        let z_hi = (z >> 64) as u64;
+        let carry = ((u128::from(z_lo) * u128::from(self.ratio_lo)) >> 64) as u64;
+        let t_mid = u128::from(z_lo) * u128::from(self.ratio_hi);
+        let t_mid2 = u128::from(z_hi) * u128::from(self.ratio_lo);
+        let (low, c1) = (t_mid as u64).overflowing_add(t_mid2 as u64);
+        let (_, c2) = low.overflowing_add(carry);
+        let q = z_hi
+            .wrapping_mul(self.ratio_hi)
+            .wrapping_add((t_mid >> 64) as u64)
+            .wrapping_add((t_mid2 >> 64) as u64)
+            .wrapping_add(u64::from(c1))
+            .wrapping_add(u64::from(c2));
+        let r = z_lo.wrapping_sub(q.wrapping_mul(self.p));
+        csub(csub(r, self.twice_p), self.p)
+    }
+
+    /// `a·b mod p`, canonical, via the precomputed Barrett constants.
+    #[inline]
+    #[must_use]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.reduce_u128(u128::from(a) * u128::from(b))
+    }
+
+    /// `x mod p` for an arbitrary `u64` (the digit-lift kernel).
+    #[inline]
+    #[must_use]
+    pub fn reduce_u64(&self, x: u64) -> u64 {
+        self.reduce_u128(u128::from(x))
+    }
+
+    /// Canonicalizes a 4p-redundant lazy value into `[0, p)`.
+    #[inline]
+    #[must_use]
+    pub fn canon_4p(&self, x: u64) -> u64 {
+        csub(csub(x, self.twice_p), self.p)
+    }
+}
+
+/// Branchless `if x >= m { x - m } else { x }`: a compare plus masked
+/// add-back. The lazy kernels run this on uniformly random residues where
+/// a real branch mispredicts half the time and costs more than the whole
+/// Shoup product around it.
+#[inline(always)]
+#[must_use]
+pub fn csub(x: u64, m: u64) -> u64 {
+    let (d, borrow) = x.overflowing_sub(m);
+    d.wrapping_add(m & (borrow as u64).wrapping_neg())
+}
+
+/// The Shoup companion of a fixed multiplicand `w < p`: `⌊w·2^64 / p⌋`.
+/// Pairing `(w, w')` makes every later product against `w` two multiplies
+/// and one subtraction ([`mul_shoup_lazy`]) — no division, no `%`.
+///
+/// # Panics
+///
+/// Panics unless `w < p`.
+#[must_use]
+pub fn shoup_precompute(w: u64, p: u64) -> u64 {
+    assert!(w < p, "Shoup multiplicand must be reduced");
+    ((u128::from(w) << 64) / u128::from(p)) as u64
+}
+
+/// `x·w mod p` in lazy form (`[0, 2p)`), given the Shoup companion
+/// `w_shoup = shoup_precompute(w, p)`. Valid for **any** `x: u64` and
+/// `w < p < 2^63`.
+#[inline]
+#[must_use]
+pub fn mul_shoup_lazy(x: u64, w: u64, w_shoup: u64, p: u64) -> u64 {
+    let q = ((u128::from(x) * u128::from(w_shoup)) >> 64) as u64;
+    x.wrapping_mul(w).wrapping_sub(q.wrapping_mul(p))
+}
+
+/// `x·w mod p`, canonical, via the Shoup companion.
+#[inline]
+#[must_use]
+pub fn mul_shoup(x: u64, w: u64, w_shoup: u64, p: u64) -> u64 {
+    csub(mul_shoup_lazy(x, w, w_shoup, p), p)
+}
 
 /// `(a + b) mod m` for `a, b < m < 2^63`.
 #[inline]
@@ -203,6 +373,74 @@ mod tests {
         for w in primes.windows(2) {
             assert!(w[0] > w[1]);
         }
+    }
+
+    /// A cheap deterministic value stream covering the full u64 range.
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn barrett_matches_widening_remainder() {
+        for &p in &[
+            97u64,
+            (1 << 40) + 117, // odd but composite: Barrett needs no primality
+            ntt_primes(1 << 40, 64, 1)[0],
+            ntt_primes(1 << 59, 64, 1)[0],
+            (1 << 62) - 57, // largest supported size class
+        ] {
+            let m = Modulus::new(p);
+            for i in 0..2000u64 {
+                let a = mix(i);
+                let b = mix(i ^ 0xABCD);
+                let z = u128::from(a) * u128::from(b);
+                assert_eq!(m.reduce_u128(z), (z % u128::from(p)) as u64, "p={p} z={z}");
+                assert_eq!(m.reduce_u64(a), a % p);
+                assert_eq!(m.mul(a % p, b % p), mulmod(a % p, b % p, p));
+            }
+            // Edge values.
+            for z in [0u128, 1, u128::from(p) - 1, u128::from(p), u128::MAX] {
+                assert_eq!(m.reduce_u128(z), (z % u128::from(p)) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn shoup_products_are_exact_and_lazily_bounded() {
+        for &p in &[ntt_primes(1 << 40, 64, 1)[0], ntt_primes(1 << 59, 64, 1)[0]] {
+            for i in 0..2000u64 {
+                let w = mix(i) % p;
+                let w_shoup = shoup_precompute(w, p);
+                // Any u64 operand, including unreduced lazy values.
+                let x = mix(i ^ 0x5EED);
+                let lazy = mul_shoup_lazy(x, w, w_shoup, p);
+                assert!(lazy < 2 * p, "lazy product out of [0, 2p)");
+                assert_eq!(lazy % p, mulmod(x % p, w, p), "p={p} w={w} x={x}");
+                assert_eq!(mul_shoup(x, w, w_shoup, p), mulmod(x % p, w, p));
+            }
+        }
+    }
+
+    #[test]
+    fn canon_4p_folds_redundant_values() {
+        let p = 97u64;
+        let m = Modulus::new(p);
+        for x in 0..4 * p {
+            assert_eq!(m.canon_4p(x), x % p);
+        }
+    }
+
+    #[test]
+    fn reduction_mode_roundtrips() {
+        let initial = reduction_mode();
+        set_reduction_mode(ReductionMode::Eager);
+        assert_eq!(reduction_mode(), ReductionMode::Eager);
+        set_reduction_mode(ReductionMode::Lazy);
+        assert_eq!(reduction_mode(), ReductionMode::Lazy);
+        set_reduction_mode(initial);
     }
 
     #[test]

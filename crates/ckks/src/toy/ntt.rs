@@ -8,7 +8,11 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::toy::modular::{addmod, invmod, mulmod, primitive_root, submod};
+use crate::metrics;
+use crate::toy::modular::{
+    addmod, csub, invmod, mul_shoup, mul_shoup_lazy, mulmod, primitive_root, reduction_mode,
+    shoup_precompute, submod, ReductionMode,
+};
 
 /// Cache key: `(ring degree, prime modulus)`.
 type TableKey = (usize, u64);
@@ -50,22 +54,40 @@ pub fn automorphism_indices(n: usize, t: usize) -> Arc<Vec<usize>> {
 }
 
 /// Precomputed twiddle tables for one `(N, p)` pair.
+///
+/// Every multiplicative constant carries a Shoup companion
+/// (`⌊w·2^64/p⌋`, see [`shoup_precompute`]) so the lazy Harvey kernels
+/// replace each `u128` Barrett product with one `mulhi` + one wrapping
+/// `mul` and defer all range reduction to a single final pass.
 #[derive(Debug, Clone)]
 pub struct NttTable {
     /// Ring degree (power of two).
     pub n: usize,
     /// Prime modulus (`p ≡ 1 mod 2N`).
     pub p: u64,
+    /// `2p`, the lazy-representation half-bound.
+    twice_p: u64,
     /// `ψ^i` for the negacyclic pre-twist.
     psi_pows: Vec<u64>,
+    /// Shoup companions of `psi_pows`.
+    psi_shoup: Vec<u64>,
     /// `ψ^{−i}` for the post-twist.
     psi_inv_pows: Vec<u64>,
-    /// `ω^i` (N-th root) in bit-reversed order for the butterfly.
+    /// `ω^i` (N-th root), natural order, indexed `k·step` by the butterfly.
     omega_pows: Vec<u64>,
+    /// Shoup companions of `omega_pows`.
+    omega_shoup: Vec<u64>,
     /// Inverse-omega powers.
     omega_inv_pows: Vec<u64>,
+    /// Shoup companions of `omega_inv_pows`.
+    omega_inv_shoup: Vec<u64>,
     /// `N^{−1} mod p`.
     n_inv: u64,
+    /// Merged inverse post-twist: `N^{−1}·ψ^{−i} mod p` — folds the two
+    /// eager post-multiplies of [`NttTable::inverse`] into one product.
+    inv_post: Vec<u64>,
+    /// Shoup companions of `inv_post`.
+    inv_post_shoup: Vec<u64>,
 }
 
 impl NttTable {
@@ -73,11 +95,13 @@ impl NttTable {
     ///
     /// # Panics
     ///
-    /// Panics if the preconditions fail.
+    /// Panics if the preconditions fail, or if `p ≥ 2^62` (the Harvey
+    /// lazy representation needs `4p` to fit in a `u64` word).
     #[must_use]
     pub fn new(n: usize, p: u64) -> NttTable {
         assert!(n.is_power_of_two(), "N must be a power of two");
         assert_eq!((p - 1) % (2 * n as u64), 0, "p must be ≡ 1 mod 2N");
+        assert!(p < 1u64 << 62, "lazy NTT needs p < 2^62");
         let psi = primitive_root(2 * n as u64, p);
         let omega = mulmod(psi, psi, p);
         let psi_inv = invmod(psi, p);
@@ -91,14 +115,28 @@ impl NttTable {
             }
             v
         };
+        let shoup_table =
+            |ws: &[u64]| -> Vec<u64> { ws.iter().map(|&w| shoup_precompute(w, p)).collect() };
+        let n_inv = invmod(n as u64, p);
+        let psi_pows = pow_table(psi, n);
+        let psi_inv_pows = pow_table(psi_inv, n);
+        let omega_pows = pow_table(omega, n);
+        let omega_inv_pows = pow_table(omega_inv, n);
+        let inv_post: Vec<u64> = psi_inv_pows.iter().map(|&w| mulmod(n_inv, w, p)).collect();
         NttTable {
             n,
             p,
-            psi_pows: pow_table(psi, n),
-            psi_inv_pows: pow_table(psi_inv, n),
-            omega_pows: pow_table(omega, n),
-            omega_inv_pows: pow_table(omega_inv, n),
-            n_inv: invmod(n as u64, p),
+            twice_p: 2 * p,
+            psi_shoup: shoup_table(&psi_pows),
+            omega_shoup: shoup_table(&omega_pows),
+            omega_inv_shoup: shoup_table(&omega_inv_pows),
+            inv_post_shoup: shoup_table(&inv_post),
+            psi_pows,
+            psi_inv_pows,
+            omega_pows,
+            omega_inv_pows,
+            n_inv,
+            inv_post,
         }
     }
 
@@ -120,42 +158,105 @@ impl NttTable {
 
     /// In-place forward negacyclic NTT (coefficient → evaluation form).
     ///
+    /// Dispatches on the process-wide [`reduction_mode`]: the lazy Harvey
+    /// path and the eager Barrett path produce **bit-identical** canonical
+    /// output (exact modular arithmetic; laziness never escapes this call).
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != N`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
-        for (i, x) in a.iter_mut().enumerate() {
-            *x = mulmod(*x, self.psi_pows[i], self.p);
+        match reduction_mode() {
+            ReductionMode::Eager => {
+                for (i, x) in a.iter_mut().enumerate() {
+                    *x = mulmod(*x, self.psi_pows[i], self.p);
+                }
+                self.fft(a, &self.omega_pows);
+            }
+            ReductionMode::Lazy => {
+                // Pre-twist leaves values < 2p; butterflies keep them < 4p.
+                for ((x, &w), &wp) in a.iter_mut().zip(&self.psi_pows).zip(&self.psi_shoup) {
+                    *x = mul_shoup_lazy(*x, w, wp, self.p);
+                }
+                self.fft_lazy(a, &self.omega_pows, &self.omega_shoup);
+                // One canonicalization pass for the whole transform, in
+                // place of one per butterfly in the eager path.
+                for x in a.iter_mut() {
+                    *x = csub(csub(*x, self.twice_p), self.p);
+                }
+                metrics::count_lazy_reductions_skipped(self.deferred_reductions());
+            }
         }
-        self.fft(a, &self.omega_pows);
+    }
+
+    /// [`NttTable::forward`] minus the final canonicalization pass: lazy
+    /// output stays in the `[0, 4p)` redundant representation. Only for
+    /// rows whose every consumer accepts redundant values — the hoisted
+    /// digit slab feeding `mul_shoup_lazy` key products, where the single
+    /// downstream Barrett reduction restores the canonical result
+    /// bit-for-bit (any representative of `x mod p` yields a product
+    /// `≡ x·w (mod p)`). Eager mode dispatches to the canonical
+    /// [`NttTable::forward`] unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn forward_redundant(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        match reduction_mode() {
+            ReductionMode::Eager => self.forward(a),
+            ReductionMode::Lazy => {
+                for ((x, &w), &wp) in a.iter_mut().zip(&self.psi_pows).zip(&self.psi_shoup) {
+                    *x = mul_shoup_lazy(*x, w, wp, self.p);
+                }
+                self.fft_lazy(a, &self.omega_pows, &self.omega_shoup);
+                metrics::count_lazy_reductions_skipped(self.deferred_reductions() + self.n as u64);
+            }
+        }
     }
 
     /// In-place inverse negacyclic NTT (evaluation → coefficient form).
+    ///
+    /// Same bit-identity contract as [`NttTable::forward`].
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != N`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
-        self.fft(a, &self.omega_inv_pows);
-        for (i, x) in a.iter_mut().enumerate() {
-            *x = mulmod(mulmod(*x, self.n_inv, self.p), self.psi_inv_pows[i], self.p);
+        match reduction_mode() {
+            ReductionMode::Eager => {
+                self.fft(a, &self.omega_inv_pows);
+                for (i, x) in a.iter_mut().enumerate() {
+                    *x = mulmod(mulmod(*x, self.n_inv, self.p), self.psi_inv_pows[i], self.p);
+                }
+            }
+            ReductionMode::Lazy => {
+                self.fft_lazy(a, &self.omega_inv_pows, &self.omega_inv_shoup);
+                // The merged post-twist `N^{−1}·ψ^{−i}` both de-twists and
+                // canonicalizes: `mul_shoup` accepts the 4p-redundant input
+                // directly, so no separate reduction pass is needed.
+                for ((x, &w), &wp) in a.iter_mut().zip(&self.inv_post).zip(&self.inv_post_shoup) {
+                    *x = mul_shoup(*x, w, wp, self.p);
+                }
+                metrics::count_lazy_reductions_skipped(self.deferred_reductions());
+            }
         }
     }
 
-    /// Iterative radix-2 DIT FFT with the given root-power table.
+    /// Reductions one lazy transform defers relative to the eager path:
+    /// one per butterfly (`N/2·log₂N`) plus one per twist multiply (`N`).
+    fn deferred_reductions(&self) -> u64 {
+        let n = self.n as u64;
+        n / 2 * u64::from(self.n.trailing_zeros()) + n
+    }
+
+    /// Iterative radix-2 DIT FFT with the given root-power table
+    /// (eager: every butterfly output is canonical in `[0, p)`).
     fn fft(&self, a: &mut [u64], omega_pows: &[u64]) {
         let n = self.n;
-        // Bit-reverse permutation.
-        let bits = n.trailing_zeros();
-        for i in 0..n {
-            let j = (i as u32).reverse_bits() >> (32 - bits);
-            let j = j as usize;
-            if i < j {
-                a.swap(i, j);
-            }
-        }
+        Self::bit_reverse(a);
         let mut len = 2;
         while len <= n {
             let step = n / len;
@@ -169,6 +270,51 @@ impl NttTable {
                 }
             }
             len *= 2;
+        }
+    }
+
+    /// The same DIT schedule with Harvey lazy butterflies: values stay in
+    /// the `[0, 4p)` redundant representation across all `log₂N` stages.
+    ///
+    /// Per butterfly: fold `u` into `[0, 2p)`, compute
+    /// `v = x·w − ⌊x·w′/2^64⌋·p ∈ [0, 2p)` with the Shoup companion, then
+    /// `(u + v, u + 2p − v)` — both `< 4p`, restoring the stage invariant
+    /// without any conditional subtraction on the outputs.
+    fn fft_lazy(&self, a: &mut [u64], omega_pows: &[u64], omega_shoup: &[u64]) {
+        let n = self.n;
+        let p = self.p;
+        let two_p = self.twice_p;
+        Self::bit_reverse(a);
+        let mut len = 2;
+        while len <= n {
+            let step = n / len;
+            // Slice-splitting iteration instead of indexed access: the
+            // butterfly loop carries no bounds checks, which matters as
+            // much as the lazy arithmetic itself at this loop's trip count.
+            for chunk in a.chunks_exact_mut(len) {
+                let (lo, hi) = chunk.split_at_mut(len / 2);
+                let tw = omega_pows.iter().step_by(step);
+                let tws = omega_shoup.iter().step_by(step);
+                for (((x, y), &w), &wp) in lo.iter_mut().zip(hi.iter_mut()).zip(tw).zip(tws) {
+                    let u = csub(*x, two_p);
+                    let v = mul_shoup_lazy(*y, w, wp, p);
+                    *x = u + v;
+                    *y = u + two_p - v;
+                }
+            }
+            len *= 2;
+        }
+    }
+
+    /// Bit-reverse permutation shared by both FFT schedules.
+    fn bit_reverse(a: &mut [u64]) {
+        let n = a.len();
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let j = ((i as u32).reverse_bits() >> (32 - bits)) as usize;
+            if i < j {
+                a.swap(i, j);
+            }
         }
     }
 }
@@ -266,6 +412,33 @@ mod tests {
         let b = automorphism_indices(64, 5);
         assert!(Arc::ptr_eq(&a, &b));
         assert_ne!(*automorphism_indices(64, 25), *a);
+    }
+
+    #[test]
+    fn lazy_and_eager_transforms_are_bit_identical() {
+        use crate::toy::modular::set_reduction_mode;
+        // Both kernels compute the same exact residues; flipping the mode
+        // mid-process must never change a single output word.
+        for n in [16usize, 64, 256] {
+            let t = table(n);
+            let a: Vec<u64> = (0..n as u64).map(|i| (i * 0x9e37 + 0x79b9) % t.p).collect();
+            let mut lazy_f = a.clone();
+            let mut eager_f = a.clone();
+            set_reduction_mode(ReductionMode::Lazy);
+            t.forward(&mut lazy_f);
+            set_reduction_mode(ReductionMode::Eager);
+            t.forward(&mut eager_f);
+            assert_eq!(lazy_f, eager_f, "forward N={n}");
+            let mut lazy_i = lazy_f.clone();
+            let mut eager_i = eager_f;
+            set_reduction_mode(ReductionMode::Lazy);
+            t.inverse(&mut lazy_i);
+            set_reduction_mode(ReductionMode::Eager);
+            t.inverse(&mut eager_i);
+            set_reduction_mode(ReductionMode::Lazy);
+            assert_eq!(lazy_i, eager_i, "inverse N={n}");
+            assert_eq!(lazy_i, a, "roundtrip N={n}");
+        }
     }
 
     #[test]

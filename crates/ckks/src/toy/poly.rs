@@ -1,18 +1,115 @@
-//! RNS polynomials: coefficient rows per prime, with NTT-form tracking.
+//! RNS polynomials over one contiguous limb-major `u64` buffer.
+//!
+//! # Layout
+//!
+//! An [`RnsPoly`] owns a single flat allocation: limb `i` (the residue row
+//! for prime `basis[i]`) occupies `data[i·n .. (i+1)·n]`. The limb-major
+//! order matches the old row-by-row serialization byte-for-byte, so the
+//! `halo-ct-toy/1` snapshot wire format is unchanged.
+//!
+//! # Views
+//!
+//! Borrowed access goes through [`PolyView`] (whole polynomial),
+//! [`LimbRef`] and [`LimbMut`] (one residue row, tagged with its prime).
+//! Views are plain reborrows — creating one never copies or allocates.
+//! Mutable kernels that read one polynomial while writing another
+//! (`permute_from_view`) require **disjoint** buffers; this is enforced by
+//! a `debug_assert` on the underlying pointer ranges and documented as the
+//! aliasing contract in DESIGN.md §13.
+//!
+//! # Buffer pool
+//!
+//! Dropped polynomials return their flat buffer to a process-wide
+//! free-list keyed by length; constructors reacquire from it. The
+//! [`crate::metrics::MetricsSnapshot::poly_allocs`] counter therefore
+//! counts *fresh heap allocations only* — a warm key-switch or rotation
+//! batch runs at ≈ 0 fresh allocations, which `tests/hoist_counters.rs`
+//! asserts.
+//!
+//! # Lazy-representation invariant
+//!
+//! Kernels may hold values in the Harvey redundant ranges `[0, 2p)` /
+//! `[0, 4p)` *inside* a single call (see [`crate::toy::ntt`] and
+//! [`RnsPoly::fma_key_assign`]), but every polynomial **at rest is
+//! canonical**: all limbs `< p`. Snapshot validation and the eager/lazy
+//! bit-identity tests rely on this — laziness never escapes a kernel.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::metrics;
 use crate::parallel;
-use crate::toy::modular::{addmod, invmod, is_prime, mulmod, submod};
+use crate::toy::modular::{
+    addmod, csub, invmod, is_prime, mul_shoup_lazy, mulmod, reduction_mode, shoup_precompute,
+    submod, Modulus, ReductionMode,
+};
 use crate::toy::ntt::NttTable;
+
+/// Max recycled buffers kept per distinct length.
+const POOL_BUCKET_CAP: usize = 64;
+
+/// Process-wide recycled limb buffers, keyed by element count.
+static BUF_POOL: OnceLock<Mutex<HashMap<usize, Vec<Vec<u64>>>>> = OnceLock::new();
+
+/// A zeroed buffer of `len` elements — recycled when the pool has one
+/// (counted as `pool_reuses`), freshly allocated otherwise (counted as
+/// `poly_allocs`).
+fn acquire_buf(len: usize) -> Vec<u64> {
+    let mut buf = acquire_buf_raw(len);
+    buf.fill(0);
+    buf
+}
+
+/// [`acquire_buf`] without the zero fill — for callers that provably
+/// overwrite every element before reading it (deep copies, hoist slabs,
+/// `zip_with` outputs, the fused key-switch accumulators). Recycled
+/// buffers carry stale values from their previous life.
+fn acquire_buf_raw(len: usize) -> Vec<u64> {
+    let pool = BUF_POOL.get_or_init(|| Mutex::new(HashMap::new()));
+    let hit = pool
+        .lock()
+        .ok()
+        .and_then(|mut m| m.get_mut(&len).and_then(Vec::pop));
+    match hit {
+        Some(buf) => {
+            metrics::count_pool_reuse();
+            buf
+        }
+        None => {
+            metrics::count_poly_alloc();
+            vec![0u64; len]
+        }
+    }
+}
+
+/// Returns a buffer to the pool (dropped on the floor past the bucket cap
+/// or if the pool lock is poisoned).
+fn release_buf(mut buf: Vec<u64>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    // Rescale/level-drop truncate buffers in place; restore the original
+    // allocation size so the buffer returns to the bucket it came from
+    // (otherwise every warm key-switch would still miss the pool once
+    // per truncated output limb buffer).
+    let cap = buf.capacity();
+    buf.resize(cap, 0);
+    let pool = BUF_POOL.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Ok(mut m) = pool.lock() {
+        let bucket = m.entry(buf.len()).or_default();
+        if bucket.len() < POOL_BUCKET_CAP {
+            bucket.push(buf);
+        }
+    }
+}
 
 /// The ring/modulus context shared by all polynomials of one scheme
 /// instance: the prime chain `[q₀ (base), q₁…q_L (level primes), P
-/// (special)]` and their NTT tables.
+/// (special)]`, their NTT tables, and Barrett constants.
 #[derive(Debug)]
 pub struct RnsContext {
     /// Ring degree.
@@ -24,6 +121,9 @@ pub struct RnsContext {
     /// NTT tables, aligned with `primes` (shared process-wide per
     /// `(n, p)` via [`NttTable::shared`]).
     pub tables: Vec<Arc<NttTable>>,
+    /// Barrett constants, aligned with `primes` — the variable×variable
+    /// reduction used by the lazy discipline.
+    pub moduli: Vec<Modulus>,
 }
 
 /// Finds `count` NTT-friendly primes (`≡ 1 mod step`) as close to
@@ -69,15 +169,17 @@ impl RnsContext {
         primes.extend(level_primes);
         primes.push(big[1]);
         let tables = primes.iter().map(|&p| NttTable::shared(n, p)).collect();
+        let moduli = primes.iter().map(|&p| Modulus::new(p)).collect();
         RnsContext {
             n,
             primes,
             special: levels + 1,
             tables,
+            moduli,
         }
     }
 
-    /// Number of residue rows for a ciphertext at `level` (base + level
+    /// Number of residue limbs for a ciphertext at `level` (base + level
     /// primes).
     #[must_use]
     pub fn rows_at_level(&self, level: u32) -> usize {
@@ -85,32 +187,136 @@ impl RnsContext {
     }
 }
 
-/// An RNS polynomial: one residue row per prime of its basis.
+/// A borrowed residue row: the coefficients of one limb plus its prime.
+#[derive(Debug, Clone, Copy)]
+pub struct LimbRef<'a> {
+    /// Position within the polynomial's basis.
+    pub index: usize,
+    /// The prime modulus of this limb.
+    pub prime: u64,
+    /// The `n` residues, canonical (`< prime`) at rest.
+    pub coeffs: &'a [u64],
+}
+
+/// A mutable borrowed residue row. Exclusive by construction (`&mut`
+/// provenance); see DESIGN.md §13 for the aliasing contract when views of
+/// *different* polynomials feed one kernel.
+#[derive(Debug)]
+pub struct LimbMut<'a> {
+    /// Position within the polynomial's basis.
+    pub index: usize,
+    /// The prime modulus of this limb.
+    pub prime: u64,
+    /// The `n` residues.
+    pub coeffs: &'a mut [u64],
+}
+
+/// A cheap borrowed view of a whole polynomial — flat data, basis, and
+/// form flag. `Copy`, so it can be passed by value through kernels.
+#[derive(Debug, Clone, Copy)]
+pub struct PolyView<'a> {
+    data: &'a [u64],
+    basis: &'a [usize],
+    /// Whether the limbs are in NTT (evaluation) form.
+    pub ntt: bool,
+    n: usize,
+}
+
+impl<'a> PolyView<'a> {
+    /// Number of residue limbs.
+    #[must_use]
+    pub fn limbs(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Ring degree.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Prime indices (into the context) for each limb.
+    #[must_use]
+    pub fn basis(&self) -> &'a [usize] {
+        self.basis
+    }
+
+    /// The raw coefficients of limb `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn limb(&self, i: usize) -> &'a [u64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Limb `i` tagged with its prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn limb_ref(&self, ctx: &RnsContext, i: usize) -> LimbRef<'a> {
+        LimbRef {
+            index: i,
+            prime: ctx.primes[self.basis[i]],
+            coeffs: self.limb(i),
+        }
+    }
+
+    /// Iterates the limbs as [`LimbRef`]s.
+    pub fn limbs_iter(&self, ctx: &'a RnsContext) -> impl Iterator<Item = LimbRef<'a>> + '_ {
+        (0..self.limbs()).map(move |i| self.limb_ref(ctx, i))
+    }
+
+    /// The underlying pointer range, for overlap debug-assertions.
+    fn ptr_range(&self) -> Range<*const u64> {
+        self.data.as_ptr_range()
+    }
+}
+
+/// True when two half-open pointer ranges intersect.
+fn ranges_overlap(a: &Range<*const u64>, b: &Range<*const u64>) -> bool {
+    a.start < b.end && b.start < a.end
+}
+
+/// An RNS polynomial: one residue limb per prime of its basis, stored in
+/// a single contiguous limb-major buffer (see the [module docs](self)).
 ///
-/// The basis is a *prefix* of the context's level chain (`rows` rows over
-/// `primes[0..rows]`), optionally extended by the special prime
-/// (`with_special`).
+/// The basis is a *prefix* of the context's level chain, optionally
+/// extended by the special prime.
 #[derive(Debug, PartialEq)]
 pub struct RnsPoly {
-    /// Residue rows, aligned with `basis_primes`.
-    pub rows: Vec<Vec<u64>>,
-    /// Prime indices (into the context) for each row.
+    /// Flat limb-major storage (`basis.len() · n` elements).
+    data: Vec<u64>,
+    /// Ring degree.
+    n: usize,
+    /// Prime indices (into the context) for each limb.
     pub basis: Vec<usize>,
-    /// Whether rows are in NTT (evaluation) form.
+    /// Whether limbs are in NTT (evaluation) form.
     pub ntt: bool,
 }
 
-/// Manual `Clone` so every deep copy of a row set shows up in the
-/// [`crate::metrics`] allocation counter (clones are exactly the copies
-/// the zero-alloc key-switch loop is meant to eliminate).
+/// Deep copies go through the buffer pool, so only pool misses show up in
+/// the [`crate::metrics`] allocation counter.
 impl Clone for RnsPoly {
     fn clone(&self) -> RnsPoly {
-        metrics::count_poly_alloc();
+        let mut data = acquire_buf_raw(self.data.len());
+        data.copy_from_slice(&self.data);
         RnsPoly {
-            rows: self.rows.clone(),
+            data,
+            n: self.n,
             basis: self.basis.clone(),
             ntt: self.ntt,
         }
+    }
+}
+
+/// Dropped polynomials recycle their buffer into the process-wide pool.
+impl Drop for RnsPoly {
+    fn drop(&mut self) {
+        release_buf(std::mem::take(&mut self.data));
     }
 }
 
@@ -118,19 +324,27 @@ impl RnsPoly {
     /// The all-zero polynomial over `rows` level primes (+ special).
     #[must_use]
     pub fn zero(ctx: &RnsContext, rows: usize, with_special: bool, ntt: bool) -> RnsPoly {
-        metrics::count_poly_alloc();
         let mut basis: Vec<usize> = (0..rows).collect();
         if with_special {
             basis.push(ctx.special);
         }
+        RnsPoly::with_basis(ctx.n, basis, ntt)
+    }
+
+    /// The all-zero polynomial over an explicit basis (snapshot loading
+    /// and internal constructors).
+    pub(crate) fn with_basis(n: usize, basis: Vec<usize>, ntt: bool) -> RnsPoly {
         RnsPoly {
-            rows: basis.iter().map(|_| vec![0u64; ctx.n]).collect(),
+            data: acquire_buf(basis.len() * n),
+            n,
             basis,
             ntt,
         }
     }
 
-    /// A uniformly random polynomial (valid in either form).
+    /// A uniformly random polynomial (valid in either form). Draw order is
+    /// limb-major — identical to the historical row-by-row order, so RNG
+    /// replay streams are unchanged.
     #[must_use]
     pub fn uniform(
         ctx: &RnsContext,
@@ -140,9 +354,9 @@ impl RnsPoly {
         rng: &mut StdRng,
     ) -> RnsPoly {
         let mut p = RnsPoly::zero(ctx, rows, with_special, ntt);
-        for (row, &bi) in p.rows.iter_mut().zip(&p.basis) {
-            let q = ctx.primes[bi];
-            for x in row.iter_mut() {
+        for i in 0..p.limbs() {
+            let q = ctx.primes[p.basis[i]];
+            for x in p.limb_slice_mut(i) {
                 *x = rng.gen_range(0..q);
             }
         }
@@ -177,65 +391,170 @@ impl RnsPoly {
         assert_eq!(coeffs.len(), ctx.n);
         let mut p = RnsPoly::zero(ctx, rows, with_special, false);
         let work = p.work();
-        let basis = &p.basis;
-        parallel::par_for_each_indexed(&mut p.rows, work, |i, row| {
+        let n = p.n;
+        let RnsPoly { data, basis, .. } = &mut p;
+        let basis: &[usize] = basis;
+        parallel::par_for_each_limb(data, n, work, |i, limb| {
             let q = ctx.primes[basis[i]] as i128;
-            for (x, &c) in row.iter_mut().zip(coeffs) {
+            for (x, &c) in limb.iter_mut().zip(coeffs) {
                 *x = (c.rem_euclid(q)) as u64;
             }
         });
         p
     }
 
-    /// Total element count, the work measure for parallel dispatch.
-    fn work(&self) -> usize {
-        self.rows.len() * self.rows.first().map_or(0, Vec::len)
+    /// Ring degree.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
     }
 
-    /// Converts to NTT form in place (rows transform independently, in
+    /// Number of residue limbs.
+    #[must_use]
+    pub fn limbs(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// The raw coefficients of limb `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn limb(&self, i: usize) -> &[u64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Mutable raw coefficients of limb `i` (internal name avoids clashing
+    /// with the [`LimbMut`]-returning accessor).
+    fn limb_slice_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Limb `i` as a tagged immutable view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn limb_view<'a>(&'a self, ctx: &RnsContext, i: usize) -> LimbRef<'a> {
+        LimbRef {
+            index: i,
+            prime: ctx.primes[self.basis[i]],
+            coeffs: self.limb(i),
+        }
+    }
+
+    /// Limb `i` as a tagged mutable view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn limb_view_mut<'a>(&'a mut self, ctx: &RnsContext, i: usize) -> LimbMut<'a> {
+        let prime = ctx.primes[self.basis[i]];
+        LimbMut {
+            index: i,
+            prime,
+            coeffs: self.limb_slice_mut(i),
+        }
+    }
+
+    /// A borrowed view of the whole polynomial.
+    #[must_use]
+    pub fn view(&self) -> PolyView<'_> {
+        PolyView {
+            data: &self.data,
+            basis: &self.basis,
+            ntt: self.ntt,
+            n: self.n,
+        }
+    }
+
+    /// The limbs as materialized row vectors.
+    #[deprecated(note = "RnsPoly now stores one flat limb-major buffer; this copies. \
+                Use limbs()/limb(i)/limb_view(ctx, i) or view() instead")]
+    #[must_use]
+    pub fn rows(&self) -> Vec<Vec<u64>> {
+        self.data.chunks(self.n).map(<[u64]>::to_vec).collect()
+    }
+
+    /// One residue row.
+    #[deprecated(note = "use limb(i) (borrow) or limb_view(ctx, i) (tagged view)")]
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[u64] {
+        self.limb(i)
+    }
+
+    /// Total element count, the work measure for parallel dispatch.
+    fn work(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Clone of the shape with an uninitialized-but-zeroed pooled buffer.
+    fn like(&self) -> RnsPoly {
+        RnsPoly {
+            data: acquire_buf(self.data.len()),
+            n: self.n,
+            basis: self.basis.clone(),
+            ntt: self.ntt,
+        }
+    }
+
+    /// Converts to NTT form in place (limbs transform independently, in
     /// parallel when large enough).
+    ///
+    /// # Panics
+    ///
+    /// Panics if already in NTT form.
     pub fn to_ntt(&mut self, ctx: &RnsContext) {
         assert!(!self.ntt, "already in NTT form");
-        metrics::count_ntt_forward_rows(self.rows.len() as u64);
+        metrics::count_ntt_forward_rows(self.limbs() as u64);
         let work = self.work();
-        let basis = &self.basis;
-        parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
-            ctx.tables[basis[i]].forward(row);
+        let n = self.n;
+        let RnsPoly { data, basis, .. } = self;
+        let basis: &[usize] = basis;
+        parallel::par_for_each_limb(data, n, work, |i, limb| {
+            ctx.tables[basis[i]].forward(limb);
         });
         self.ntt = true;
     }
 
     /// Converts to coefficient form in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already in coefficient form.
     pub fn to_coeff(&mut self, ctx: &RnsContext) {
         assert!(self.ntt, "already in coefficient form");
-        metrics::count_ntt_inverse_rows(self.rows.len() as u64);
+        metrics::count_ntt_inverse_rows(self.limbs() as u64);
         let work = self.work();
-        let basis = &self.basis;
-        parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
-            ctx.tables[basis[i]].inverse(row);
+        let n = self.n;
+        let RnsPoly { data, basis, .. } = self;
+        let basis: &[usize] = basis;
+        parallel::par_for_each_limb(data, n, work, |i, limb| {
+            ctx.tables[basis[i]].inverse(limb);
         });
         self.ntt = false;
     }
 
+    /// Builds a new polynomial from a per-limb binary kernel.
     fn zip_with(
         &self,
         other: &RnsPoly,
         ctx: &RnsContext,
-        f: impl Fn(u64, u64, u64) -> u64 + Sync,
+        f: impl Fn(usize, u64, &[u64], &[u64], &mut [u64]) + Sync,
     ) -> RnsPoly {
         assert_eq!(self.basis, other.basis, "basis mismatch");
         assert_eq!(self.ntt, other.ntt, "form mismatch");
-        metrics::count_poly_alloc();
-        let rows = parallel::par_map_indexed(self.rows.len(), self.work(), |i| {
+        let mut data = acquire_buf_raw(self.data.len());
+        parallel::par_for_each_limb(&mut data, self.n, self.data.len(), |i, out| {
             let q = ctx.primes[self.basis[i]];
-            self.rows[i]
-                .iter()
-                .zip(&other.rows[i])
-                .map(|(&x, &y)| f(x, y, q))
-                .collect()
+            f(i, q, self.limb(i), other.limb(i), out);
         });
         RnsPoly {
-            rows,
+            data,
+            n: self.n,
             basis: self.basis.clone(),
             ntt: self.ntt,
         }
@@ -244,13 +563,47 @@ impl RnsPoly {
     /// Pointwise sum.
     #[must_use]
     pub fn add(&self, other: &RnsPoly, ctx: &RnsContext) -> RnsPoly {
-        self.zip_with(other, ctx, addmod)
+        self.zip_with(other, ctx, |_, q, a, b, out| {
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = addmod(x, y, q);
+            }
+        })
     }
 
     /// Pointwise difference.
     #[must_use]
     pub fn sub(&self, other: &RnsPoly, ctx: &RnsContext) -> RnsPoly {
-        self.zip_with(other, ctx, submod)
+        self.zip_with(other, ctx, |_, q, a, b, out| {
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = submod(x, y, q);
+            }
+        })
+    }
+
+    /// Ring product (requires NTT form). Lazy mode uses the precomputed
+    /// Barrett constants for the variable×variable products; both modes
+    /// produce identical canonical residues.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are in NTT form over the same basis.
+    #[must_use]
+    pub fn mul(&self, other: &RnsPoly, ctx: &RnsContext) -> RnsPoly {
+        assert!(self.ntt && other.ntt, "multiplication requires NTT form");
+        let mode = reduction_mode();
+        self.zip_with(other, ctx, |i, q, a, b, out| match mode {
+            ReductionMode::Eager => {
+                for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                    *o = mulmod(x, y, q);
+                }
+            }
+            ReductionMode::Lazy => {
+                let m = ctx.moduli[self.basis[i]];
+                for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                    *o = m.mul(x, y);
+                }
+            }
+        })
     }
 
     /// In-place pointwise sum: `self += other`.
@@ -262,17 +615,20 @@ impl RnsPoly {
         assert_eq!(self.basis, other.basis, "basis mismatch");
         assert_eq!(self.ntt, other.ntt, "form mismatch");
         let work = self.work();
-        let basis = &self.basis;
-        parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
+        let n = self.n;
+        let RnsPoly { data, basis, .. } = self;
+        let basis: &[usize] = basis;
+        parallel::par_for_each_limb(data, n, work, |i, limb| {
             let q = ctx.primes[basis[i]];
-            for (x, &y) in row.iter_mut().zip(&other.rows[i]) {
+            for (x, &y) in limb.iter_mut().zip(other.limb(i)) {
                 *x = addmod(*x, y, q);
             }
         });
     }
 
     /// In-place pointwise multiply-accumulate: `self += a · b` — the
-    /// key-switch inner-product kernel, with no intermediate row sets.
+    /// tensor-product kernel for two *variable* operands. Lazy mode routes
+    /// the products through the precomputed Barrett constants.
     ///
     /// # Panics
     ///
@@ -285,18 +641,79 @@ impl RnsPoly {
         );
         assert_eq!(self.basis, a.basis, "basis mismatch");
         assert_eq!(self.basis, b.basis, "basis mismatch");
+        let mode = reduction_mode();
         let work = self.work();
-        let basis = &self.basis;
-        parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
+        let n = self.n;
+        let RnsPoly { data, basis, .. } = self;
+        let basis: &[usize] = basis;
+        parallel::par_for_each_limb(data, n, work, |i, limb| {
             let q = ctx.primes[basis[i]];
-            for ((x, &ya), &yb) in row.iter_mut().zip(&a.rows[i]).zip(&b.rows[i]) {
-                *x = addmod(*x, mulmod(ya, yb, q), q);
+            match mode {
+                ReductionMode::Eager => {
+                    for ((x, &ya), &yb) in limb.iter_mut().zip(a.limb(i)).zip(b.limb(i)) {
+                        *x = addmod(*x, mulmod(ya, yb, q), q);
+                    }
+                }
+                ReductionMode::Lazy => {
+                    let m = ctx.moduli[basis[i]];
+                    for ((x, &ya), &yb) in limb.iter_mut().zip(a.limb(i)).zip(b.limb(i)) {
+                        *x = addmod(*x, m.mul(ya, yb), q);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Key-product multiply-accumulate: `self += digit · key`, where the
+    /// key carries Shoup companions ([`ShoupPoly`]). In lazy mode each
+    /// product is two multiplies and one subtraction (`[0, 2p)`), folded
+    /// into the accumulator with a single canonicalization — this is the
+    /// inner loop of every key switch.
+    ///
+    /// Both modes produce identical canonical residues.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all operands share one basis and are in NTT form.
+    pub fn fma_key_assign(&mut self, digit: PolyView<'_>, key: &ShoupPoly, ctx: &RnsContext) {
+        assert!(
+            self.ntt && digit.ntt && key.poly.ntt,
+            "multiply-accumulate requires NTT form"
+        );
+        assert_eq!(self.basis.as_slice(), digit.basis(), "basis mismatch");
+        assert_eq!(self.basis, key.poly.basis, "basis mismatch");
+        let mode = reduction_mode();
+        let work = self.work();
+        let n = self.n;
+        let RnsPoly { data, basis, .. } = self;
+        let basis: &[usize] = basis;
+        parallel::par_for_each_limb(data, n, work, |i, limb| {
+            let q = ctx.primes[basis[i]];
+            let d = digit.limb(i);
+            let kw = key.poly.limb(i);
+            match mode {
+                ReductionMode::Eager => {
+                    for ((x, &yd), &yk) in limb.iter_mut().zip(d).zip(kw) {
+                        *x = addmod(*x, mulmod(yd, yk, q), q);
+                    }
+                }
+                ReductionMode::Lazy => {
+                    let ks = key.shoup_limb(i);
+                    let two_q = 2 * q;
+                    for ((x, (&yd, &yk)), &yks) in limb.iter_mut().zip(d.iter().zip(kw)).zip(ks) {
+                        // x < q canonical, product < 2q lazy → sum < 3q,
+                        // canonicalized by two branchless subtracts.
+                        let t = *x + mul_shoup_lazy(yd, yk, yks, q);
+                        *x = csub(csub(t, two_q), q);
+                    }
+                    metrics::count_lazy_reductions_skipped(d.len() as u64);
+                }
             }
         });
     }
 
     /// Overwrites `self` with one residue row of a coefficient-form
-    /// polynomial lifted across this basis (`row i = src mod q_i`) — the
+    /// polynomial lifted across this basis (`limb i = src mod q_i`) — the
     /// digit-lift kernel of GHS key switching, reusing `self` as a scratch
     /// buffer so the hot loop never allocates.
     ///
@@ -307,132 +724,142 @@ impl RnsPoly {
     ///
     /// Panics if `src.len()` differs from the ring degree.
     pub fn lift_from_row(&mut self, src: &[u64], ctx: &RnsContext) {
+        let mode = reduction_mode();
         let work = self.work();
-        let basis = &self.basis;
-        parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
-            let q = ctx.primes[basis[i]];
-            for (x, &v) in row.iter_mut().zip(src) {
-                *x = v % q;
+        let n = self.n;
+        let RnsPoly { data, basis, .. } = self;
+        let basis: &[usize] = basis;
+        parallel::par_for_each_limb(data, n, work, |i, limb| match mode {
+            ReductionMode::Eager => {
+                let q = ctx.primes[basis[i]];
+                for (x, &v) in limb.iter_mut().zip(src) {
+                    *x = v % q;
+                }
+            }
+            ReductionMode::Lazy => {
+                let m = ctx.moduli[basis[i]];
+                for (x, &v) in limb.iter_mut().zip(src) {
+                    *x = m.reduce_u64(v);
+                }
             }
         });
         self.ntt = false;
     }
 
-    /// Overwrites `self` with an index permutation of `src`:
-    /// `self.rows[i][k] = src.rows[i][perm[k]]` — the NTT-domain Galois
+    /// Overwrites `self` with an index permutation of a borrowed view:
+    /// `self.limb(i)[k] = src.limb(i)[perm[k]]` — the NTT-domain Galois
     /// automorphism (see [`crate::toy::ntt::automorphism_indices`]),
     /// reusing `self` as a scratch buffer.
+    ///
+    /// The source view must not alias `self`'s buffer (debug-asserted; see
+    /// DESIGN.md §13).
     ///
     /// # Panics
     ///
     /// Panics on basis mismatch or if `perm.len()` differs from the ring
     /// degree.
-    pub fn permute_from(&mut self, src: &RnsPoly, perm: &[usize]) {
-        assert_eq!(self.basis, src.basis, "basis mismatch");
+    pub fn permute_from_view(&mut self, src: PolyView<'_>, perm: &[usize]) {
+        assert_eq!(self.basis.as_slice(), src.basis(), "basis mismatch");
+        assert_eq!(perm.len(), self.n, "permutation length mismatch");
+        debug_assert!(
+            !ranges_overlap(&self.data.as_ptr_range(), &src.ptr_range()),
+            "permute_from_view requires disjoint source and destination buffers"
+        );
         let work = self.work();
-        parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
-            let s = &src.rows[i];
-            for (x, &p) in row.iter_mut().zip(perm) {
+        let n = self.n;
+        let RnsPoly { data, .. } = self;
+        parallel::par_for_each_limb(data, n, work, |i, limb| {
+            let s = src.limb(i);
+            for (x, &p) in limb.iter_mut().zip(perm) {
                 *x = s[p];
             }
         });
         self.ntt = src.ntt;
     }
 
+    /// [`RnsPoly::permute_from_view`] taking the source by reference.
+    pub fn permute_from(&mut self, src: &RnsPoly, perm: &[usize]) {
+        self.permute_from_view(src.view(), perm);
+    }
+
     /// Allocating variant of [`RnsPoly::permute_from`].
     #[must_use]
     pub fn permuted(&self, perm: &[usize]) -> RnsPoly {
-        metrics::count_poly_alloc();
-        let rows = parallel::par_map_indexed(self.rows.len(), self.work(), |i| {
-            let s = &self.rows[i];
-            perm.iter().map(|&p| s[p]).collect()
-        });
-        RnsPoly {
-            rows,
-            basis: self.basis.clone(),
-            ntt: self.ntt,
-        }
+        let mut out = self.like();
+        out.ntt = self.ntt;
+        out.permute_from_view(self.view(), perm);
+        out
     }
 
     /// Negation.
     #[must_use]
     pub fn neg(&self, ctx: &RnsContext) -> RnsPoly {
-        metrics::count_poly_alloc();
-        let rows = parallel::par_map_indexed(self.rows.len(), self.work(), |i| {
+        let mut out = self.like();
+        let n = self.n;
+        parallel::par_for_each_limb(&mut out.data, n, self.data.len(), |i, limb| {
             let q = ctx.primes[self.basis[i]];
-            self.rows[i]
-                .iter()
-                .map(|&x| if x == 0 { 0 } else { q - x })
-                .collect()
+            for (o, &x) in limb.iter_mut().zip(self.limb(i)) {
+                *o = if x == 0 { 0 } else { q - x };
+            }
         });
-        RnsPoly {
-            rows,
-            basis: self.basis.clone(),
-            ntt: self.ntt,
-        }
-    }
-
-    /// Ring product (requires NTT form).
-    ///
-    /// # Panics
-    ///
-    /// Panics unless both operands are in NTT form over the same basis.
-    #[must_use]
-    pub fn mul(&self, other: &RnsPoly, ctx: &RnsContext) -> RnsPoly {
-        assert!(self.ntt && other.ntt, "multiplication requires NTT form");
-        self.zip_with(other, ctx, mulmod)
+        out
     }
 
     /// Multiplies by a per-basis scalar (e.g. CRT constants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars.len()` differs from the limb count.
     #[must_use]
     pub fn mul_scalar_rows(&self, scalars: &[u64], ctx: &RnsContext) -> RnsPoly {
         assert_eq!(scalars.len(), self.basis.len());
-        metrics::count_poly_alloc();
-        let rows = parallel::par_map_indexed(self.rows.len(), self.work(), |i| {
+        let mut out = self.like();
+        let n = self.n;
+        parallel::par_for_each_limb(&mut out.data, n, self.data.len(), |i, limb| {
             let q = ctx.primes[self.basis[i]];
             let s = scalars[i];
-            self.rows[i].iter().map(|&x| mulmod(x, s, q)).collect()
+            for (o, &x) in limb.iter_mut().zip(self.limb(i)) {
+                *o = mulmod(x, s, q);
+            }
         });
-        RnsPoly {
-            rows,
-            basis: self.basis.clone(),
-            ntt: self.ntt,
-        }
+        out
     }
 
-    /// Drops the top `k` level rows (exact modulus switching: the hidden
+    /// Drops the top `k` level limbs (exact modulus switching: the hidden
     /// `⌊·/Q⌋` multiple vanishes because `Q_{l−k} | Q_l`).
     ///
     /// # Panics
     ///
-    /// Panics if the special prime is present or too few rows remain.
+    /// Panics if too few limbs remain.
     pub fn drop_top_rows(&mut self, k: usize) {
-        assert!(!self.basis.contains(&usize::MAX));
-        assert!(self.rows.len() > k, "cannot drop below one row");
-        self.rows.truncate(self.rows.len() - k);
-        self.basis.truncate(self.basis.len() - k);
+        assert!(self.limbs() > k, "cannot drop below one limb");
+        let keep = self.limbs() - k;
+        self.data.truncate(keep * self.n);
+        self.basis.truncate(keep);
     }
 
     /// Exact RNS division by the top prime with centered rounding — the
-    /// `rescale` kernel. Requires coefficient form; drops the top row.
+    /// `rescale` kernel and (when the top limb is the special prime) the
+    /// key-switch mod-down. Requires coefficient form; drops the top limb.
     ///
     /// # Panics
     ///
-    /// Panics in NTT form or with fewer than two rows.
+    /// Panics in NTT form or with fewer than two limbs.
     pub fn rescale_by_top(&mut self, ctx: &RnsContext) {
         assert!(!self.ntt, "rescale requires coefficient form");
-        assert!(self.rows.len() >= 2);
-        let top_row = self.rows.pop().expect("non-empty");
+        assert!(self.limbs() >= 2);
+        let n = self.n;
         let top_bi = self.basis.pop().expect("non-empty");
         let q_top = ctx.primes[top_bi];
         let half = q_top / 2;
-        let work = self.work();
-        let basis = &self.basis;
-        let top = &top_row;
-        parallel::par_for_each_indexed(&mut self.rows, work, |i, row| {
+        let split = self.data.len() - n;
+        let (body, top) = self.data.split_at_mut(split);
+        let top: &[u64] = top;
+        let basis: &[usize] = &self.basis;
+        parallel::par_for_each_limb(body, n, split, |i, limb| {
             let q = ctx.primes[basis[i]];
             let q_top_inv = invmod(q_top % q, q);
-            for (x, &t) in row.iter_mut().zip(top) {
+            for (x, &t) in limb.iter_mut().zip(top) {
                 // Centered lift of the top residue into this prime.
                 let t_centered = if t > half {
                     submod(t % q, q_top % q, q)
@@ -442,10 +869,64 @@ impl RnsPoly {
                 *x = mulmod(submod(*x, t_centered, q), q_top_inv, q);
             }
         });
+        self.data.truncate(split);
+    }
+
+    /// NTT-domain variant of [`RnsPoly::rescale_by_top`]: drops the top
+    /// limb and folds its centered correction into the surviving limbs
+    /// without leaving the evaluation domain. Only the dropped limb is
+    /// inverse-transformed; each survivor gets one forward NTT of its
+    /// lifted correction instead of a full inverse/forward round trip
+    /// (`1 + (limbs−1)` rows instead of `limbs + (limbs−1)`).
+    ///
+    /// Bit-identical to the coefficient-domain kernel: the NTT is
+    /// `Z_q`-linear and commutes with scalar multiplication, so
+    /// `NTT((x − t̄)·q_top⁻¹) = (NTT(x) − NTT(t̄))·q_top⁻¹` holds exactly
+    /// over canonical residues.
+    ///
+    /// # Panics
+    ///
+    /// Panics in coefficient form or with fewer than two limbs.
+    pub fn mod_down_top_ntt(&mut self, ctx: &RnsContext) {
+        assert!(self.ntt, "mod_down_top_ntt requires NTT form");
+        assert!(self.limbs() >= 2);
+        let n = self.n;
+        let top_bi = self.basis.pop().expect("non-empty");
+        let q_top = ctx.primes[top_bi];
+        let half = q_top / 2;
+        let split = self.data.len() - n;
+        let mut top = acquire_buf_raw(n);
+        top.copy_from_slice(&self.data[split..]);
+        ctx.tables[top_bi].inverse(&mut top);
+        metrics::count_ntt_inverse_rows(1);
+        metrics::count_ntt_forward_rows((split / n) as u64);
+        self.data.truncate(split);
+        let top_ref: &[u64] = &top;
+        let RnsPoly { data, basis, .. } = self;
+        let basis: &[usize] = basis;
+        parallel::par_for_each_limb(data, n, split, |i, limb| {
+            let q = ctx.primes[basis[i]];
+            let q_top_inv = invmod(q_top % q, q);
+            let mut corr = acquire_buf_raw(n);
+            for (c, &t) in corr.iter_mut().zip(top_ref) {
+                // Centered lift of the dropped residue into this prime.
+                *c = if t > half {
+                    submod(t % q, q_top % q, q)
+                } else {
+                    t % q
+                };
+            }
+            ctx.tables[basis[i]].forward(&mut corr);
+            for (x, &u) in limb.iter_mut().zip(corr.iter()) {
+                *x = mulmod(submod(*x, u, q), q_top_inv, q);
+            }
+            release_buf(corr);
+        });
+        release_buf(top);
     }
 
     /// Reconstructs the centered integer coefficients from the first one
-    /// or two rows via CRT (valid while coefficients stay far below
+    /// or two limbs via CRT (valid while coefficients stay far below
     /// `q₀·q₁/2`, which plaintext+noise always does).
     ///
     /// # Panics
@@ -455,8 +936,9 @@ impl RnsPoly {
     pub fn centered_coeffs(&self, ctx: &RnsContext) -> Vec<i128> {
         assert!(!self.ntt, "decode requires coefficient form");
         let q0 = ctx.primes[self.basis[0]];
-        if self.rows.len() == 1 {
-            return self.rows[0]
+        if self.limbs() == 1 {
+            return self
+                .limb(0)
                 .iter()
                 .map(|&x| {
                     if x > q0 / 2 {
@@ -470,9 +952,9 @@ impl RnsPoly {
         let q1 = ctx.primes[self.basis[1]];
         let q0q1 = i128::from(q0) * i128::from(q1);
         let q0_inv = invmod(q0 % q1, q1);
-        self.rows[0]
+        self.limb(0)
             .iter()
-            .zip(&self.rows[1])
+            .zip(self.limb(1))
             .map(|(&x0, &x1)| {
                 // x = x0 + q0·((x1 − x0)·q0⁻¹ mod q1)
                 let diff = submod(x1 % q1, x0 % q1, q1);
@@ -486,6 +968,391 @@ impl RnsPoly {
             })
             .collect()
     }
+}
+
+/// An NTT-resident polynomial paired with elementwise Shoup companions —
+/// the storage format for key-switch key material, enabling the
+/// two-multiply lazy key product in [`RnsPoly::fma_key_assign`].
+#[derive(Debug, Clone)]
+pub struct ShoupPoly {
+    poly: RnsPoly,
+    /// `⌊poly[i]·2^64 / q_i⌋`, same limb-major layout as `poly.data`.
+    shoup: Vec<u64>,
+}
+
+impl ShoupPoly {
+    /// Precomputes the companions for an NTT-form, at-rest-canonical
+    /// polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly` is not in NTT form (key material is NTT-resident
+    /// by design) or holds unreduced limbs.
+    #[must_use]
+    pub fn new(poly: RnsPoly, ctx: &RnsContext) -> ShoupPoly {
+        assert!(poly.ntt, "key material must be NTT-resident");
+        let n = poly.n;
+        let mut shoup = vec![0u64; poly.data.len()];
+        for i in 0..poly.limbs() {
+            let q = ctx.primes[poly.basis[i]];
+            for (s, &w) in shoup[i * n..(i + 1) * n].iter_mut().zip(poly.limb(i)) {
+                *s = shoup_precompute(w, q);
+            }
+        }
+        ShoupPoly { poly, shoup }
+    }
+
+    /// The underlying polynomial.
+    #[must_use]
+    pub fn poly(&self) -> &RnsPoly {
+        &self.poly
+    }
+
+    /// The Shoup companions of limb `i`.
+    fn shoup_limb(&self, i: usize) -> &[u64] {
+        &self.shoup[i * self.poly.n..(i + 1) * self.poly.n]
+    }
+}
+
+/// Streaming GHS gadget decomposition: residue row `j` of a polynomial,
+/// lifted across the extended basis `{q_0…q_l, P}` and transformed to NTT
+/// form — yielded as borrowed views instead of owned digit polynomials.
+///
+/// One `Decomposer` performs the *shared* work of a key switch exactly
+/// once (the inverse NTT of the input); digits are then produced either
+/// one at a time into a caller scratch buffer ([`Decomposer::digit_into`],
+/// the streaming key-switch loop) or all at once into a single flat
+/// allocation ([`Decomposer::hoist`], shared across every offset of a
+/// hoisted rotation batch).
+#[derive(Debug)]
+pub struct Decomposer<'c> {
+    ctx: &'c RnsContext,
+    /// The input in coefficient form over its level basis.
+    d_coeff: RnsPoly,
+    /// The original NTT-form input (lazy mode only). Digit `j` lifted to
+    /// its own prime is the identity map (its residues are already
+    /// `< q_j`), so the digit's forward NTT at `q_j` reproduces this row
+    /// bit-for-bit — the lift/transform for that limb is skipped and the
+    /// retained row copied instead. Eager mode keeps the full
+    /// lift-and-transform shape of every limb as the differential
+    /// baseline.
+    d_ntt: Option<RnsPoly>,
+}
+
+impl<'c> Decomposer<'c> {
+    /// Starts a decomposition of `d` (level basis, either form).
+    #[must_use]
+    pub fn new(ctx: &'c RnsContext, d: &RnsPoly) -> Decomposer<'c> {
+        metrics::count_digit_decompose();
+        let mut d_coeff = d.clone();
+        let mut d_ntt = None;
+        if d_coeff.ntt {
+            if reduction_mode() == ReductionMode::Lazy {
+                d_ntt = Some(d.clone());
+            }
+            d_coeff.to_coeff(ctx);
+        }
+        Decomposer {
+            ctx,
+            d_coeff,
+            d_ntt,
+        }
+    }
+
+    /// Number of digits (= limbs of the input).
+    #[must_use]
+    pub fn digits(&self) -> usize {
+        self.d_coeff.limbs()
+    }
+
+    /// Lifts digit `j` across the extended basis into `scratch` (ending in
+    /// NTT form) and returns it as a view. The scratch must span the
+    /// extended basis; every element is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range or the scratch basis is not the
+    /// extended basis of this decomposition.
+    pub fn digit_into<'s>(&self, j: usize, scratch: &'s mut RnsPoly) -> PolyView<'s> {
+        assert_eq!(
+            scratch.limbs(),
+            self.digits() + 1,
+            "scratch must span the extended basis"
+        );
+        let mode = reduction_mode();
+        let ctx = self.ctx;
+        let src = self.d_coeff.limb(j);
+        let own = self
+            .d_ntt
+            .as_ref()
+            .map(|d| (self.d_coeff.basis[j], d.limb(j)));
+        let transformed = (scratch.limbs() - usize::from(own.is_some())) as u64;
+        let work = scratch.work();
+        let n = scratch.n;
+        let RnsPoly { data, basis, .. } = scratch;
+        let basis: &[usize] = basis;
+        parallel::par_for_each_limb(data, n, work, |i, limb| {
+            if let Some((own_bi, own_row)) = own {
+                if basis[i] == own_bi {
+                    limb.copy_from_slice(own_row);
+                    return;
+                }
+            }
+            match mode {
+                ReductionMode::Eager => {
+                    let q = ctx.primes[basis[i]];
+                    for (x, &v) in limb.iter_mut().zip(src) {
+                        *x = v % q;
+                    }
+                }
+                ReductionMode::Lazy => {
+                    let m = ctx.moduli[basis[i]];
+                    for (x, &v) in limb.iter_mut().zip(src) {
+                        *x = m.reduce_u64(v);
+                    }
+                }
+            }
+            // Digit rows only ever feed `mul_shoup_lazy` key products,
+            // so the lazy transform may stay 4p-redundant (the consumer's
+            // single Barrett reduction canonicalizes bit-identically).
+            ctx.tables[basis[i]].forward_redundant(limb);
+        });
+        metrics::count_ntt_forward_rows(transformed);
+        metrics::count_digit_ntt_rows(transformed);
+        scratch.ntt = true;
+        scratch.view()
+    }
+
+    /// Materializes *all* digits into one flat buffer (≤ 1 fresh
+    /// allocation) — the Halevi–Shoup hoisting layout: every digit is
+    /// lifted and NTT'd exactly once, then shared read-only across all
+    /// offsets of a rotation batch.
+    #[must_use]
+    pub fn hoist(&self) -> HoistedDigits {
+        let digits = self.digits();
+        let n = self.d_coeff.n;
+        let ext_basis: Vec<usize> = (0..digits).chain([self.ctx.special]).collect();
+        let ext = ext_basis.len();
+        let mode = reduction_mode();
+        let mut data = acquire_buf_raw(digits * ext * n);
+        let ctx = self.ctx;
+        let basis: &[usize] = &ext_basis;
+        let d_coeff = &self.d_coeff;
+        let d_ntt = self.d_ntt.as_ref();
+        parallel::par_for_each_limb(&mut data, n, digits * ext * n, |idx, limb| {
+            let (j, i) = (idx / ext, idx % ext);
+            if let Some(dn) = d_ntt {
+                // Digit j at its own prime: the forward NTT of the
+                // identity lift is the retained NTT-form input row.
+                if basis[i] == d_coeff.basis[j] {
+                    limb.copy_from_slice(dn.limb(j));
+                    return;
+                }
+            }
+            let src = d_coeff.limb(j);
+            match mode {
+                ReductionMode::Eager => {
+                    let q = ctx.primes[basis[i]];
+                    for (x, &v) in limb.iter_mut().zip(src) {
+                        *x = v % q;
+                    }
+                }
+                ReductionMode::Lazy => {
+                    let m = ctx.moduli[basis[i]];
+                    for (x, &v) in limb.iter_mut().zip(src) {
+                        *x = m.reduce_u64(v);
+                    }
+                }
+            }
+            // Same redundant-row contract as `digit_into`: hoisted digit
+            // rows feed key products only.
+            ctx.tables[basis[i]].forward_redundant(limb);
+        });
+        let transformed = (digits * ext - if d_ntt.is_some() { digits } else { 0 }) as u64;
+        metrics::count_ntt_forward_rows(transformed);
+        metrics::count_digit_ntt_rows(transformed);
+        HoistedDigits {
+            data,
+            ext_basis,
+            n,
+            digits,
+        }
+    }
+}
+
+/// All digits of one decomposition in a single flat buffer (digit-major,
+/// each digit limb-major over the extended basis). Views are borrowed;
+/// the buffer recycles into the pool on drop.
+#[derive(Debug)]
+pub struct HoistedDigits {
+    data: Vec<u64>,
+    ext_basis: Vec<usize>,
+    n: usize,
+    digits: usize,
+}
+
+impl HoistedDigits {
+    /// Number of digits.
+    #[must_use]
+    pub fn digits(&self) -> usize {
+        self.digits
+    }
+
+    /// Digit `j` as a borrowed NTT-form view over the extended basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn digit(&self, j: usize) -> PolyView<'_> {
+        assert!(j < self.digits, "digit index out of range");
+        let ext = self.ext_basis.len();
+        let span = ext * self.n;
+        PolyView {
+            data: &self.data[j * span..(j + 1) * span],
+            basis: &self.ext_basis,
+            ntt: true,
+            n: self.n,
+        }
+    }
+}
+
+impl Drop for HoistedDigits {
+    fn drop(&mut self) {
+        release_buf(std::mem::take(&mut self.data));
+    }
+}
+
+/// Fused lazy key-switch inner product over hoisted digits: both
+/// accumulators `(Σ_j d_j·b_j, Σ_j d_j·a_j)` are produced limb by limb in
+/// one pass (each digit row is streamed once for both key products), and
+/// the `2p`-redundant Shoup products are summed as **raw `u64`s** with a
+/// single Barrett reduction per output element — the per-digit
+/// canonicalization of the streaming [`RnsPoly::fma_key_assign`] path
+/// vanishes entirely. The sum cannot overflow while `digits · 2p ≤ 2^64`
+/// (checked against the largest prime in the basis).
+///
+/// Returns canonical NTT-form accumulators over the extended basis.
+/// Lazy-mode only by construction (Shoup companions); the eager path
+/// keeps the per-digit stream as the frozen differential baseline.
+/// Bit-identity holds because both orders compute the same integer sum
+/// `Σ_j d_j·k_j mod q` on canonical inputs.
+///
+/// With `perm`, digit rows are read through the NTT-domain automorphism
+/// index map (`d[perm[k]]`, see [`crate::toy::ntt::automorphism_indices`])
+/// — the hoisted-rotation inner product without materializing any
+/// permuted digit.
+///
+/// # Panics
+///
+/// Panics if the key count mismatches the digit count, a key basis
+/// mismatches the digit basis, a permutation has the wrong length, or
+/// the no-overflow bound fails.
+#[must_use]
+pub fn keyswitch_fused(
+    digits: &HoistedDigits,
+    keys: &[(&ShoupPoly, &ShoupPoly)],
+    perm: Option<&[usize]>,
+    ctx: &RnsContext,
+) -> (RnsPoly, RnsPoly) {
+    let nd = digits.digits();
+    assert_eq!(keys.len(), nd, "one key pair per digit");
+    assert!(nd >= 1, "at least one digit");
+    let n = digits.n;
+    let ext = digits.ext_basis.len();
+    let basis: &[usize] = &digits.ext_basis;
+    for (kb, ka) in keys {
+        assert_eq!(kb.poly.basis, basis, "key basis mismatch");
+        assert_eq!(ka.poly.basis, basis, "key basis mismatch");
+    }
+    if let Some(p) = perm {
+        assert_eq!(p.len(), n, "permutation length mismatch");
+    }
+    // Paired layout: chunk `i` holds [acc0 limb i | acc1 limb i], so one
+    // job owns both output rows for its limb. The buffer is unzeroed;
+    // digit 0 stores, later digits accumulate.
+    let mut both = acquire_buf_raw(2 * ext * n);
+    parallel::par_for_each_limb(&mut both, 2 * n, 2 * ext * n, |i, pair| {
+        let m = ctx.moduli[basis[i]];
+        let q = m.p;
+        let (r0, r1) = pair.split_at_mut(n);
+        // Overflow-free run length: `max_run` products of `< 2q` each fit
+        // a `u64` sum. 59-bit primes allow 15 digits per run; when the
+        // digit count exceeds it, a mid-run Barrett flush folds the sums
+        // back below `q` (any representative of the partial sum is valid,
+        // so bit-identity of the canonical result is unaffected).
+        let max_run = (u64::MAX / (2 * q)).max(2) as usize;
+        let mut run = 0usize;
+        for (j, (kb, ka)) in keys.iter().enumerate() {
+            let d = &digits.digit(j).limb(i)[..n];
+            let b = &kb.poly.limb(i)[..n];
+            let bs = &kb.shoup_limb(i)[..n];
+            let a = &ka.poly.limb(i)[..n];
+            let asp = &ka.shoup_limb(i)[..n];
+            match (j == 0, perm) {
+                (true, None) => {
+                    for k in 0..n {
+                        let yd = d[k];
+                        r0[k] = mul_shoup_lazy(yd, b[k], bs[k], q);
+                        r1[k] = mul_shoup_lazy(yd, a[k], asp[k], q);
+                    }
+                }
+                (true, Some(p)) => {
+                    for k in 0..n {
+                        let yd = d[p[k]];
+                        r0[k] = mul_shoup_lazy(yd, b[k], bs[k], q);
+                        r1[k] = mul_shoup_lazy(yd, a[k], asp[k], q);
+                    }
+                }
+                (false, None) => {
+                    for k in 0..n {
+                        let yd = d[k];
+                        r0[k] += mul_shoup_lazy(yd, b[k], bs[k], q);
+                        r1[k] += mul_shoup_lazy(yd, a[k], asp[k], q);
+                    }
+                }
+                (false, Some(p)) => {
+                    for k in 0..n {
+                        let yd = d[p[k]];
+                        r0[k] += mul_shoup_lazy(yd, b[k], bs[k], q);
+                        r1[k] += mul_shoup_lazy(yd, a[k], asp[k], q);
+                    }
+                }
+            }
+            run += 1;
+            if run == max_run && j + 1 < nd {
+                for x in r0.iter_mut() {
+                    *x = m.reduce_u64(*x);
+                }
+                for x in r1.iter_mut() {
+                    *x = m.reduce_u64(*x);
+                }
+                // The flushed value (< q) occupies one product slot.
+                run = 1;
+            }
+        }
+        for x in r0.iter_mut() {
+            *x = m.reduce_u64(*x);
+        }
+        for x in r1.iter_mut() {
+            *x = m.reduce_u64(*x);
+        }
+        metrics::count_lazy_reductions_skipped(2 * (n * nd) as u64);
+    });
+    let mut d0 = acquire_buf_raw(ext * n);
+    let mut d1 = acquire_buf_raw(ext * n);
+    for i in 0..ext {
+        d0[i * n..(i + 1) * n].copy_from_slice(&both[2 * i * n..(2 * i + 1) * n]);
+        d1[i * n..(i + 1) * n].copy_from_slice(&both[(2 * i + 1) * n..2 * (i + 1) * n]);
+    }
+    release_buf(both);
+    let mk = |data| RnsPoly {
+        data,
+        n,
+        basis: digits.ext_basis.clone(),
+        ntt: true,
+    };
+    (mk(d0), mk(d1))
 }
 
 #[cfg(test)]
@@ -506,11 +1373,15 @@ mod tests {
         for &q in &c.primes[1..=4] {
             assert!(q > (1 << 40) - (1 << 25) && q < (1 << 40) + (1 << 25));
         }
-        // All distinct.
+        // All distinct, with aligned Barrett constants.
         let mut sorted = c.primes.clone();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 6);
+        assert_eq!(c.moduli.len(), c.primes.len());
+        for (m, &p) in c.moduli.iter().zip(&c.primes) {
+            assert_eq!(m.p, p);
+        }
     }
 
     #[test]
@@ -550,14 +1421,14 @@ mod tests {
     #[test]
     fn rescale_divides_by_top_prime() {
         let c = ctx();
-        let q_top = c.primes[2]; // rows = 3 → top is index 2
+        let q_top = c.primes[2]; // limbs = 3 → top is index 2
                                  // Encode q_top · 7 so the division is exact.
         let coeffs: Vec<i64> = (0..32)
             .map(|i| if i == 0 { (q_top as i64) * 7 } else { 0 })
             .collect();
         let mut p = RnsPoly::from_i64(&c, &coeffs, 3, false);
         p.rescale_by_top(&c);
-        assert_eq!(p.rows.len(), 2);
+        assert_eq!(p.limbs(), 2);
         let got = p.centered_coeffs(&c);
         assert_eq!(got[0], 7);
     }
@@ -603,6 +1474,25 @@ mod tests {
     }
 
     #[test]
+    fn fma_key_matches_plain_fma_in_both_modes() {
+        use crate::toy::modular::set_reduction_mode;
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(17);
+        let acc = RnsPoly::uniform(&c, 2, true, true, &mut rng);
+        let digit = RnsPoly::uniform(&c, 2, true, true, &mut rng);
+        let key = RnsPoly::uniform(&c, 2, true, true, &mut rng);
+        let want = acc.add(&digit.mul(&key, &c), &c);
+        let shoup_key = ShoupPoly::new(key, &c);
+        for mode in [ReductionMode::Lazy, ReductionMode::Eager] {
+            set_reduction_mode(mode);
+            let mut got = acc.clone();
+            got.fma_key_assign(digit.view(), &shoup_key, &c);
+            assert_eq!(got, want, "{mode:?}");
+        }
+        set_reduction_mode(ReductionMode::Lazy);
+    }
+
+    #[test]
     fn permute_from_matches_permuted_and_overwrites_stale_scratch() {
         let c = ctx();
         let mut rng = StdRng::seed_from_u64(8);
@@ -621,19 +1511,80 @@ mod tests {
         let coeffs: Vec<i64> = (0..32).map(|i| i * 31 - 400).collect();
         let p = RnsPoly::from_i64(&c, &coeffs, 3, false);
         let mut scratch = RnsPoly::zero(&c, 3, true, false);
-        scratch.lift_from_row(&p.rows[1], &c);
+        scratch.lift_from_row(p.limb(1), &c);
         let first = scratch.clone();
         // Dirty the scratch (including its form flag), then lift again:
         // every element is rewritten, so the result must be identical.
         scratch.to_ntt(&c);
-        scratch.lift_from_row(&p.rows[1], &c);
+        scratch.lift_from_row(p.limb(1), &c);
         assert_eq!(scratch, first);
         assert!(!scratch.ntt);
-        for (row, &bi) in scratch.rows.iter().zip(&scratch.basis) {
-            let q = c.primes[bi];
-            for (x, src) in row.iter().zip(&p.rows[1]) {
+        for i in 0..scratch.limbs() {
+            let q = c.primes[scratch.basis[i]];
+            for (x, src) in scratch.limb(i).iter().zip(p.limb(1)) {
                 assert_eq!(*x, src % q);
             }
+        }
+    }
+
+    #[test]
+    fn views_expose_limbs_and_primes() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(21);
+        let p = RnsPoly::uniform(&c, 3, true, false, &mut rng);
+        let v = p.view();
+        assert_eq!(v.limbs(), 4);
+        assert_eq!(v.n(), c.n);
+        assert!(!v.ntt);
+        for (i, limb) in v.limbs_iter(&c).enumerate() {
+            assert_eq!(limb.index, i);
+            assert_eq!(limb.prime, c.primes[p.basis[i]]);
+            assert_eq!(limb.coeffs, p.limb(i));
+            assert!(limb.coeffs.iter().all(|&x| x < limb.prime));
+        }
+        let mut p = p;
+        let lm = p.limb_view_mut(&c, 2);
+        assert_eq!(lm.index, 2);
+        assert_eq!(lm.prime, c.primes[2]);
+        assert_eq!(lm.coeffs.len(), c.n);
+    }
+
+    #[test]
+    fn decomposer_digits_match_manual_lift() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut d = RnsPoly::uniform(&c, 3, false, false, &mut rng);
+        d.to_ntt(&c);
+        let dec = Decomposer::new(&c, &d);
+        assert_eq!(dec.digits(), 3);
+        // Manual reference: inverse NTT, per-digit lift + forward NTT.
+        let mut d_coeff = d.clone();
+        d_coeff.to_coeff(&c);
+        let hoisted = dec.hoist();
+        let mut scratch = RnsPoly::zero(&c, 3, true, false);
+        // Digit rows carry the 4p-redundant lazy representation (they only
+        // ever feed `mul_shoup_lazy` products), so compare residues, not
+        // representatives.
+        let canon = |row: &[u64], q: u64| -> Vec<u64> { row.iter().map(|&x| x % q).collect() };
+        for j in 0..dec.digits() {
+            let mut want = RnsPoly::zero(&c, 3, true, false);
+            want.lift_from_row(d_coeff.limb(j), &c);
+            want.to_ntt(&c);
+            let via_stream = dec.digit_into(j, &mut scratch);
+            for i in 0..want.limbs() {
+                let q = c.primes[want.basis[i]];
+                assert_eq!(
+                    canon(via_stream.limb(i), q),
+                    want.limb(i),
+                    "stream digit {j} limb {i}"
+                );
+                assert_eq!(
+                    canon(hoisted.digit(j).limb(i), q),
+                    want.limb(i),
+                    "hoist digit {j} limb {i}"
+                );
+            }
+            assert!(via_stream.ntt && hoisted.digit(j).ntt);
         }
     }
 

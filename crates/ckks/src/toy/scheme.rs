@@ -20,13 +20,12 @@ use rand::{Rng, SeedableRng};
 
 use crate::backend::{Backend, BackendError, Result};
 use crate::metrics;
-use crate::parallel;
 use crate::params::CkksParams;
 use crate::snapshot::{put_f64, put_u32, put_u64, put_u8, SnapError, SnapReader, SnapshotBackend};
 use crate::toy::encode::Encoder;
-use crate::toy::modular::{invmod, mulmod, submod};
+use crate::toy::modular::{reduction_mode, ReductionMode};
 use crate::toy::ntt::automorphism_indices;
-use crate::toy::poly::{RnsContext, RnsPoly};
+use crate::toy::poly::{keyswitch_fused, Decomposer, RnsContext, RnsPoly, ShoupPoly};
 
 /// The waterline scale of the toy instance (independent of the simulated
 /// parameters' `Rf`; the level primes are ≈ 2^40 so rescaling preserves
@@ -43,11 +42,13 @@ pub struct ToyCt {
     scale: f64,
 }
 
-/// One key-switching digit: `(b, a)` over the extended basis, in NTT form.
+/// One key-switching digit: `(b, a)` over the extended basis, NTT-resident
+/// with precomputed Shoup companions so key products never leave the
+/// evaluation domain and never pay a Barrett reduction.
 #[derive(Debug, Clone)]
 struct Ksk {
-    b: RnsPoly,
-    a: RnsPoly,
+    b: ShoupPoly,
+    a: ShoupPoly,
 }
 
 /// A lazily generated key-switching key chain, shared by reference so
@@ -198,7 +199,7 @@ impl ToyBackend {
 
     /// Raw decryption to centered integer coefficients.
     fn rlwe_decrypt(&self, ct: &ToyCt) -> Vec<i128> {
-        let s = self.sk_poly(ct.c0.rows.len(), false);
+        let s = self.sk_poly(ct.c0.limbs(), false);
         let mut m = ct.c0.add(&ct.c1.mul(&s, &self.ctx), &self.ctx);
         m.to_coeff(&self.ctx);
         m.centered_coeffs(&self.ctx)
@@ -239,7 +240,10 @@ impl ToyBackend {
             let b = payload
                 .add(&e, &self.ctx)
                 .sub(&a.mul(&s, &self.ctx), &self.ctx);
-            digits.push(Ksk { b, a });
+            digits.push(Ksk {
+                b: ShoupPoly::new(b, &self.ctx),
+                a: ShoupPoly::new(a, &self.ctx),
+            });
         }
         digits
     }
@@ -266,81 +270,59 @@ impl ToyBackend {
         Arc::clone(keys.entry((kind, level)).or_insert(fresh))
     }
 
-    /// GHS digit decomposition of `d` (NTT, level basis): residue row `j`
-    /// lifted across the extended basis `{q_0…q_l, P}` and transformed to
-    /// NTT form. One call performs *all* the per-digit NTT work of a key
-    /// switch — hoisted rotation shares the returned digits across every
-    /// offset of a batch.
-    fn decompose(&self, d: &RnsPoly) -> Vec<RnsPoly> {
-        metrics::count_digit_decompose();
-        let rows = d.rows.len();
-        let mut d_coeff = d.clone();
-        d_coeff.to_coeff(&self.ctx);
-        let mut digits = Vec::with_capacity(rows);
-        for j in 0..rows {
-            let mut digit = RnsPoly::zero(&self.ctx, rows, true, false);
-            digit.lift_from_row(&d_coeff.rows[j], &self.ctx);
-            metrics::count_digit_ntt_rows(digit.rows.len() as u64);
-            digit.to_ntt(&self.ctx);
-            digits.push(digit);
-        }
-        digits
-    }
-
     /// Switches `d` (NTT, level basis) from secret `w` to `s`, returning
     /// the additive pair `(k0, k1)` with `k0 + k1·s ≈ d·w`.
     ///
-    /// The inner loop is allocation-free: one scratch buffer holds each
-    /// lifted digit in turn and the accumulators are written in place via
-    /// [`RnsPoly::fma_assign`] — no per-digit row sets, no
-    /// `acc = acc.add(...)` rebuilds.
+    /// The inner loop is allocation-free: a [`Decomposer`] streams each
+    /// lifted digit into one scratch buffer as a borrowed view and the
+    /// accumulators are folded in place via [`RnsPoly::fma_key_assign`] —
+    /// no per-digit row sets, no `acc = acc.add(...)` rebuilds, no Barrett
+    /// reductions in the key products (the keys carry Shoup companions).
     fn keyswitch(&self, d: &RnsPoly, kind: KeyKind, level: u32) -> (RnsPoly, RnsPoly) {
         metrics::count_keyswitch();
         let rows = self.rows(level);
-        debug_assert_eq!(d.rows.len(), rows);
+        debug_assert_eq!(d.limbs(), rows);
         let key = self.ksk(kind, level);
-        metrics::count_digit_decompose();
-        let mut d_coeff = d.clone();
-        d_coeff.to_coeff(&self.ctx);
+        let dec = Decomposer::new(&self.ctx, d);
+        if reduction_mode() == ReductionMode::Lazy {
+            // Fused inner product: hoist all digits once, then one pass
+            // per limb sums the 2p-redundant key products as raw u64s
+            // with a single reduction per output element
+            // (`poly::keyswitch_fused`).
+            let digits = dec.hoist();
+            let pairs: Vec<(&ShoupPoly, &ShoupPoly)> = key.iter().map(|k| (&k.b, &k.a)).collect();
+            let (acc0, acc1) = keyswitch_fused(&digits, &pairs, None, &self.ctx);
+            return (self.mod_down_special(acc0), self.mod_down_special(acc1));
+        }
         let mut scratch = RnsPoly::zero(&self.ctx, rows, true, false);
         let mut acc0 = RnsPoly::zero(&self.ctx, rows, true, true);
         let mut acc1 = RnsPoly::zero(&self.ctx, rows, true, true);
         for (j, ksk) in key.iter().enumerate() {
             // Lift digit j (residues < q_j) across the extended basis.
-            scratch.lift_from_row(&d_coeff.rows[j], &self.ctx);
-            metrics::count_digit_ntt_rows(scratch.rows.len() as u64);
-            scratch.to_ntt(&self.ctx);
-            acc0.fma_assign(&scratch, &ksk.b, &self.ctx);
-            acc1.fma_assign(&scratch, &ksk.a, &self.ctx);
+            let digit = dec.digit_into(j, &mut scratch);
+            acc0.fma_key_assign(digit, &ksk.b, &self.ctx);
+            acc1.fma_key_assign(digit, &ksk.a, &self.ctx);
         }
         (self.mod_down_special(acc0), self.mod_down_special(acc1))
     }
 
     /// Divides by the special prime with centered rounding, dropping its
-    /// row (the tail of GHS key switching).
+    /// limb (the tail of GHS key switching). The centered division is the
+    /// same kernel as rescaling — only the dropped prime differs.
+    ///
+    /// Lazy mode stays in the evaluation domain ([`RnsPoly::mod_down_top_ntt`]:
+    /// one inverse row plus one forward row per survivor); eager mode keeps
+    /// the full coefficient-domain round trip as the frozen differential
+    /// baseline. Both produce bit-identical canonical residues.
     fn mod_down_special(&self, mut p: RnsPoly) -> RnsPoly {
-        p.to_coeff(&self.ctx);
-        let sp_row = p.rows.pop().expect("special row present");
-        let sp_bi = p.basis.pop().expect("special row present");
-        debug_assert_eq!(sp_bi, self.ctx.special);
-        let big_p = self.ctx.primes[self.ctx.special];
-        let half = big_p / 2;
-        let work = p.rows.len() * self.ctx.n;
-        let basis = p.basis.clone();
-        let sp = &sp_row;
-        parallel::par_for_each_indexed(&mut p.rows, work, |i, row| {
-            let q = self.ctx.primes[basis[i]];
-            let p_inv = invmod(big_p % q, q);
-            for (x, &t) in row.iter_mut().zip(sp) {
-                let t_mod = if t > half {
-                    submod(t % q, big_p % q, q)
-                } else {
-                    t % q
-                };
-                *x = mulmod(submod(*x, t_mod, q), p_inv, q);
-            }
-        });
-        p.to_ntt(&self.ctx);
+        debug_assert_eq!(p.basis.last().copied(), Some(self.ctx.special));
+        if reduction_mode() == ReductionMode::Lazy {
+            p.mod_down_top_ntt(&self.ctx);
+        } else {
+            p.to_coeff(&self.ctx);
+            p.rescale_by_top(&self.ctx);
+            p.to_ntt(&self.ctx);
+        }
         p
     }
 
@@ -489,7 +471,7 @@ impl Backend for ToyBackend {
     }
 
     fn add_plain(&self, a: &ToyCt, p: &[f64]) -> Result<ToyCt> {
-        let m = self.encode_poly(p, a.c0.rows.len(), a.scale);
+        let m = self.encode_poly(p, a.c0.limbs(), a.scale);
         Ok(ToyCt {
             c0: a.c0.add(&m, &self.ctx),
             ..a.clone()
@@ -497,7 +479,7 @@ impl Backend for ToyBackend {
     }
 
     fn sub_plain(&self, a: &ToyCt, p: &[f64]) -> Result<ToyCt> {
-        let m = self.encode_poly(p, a.c0.rows.len(), a.scale);
+        let m = self.encode_poly(p, a.c0.limbs(), a.scale);
         Ok(ToyCt {
             c0: a.c0.sub(&m, &self.ctx),
             ..a.clone()
@@ -554,7 +536,7 @@ impl Backend for ToyBackend {
                 needed: 1,
             });
         }
-        let m = self.encode_poly(p, a.c0.rows.len(), DELTA);
+        let m = self.encode_poly(p, a.c0.limbs(), DELTA);
         Ok(ToyCt {
             c0: a.c0.mul(&m, &self.ctx),
             c1: a.c1.mul(&m, &self.ctx),
@@ -586,35 +568,54 @@ impl Backend for ToyBackend {
         if offsets.iter().all(|&o| self.enc.rotation_exponent(o) == 1) {
             return Ok(vec![a.clone(); offsets.len()]);
         }
-        let rows = a.c1.rows.len();
+        let rows = a.c1.limbs();
         // Halevi–Shoup hoisting: decompose c1 and NTT the lifted digits
-        // *once*, then realize each offset's automorphism as an NTT-domain
-        // index permutation of the shared digits (see
-        // `ntt::automorphism_indices`) followed by its own key-switch
-        // inner product.
-        let digits = self.decompose(&a.c1);
+        // *once* into one flat slab, then realize each offset's
+        // automorphism as an NTT-domain index permutation of the shared
+        // digits (see `ntt::automorphism_indices`) followed by its own
+        // key-switch inner product. Offsets sharing one Galois exponent
+        // reuse the first result instead of repeating the key switch —
+        // rotations are deterministic, so the clone is bit-identical.
+        let digits = Decomposer::new(&self.ctx, &a.c1).hoist();
         let mut scratch = RnsPoly::zero(&self.ctx, rows, true, true);
-        let mut out = Vec::with_capacity(offsets.len());
+        let mut out: Vec<ToyCt> = Vec::with_capacity(offsets.len());
+        let mut first_at: HashMap<usize, usize> = HashMap::new();
         for &offset in offsets {
             let t = self.enc.rotation_exponent(offset);
             if t == 1 {
                 out.push(a.clone());
                 continue;
             }
+            if let Some(&done) = first_at.get(&t) {
+                let ct = out[done].clone();
+                out.push(ct);
+                continue;
+            }
             let key = self.ksk(KeyKind::Galois(t), a.level);
             let perm = automorphism_indices(self.ctx.n, t);
             metrics::count_keyswitch();
-            let mut acc0 = RnsPoly::zero(&self.ctx, rows, true, true);
-            let mut acc1 = RnsPoly::zero(&self.ctx, rows, true, true);
-            for (digit, ksk) in digits.iter().zip(key.iter()) {
-                scratch.permute_from(digit, &perm);
-                acc0.fma_assign(&scratch, &ksk.b, &self.ctx);
-                acc1.fma_assign(&scratch, &ksk.a, &self.ctx);
-            }
+            let (acc0, acc1) = if reduction_mode() == ReductionMode::Lazy {
+                // Fused inner product reading digit rows through the
+                // automorphism index map — no permuted digit is ever
+                // materialized.
+                let pairs: Vec<(&ShoupPoly, &ShoupPoly)> =
+                    key.iter().map(|k| (&k.b, &k.a)).collect();
+                keyswitch_fused(&digits, &pairs, Some(&perm), &self.ctx)
+            } else {
+                let mut acc0 = RnsPoly::zero(&self.ctx, rows, true, true);
+                let mut acc1 = RnsPoly::zero(&self.ctx, rows, true, true);
+                for (j, ksk) in key.iter().enumerate() {
+                    scratch.permute_from_view(digits.digit(j), &perm);
+                    acc0.fma_key_assign(scratch.view(), &ksk.b, &self.ctx);
+                    acc1.fma_key_assign(scratch.view(), &ksk.a, &self.ctx);
+                }
+                (acc0, acc1)
+            };
             let k0 = self.mod_down_special(acc0);
             let k1 = self.mod_down_special(acc1);
             let mut c0 = a.c0.permuted(&perm);
             c0.add_assign(&k0, &self.ctx);
+            first_at.insert(t, out.len());
             out.push(ToyCt {
                 c0,
                 c1: k1,
@@ -642,11 +643,16 @@ impl Backend for ToyBackend {
         }
         let mut c0 = a.c0.clone();
         let mut c1 = a.c1.clone();
-        let q_top = self.ctx.primes[a.c0.rows.len() - 1];
+        let q_top = self.ctx.primes[a.c0.limbs() - 1];
+        let lazy = reduction_mode() == ReductionMode::Lazy;
         for p in [&mut c0, &mut c1] {
-            p.to_coeff(&self.ctx);
-            p.rescale_by_top(&self.ctx);
-            p.to_ntt(&self.ctx);
+            if lazy {
+                p.mod_down_top_ntt(&self.ctx);
+            } else {
+                p.to_coeff(&self.ctx);
+                p.rescale_by_top(&self.ctx);
+                p.to_ntt(&self.ctx);
+            }
         }
         Ok(ToyCt {
             c0,
@@ -703,23 +709,26 @@ impl Backend for ToyBackend {
     }
 }
 
-/// Serializes one [`RnsPoly`]: NTT flag, row count, prime-index basis,
-/// then the raw residue rows (`n` limbs each).
+/// Serializes one [`RnsPoly`]: NTT flag, limb count, prime-index basis,
+/// then the raw residue limbs (`n` words each). The flat limb-major
+/// buffer serializes in exactly the historical row-by-row byte order, so
+/// `halo-ct-toy/1` is unchanged.
 fn poly_save(p: &RnsPoly, out: &mut Vec<u8>) {
     put_u8(out, u8::from(p.ntt));
-    put_u32(out, u32::try_from(p.rows.len()).expect("rows fit u32"));
+    put_u32(out, u32::try_from(p.limbs()).expect("limbs fit u32"));
     for &bi in &p.basis {
         put_u32(out, u32::try_from(bi).expect("basis index fits u32"));
     }
-    for row in &p.rows {
-        for &x in row {
+    for i in 0..p.limbs() {
+        for &x in p.limb(i) {
             put_u64(out, x);
         }
     }
 }
 
 /// Deserializes one [`RnsPoly`], validating the basis against the context
-/// and every limb against its prime modulus.
+/// and every limb against its prime modulus (polynomials at rest are
+/// always canonical — the lazy kernels never let redundant values escape).
 fn poly_load(ctx: &RnsContext, r: &mut SnapReader<'_>) -> std::result::Result<RnsPoly, SnapError> {
     let ntt = match r.u8()? {
         0 => false,
@@ -743,22 +752,21 @@ fn poly_load(ctx: &RnsContext, r: &mut SnapReader<'_>) -> std::result::Result<Rn
         }
         basis.push(bi);
     }
-    let mut rows = Vec::with_capacity(nrows);
-    for &bi in &basis {
-        let q = ctx.primes[bi];
-        let mut row = Vec::with_capacity(ctx.n);
-        for _ in 0..ctx.n {
-            let x = r.u64()?;
-            if x >= q {
+    let mut poly = RnsPoly::with_basis(ctx.n, basis, ntt);
+    for i in 0..nrows {
+        let row = poly.limb_view_mut(ctx, i);
+        let q = row.prime;
+        for x in row.coeffs.iter_mut() {
+            let v = r.u64()?;
+            if v >= q {
                 return Err(SnapError::Malformed(format!(
-                    "limb {x} not reduced mod {q}"
+                    "limb {v} not reduced mod {q}"
                 )));
             }
-            row.push(x);
+            *x = v;
         }
-        rows.push(row);
     }
-    Ok(RnsPoly { rows, basis, ntt })
+    Ok(poly)
 }
 
 /// Durable-execution support (`halo-snap/1`, see `halo-runtime` and

@@ -30,7 +30,10 @@ pub mod prelude {
     pub use halo_ckks::params::CkksParams;
     pub use halo_ckks::sim::{NoiseProfile, SimBackend};
     pub use halo_ckks::snapshot::SnapshotBackend;
-    pub use halo_ckks::toy::ToyBackend;
+    pub use halo_ckks::toy::{
+        reduction_mode, set_reduction_mode, Decomposer, HoistedDigits, LimbMut, LimbRef, PolyView,
+        ReductionMode, RnsContext, RnsPoly, ShoupPoly, ToyBackend,
+    };
     pub use halo_core::{compile, CompileOptions, CompileResult, CompilerConfig};
     pub use halo_ir::op::TripCount;
     pub use halo_ir::{Function, FunctionBuilder};

@@ -1,7 +1,8 @@
 //! Op/alloc counter assertions for hoisted rotation. These live in their
 //! own integration-test binary (and one test function) because the
-//! metrics counters are process-global: sibling tests running ciphertext
-//! ops concurrently would perturb the deltas.
+//! metrics counters — and the limb-buffer pool — are process-global:
+//! sibling tests running ciphertext ops concurrently would perturb the
+//! deltas.
 
 use halo_fhe::ckks::metrics;
 use halo_fhe::prelude::*;
@@ -10,19 +11,27 @@ const N: usize = 64;
 const LEVELS: u32 = 6;
 
 #[test]
-fn hoisted_batch_decomposes_once_and_allocates_less() {
+fn hoisted_batch_decomposes_once_and_reuses_pooled_buffers() {
     let be = ToyBackend::new(N, LEVELS, 0xCAFE);
     let values: Vec<f64> = (0..N / 2).map(|i| (i as f64 / 5.0).cos()).collect();
     let ct = be.encrypt(&values, LEVELS).expect("encrypt");
     let offsets: Vec<i64> = (1..=8).collect();
 
-    // Warm every Galois key and NTT table so the measured sections count
-    // only steady-state key-switching work.
+    // Cold batch: generates every Galois key, builds NTT tables, and seeds
+    // the limb-buffer pool. All fresh heap allocations happen here.
+    metrics::reset();
     std::hint::black_box(be.rotate_batch(&ct, &offsets).expect("warm-up"));
+    let cold = metrics::snapshot();
+    assert!(
+        cold.poly_allocs > 3,
+        "the cold batch must actually allocate (got {})",
+        cold.poly_allocs
+    );
 
-    // One hoisted batch: exactly one digit decomposition, and exactly the
-    // per-digit NTT row count of a *single* rotation — that work is shared
-    // across all eight offsets.
+    // Warm hoisted batch: exactly one digit decomposition, exactly the
+    // per-digit NTT row count of a *single* rotation (that work is shared
+    // across all eight offsets), and essentially zero fresh allocations —
+    // every limb buffer is recycled through the pool.
     metrics::reset();
     let batch = be.rotate_batch(&ct, &offsets).expect("rotate_batch");
     let hoisted = metrics::snapshot();
@@ -32,6 +41,21 @@ fn hoisted_batch_decomposes_once_and_allocates_less() {
         "a hoisted batch must decompose exactly once"
     );
     assert_eq!(hoisted.keyswitch_calls, offsets.len() as u64);
+    assert!(
+        hoisted.poly_allocs <= 3,
+        "a warm k=8 batch must run (near) zero-copy out of the buffer pool: \
+         {} fresh allocations",
+        hoisted.poly_allocs
+    );
+    assert!(
+        hoisted.pool_reuses > 0,
+        "a warm batch must draw its buffers from the pool"
+    );
+    assert!(
+        hoisted.lazy_reductions_skipped > 0,
+        "the lazy NTT/key-product path must be on by default and must \
+         record its deferred reductions"
+    );
 
     metrics::reset();
     std::hint::black_box(be.rotate(&ct, 1).expect("rotate"));
@@ -53,15 +77,29 @@ fn hoisted_batch_decomposes_once_and_allocates_less() {
         single.digit_ntt_rows * offsets.len() as u64
     );
     assert!(
-        hoisted.poly_allocs < sequential.poly_allocs,
-        "hoisting must allocate less: {} vs {}",
-        hoisted.poly_allocs,
-        sequential.poly_allocs
-    );
-    assert!(
         hoisted.ntt_forward_rows < sequential.ntt_forward_rows,
         "hoisting must run fewer forward NTT rows: {} vs {}",
         hoisted.ntt_forward_rows,
         sequential.ntt_forward_rows
     );
+
+    // Duplicate offsets are memoized by Galois exponent: a batch with
+    // repeats pays key switching only once per distinct offset, and the
+    // cloned results are bit-identical to recomputing.
+    metrics::reset();
+    let dup = be.rotate_batch(&ct, &[3, 3, 5, 3]).expect("dup batch");
+    let d = metrics::snapshot();
+    assert_eq!(
+        d.keyswitch_calls, 2,
+        "two distinct offsets, two key switches"
+    );
+    assert_eq!(dup.len(), 4);
+    let three = be.rotate(&ct, 3).expect("rotate 3");
+    for i in [0usize, 1, 3] {
+        assert_eq!(
+            be.decrypt(&dup[i]).expect("decrypt"),
+            be.decrypt(&three).expect("decrypt"),
+            "memoized duplicate at position {i} must match a direct rotation"
+        );
+    }
 }

@@ -2,10 +2,16 @@
 //! engine: the parallel toy backend is *bit-identical* to the serial one,
 //! and a single `Arc<ToyBackend>` serves many threads concurrently.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use halo_fhe::ckks::parallel;
+use halo_fhe::ckks::snapshot::SnapReader;
 use halo_fhe::prelude::*;
+
+/// Serializes the tests that flip process-global knobs (the thread-count
+/// override and the reduction mode) so they never race each other. Other
+/// tests tolerate any setting — both knobs are bit-identity-preserving.
+static GLOBAL_KNOBS: Mutex<()> = Mutex::new(());
 
 // Large enough that the per-limb loops cross `parallel::MIN_PAR_WORK`
 // and genuinely fan out across threads.
@@ -51,6 +57,9 @@ fn expected() -> Vec<f64> {
 /// never raced by a sibling test.
 #[test]
 fn parallel_execution_is_bit_identical_to_serial() {
+    let _g = GLOBAL_KNOBS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     parallel::set_threads(Some(1));
     let serial = workload(&ToyBackend::new(N, LEVELS, 0xB17));
     parallel::set_threads(Some(4));
@@ -69,6 +78,89 @@ fn parallel_execution_is_bit_identical_to_serial() {
     for (slot, (s, e)) in serial.iter().zip(&expected()).enumerate() {
         assert!((s - e).abs() < 1e-3, "slot {slot}: {s} vs expected {e}");
     }
+}
+
+/// The lazy-reduction NTT/key-product path (the default) must be
+/// *bit-identical* to the eager Barrett oracle — the PR5-era arithmetic —
+/// at every thread count. Laziness is an instruction-count optimization
+/// confined inside single kernel calls; both paths compute the exact same
+/// canonical residues, so decryption bits must match exactly.
+#[test]
+fn lazy_ntt_is_bit_identical_to_eager_at_every_thread_count() {
+    let _g = GLOBAL_KNOBS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    set_reduction_mode(ReductionMode::Eager);
+    parallel::set_threads(Some(1));
+    let oracle = workload(&ToyBackend::new(N, LEVELS, 0x1A2));
+
+    set_reduction_mode(ReductionMode::Lazy);
+    for threads in [1usize, 2, 4] {
+        parallel::set_threads(Some(threads));
+        let lazy = workload(&ToyBackend::new(N, LEVELS, 0x1A2));
+        assert_eq!(oracle.len(), lazy.len());
+        for (slot, (o, l)) in oracle.iter().zip(&lazy).enumerate() {
+            assert_eq!(
+                o.to_bits(),
+                l.to_bits(),
+                "slot {slot} differs between eager/1-thread and lazy/{threads}-thread: {o} vs {l}"
+            );
+        }
+    }
+    parallel::set_threads(None);
+}
+
+/// Ciphertext snapshots (`halo-ct-toy/1`) serialize the same bytes no
+/// matter which reduction mode produced the ciphertext — polynomials at
+/// rest are always canonical — and a save → load → resume round-trip is
+/// bit-identical to never having snapshotted.
+#[test]
+fn snapshots_are_mode_independent_and_resume_bit_identically() {
+    let _g = GLOBAL_KNOBS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    parallel::set_threads(Some(1));
+    let pipeline = |mode: ReductionMode| {
+        set_reduction_mode(mode);
+        let be = ToyBackend::new(N, LEVELS, 0xD15C);
+        let a = be.encrypt(&input_a(), LEVELS).expect("encrypt a");
+        let b = be.encrypt(&input_b(), LEVELS).expect("encrypt b");
+        let m = be
+            .rescale(&be.mult(&a, &b).expect("mult"))
+            .expect("rescale");
+        let r = be.rotate(&m, 3).expect("rotate");
+        let mut bytes = Vec::new();
+        be.ct_save(&r, &mut bytes);
+        be.rng_save(&mut bytes);
+        (be, r, bytes)
+    };
+    let (_, _, eager_bytes) = pipeline(ReductionMode::Eager);
+    let (be, ct, lazy_bytes) = pipeline(ReductionMode::Lazy);
+    assert_eq!(
+        eager_bytes, lazy_bytes,
+        "the wire format must not depend on the reduction mode"
+    );
+
+    // Resume: continue the computation on the original handle, then on the
+    // reloaded one (with the RNG restored), at a different thread count.
+    let resumed_orig = be
+        .decrypt(&be.rotate(&ct, 1).expect("rotate"))
+        .expect("decrypt");
+    let mut r = SnapReader::new(&lazy_bytes);
+    let loaded = be.ct_load(&mut r).expect("ct_load");
+    be.rng_load(&mut r).expect("rng_load");
+    parallel::set_threads(Some(4));
+    let resumed_snap = be
+        .decrypt(&be.rotate(&loaded, 1).expect("rotate"))
+        .expect("decrypt");
+    for (slot, (a, b)) in resumed_orig.iter().zip(&resumed_snap).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "slot {slot}: resumed-from-snapshot run diverged: {a} vs {b}"
+        );
+    }
+    parallel::set_threads(None);
 }
 
 /// The redesigned `&self` Backend API in action: one backend behind an

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 
+use halo_fhe::ckks::snapshot::SnapReader;
 use halo_fhe::prelude::*;
 
 const N: usize = 32; // 16 slots
@@ -43,6 +44,16 @@ fn run<B: Backend>(
     a0: &[f64],
     b0: &[f64],
 ) -> Result<Vec<f64>, halo_fhe::ckks::BackendError> {
+    be.decrypt(&run_ct(be, ops, a0, b0)?)
+}
+
+/// Like [`run`] but returns the final ciphertext instead of decrypting.
+fn run_ct<B: Backend>(
+    be: &B,
+    ops: &[HomOp],
+    a0: &[f64],
+    b0: &[f64],
+) -> Result<B::Ct, halo_fhe::ckks::BackendError> {
     let mut a = be.encrypt(a0, LEVELS)?;
     let b = be.encrypt(b0, LEVELS)?;
     for op in ops {
@@ -78,7 +89,7 @@ fn run<B: Backend>(
             HomOp::Bootstrap => be.bootstrap(&a, LEVELS)?,
         };
     }
-    be.decrypt(&a)
+    Ok(a)
 }
 
 proptest! {
@@ -152,6 +163,60 @@ proptest! {
                 out[i],
                 a[i] * b[i]
             );
+        }
+    }
+
+    /// The differential oracle for the lazy-reduction redesign: the same
+    /// random op sequence, run once under the eager Barrett path (the PR5
+    /// baseline arithmetic) and once under the default lazy path, must
+    /// decrypt to *bit-identical* `f64` slots. Both modes compute the same
+    /// canonical residues; laziness never escapes a kernel call.
+    #[test]
+    fn lazy_and_eager_reduction_agree_bit_for_bit(
+        ops in proptest::collection::vec(op_strategy(), 1..8),
+        a0 in proptest::collection::vec(-1.0..1.0f64, N / 2),
+        b0 in proptest::collection::vec(-1.0..1.0f64, N / 2),
+    ) {
+        set_reduction_mode(ReductionMode::Eager);
+        let eager = run(&ToyBackend::new(N, LEVELS, 0xBEEF), &ops, &a0, &b0)
+            .expect("eager run");
+        set_reduction_mode(ReductionMode::Lazy);
+        let lazy = run(&ToyBackend::new(N, LEVELS, 0xBEEF), &ops, &a0, &b0)
+            .expect("lazy run");
+        for (slot, (e, l)) in eager.iter().zip(&lazy).enumerate() {
+            prop_assert!(
+                e.to_bits() == l.to_bits(),
+                "slot {} differs between eager and lazy: {} vs {} (ops: {:?})",
+                slot, e, l, ops
+            );
+        }
+    }
+
+    /// A ciphertext survives save → load → save with bit-identical bytes
+    /// and bit-identical decryption, at any level and after any prefix of
+    /// homomorphic ops.
+    #[test]
+    fn toy_ciphertext_snapshot_roundtrips_bit_identically(
+        ops in proptest::collection::vec(op_strategy(), 0..5),
+        values in proptest::collection::vec(-2.0..2.0f64, N / 2),
+        b0 in proptest::collection::vec(-1.0..1.0f64, N / 2),
+    ) {
+        let toy = ToyBackend::new(N, LEVELS, 0x5A4E);
+        // Drive the ciphertext through a random op prefix so the snapshot
+        // covers arbitrary levels, not just freshly encrypted ones.
+        let ct = run_ct(&toy, &ops, &values, &b0).expect("prefix runs");
+        let mut bytes = Vec::new();
+        toy.ct_save(&ct, &mut bytes);
+        let loaded = toy
+            .ct_load(&mut SnapReader::new(&bytes))
+            .expect("loads");
+        let mut bytes2 = Vec::new();
+        toy.ct_save(&loaded, &mut bytes2);
+        prop_assert!(bytes == bytes2, "re-serialization must be byte-identical");
+        let d0 = toy.decrypt(&ct).expect("decrypts original");
+        let d1 = toy.decrypt(&loaded).expect("decrypts loaded");
+        for (slot, (a, b)) in d0.iter().zip(&d1).enumerate() {
+            prop_assert!(a.to_bits() == b.to_bits(), "slot {} differs", slot);
         }
     }
 
