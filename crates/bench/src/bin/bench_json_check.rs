@@ -1,18 +1,39 @@
 //! CI schema check for the machine-readable bench artifacts: parses and
 //! validates `BENCH_ROTATE.json`, `BENCH_RUN_ALL.json`, and — when
-//! present or made mandatory with `--ntt` / `--fuzz` / `--crash` — the
-//! `BENCH_NTT.json` microbenchmark and the `FUZZ_REPORT.json` /
-//! `CRASH_REPORT.json` campaign reports, all from `HALO_BENCH_JSON_DIR`
-//! (default `results/`), exiting non-zero on the first violation.
+//! present or made mandatory with `--ntt` / `--fuzz` / `--crash` /
+//! `--remote` — the `BENCH_NTT.json` microbenchmark and the
+//! `FUZZ_REPORT.json` / `CRASH_REPORT.json` / `REMOTE_REPORT.json`
+//! campaign reports, all from `HALO_BENCH_JSON_DIR` (default `results/`),
+//! exiting non-zero on the first violation. `--all` instead sweeps every
+//! `*.json` in the directory through its validator (unknown file names
+//! are themselves violations — an artifact nobody validates is an
+//! artifact nobody can trust).
 //!
 //! ```sh
 //! cargo run --release -p halo-bench --bin bench_json_check
 //! cargo run --release -p halo-bench --bin bench_json_check -- --ntt
 //! cargo run --release -p halo-bench --bin bench_json_check -- --fuzz
 //! cargo run --release -p halo-bench --bin bench_json_check -- --crash
+//! cargo run --release -p halo-bench --bin bench_json_check -- --remote
+//! cargo run --release -p halo-bench --bin bench_json_check -- --all
 //! ```
 
 use halo_bench::json::{self, Json};
+
+type Validator = fn(&Json) -> Result<(), String>;
+
+/// Maps an artifact file name to its schema validator.
+fn validator_for(name: &str) -> Option<Validator> {
+    match name {
+        "BENCH_ROTATE.json" => Some(json::validate_rotate),
+        "BENCH_RUN_ALL.json" => Some(json::validate_run_all),
+        "BENCH_NTT.json" => Some(json::validate_ntt),
+        "FUZZ_REPORT.json" => Some(json::validate_fuzz_report),
+        "CRASH_REPORT.json" => Some(json::validate_crash_report),
+        "REMOTE_REPORT.json" => Some(json::validate_remote_report),
+        _ => None,
+    }
+}
 
 fn check(name: &str, validate: fn(&Json) -> Result<(), String>) -> Result<(), String> {
     let dir = halo_bench::bench_json_dir().map_err(|e| format!("{name}: {e}"))?;
@@ -24,34 +45,73 @@ fn check(name: &str, validate: fn(&Json) -> Result<(), String>) -> Result<(), St
     Ok(())
 }
 
+/// Every `*.json` in the artifact directory, validated by file name.
+fn check_all() -> Vec<Result<(), String>> {
+    let dir = match halo_bench::bench_json_dir() {
+        Ok(d) => d,
+        Err(e) => return vec![Err(format!("--all: {e}"))],
+    };
+    let mut names: Vec<String> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".json"))
+            .collect(),
+        Err(e) => return vec![Err(format!("--all: cannot read {}: {e}", dir.display()))],
+    };
+    names.sort();
+    if names.is_empty() {
+        return vec![Err(format!(
+            "--all: no *.json artifacts in {}",
+            dir.display()
+        ))];
+    }
+    names
+        .into_iter()
+        .map(|name| match validator_for(&name) {
+            Some(validate) => check(&name, validate),
+            None => Err(format!("{name}: no validator registered for this artifact")),
+        })
+        .collect()
+}
+
 fn main() {
-    // `--fuzz` / `--crash` make the respective campaign report mandatory
-    // (the fuzz-smoke and crash-resume CI jobs); otherwise each is
-    // validated only if present, so plain bench runs don't require a
-    // fuzzing or crash campaign first.
+    // `--fuzz` / `--crash` / `--remote` make the respective campaign
+    // report mandatory (their CI jobs); otherwise each is validated only
+    // if present, so plain bench runs don't require a campaign first.
     let args: Vec<String> = std::env::args().skip(1).collect();
     let require_ntt = args.iter().any(|a| a == "--ntt");
     let require_fuzz = args.iter().any(|a| a == "--fuzz");
     let require_crash = args.iter().any(|a| a == "--crash");
+    let require_remote = args.iter().any(|a| a == "--remote");
+    let all = args.iter().any(|a| a == "--all");
     let present = |name: &str| {
         halo_bench::bench_json_dir()
             .map(|d| d.join(name).exists())
             .unwrap_or(false)
     };
 
-    let mut results = vec![
-        check("BENCH_ROTATE.json", json::validate_rotate),
-        check("BENCH_RUN_ALL.json", json::validate_run_all),
-    ];
-    if require_ntt || present("BENCH_NTT.json") {
-        results.push(check("BENCH_NTT.json", json::validate_ntt));
-    }
-    if require_fuzz || present("FUZZ_REPORT.json") {
-        results.push(check("FUZZ_REPORT.json", json::validate_fuzz_report));
-    }
-    if require_crash || present("CRASH_REPORT.json") {
-        results.push(check("CRASH_REPORT.json", json::validate_crash_report));
-    }
+    let results = if all {
+        check_all()
+    } else {
+        let mut results = vec![
+            check("BENCH_ROTATE.json", json::validate_rotate),
+            check("BENCH_RUN_ALL.json", json::validate_run_all),
+        ];
+        if require_ntt || present("BENCH_NTT.json") {
+            results.push(check("BENCH_NTT.json", json::validate_ntt));
+        }
+        if require_fuzz || present("FUZZ_REPORT.json") {
+            results.push(check("FUZZ_REPORT.json", json::validate_fuzz_report));
+        }
+        if require_crash || present("CRASH_REPORT.json") {
+            results.push(check("CRASH_REPORT.json", json::validate_crash_report));
+        }
+        if require_remote || present("REMOTE_REPORT.json") {
+            results.push(check("REMOTE_REPORT.json", json::validate_remote_report));
+        }
+        results
+    };
     let mut failed = false;
     for r in results {
         if let Err(e) = r {

@@ -591,6 +591,107 @@ pub fn validate_crash_report(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `REMOTE_REPORT.json` document (schema
+/// `halo-remote-report/1`): the seeded remote-fault campaign. Every trial
+/// names its fault profile and kind (`run` = durable run through the
+/// flaky `RemoteStore`, `resume` = continuation from the same store,
+/// `resume_prefix` = continuation from a mid-run prefix of the remote's
+/// objects), carries the remote-resilience telemetry, and reports the
+/// bit-identity verdict; the aggregate counts must be consistent with the
+/// trial rows, the campaign must actually have injected faults and
+/// exercised both resume legs, and a green report has zero aborts and
+/// zero failures.
+///
+/// # Errors
+///
+/// Returns the first schema violation.
+pub fn validate_remote_report(v: &Json) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != "halo-remote-report/1" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    require_str(v, "bench")?;
+    require_str(v, "scale")?;
+    for k in ["iters", "seeds", "profiles", "wall_ms"] {
+        require_num(v, k)?;
+    }
+    if require_num(v, "faults_injected")? < 1.0 {
+        return Err("campaign injected no faults: the flaky remote was a no-op".into());
+    }
+    let passed = require_num(v, "passed")?;
+    let failed = require_num(v, "failed")?;
+    let aborts = require_num(v, "aborts")?;
+    let trials = v
+        .get("trials")
+        .and_then(Json::as_arr)
+        .ok_or("missing array 'trials'".to_string())?;
+    if trials.is_empty() {
+        return Err("'trials' must be non-empty".into());
+    }
+    let mut bit_identical = 0.0;
+    let mut resumes = 0;
+    let mut prefix_resumes = 0;
+    let mut resilience_events = 0.0;
+    for (i, row) in trials.iter().enumerate() {
+        let ctx = |e| format!("trials[{i}]: {e}");
+        require_str(row, "profile").map_err(ctx)?;
+        require_num(row, "seed").map_err(ctx)?;
+        let kind = require_str(row, "kind").map_err(ctx)?;
+        match kind {
+            "run" => {}
+            "resume" => resumes += 1,
+            "resume_prefix" => prefix_resumes += 1,
+            _ => return Err(format!("trials[{i}]: unknown kind '{kind}'")),
+        }
+        require_num(row, "faults_injected").map_err(ctx)?;
+        require_num(row, "snapshot_writes").map_err(ctx)?;
+        for k in [
+            "remote_puts",
+            "remote_retries",
+            "remote_backoff_us",
+            "hedged_reads",
+            "breaker_opens",
+            "spilled_snapshots",
+        ] {
+            resilience_events += require_num(row, k).map_err(ctx)?;
+        }
+        match row.get("bit_identical") {
+            Some(Json::Bool(ok)) => {
+                if *ok {
+                    bit_identical += 1.0;
+                }
+            }
+            _ => return Err(format!("trials[{i}]: 'bit_identical' must be a boolean")),
+        }
+    }
+    if resumes == 0 || prefix_resumes == 0 {
+        return Err(format!(
+            "campaign must exercise both resume legs (got {resumes} resume, \
+             {prefix_resumes} resume_prefix trials)"
+        ));
+    }
+    if resilience_events < 1.0 {
+        return Err("no trial recorded any resilience telemetry: the stack never engaged".into());
+    }
+    if passed + failed != trials.len() as f64 {
+        return Err(format!(
+            "passed {passed} + failed {failed} does not cover {} trials",
+            trials.len()
+        ));
+    }
+    if bit_identical != passed {
+        return Err(format!(
+            "passed {passed} inconsistent with {bit_identical} bit-identical trials"
+        ));
+    }
+    if failed > 0.0 || aborts > 0.0 {
+        return Err(format!(
+            "report is red: {failed} failed trials, {aborts} aborts"
+        ));
+    }
+    Ok(())
+}
+
 /// Builds an object from key/value pairs (emit-side convenience).
 #[must_use]
 pub fn obj(members: Vec<(&str, Json)>) -> Json {
@@ -904,5 +1005,90 @@ mod tests {
             }
         }
         assert!(validate_fuzz_report(&wrong).is_err());
+    }
+
+    fn remote_trial(kind: &str, ok: bool, retries: f64) -> Json {
+        obj(vec![
+            ("profile", Json::Str("chaos".into())),
+            ("seed", num(1.0)),
+            ("kind", Json::Str(kind.into())),
+            ("faults_injected", num(3.0)),
+            ("snapshot_writes", num(6.0)),
+            ("remote_puts", num(5.0)),
+            ("remote_retries", num(retries)),
+            ("remote_backoff_us", num(4200.0)),
+            ("hedged_reads", num(1.0)),
+            ("breaker_opens", num(0.0)),
+            ("spilled_snapshots", num(1.0)),
+            ("bit_identical", Json::Bool(ok)),
+        ])
+    }
+
+    fn remote_doc(trials: Vec<Json>, passed: f64, failed: f64, aborts: f64) -> Json {
+        obj(vec![
+            ("schema", Json::Str("halo-remote-report/1".into())),
+            ("bench", Json::Str("linear".into())),
+            ("scale", Json::Str("small".into())),
+            ("iters", num(12.0)),
+            ("seeds", num(1.0)),
+            ("profiles", num(6.0)),
+            ("wall_ms", num(700.0)),
+            ("faults_injected", num(9.0)),
+            ("passed", num(passed)),
+            ("failed", num(failed)),
+            ("aborts", num(aborts)),
+            ("trials", Json::Arr(trials)),
+        ])
+    }
+
+    fn full_remote_matrix(ok: bool) -> Vec<Json> {
+        vec![
+            remote_trial("run", ok, 2.0),
+            remote_trial("resume", ok, 2.0),
+            remote_trial("resume_prefix", ok, 2.0),
+        ]
+    }
+
+    #[test]
+    fn remote_report_schema_validates_and_rejects() {
+        validate_remote_report(&remote_doc(full_remote_matrix(true), 3.0, 0.0, 0.0)).unwrap();
+
+        // A diverged trial makes the report red.
+        let mut mixed = full_remote_matrix(true);
+        mixed[1] = remote_trial("resume", false, 2.0);
+        assert!(validate_remote_report(&remote_doc(mixed, 2.0, 1.0, 0.0)).is_err());
+
+        // Any abort is red even if outputs matched.
+        assert!(
+            validate_remote_report(&remote_doc(full_remote_matrix(true), 3.0, 0.0, 1.0)).is_err()
+        );
+
+        // Both resume legs are mandatory.
+        let runs_only = vec![
+            remote_trial("run", true, 2.0),
+            remote_trial("run", true, 2.0),
+        ];
+        assert!(validate_remote_report(&remote_doc(runs_only, 2.0, 0.0, 0.0)).is_err());
+
+        // Aggregate counters must cover the trial rows.
+        assert!(
+            validate_remote_report(&remote_doc(full_remote_matrix(true), 7.0, 0.0, 0.0)).is_err()
+        );
+
+        // A campaign that injected no faults validated nothing.
+        let mut tame = remote_doc(full_remote_matrix(true), 3.0, 0.0, 0.0);
+        if let Json::Obj(members) = &mut tame {
+            for (k, v) in members.iter_mut() {
+                if k == "faults_injected" {
+                    *v = num(0.0);
+                }
+            }
+        }
+        assert!(validate_remote_report(&tame).is_err());
+
+        // Unknown trial kinds are rejected.
+        let mut weird = full_remote_matrix(true);
+        weird.push(remote_trial("teleport", true, 0.0));
+        assert!(validate_remote_report(&remote_doc(weird, 4.0, 0.0, 0.0)).is_err());
     }
 }

@@ -471,21 +471,6 @@ impl RnsPoly {
         }
     }
 
-    /// The limbs as materialized row vectors.
-    #[deprecated(note = "RnsPoly now stores one flat limb-major buffer; this copies. \
-                Use limbs()/limb(i)/limb_view(ctx, i) or view() instead")]
-    #[must_use]
-    pub fn rows(&self) -> Vec<Vec<u64>> {
-        self.data.chunks(self.n).map(<[u64]>::to_vec).collect()
-    }
-
-    /// One residue row.
-    #[deprecated(note = "use limb(i) (borrow) or limb_view(ctx, i) (tagged view)")]
-    #[must_use]
-    pub fn row(&self, i: usize) -> &[u64] {
-        self.limb(i)
-    }
-
     /// Total element count, the work measure for parallel dispatch.
     fn work(&self) -> usize {
         self.data.len()

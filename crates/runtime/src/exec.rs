@@ -1190,7 +1190,10 @@ impl<'b, B: SnapshotBackend> Executor<'b, B> {
             encode: &encode,
             resume: RefCell::new(None),
         };
-        self.run_core(f, inputs, Some(&ctx), HashMap::new(), RunStats::default())
+        let remote_before = store.remote_telemetry();
+        let mut out = self.run_core(f, inputs, Some(&ctx), HashMap::new(), RunStats::default())?;
+        absorb_remote_delta(store, remote_before, &mut out.stats);
+        Ok(out)
     }
 
     /// Resumes a killed durable run from the policy's snapshot store.
@@ -1224,9 +1227,17 @@ impl<'b, B: SnapshotBackend> Executor<'b, B> {
         store: &dyn SnapshotStore,
     ) -> Result<RunOutput, ExecError> {
         let mut stats = RunStats::default();
-        let gens = store.generations().map_err(|e| {
-            ExecError::from(RunError::Snapshot(format!("cannot list generations: {e}")))
-        })?;
+        let remote_before = store.remote_telemetry();
+        // A store we cannot even list is the resume-time analogue of a
+        // failed snapshot write: durability degrades (fresh start, counted
+        // in `resume_list_failures`), the run never aborts.
+        let gens = match store.generations() {
+            Ok(gens) => gens,
+            Err(_) => {
+                stats.resume_list_failures += 1;
+                Vec::new()
+            }
+        };
         let mut restored: Option<DecodedSnapshot<B::Ct>> = None;
         for &g in gens.iter().rev() {
             let usable = store
@@ -1273,7 +1284,21 @@ impl<'b, B: SnapshotBackend> Executor<'b, B> {
             encode: &encode,
             resume: RefCell::new(resume),
         };
-        self.run_core(f, inputs, Some(&ctx), values, stats)
+        let mut out = self.run_core(f, inputs, Some(&ctx), values, stats)?;
+        absorb_remote_delta(store, remote_before, &mut out.stats);
+        Ok(out)
+    }
+}
+
+/// Folds the remote-telemetry delta accumulated across a durable run into
+/// its stats (no-op for stores without a remote).
+fn absorb_remote_delta(
+    store: &dyn SnapshotStore,
+    before: Option<crate::remote::RemoteTelemetry>,
+    stats: &mut RunStats,
+) {
+    if let Some(after) = store.remote_telemetry() {
+        stats.absorb_remote(&after.delta(&before.unwrap_or_default()));
     }
 }
 

@@ -1,0 +1,192 @@
+//! A real-HTTP [`ObjectStore`] over `std::net::TcpStream` — plain
+//! HTTP/1.1 against any S3-compatible or WebDAV-ish endpoint that maps
+//! `PUT /bucket/key`, `GET /bucket/key`, `DELETE /bucket/key`, and
+//! `GET /bucket?prefix=...` (newline-separated key listing).
+//!
+//! Behind the off-by-default `remote-http` feature: the workspace builds
+//! and tests fully offline, so this adapter is compile-checked but not
+//! exercised in CI — the resilience stack above it ([`RemoteStore`]) is
+//! validated end-to-end against the deterministic [`SimObjectStore`]
+//! instead, which is the point of keeping the [`ObjectStore`] surface
+//! minimal. No TLS (front it with a local proxy) and no connection
+//! pooling; every operation opens a fresh connection, which also keeps
+//! the per-op deadline honest.
+//!
+//! [`RemoteStore`]: crate::remote::RemoteStore
+//! [`SimObjectStore`]: crate::remote::SimObjectStore
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::remote::{ObjectError, ObjectErrorKind, ObjectReply, ObjectResult, ObjectStore};
+
+/// HTTP/1.1 object store: one connection per operation, deadlines mapped
+/// to socket timeouts.
+#[derive(Debug, Clone)]
+pub struct HttpObjectStore {
+    /// `host:port` of the endpoint.
+    authority: String,
+    /// URL path prefix objects live under (e.g. `/snapshots`).
+    bucket: String,
+}
+
+impl HttpObjectStore {
+    /// An object store at `http://{authority}{bucket}/...`.
+    #[must_use]
+    pub fn new(authority: impl Into<String>, bucket: impl Into<String>) -> HttpObjectStore {
+        let mut bucket = bucket.into();
+        if !bucket.starts_with('/') {
+            bucket.insert(0, '/');
+        }
+        HttpObjectStore {
+            authority: authority.into(),
+            bucket: bucket.trim_end_matches('/').to_string(),
+        }
+    }
+
+    /// One request/response exchange under `deadline_us`. Returns
+    /// `(status, body, elapsed_us)`.
+    fn exchange(
+        &self,
+        method: &str,
+        target: &str,
+        body: Option<&[u8]>,
+        deadline_us: f64,
+    ) -> Result<(u16, Vec<u8>, f64), ObjectError> {
+        let start = Instant::now();
+        let deadline = Duration::from_micros(deadline_us.max(1.0) as u64);
+        let elapsed_us = |s: Instant| s.elapsed().as_secs_f64() * 1e6;
+        let timeout_err = |s: Instant| ObjectError {
+            kind: ObjectErrorKind::Timeout,
+            latency_us: elapsed_us(s),
+        };
+        let unavail_err = |s: Instant| ObjectError {
+            kind: ObjectErrorKind::Unavailable,
+            latency_us: elapsed_us(s),
+        };
+
+        let stream = TcpStream::connect(&self.authority).map_err(|_| unavail_err(start))?;
+        let budget = |s: Instant| deadline.checked_sub(s.elapsed());
+        let Some(left) = budget(start) else {
+            return Err(timeout_err(start));
+        };
+        stream.set_write_timeout(Some(left)).ok();
+        stream.set_read_timeout(Some(left)).ok();
+
+        let mut req = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n",
+            self.authority
+        );
+        if let Some(b) = body {
+            req.push_str(&format!("Content-Length: {}\r\n", b.len()));
+        }
+        req.push_str("\r\n");
+        let mut stream = stream;
+        let write = (|| -> std::io::Result<()> {
+            stream.write_all(req.as_bytes())?;
+            if let Some(b) = body {
+                stream.write_all(b)?;
+            }
+            stream.flush()
+        })();
+        write.map_err(|e| match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => timeout_err(start),
+            _ => ObjectError {
+                kind: ObjectErrorKind::Transient(format!("send failed: {e}")),
+                latency_us: elapsed_us(start),
+            },
+        })?;
+
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).map_err(|e| match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => timeout_err(start),
+            _ => ObjectError {
+                kind: ObjectErrorKind::Transient(format!("recv failed: {e}")),
+                latency_us: elapsed_us(start),
+            },
+        })?;
+
+        let parse_failure = || ObjectError {
+            kind: ObjectErrorKind::Transient("malformed HTTP response".into()),
+            latency_us: elapsed_us(start),
+        };
+        // "HTTP/1.1 200 OK\r\n...\r\n\r\n<body>": status from the first
+        // line, body after the blank line. Connection: close makes
+        // read_to_end the framing, so chunked encoding is not handled —
+        // acceptable for a stub whose payloads are snapshot blobs.
+        let header_end = raw
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .ok_or_else(parse_failure)?;
+        let head = std::str::from_utf8(&raw[..header_end]).map_err(|_| parse_failure())?;
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(parse_failure)?;
+        Ok((status, raw[header_end + 4..].to_vec(), elapsed_us(start)))
+    }
+
+    /// Maps an HTTP status to the object-store error taxonomy.
+    fn classify<T>(status: u16, value: T, latency_us: f64) -> ObjectResult<T> {
+        match status {
+            200..=299 => Ok(ObjectReply { value, latency_us }),
+            404 => Err(ObjectError {
+                kind: ObjectErrorKind::NotFound,
+                latency_us,
+            }),
+            408 | 429 | 500..=599 => Err(ObjectError {
+                kind: ObjectErrorKind::Transient(format!("HTTP {status}")),
+                latency_us,
+            }),
+            _ => Err(ObjectError {
+                kind: ObjectErrorKind::Permanent(format!("HTTP {status}")),
+                latency_us,
+            }),
+        }
+    }
+
+    fn target(&self, key: &str) -> String {
+        format!("{}/{key}", self.bucket)
+    }
+}
+
+impl ObjectStore for HttpObjectStore {
+    fn put(&self, key: &str, bytes: &[u8], deadline_us: f64) -> ObjectResult<()> {
+        let (status, _, us) = self.exchange("PUT", &self.target(key), Some(bytes), deadline_us)?;
+        Self::classify(status, (), us)
+    }
+
+    fn get(&self, key: &str, deadline_us: f64) -> ObjectResult<Vec<u8>> {
+        let (status, body, us) = self.exchange("GET", &self.target(key), None, deadline_us)?;
+        Self::classify(status, body, us)
+    }
+
+    fn list(&self, prefix: &str, deadline_us: f64) -> ObjectResult<Vec<String>> {
+        let target = format!("{}?prefix={prefix}", self.bucket);
+        let (status, body, us) = self.exchange("GET", &target, None, deadline_us)?;
+        let reply = Self::classify(status, body, us)?;
+        let keys = String::from_utf8_lossy(&reply.value)
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect();
+        Ok(ObjectReply {
+            value: keys,
+            latency_us: reply.latency_us,
+        })
+    }
+
+    fn delete(&self, key: &str, deadline_us: f64) -> ObjectResult<()> {
+        let (status, _, us) = self.exchange("DELETE", &self.target(key), None, deadline_us)?;
+        // Idempotent delete: a missing key is success.
+        if status == 404 {
+            return Ok(ObjectReply {
+                value: (),
+                latency_us: us,
+            });
+        }
+        Self::classify(status, (), us)
+    }
+}

@@ -17,17 +17,34 @@
 //! - [`store`] — where snapshots live: the atomic-rename [`DiskStore`]
 //!   keeping K generations, the in-memory [`MemStore`], and the
 //!   fault-injecting [`FaultyStore`] chaos decorator.
+//! - [`remote`] — snapshots across machines: the [`ObjectStore`] surface,
+//!   the deterministic flaky [`SimObjectStore`], and the resilient
+//!   [`RemoteStore`] adapter (retry/backoff, hedged reads, circuit
+//!   breaker, write-behind spill — DESIGN.md §14). A real-HTTP
+//!   [`ObjectStore`] lives behind the off-by-default `remote-http`
+//!   feature (the workspace builds offline).
 
 pub mod exec;
 pub mod reference;
+pub mod remote;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
 
+#[cfg(feature = "remote-http")]
+pub mod http;
+
 pub use exec::{ExecError, ExecPolicy, Executor, Inputs, RtValue, RunError, RunOutput};
 pub use reference::reference_run;
+pub use remote::{
+    ObjectError, ObjectErrorKind, ObjectReply, ObjectResult, ObjectStore, RemoteFaultReport,
+    RemoteFaultSpec, RemotePolicy, RemoteStore, RemoteTelemetry, SimObjectStore,
+};
 pub use snapshot::{decode_snapshot, encode_snapshot, DecodedSnapshot, SNAP_FORMAT};
 pub use stats::{rmse, RunStats};
 pub use store::{
     DiskStore, FaultyStore, MemStore, SnapshotStore, StoreFaultReport, StoreFaultSpec,
 };
+
+#[cfg(feature = "remote-http")]
+pub use http::HttpObjectStore;

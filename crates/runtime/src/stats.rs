@@ -72,6 +72,33 @@ pub struct RunStats {
     /// checksum mismatch, structural validation failure) before a good
     /// one — or a fresh start — was found.
     pub corrupt_snapshots_skipped: u64,
+    /// Resumes whose `generations()` listing failed outright; the run
+    /// degraded to a fresh start instead of erroring.
+    pub resume_list_failures: u64,
+
+    // ------------------------------------------------------------------
+    // Remote-store telemetry (all zero unless the durable run's store is
+    // a `RemoteStore`; deltas of `RemoteTelemetry` sampled around the
+    // run).
+    // ------------------------------------------------------------------
+    /// Snapshot generations successfully persisted to the remote object
+    /// store (spilled generations count only once drained back).
+    pub remote_puts: u64,
+    /// Remote attempts re-issued after a retryable failure (timeouts,
+    /// transient "5xx" errors, unavailability).
+    pub remote_retries: u64,
+    /// Modeled retry backoff charged between remote attempts, in µs
+    /// (decorrelated jitter; counted in
+    /// [`RunStats::recovery_overhead_us`]).
+    pub remote_backoff_us: f64,
+    /// Reads whose tight first deadline expired and fired a full-deadline
+    /// hedge attempt.
+    pub hedged_reads: u64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_opens: u64,
+    /// Snapshots spilled to the local write-behind store because the
+    /// remote was unreachable.
+    pub spilled_snapshots: u64,
 
     // ------------------------------------------------------------------
     // Hoisted-rotation telemetry (all zero unless the executor's rotation
@@ -119,11 +146,24 @@ impl RunStats {
     }
 
     /// Recovery overhead charged to [`RunStats::total_us`], in µs: modeled
-    /// retry backoff and checkpoint serialization, plus the *measured*
-    /// time spent writing durable disk snapshots.
+    /// retry backoff (local and remote) and checkpoint serialization, plus
+    /// the *measured* time spent writing durable disk snapshots.
     #[must_use]
     pub fn recovery_overhead_us(&self) -> f64 {
-        self.retry_backoff_us + self.checkpoint_us + self.disk_snapshot_us
+        self.retry_backoff_us + self.checkpoint_us + self.disk_snapshot_us + self.remote_backoff_us
+    }
+
+    /// Folds a remote-telemetry delta (sampled around a durable run from
+    /// [`SnapshotStore::remote_telemetry`]) into these stats.
+    ///
+    /// [`SnapshotStore::remote_telemetry`]: crate::store::SnapshotStore::remote_telemetry
+    pub fn absorb_remote(&mut self, delta: &crate::remote::RemoteTelemetry) {
+        self.remote_puts += delta.remote_puts;
+        self.remote_retries += delta.remote_retries;
+        self.remote_backoff_us += delta.remote_backoff_us;
+        self.hedged_reads += delta.hedged_reads;
+        self.breaker_opens += delta.breaker_opens;
+        self.spilled_snapshots += delta.spilled_snapshots;
     }
 }
 

@@ -22,6 +22,8 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use crate::remote::RemoteTelemetry;
+
 /// Generation-numbered snapshot storage. `Send + Sync` so one store can
 /// serve concurrent executors; generation numbers are unique and strictly
 /// increasing within a store.
@@ -49,6 +51,16 @@ pub trait SnapshotStore: Send + Sync {
     ///
     /// Propagates I/O failures (including a missing generation).
     fn get(&self, generation: u64) -> io::Result<Vec<u8>>;
+
+    /// Remote-operation telemetry accumulated by this store, if it talks
+    /// to a remote ([`RemoteStore`] does; local stores return `None`).
+    /// The executor samples this around a durable run and folds the
+    /// delta into `RunStats`.
+    ///
+    /// [`RemoteStore`]: crate::remote::RemoteStore
+    fn remote_telemetry(&self) -> Option<RemoteTelemetry> {
+        None
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -142,12 +154,18 @@ fn parse_snap_name(name: &str) -> Option<u64> {
 pub struct DiskStore {
     dir: PathBuf,
     keep: usize,
+    /// Next generation to hand out — allocated under the lock so
+    /// concurrent `put`s never race the directory listing into the same
+    /// generation number (`None` until the first allocation scans the
+    /// directory).
+    next_gen: Mutex<Option<u64>>,
 }
 
 impl DiskStore {
     /// Opens (creating if needed) the store directory, retaining the
-    /// newest `keep` generations (`keep` is clamped to ≥ 2 so corruption
-    /// fallback always has somewhere to fall).
+    /// newest `keep` generations (`keep == 0` retains everything, other
+    /// values are clamped to ≥ 2 so corruption fallback always has
+    /// somewhere to fall).
     ///
     /// # Errors
     ///
@@ -157,7 +175,8 @@ impl DiskStore {
         fs::create_dir_all(&dir)?;
         Ok(DiskStore {
             dir,
-            keep: keep.max(2),
+            keep: if keep == 0 { 0 } else { keep.max(2) },
+            next_gen: Mutex::new(None),
         })
     }
 
@@ -165,6 +184,58 @@ impl DiskStore {
     #[must_use]
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Allocates the next generation number: strictly increasing and
+    /// unique across threads sharing this store. Initialized lazily from
+    /// the directory listing so reopening an existing store continues its
+    /// sequence.
+    fn allocate_generation(&self) -> io::Result<u64> {
+        let mut next = self.next_gen.lock().expect("gen lock");
+        let generation = match *next {
+            Some(g) => g,
+            None => self.generations()?.last().map_or(1, |g| g + 1),
+        };
+        *next = Some(generation + 1);
+        Ok(generation)
+    }
+
+    /// Publishes `bytes` under an explicit generation number via the
+    /// atomic-rename protocol. Used by the remote spill path, which keys
+    /// local blobs by the *remote* generation so the union listing stays
+    /// consistent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn put_at(&self, generation: u64, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!(".tmp-{}", snap_name(generation)));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.dir.join(snap_name(generation)))?;
+        self.sync_dir();
+        // Keep the allocator ahead of explicitly published generations so
+        // a later plain `put` cannot overwrite one.
+        let mut next = self.next_gen.lock().expect("gen lock");
+        if next.is_none_or(|n| n <= generation) {
+            *next = Some(generation + 1);
+        }
+        Ok(())
+    }
+
+    fn prune(&self) -> io::Result<()> {
+        if self.keep > 0 {
+            let gens = self.generations()?;
+            for &old in gens.iter().take(gens.len().saturating_sub(self.keep)) {
+                // Pruning is housekeeping: a leftover old generation is
+                // harmless, so removal errors are ignored.
+                let _ = fs::remove_file(self.dir.join(snap_name(old)));
+            }
+        }
+        Ok(())
     }
 
     fn sync_dir(&self) {
@@ -180,7 +251,7 @@ impl DiskStore {
 
 impl SnapshotStore for DiskStore {
     fn put(&self, bytes: &[u8]) -> io::Result<u64> {
-        let generation = self.generations()?.last().map_or(1, |g| g + 1);
+        let generation = self.allocate_generation()?;
         let tmp = self.dir.join(format!(".tmp-{}", snap_name(generation)));
         {
             let mut f = fs::File::create(&tmp)?;
@@ -189,14 +260,7 @@ impl SnapshotStore for DiskStore {
         }
         fs::rename(&tmp, self.dir.join(snap_name(generation)))?;
         self.sync_dir();
-        if self.keep > 0 {
-            let gens = self.generations()?;
-            for &old in gens.iter().take(gens.len().saturating_sub(self.keep)) {
-                // Pruning is housekeeping: a leftover old generation is
-                // harmless, so removal errors are ignored.
-                let _ = fs::remove_file(self.dir.join(snap_name(old)));
-            }
-        }
+        self.prune()?;
         Ok(generation)
     }
 
@@ -351,6 +415,10 @@ impl<S: SnapshotStore> SnapshotStore for FaultyStore<S> {
             bytes[pos] ^= 1u8 << bit;
         }
         Ok(bytes)
+    }
+
+    fn remote_telemetry(&self) -> Option<RemoteTelemetry> {
+        self.inner.remote_telemetry()
     }
 }
 

@@ -39,6 +39,7 @@ pub mod prelude {
     pub use halo_ir::{Function, FunctionBuilder};
     pub use halo_runtime::{
         reference_run, rmse, DiskStore, ExecError, ExecPolicy, Executor, FaultyStore, Inputs,
-        MemStore, RunError, RunStats, SnapshotStore, StoreFaultSpec,
+        MemStore, ObjectStore, RemoteFaultSpec, RemotePolicy, RemoteStore, RemoteTelemetry,
+        RunError, RunStats, SimObjectStore, SnapshotStore, StoreFaultSpec,
     };
 }

@@ -208,6 +208,59 @@ fn resume_with_empty_store_starts_fresh() {
     assert_eq!(out.stats.resumes_from_disk, 0);
 }
 
+/// A store whose `generations()` listing always fails (e.g. the remote
+/// is unreachable and no spill is attached) must not make `resume`
+/// error: the listing failure degrades to a fresh start, counted in
+/// `resume_list_failures`.
+#[test]
+fn resume_with_unlistable_store_degrades_to_fresh_start() {
+    /// `put`/`get` work (backed by a `MemStore`), `list` never does.
+    struct UnlistableStore(MemStore);
+    impl SnapshotStore for UnlistableStore {
+        fn put(&self, bytes: &[u8]) -> std::io::Result<u64> {
+            self.0.put(bytes)
+        }
+        fn generations(&self) -> std::io::Result<Vec<u64>> {
+            Err(std::io::Error::other("injected fault: listing unavailable"))
+        }
+        fn get(&self, generation: u64) -> std::io::Result<Vec<u8>> {
+            self.0.get(generation)
+        }
+    }
+
+    let f = program();
+    let policy = ExecPolicy::durable("/unused");
+    let params = CkksParams {
+        poly_degree: N,
+        max_level: LEVELS,
+        rf_bits: 40,
+    };
+    let be = SimBackend::new(params.clone());
+    let base = Executor::with_policy(&be, policy.clone())
+        .run_durable_with_store(&f, &inputs(), &MemStore::new(0))
+        .expect("baseline runs");
+
+    // Seed the store with real snapshots so the *only* obstacle is the
+    // failing listing — resume must not find them.
+    let store = UnlistableStore(MemStore::new(0));
+    let be1 = SimBackend::new(params.clone());
+    Executor::with_policy(&be1, policy.clone())
+        .run_durable_with_store(&f, &inputs(), &store)
+        .expect("durable run tolerates an unlistable store");
+    assert!(
+        !store.0.generations().unwrap().is_empty(),
+        "snapshots landed"
+    );
+
+    let be2 = SimBackend::new(params);
+    let out = Executor::with_policy(&be2, policy)
+        .resume_with_store(&f, &inputs(), &store)
+        .expect("resume degrades instead of erroring");
+    assert_eq!(bits(&out.outputs), bits(&base.outputs));
+    assert_eq!(out.stats.resume_list_failures, 1, "degradation was counted");
+    assert_eq!(out.stats.resumes_from_disk, 0, "fresh start, not a resume");
+}
+
 /// Storage-layer chaos: short writes, ENOSPC, and read-time bit flips
 /// injected by `FaultyStore` across seeds. Every run and every resume
 /// must complete with bit-identical outputs — corrupt generations are
