@@ -1,17 +1,19 @@
 //! CI schema check for the machine-readable bench artifacts: parses and
 //! validates `BENCH_ROTATE.json`, `BENCH_RUN_ALL.json`, and — when
-//! present or made mandatory with `--ntt` / `--fuzz` / `--crash` /
-//! `--remote` — the `BENCH_NTT.json` microbenchmark and the
-//! `FUZZ_REPORT.json` / `CRASH_REPORT.json` / `REMOTE_REPORT.json`
-//! campaign reports, all from `HALO_BENCH_JSON_DIR` (default `results/`),
-//! exiting non-zero on the first violation. `--all` instead sweeps every
-//! `*.json` in the directory through its validator (unknown file names
-//! are themselves violations — an artifact nobody validates is an
-//! artifact nobody can trust).
+//! present or made mandatory with `--ntt` / `--serve` / `--fuzz` /
+//! `--crash` / `--remote` — the `BENCH_NTT.json` microbenchmark, the
+//! `BENCH_SERVE.json` serving campaign, and the `FUZZ_REPORT.json` /
+//! `CRASH_REPORT.json` / `REMOTE_REPORT.json` campaign reports, all from
+//! `HALO_BENCH_JSON_DIR` (default `results/`), exiting non-zero on the
+//! first violation. `--all` instead sweeps every `*.json` in the
+//! directory through its validator (unknown file names are themselves
+//! violations — an artifact nobody validates is an artifact nobody can
+//! trust).
 //!
 //! ```sh
 //! cargo run --release -p halo-bench --bin bench_json_check
 //! cargo run --release -p halo-bench --bin bench_json_check -- --ntt
+//! cargo run --release -p halo-bench --bin bench_json_check -- --serve
 //! cargo run --release -p halo-bench --bin bench_json_check -- --fuzz
 //! cargo run --release -p halo-bench --bin bench_json_check -- --crash
 //! cargo run --release -p halo-bench --bin bench_json_check -- --remote
@@ -28,6 +30,7 @@ fn validator_for(name: &str) -> Option<Validator> {
         "BENCH_ROTATE.json" => Some(json::validate_rotate),
         "BENCH_RUN_ALL.json" => Some(json::validate_run_all),
         "BENCH_NTT.json" => Some(json::validate_ntt),
+        "BENCH_SERVE.json" => Some(json::validate_serve),
         "FUZZ_REPORT.json" => Some(json::validate_fuzz_report),
         "CRASH_REPORT.json" => Some(json::validate_crash_report),
         "REMOTE_REPORT.json" => Some(json::validate_remote_report),
@@ -76,11 +79,13 @@ fn check_all() -> Vec<Result<(), String>> {
 }
 
 fn main() {
-    // `--fuzz` / `--crash` / `--remote` make the respective campaign
-    // report mandatory (their CI jobs); otherwise each is validated only
-    // if present, so plain bench runs don't require a campaign first.
+    // `--serve` / `--fuzz` / `--crash` / `--remote` make the respective
+    // campaign report mandatory (their CI jobs); otherwise each is
+    // validated only if present, so plain bench runs don't require a
+    // campaign first.
     let args: Vec<String> = std::env::args().skip(1).collect();
     let require_ntt = args.iter().any(|a| a == "--ntt");
+    let require_serve = args.iter().any(|a| a == "--serve");
     let require_fuzz = args.iter().any(|a| a == "--fuzz");
     let require_crash = args.iter().any(|a| a == "--crash");
     let require_remote = args.iter().any(|a| a == "--remote");
@@ -100,6 +105,9 @@ fn main() {
         ];
         if require_ntt || present("BENCH_NTT.json") {
             results.push(check("BENCH_NTT.json", json::validate_ntt));
+        }
+        if require_serve || present("BENCH_SERVE.json") {
+            results.push(check("BENCH_SERVE.json", json::validate_serve));
         }
         if require_fuzz || present("FUZZ_REPORT.json") {
             results.push(check("FUZZ_REPORT.json", json::validate_fuzz_report));

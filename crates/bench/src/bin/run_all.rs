@@ -43,6 +43,9 @@ fn main() {
     println!();
     let seed = 1;
     print_recovery(&recovery_rows(scale, PAPER_ITERS, seed), seed);
+    println!();
+    let serving = serving_rows(scale, seed);
+    print_serving(&serving, seed);
 
     let benchmarks: Vec<Json> = rows
         .iter()
@@ -63,6 +66,10 @@ fn main() {
         ("wall_ms", num(wall.elapsed().as_secs_f64() * 1e3)),
         ("poly_allocs", num(metrics::snapshot().poly_allocs as f64)),
         ("benchmarks", Json::Arr(benchmarks)),
+        (
+            "serving",
+            Json::Arr(serving.iter().map(ServingRow::to_json).collect()),
+        ),
     ]);
     json::validate_run_all(&doc).expect("emitted document must satisfy its own schema");
     let dir = halo_bench::bench_json_dir().expect("bench json dir");

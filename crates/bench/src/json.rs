@@ -449,6 +449,119 @@ pub fn validate_run_all(v: &Json) -> Result<(), String> {
             ));
         }
     }
+    // The serving campaign rides along in newer documents; when present
+    // it must be internally consistent (same row shape as BENCH_SERVE).
+    if let Some(serving) = v.get("serving") {
+        let rows = serving
+            .as_arr()
+            .ok_or("'serving' must be an array".to_string())?;
+        if rows.is_empty() {
+            return Err("'serving' must be non-empty when present".into());
+        }
+        check_serving_rows(rows)?;
+    }
+    Ok(())
+}
+
+/// Row shape shared by `BENCH_SERVE.json` and the optional `serving`
+/// section of `BENCH_RUN_ALL.json`: one closed-loop campaign result per
+/// swept maximum batch size, with modeled latency percentiles and the
+/// batched-vs-solo throughput ratio.
+fn check_serving_rows(rows: &[Json]) -> Result<(), String> {
+    let mut saw_solo = false;
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |e| format!("serving row [{i}]: {e}");
+        let batch = require_num(row, "batch").map_err(ctx)?;
+        if batch < 1.0 {
+            return Err(format!("serving row [{i}]: batch must be >= 1"));
+        }
+        let jobs = require_num(row, "jobs").map_err(ctx)?;
+        if jobs < 1.0 {
+            return Err(format!("serving row [{i}]: jobs must be >= 1"));
+        }
+        let packed = require_num(row, "packed_batches").map_err(ctx)?;
+        if batch > 1.0 && packed < 1.0 {
+            return Err(format!(
+                "serving row [{i}]: batch {batch} run never coalesced"
+            ));
+        }
+        let jps = require_num(row, "jobs_per_sec").map_err(ctx)?;
+        if jps <= 0.0 {
+            return Err(format!("serving row [{i}]: jobs_per_sec must be > 0"));
+        }
+        let p50 = require_num(row, "p50_us").map_err(ctx)?;
+        let p99 = require_num(row, "p99_us").map_err(ctx)?;
+        if p50 > p99 {
+            return Err(format!("serving row [{i}]: p50 {p50} exceeds p99 {p99}"));
+        }
+        if require_num(row, "makespan_us").map_err(ctx)? <= 0.0 {
+            return Err(format!("serving row [{i}]: makespan_us must be > 0"));
+        }
+        let speedup = require_num(row, "speedup_vs_solo").map_err(ctx)?;
+        if batch == 1.0 {
+            saw_solo = true;
+            if (speedup - 1.0).abs() > 1e-9 {
+                return Err(format!(
+                    "serving row [{i}]: solo row must have speedup 1, got {speedup}"
+                ));
+            }
+        }
+    }
+    if !saw_solo {
+        return Err("serving rows lack the batch-1 (solo baseline) row".into());
+    }
+    Ok(())
+}
+
+/// Validates a `BENCH_SERVE.json` document (schema `halo-bench-serve/1`):
+/// the multi-tenant serving-layer throughput campaign. Rows sweep the
+/// maximum batch size over the same seeded job stream; throughput and
+/// latency are modeled (cost-model accounted), so the headline
+/// batched-vs-solo ratio is machine-independent and the schema itself
+/// demands the paper-level bar: batch-16 coalescing must model >= 10x
+/// the solo throughput.
+///
+/// # Errors
+///
+/// Returns the first schema violation.
+pub fn validate_serve(v: &Json) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != "halo-bench-serve/1" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    require_str(v, "bench")?;
+    require_str(v, "scale")?;
+    require_num(v, "seed")?;
+    for k in ["jobs", "sessions", "workers", "iters", "slots", "width"] {
+        let x = require_num(v, k)?;
+        if x < 1.0 {
+            return Err(format!("key '{k}' must be >= 1"));
+        }
+    }
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing array 'rows'".to_string())?;
+    if rows.is_empty() {
+        return Err("'rows' must be non-empty".into());
+    }
+    check_serving_rows(rows)?;
+    let speedup_at_16 = require_num(v, "speedup_at_16")?;
+    let row_16 = rows
+        .iter()
+        .find(|r| r.get("batch").and_then(Json::as_num) == Some(16.0))
+        .ok_or("rows lack the batch-16 entry".to_string())?;
+    let row_speedup = require_num(row_16, "speedup_vs_solo")?;
+    if (speedup_at_16 - row_speedup).abs() > 1e-9 * speedup_at_16.max(1.0) {
+        return Err(format!(
+            "speedup_at_16 {speedup_at_16} inconsistent with batch-16 row {row_speedup}"
+        ));
+    }
+    if speedup_at_16 < 10.0 {
+        return Err(format!(
+            "batch-16 modeled speedup {speedup_at_16} below the 10x bar"
+        ));
+    }
     Ok(())
 }
 
@@ -842,6 +955,112 @@ mod tests {
             ("benchmarks", Json::Arr(vec![])),
         ]);
         assert!(validate_run_all(&empty).is_err());
+    }
+
+    fn serving_row(batch: f64, packed: f64, speedup: f64) -> Json {
+        obj(vec![
+            ("batch", num(batch)),
+            ("jobs", num(128.0)),
+            ("packed_batches", num(packed)),
+            ("jobs_per_sec", num(10.0 * speedup)),
+            ("p50_us", num(5_000.0 / speedup)),
+            ("p99_us", num(9_000.0 / speedup)),
+            ("makespan_us", num(1_000_000.0 / speedup)),
+            ("speedup_vs_solo", num(speedup)),
+        ])
+    }
+
+    fn serve_doc(rows: Vec<Json>, speedup_at_16: f64) -> Json {
+        obj(vec![
+            ("schema", Json::Str("halo-bench-serve/1".into())),
+            ("bench", Json::Str("square_iter".into())),
+            ("scale", Json::Str("Small".into())),
+            ("seed", num(1.0)),
+            ("jobs", num(128.0)),
+            ("sessions", num(4.0)),
+            ("workers", num(4.0)),
+            ("iters", num(6.0)),
+            ("slots", num(4096.0)),
+            ("width", num(64.0)),
+            ("rows", Json::Arr(rows)),
+            ("speedup_at_16", num(speedup_at_16)),
+        ])
+    }
+
+    #[test]
+    fn serve_schema_validates_and_rejects() {
+        let green_rows = vec![
+            serving_row(1.0, 0.0, 1.0),
+            serving_row(4.0, 32.0, 3.9),
+            serving_row(16.0, 8.0, 15.2),
+            serving_row(64.0, 2.0, 58.0),
+        ];
+        validate_serve(&serve_doc(green_rows.clone(), 15.2)).unwrap();
+
+        // Batch-16 speedup below the 10x bar is red.
+        let slow_rows = vec![serving_row(1.0, 0.0, 1.0), serving_row(16.0, 8.0, 4.0)];
+        assert!(validate_serve(&serve_doc(slow_rows, 4.0)).is_err());
+
+        // A batched row that never coalesced measured solo execution.
+        let uncoalesced = vec![serving_row(1.0, 0.0, 1.0), serving_row(16.0, 0.0, 15.0)];
+        assert!(validate_serve(&serve_doc(uncoalesced, 15.0)).is_err());
+
+        // The headline number must match its row.
+        assert!(validate_serve(&serve_doc(green_rows.clone(), 12.0)).is_err());
+
+        // Missing the solo baseline row is red.
+        let no_solo = vec![serving_row(16.0, 8.0, 15.0)];
+        assert!(validate_serve(&serve_doc(no_solo, 15.0)).is_err());
+
+        // p50 above p99 is incoherent.
+        let mut bad_row = serving_row(16.0, 8.0, 15.0);
+        if let Json::Obj(members) = &mut bad_row {
+            for (k, v) in members.iter_mut() {
+                if k == "p50_us" {
+                    *v = num(1e9);
+                }
+            }
+        }
+        assert!(
+            validate_serve(&serve_doc(vec![serving_row(1.0, 0.0, 1.0), bad_row], 15.0)).is_err()
+        );
+
+        // Missing keys are caught.
+        assert!(validate_serve(&obj(vec![(
+            "schema",
+            Json::Str("halo-bench-serve/1".into())
+        )]))
+        .is_err());
+    }
+
+    #[test]
+    fn run_all_serving_section_is_checked_when_present() {
+        let bench_row = obj(vec![
+            ("bench", Json::Str("linear".into())),
+            ("config", Json::Str("Halo".into())),
+            ("bootstraps", num(3.0)),
+            ("total_us", num(1000.0)),
+            ("bootstrap_us", num(900.0)),
+        ]);
+        let with_serving = |rows: Vec<Json>| {
+            obj(vec![
+                ("schema", Json::Str("halo-bench-run-all/1".into())),
+                ("scale", Json::Str("Small".into())),
+                ("iters", num(40.0)),
+                ("wall_ms", num(12.5)),
+                ("poly_allocs", num(0.0)),
+                ("benchmarks", Json::Arr(vec![bench_row.clone()])),
+                ("serving", Json::Arr(rows)),
+            ])
+        };
+        validate_run_all(&with_serving(vec![
+            serving_row(1.0, 0.0, 1.0),
+            serving_row(16.0, 8.0, 15.0),
+        ]))
+        .unwrap();
+        // An empty or malformed serving section is red.
+        assert!(validate_run_all(&with_serving(vec![])).is_err());
+        assert!(validate_run_all(&with_serving(vec![serving_row(16.0, 0.0, 15.0)])).is_err());
     }
 
     fn crash_trial(kind: &str, ok: bool, skipped: f64) -> Json {

@@ -521,6 +521,200 @@ pub fn print_recovery(rows: &[RecoveryRow], seed: u64) {
     }
 }
 
+// ----------------------------------------------------------------------
+// Serving: cross-request SIMD batching throughput
+// ----------------------------------------------------------------------
+
+/// Batch sizes the serving campaign sweeps.
+pub const SERVING_BATCHES: [usize; 4] = [1, 4, 16, 64];
+/// Jobs per campaign (a multiple of every batch size, so every run
+/// coalesces into full batches and rows are deterministic).
+pub const SERVING_JOBS: usize = 128;
+/// Concurrent tenant sessions submitting the jobs.
+pub const SERVING_SESSIONS: usize = 4;
+/// Worker threads (the modeled makespan divides total work by this).
+pub const SERVING_WORKERS: usize = 4;
+/// Loop trips of the serving workload (bootstraps per job).
+pub const SERVING_ITERS: u64 = 6;
+
+/// One row of the serving-throughput table: the same 128-job
+/// same-program campaign at one maximum batch size.
+#[derive(Debug, Clone)]
+pub struct ServingRow {
+    /// Maximum coalesced batch size for this run.
+    pub batch: usize,
+    /// Jobs completed (always [`SERVING_JOBS`]).
+    pub jobs: u64,
+    /// Executions that coalesced ≥ 2 jobs.
+    pub packed_batches: u64,
+    /// Modeled throughput, completed jobs per modeled second.
+    pub jobs_per_sec: f64,
+    /// Modeled latency percentiles across jobs, µs.
+    pub p50_us: f64,
+    /// 99th percentile modeled latency, µs.
+    pub p99_us: f64,
+    /// Modeled campaign makespan, µs.
+    pub makespan_us: f64,
+    /// Throughput relative to the batch-1 (solo) run of the same jobs.
+    pub speedup_vs_solo: f64,
+}
+
+impl ServingRow {
+    /// The row's JSON form, shared by `BENCH_SERVE.json` and the
+    /// `serving` section of `BENCH_RUN_ALL.json`.
+    #[must_use]
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::{num, obj};
+        obj(vec![
+            ("batch", num(self.batch as f64)),
+            ("jobs", num(self.jobs as f64)),
+            ("packed_batches", num(self.packed_batches as f64)),
+            ("jobs_per_sec", num(self.jobs_per_sec)),
+            ("p50_us", num(self.p50_us)),
+            ("p99_us", num(self.p99_us)),
+            ("makespan_us", num(self.makespan_us)),
+            ("speedup_vs_solo", num(self.speedup_vs_solo)),
+        ])
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The serving workload: a compiled squaring iteration (`w ← w²`,
+/// [`SERVING_ITERS`] trips) — slotwise after type-matched compilation
+/// (no rotations, no masks), so jobs coalesce into slot windows.
+fn serving_program(scale: Scale) -> halo_ir::Function {
+    use halo_core::compile;
+    use halo_ir::{FunctionBuilder, TripCount};
+    let slots = scale.spec().slots;
+    let mut b = FunctionBuilder::new("square_iter", slots);
+    let x = b.input_cipher("x");
+    let width = serving_width(scale);
+    let r = b.for_loop(TripCount::dynamic("n"), &[x], width, |b, a| {
+        vec![b.mul(a[0], a[0])]
+    });
+    b.ret(&r);
+    let src = b.finish();
+    compile(&src, CompilerConfig::TypeMatched, &crate::options(scale))
+        .expect("serving workload compiles")
+        .function
+}
+
+/// Per-job payload width: the slot-window size that fits the largest
+/// swept batch ([`SERVING_BATCHES`]) into one ciphertext at any scale.
+#[must_use]
+pub fn serving_width(scale: Scale) -> usize {
+    (scale.spec().slots / SERVING_BATCHES[SERVING_BATCHES.len() - 1]).max(1)
+}
+
+/// Runs the closed-loop serving campaign: [`SERVING_JOBS`] same-program
+/// jobs from [`SERVING_SESSIONS`] tenants over [`SERVING_WORKERS`]
+/// workers on the exact backend, once per batch size in
+/// [`SERVING_BATCHES`]. Throughput and makespan are modeled (cost-model
+/// accounted), so rows are machine-independent; `seed` varies the job
+/// payloads only.
+///
+/// # Panics
+///
+/// Panics if the workload fails to compile or any job fails — the exact
+/// backend is fault-free, so failure is a serving-layer bug.
+#[must_use]
+pub fn serving_rows(scale: Scale, seed: u64) -> Vec<ServingRow> {
+    use halo_runtime::serve::{serve, ServeConfig};
+    use halo_runtime::Inputs;
+    use std::sync::Arc;
+
+    let prog = Arc::new(serving_program(scale));
+    let be = halo_ckks::SimBackend::exact(scale.params());
+    let width = serving_width(scale);
+    let mut rng = seed;
+    let jobs: Vec<Vec<f64>> = (0..SERVING_JOBS)
+        .map(|_| {
+            (0..width)
+                .map(|_| (splitmix(&mut rng) as f64 / u64::MAX as f64) * 1.8 - 0.9)
+                .collect()
+        })
+        .collect();
+
+    let mut rows: Vec<ServingRow> = Vec::new();
+    let mut solo_makespan = f64::NAN;
+    for &batch in &SERVING_BATCHES {
+        let config = ServeConfig {
+            workers: SERVING_WORKERS,
+            queue_cap: SERVING_JOBS.max(1),
+            max_batch: batch,
+            // Linger so every execution coalesces a full batch: the rows
+            // become deterministic functions of the cost model.
+            batch_window_ms: if batch > 1 { 500 } else { 0 },
+            ..ServeConfig::default()
+        };
+        let ((), report) = serve(&be, config, |srv| {
+            let sessions: Vec<_> = (0..SERVING_SESSIONS)
+                .map(|i| srv.session(&format!("tenant-{i}")))
+                .collect();
+            let tickets: Vec<_> = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    srv.submit(
+                        sessions[i % SERVING_SESSIONS],
+                        &prog,
+                        Inputs::new().cipher("x", d.clone()).env("n", SERVING_ITERS),
+                    )
+                    .expect("admit")
+                })
+                .collect();
+            for t in tickets {
+                t.wait().expect("serving job must complete");
+            }
+        });
+        assert_eq!(report.jobs_done, SERVING_JOBS as u64, "batch {batch}");
+        if batch == 1 {
+            solo_makespan = report.makespan_us;
+        }
+        rows.push(ServingRow {
+            batch,
+            jobs: report.jobs_done,
+            packed_batches: report.packed_batches,
+            jobs_per_sec: report.jobs_per_sec(),
+            p50_us: report.latency_percentile_us(50.0),
+            p99_us: report.latency_percentile_us(99.0),
+            makespan_us: report.makespan_us,
+            speedup_vs_solo: solo_makespan / report.makespan_us,
+        });
+    }
+    rows
+}
+
+/// Prints the serving-throughput table (batched vs solo).
+pub fn print_serving(rows: &[ServingRow], seed: u64) {
+    println!(
+        "Serving throughput: {SERVING_JOBS} same-program jobs, \
+         {SERVING_SESSIONS} sessions, {SERVING_WORKERS} workers (seed {seed})"
+    );
+    println!(
+        "  {:>5} {:>12} {:>12} {:>12} {:>14} {:>9}",
+        "batch", "jobs/sec", "p50 (ms)", "p99 (ms)", "makespan (s)", "speedup"
+    );
+    for r in rows {
+        println!(
+            "  {:>5} {:>12.2} {:>12.2} {:>12.2} {:>14.3} {:>8.2}x",
+            r.batch,
+            r.jobs_per_sec,
+            r.p50_us / 1e3,
+            r.p99_us / 1e3,
+            r.makespan_us / 1e6,
+            r.speedup_vs_solo
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,6 +777,37 @@ mod tests {
         let retries: u64 = rows.iter().map(|r| r.retries).sum();
         assert!(faults > 0, "5% rate must fire across six benchmarks");
         assert!(retries >= faults.min(1));
+    }
+
+    #[test]
+    fn serving_rows_model_near_linear_batching_speedup() {
+        let rows = serving_rows(Scale::Small, 7);
+        assert_eq!(rows.len(), SERVING_BATCHES.len());
+        for (r, &batch) in rows.iter().zip(&SERVING_BATCHES) {
+            assert_eq!(r.batch, batch);
+            assert_eq!(r.jobs, SERVING_JOBS as u64);
+            assert!(r.p50_us <= r.p99_us, "batch {batch}");
+            assert!(r.jobs_per_sec > 0.0, "batch {batch}");
+            if batch > 1 {
+                assert!(r.packed_batches >= 1, "batch {batch} never coalesced");
+            }
+        }
+        // Solo baseline defines speedup 1; batch 16 must clear the
+        // paper-level 10x modeled bar with margin (pack overhead is
+        // negligible against bootstrap-heavy execution).
+        assert!((rows[0].speedup_vs_solo - 1.0).abs() < 1e-9);
+        let at16 = rows.iter().find(|r| r.batch == 16).unwrap();
+        assert!(
+            at16.speedup_vs_solo >= 10.0,
+            "batch-16 modeled speedup {} below 10x",
+            at16.speedup_vs_solo
+        );
+        // Rows are modeled, hence reproducible: same seed, same numbers.
+        let again = serving_rows(Scale::Small, 7);
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.makespan_us.to_bits(), b.makespan_us.to_bits());
+            assert_eq!(a.packed_batches, b.packed_batches);
+        }
     }
 
     #[test]

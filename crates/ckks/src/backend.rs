@@ -231,9 +231,15 @@ pub trait Backend: Send + Sync {
     ///
     /// Fails if any single rotation would.
     fn rotate_batch(&self, a: &Self::Ct, offsets: &[i64]) -> Result<Vec<Self::Ct>> {
+        // An empty batch is a no-op: no key material, no decomposition,
+        // not even a clone of the operand.
+        if offsets.is_empty() {
+            return Ok(Vec::new());
+        }
         // Duplicate offsets reuse the first result instead of paying the
         // full rotation again — rotations are deterministic, so the clone
-        // is bit-identical to recomputing.
+        // is bit-identical to recomputing. An all-duplicate batch
+        // therefore costs exactly one rotation regardless of its length.
         let mut out: Vec<Self::Ct> = Vec::with_capacity(offsets.len());
         let mut seen: Vec<(i64, usize)> = Vec::new();
         for &o in offsets {

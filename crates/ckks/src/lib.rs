@@ -40,7 +40,7 @@ pub mod toy;
 pub use backend::{Backend, BackendError};
 pub use cost::{CostModel, CostedOp};
 pub use fault::{FaultInjectingBackend, FaultReport, FaultSpec};
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, ScopedCounters};
 pub use params::CkksParams;
 pub use sim::SimBackend;
 pub use snapshot::{SnapError, SnapReader, SnapshotBackend};

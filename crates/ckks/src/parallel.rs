@@ -73,14 +73,20 @@ where
         return;
     }
     let chunk = items.len().div_ceil(workers);
+    // Counter scopes are per-thread; re-install the spawning thread's
+    // stack in each worker so scoped accounting survives the fan-out.
+    let scopes = crate::metrics::active_scopes();
     std::thread::scope(|s| {
         for (c, slice) in items.chunks_mut(chunk).enumerate() {
             let f = &f;
+            let scopes = &scopes;
             s.spawn(move || {
-                let base = c * chunk;
-                for (i, item) in slice.iter_mut().enumerate() {
-                    f(base + i, item);
-                }
+                crate::metrics::with_scopes(scopes, || {
+                    let base = c * chunk;
+                    for (i, item) in slice.iter_mut().enumerate() {
+                        f(base + i, item);
+                    }
+                });
             });
         }
     });
@@ -109,14 +115,18 @@ where
         return;
     }
     let per_worker = limbs.div_ceil(workers);
+    let scopes = crate::metrics::active_scopes();
     std::thread::scope(|s| {
         for (c, slab) in data.chunks_mut(per_worker * limb_len).enumerate() {
             let f = &f;
+            let scopes = &scopes;
             s.spawn(move || {
-                let base = c * per_worker;
-                for (i, limb) in slab.chunks_mut(limb_len).enumerate() {
-                    f(base + i, limb);
-                }
+                crate::metrics::with_scopes(scopes, || {
+                    let base = c * per_worker;
+                    for (i, limb) in slab.chunks_mut(limb_len).enumerate() {
+                        f(base + i, limb);
+                    }
+                });
             });
         }
     });

@@ -563,10 +563,35 @@ impl Backend for ToyBackend {
     }
 
     fn rotate_batch(&self, a: &ToyCt, offsets: &[i64]) -> Result<Vec<ToyCt>> {
+        // An empty batch returns before touching anything: no key-cache
+        // lookup, no decomposition, no clone. (The all-identity check
+        // below would also catch it, but only after evaluating a clone
+        // expression; serving-layer callers issue empty batches on their
+        // fast path and expect them to be literally free.)
+        if offsets.is_empty() {
+            return Ok(Vec::new());
+        }
         // Identity rotations (offset ≡ 0 mod slots) never need the digit
         // decomposition; skip it entirely when the batch is all-identity.
         if offsets.iter().all(|&o| self.enc.rotation_exponent(o) == 1) {
             return Ok(vec![a.clone(); offsets.len()]);
+        }
+        // An all-duplicate batch (one distinct Galois exponent) collapses
+        // to a single rotation up front — the general path below would
+        // reach the same op counts through its memoization map, but this
+        // way the hoisting slab is never sized for a batch that is really
+        // one rotation plus clones.
+        let t0 = self.enc.rotation_exponent(offsets[0]);
+        if offsets.len() > 1
+            && offsets[1..]
+                .iter()
+                .all(|&o| self.enc.rotation_exponent(o) == t0)
+        {
+            let one = self
+                .rotate_batch(a, &offsets[..1])?
+                .pop()
+                .expect("one rotation per offset");
+            return Ok(vec![one; offsets.len()]);
         }
         let rows = a.c1.limbs();
         // Halevi–Shoup hoisting: decompose c1 and NTT the lifted digits

@@ -22,6 +22,113 @@ use halo_ir::op::{ConstValue, Opcode};
 use halo_ir::subst::clone_body_ops;
 use halo_ir::types::{CtType, Status};
 
+// === Slot-level pack/unpack ================================================
+//
+// The serving layer batches *requests* the way this pass batches
+// loop-carried variables: disjoint slot windows, combined with the same
+// mask/rotate algebra. These helpers are that algebra lifted to plain
+// slot vectors (what the sim backend's value semantics — and the real
+// scheme's canonical embedding — compute slotwise), so `runtime::serve`
+// packs many jobs' inputs into one ciphertext-sized vector before
+// encryption and unpacks per-job windows after decryption, and tests can
+// cross-check the IR pass against a closed-form reference.
+
+/// The 0/1 window mask selecting slots `lo..hi` — the slot-vector value
+/// of `ConstValue::Mask { lo, hi }`.
+#[must_use]
+pub fn window_mask(slots: usize, lo: usize, hi: usize) -> Vec<f64> {
+    (0..slots)
+        .map(|i| if i >= lo && i < hi { 1.0 } else { 0.0 })
+        .collect()
+}
+
+/// Cyclic slot rotation, positive = left — the slot-vector semantics of
+/// `Opcode::Rotate { offset }`.
+#[must_use]
+pub fn rotate_slots(v: &[f64], offset: i64) -> Vec<f64> {
+    if v.is_empty() {
+        return Vec::new();
+    }
+    let n = v.len();
+    let shift = offset.rem_euclid(n as i64) as usize;
+    (0..n).map(|i| v[(i + shift) % n]).collect()
+}
+
+/// Cyclic replication of `data` across `slots` slots — how the executor
+/// (and the encoder) expands an input vector into a full ciphertext.
+#[must_use]
+pub fn expand_slots(data: &[f64], slots: usize) -> Vec<f64> {
+    if data.is_empty() {
+        return vec![0.0; slots];
+    }
+    (0..slots).map(|i| data[i % data.len()]).collect()
+}
+
+/// Packs each job's data into its own `width`-sized slot window:
+/// `out[j·width + t] = jobs[j][t mod jobs[j].len()]`, zeros in unused
+/// windows. Built exactly like the IR pass packs carried variables —
+/// Σⱼ maskⱼ ⊙ rotate(expand(jobⱼ), −j·width) — so a slotwise program run
+/// over the packed vector computes, window by window, what it computes
+/// on each job's solo expansion (bit-for-bit when every job length
+/// divides `width`; the additions only ever combine a value with ±0.0).
+///
+/// # Panics
+///
+/// Panics if the windows don't fit (`jobs.len()·width > slots`) or
+/// `width` is zero.
+#[must_use]
+pub fn pack_windows(jobs: &[&[f64]], width: usize, slots: usize) -> Vec<f64> {
+    assert!(width > 0, "zero-width window");
+    assert!(
+        jobs.len() * width <= slots,
+        "{} windows of {width} slots exceed {slots} slots",
+        jobs.len()
+    );
+    let mut acc = vec![0.0; slots];
+    for (j, job) in jobs.iter().enumerate() {
+        let shifted = rotate_slots(&expand_slots(job, slots), -((j * width) as i64));
+        let mask = window_mask(slots, j * width, (j + 1) * width);
+        for ((a, s), m) in acc.iter_mut().zip(&shifted).zip(&mask) {
+            *a += s * m;
+        }
+    }
+    acc
+}
+
+/// Extracts window `j` from a packed slot vector and re-replicates it
+/// cyclically across all slots — mask, rotate to the origin, then the
+/// same rotate-and-add doubling ladder the IR pass emits. The result is
+/// what the solo run of window `j`'s job would have produced as a full
+/// slot vector (given its data length divides `width`).
+///
+/// # Panics
+///
+/// Panics if window `j` is out of range or `packed.len()/width` is not a
+/// power of two (the doubling ladder tiles only power-of-two ratios —
+/// the same restriction `packable_indices` enforces for the IR pass).
+#[must_use]
+pub fn unpack_window(packed: &[f64], j: usize, width: usize) -> Vec<f64> {
+    let slots = packed.len();
+    assert!(width > 0 && (j + 1) * width <= slots, "window out of range");
+    assert_eq!(slots % width, 0, "width must divide the slot count");
+    assert!(
+        (slots / width).is_power_of_two(),
+        "slots/width must be a power of two for the replication ladder"
+    );
+    let mask = window_mask(slots, j * width, (j + 1) * width);
+    let masked: Vec<f64> = packed.iter().zip(&mask).map(|(p, m)| p * m).collect();
+    let mut v = rotate_slots(&masked, (j * width) as i64);
+    let mut step = width;
+    while step < slots {
+        let rot = rotate_slots(&v, step as i64);
+        for (a, r) in v.iter_mut().zip(&rot) {
+            *a += r;
+        }
+        step *= 2;
+    }
+    v
+}
+
 /// Indices of the loop-carried variables of `op_id` that packing would
 /// combine, or `None` if packing is not applicable/feasible for this loop:
 /// fewer than two cipher carried variables, a non-power-of-two element
@@ -360,6 +467,36 @@ mod tests {
         // packed + plain = 2 carried variables.
         assert_eq!(f.block(body).args.len(), 2);
         assert_eq!(f.ty(f.block(body).args[1]).status, Status::Plain);
+    }
+
+    #[test]
+    fn slot_pack_roundtrips_with_partial_occupancy() {
+        // 3 jobs (non-power-of-two occupancy) in 4-slot windows of a
+        // 32-slot vector: two full-width jobs and one half-width job
+        // whose data replicates cyclically inside its window.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [-1.0, -2.0];
+        let c = [9.0, 8.0, 7.0, 6.0];
+        let packed = pack_windows(&[&a, &b, &c], 4, 32);
+        assert_eq!(&packed[0..4], &a);
+        assert_eq!(&packed[4..8], &[-1.0, -2.0, -1.0, -2.0]);
+        assert_eq!(&packed[8..12], &c);
+        assert!(packed[12..].iter().all(|&x| x == 0.0), "unused windows");
+        for (j, data) in [&a[..], &b[..], &c[..]].iter().enumerate() {
+            let got = unpack_window(&packed, j, 4);
+            assert_eq!(got, expand_slots(data, 32), "window {j}");
+        }
+        // Empty windows unpack to all-zero, not to a neighbor's data.
+        assert!(unpack_window(&packed, 5, 4).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn slot_rotate_matches_ir_semantics() {
+        let v = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(rotate_slots(&v, 1), vec![1.0, 2.0, 3.0, 0.0]);
+        assert_eq!(rotate_slots(&v, -1), vec![3.0, 0.0, 1.0, 2.0]);
+        assert_eq!(rotate_slots(&v, 4), v.to_vec());
+        assert_eq!(rotate_slots(&v, -7), rotate_slots(&v, 1));
     }
 
     #[test]

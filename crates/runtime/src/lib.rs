@@ -11,6 +11,12 @@
 //! - [`stats`] — per-run op counts, bootstrap counts (Tables 5 and 8), and
 //!   modeled latency split into bootstrap vs other (Figure 4's hatched
 //!   bars).
+//! - [`serve`] — the multi-tenant serving layer: a bounded job queue and
+//!   scoped worker pool over one shared backend that coalesces
+//!   same-program requests into disjoint SIMD slot windows (one packed
+//!   execution per batch), with per-session quotas, scope-safe per-op
+//!   accounting, modeled deadlines, and degrade-don't-abort admission
+//!   control (DESIGN.md §15).
 //! - [`snapshot`] — the `halo-snap/1` codec: versioned, checksummed binary
 //!   snapshots of a running program (cursor, value environment, RNG replay
 //!   state) for durable crash-safe execution (DESIGN.md §12).
@@ -27,6 +33,7 @@
 pub mod exec;
 pub mod reference;
 pub mod remote;
+pub mod serve;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -39,6 +46,10 @@ pub use reference::reference_run;
 pub use remote::{
     ObjectError, ObjectErrorKind, ObjectReply, ObjectResult, ObjectStore, RemoteFaultReport,
     RemoteFaultSpec, RemotePolicy, RemoteStore, RemoteTelemetry, SimObjectStore,
+};
+pub use serve::{
+    serve, AdmissionError, JobError, JobOutcome, JobResult, ServeConfig, ServeReport, Server,
+    SessionId, SessionStats, Ticket, Unbatchable,
 };
 pub use snapshot::{decode_snapshot, encode_snapshot, DecodedSnapshot, SNAP_FORMAT};
 pub use stats::{rmse, RunStats};

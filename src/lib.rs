@@ -38,8 +38,9 @@ pub mod prelude {
     pub use halo_ir::op::TripCount;
     pub use halo_ir::{Function, FunctionBuilder};
     pub use halo_runtime::{
-        reference_run, rmse, DiskStore, ExecError, ExecPolicy, Executor, FaultyStore, Inputs,
-        MemStore, ObjectStore, RemoteFaultSpec, RemotePolicy, RemoteStore, RemoteTelemetry,
-        RunError, RunStats, SimObjectStore, SnapshotStore, StoreFaultSpec,
+        reference_run, rmse, serve, AdmissionError, DiskStore, ExecError, ExecPolicy, Executor,
+        FaultyStore, Inputs, JobError, JobOutcome, MemStore, ObjectStore, RemoteFaultSpec,
+        RemotePolicy, RemoteStore, RemoteTelemetry, RunError, RunStats, ServeConfig, ServeReport,
+        Server, SessionId, SimObjectStore, SnapshotStore, StoreFaultSpec, Ticket,
     };
 }

@@ -1,0 +1,117 @@
+//! Slot-isolation property of the packing algebra under *execution*:
+//! pack several jobs' inputs into disjoint slot windows with
+//! `halo_core::pack`, run a slotwise program ONCE over the packed
+//! ciphertext, unpack each job's window — and get exactly what each job's
+//! solo execution produces. Occupancy is deliberately awkward: partially
+//! filled ciphertexts, a non-power-of-two number of jobs, jobs narrower
+//! than the window. Unused windows stay isolated too: they compute the
+//! program's image of the zero vector, untouched by their neighbors.
+//!
+//! Exact (bit-identical) on the noise-free simulation backend; within
+//! lattice-noise tolerance on the toy RNS backend.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use halo_fhe::compiler::pack::{pack_windows, unpack_window};
+use halo_fhe::prelude::*;
+
+const SLOTS: usize = 32;
+const WIDTH: usize = 4;
+const TOY_TOL: f64 = 1e-4;
+
+/// A slotwise, level-free iteration (`w ← 2w − ¼`): executes on any
+/// backend without bootstrap planning, and window contents never move.
+fn slotwise_program() -> Arc<Function> {
+    let mut b = FunctionBuilder::new("affine_iter", SLOTS);
+    let x = b.input_cipher("x");
+    let q = b.const_splat(0.25);
+    let r = b.for_loop(TripCount::dynamic("n"), &[x], WIDTH, |b, a| {
+        let d = b.add(a[0], a[0]);
+        vec![b.sub(d, q)]
+    });
+    b.ret(&r);
+    Arc::new(b.finish())
+}
+
+fn run<B: Backend>(be: &B, f: &Function, data: Vec<f64>, n: u64) -> Vec<f64> {
+    Executor::new(be)
+        .run(f, &Inputs::new().cipher("x", data).env("n", n))
+        .expect("run")
+        .outputs
+        .remove(0)
+}
+
+fn jobs_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    // 1–7 jobs (odd counts = non-power-of-two occupancy, < 8 windows =
+    // partial fill), each 1, 2, or 4 elements (window dividers) wide.
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::collection::vec(-1.0..1.0f64, 1),
+            proptest::collection::vec(-1.0..1.0f64, 2),
+            proptest::collection::vec(-1.0..1.0f64, 4),
+        ],
+        1..=7,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exact backend: packed-then-unpacked output is bit-identical to
+    /// solo execution for every job, and unused windows are exactly the
+    /// program's image of zero.
+    #[test]
+    fn packed_execution_is_bit_identical_per_window_on_exact(
+        jobs in jobs_strategy(),
+        n in 0u64..4,
+    ) {
+        let be = SimBackend::exact(CkksParams::test_small());
+        let f = slotwise_program();
+        let views: Vec<&[f64]> = jobs.iter().map(Vec::as_slice).collect();
+        let packed_out = run(&be, &f, pack_windows(&views, WIDTH, SLOTS), n);
+        for (j, data) in jobs.iter().enumerate() {
+            let solo = run(&be, &f, data.clone(), n);
+            let unpacked = unpack_window(&packed_out, j, WIDTH);
+            prop_assert!(
+                unpacked == solo,
+                "job {} diverged from solo execution",
+                j
+            );
+        }
+        // Unused windows: whatever the program maps zero to — the
+        // neighbors' data must not have bled in.
+        let zero_solo = run(&be, &f, vec![0.0], n);
+        for j in jobs.len()..SLOTS / WIDTH {
+            let unpacked = unpack_window(&packed_out, j, WIDTH);
+            prop_assert!(
+                unpacked == zero_solo,
+                "unused window {} was contaminated",
+                j
+            );
+        }
+    }
+
+    /// Toy RNS backend: same property within lattice-noise tolerance.
+    #[test]
+    fn packed_execution_round_trips_on_toy(
+        jobs in jobs_strategy(),
+        n in 0u64..3,
+    ) {
+        let be = ToyBackend::new(2 * SLOTS, 8, 0x0CC0);
+        let f = slotwise_program();
+        let views: Vec<&[f64]> = jobs.iter().map(Vec::as_slice).collect();
+        let packed_out = run(&be, &f, pack_windows(&views, WIDTH, SLOTS), n);
+        for (j, data) in jobs.iter().enumerate() {
+            let solo = run(&be, &f, data.clone(), n);
+            let unpacked = unpack_window(&packed_out, j, WIDTH);
+            for (s, (got, want)) in unpacked.iter().zip(&solo).enumerate() {
+                prop_assert!(
+                    (got - want).abs() < TOY_TOL,
+                    "job {} slot {}: {} vs solo {}",
+                    j, s, got, want
+                );
+            }
+        }
+    }
+}

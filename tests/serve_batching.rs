@@ -1,0 +1,109 @@
+//! The serving layer's core guarantee, property-tested: a job whose
+//! execution was coalesced into a shared SIMD ciphertext returns output
+//! **bit-identical** to what its solo execution returns, on the exact
+//! backend, across batch sizes 2/4/16 and worker pools of 1/2/4 threads.
+//!
+//! The program under test is a *compiled* HALO function (type-matched
+//! pipeline: per-iteration head bootstraps, rescales, modswitches), so
+//! the identity holds through the full level-management machinery, not
+//! just toy arithmetic.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use halo_fhe::prelude::*;
+use halo_fhe::runtime::serve;
+
+const SLOTS: usize = 32;
+
+/// Compiled squaring iteration `w ← w²` (`n` trips): slotwise after
+/// compilation (no rotations, no masks), hence batchable.
+fn compiled_program() -> Arc<Function> {
+    let mut b = FunctionBuilder::new("square_iter", SLOTS);
+    let x = b.input_cipher("x");
+    let r = b.for_loop(TripCount::dynamic("n"), &[x], 2, |b, a| {
+        vec![b.mul(a[0], a[0])]
+    });
+    b.ret(&r);
+    let src = b.finish();
+    let mut opts = CompileOptions::new(CkksParams::test_small());
+    opts.params.poly_degree = 2 * SLOTS;
+    let compiled = compile(&src, CompilerConfig::TypeMatched, &opts).expect("compiles");
+    Arc::new(compiled.function)
+}
+
+fn backend() -> SimBackend {
+    SimBackend::exact(CkksParams::test_small())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batched_jobs_are_bit_identical_to_solo(
+        batch in prop_oneof![Just(2usize), Just(4), Just(16)],
+        workers in prop_oneof![Just(1usize), Just(2), Just(4)],
+        seed_vals in proptest::collection::vec(-0.9..0.9f64, 32),
+        n in 1u64..4,
+    ) {
+        let be = backend();
+        let prog = compiled_program();
+        // `batch` jobs, each a 2-slot payload drawn from the random pool
+        // (window width 2 ⇒ 16 windows ⇒ batch 16 fits in one ciphertext).
+        let jobs: Vec<Vec<f64>> = (0..batch)
+            .map(|j| vec![seed_vals[(2 * j) % 32], seed_vals[(2 * j + 1) % 32]])
+            .collect();
+
+        // Ground truth: each job alone on a fresh executor.
+        let solo: Vec<Vec<Vec<f64>>> = jobs
+            .iter()
+            .map(|d| {
+                Executor::new(&be)
+                    .run(&prog, &Inputs::new().cipher("x", d.clone()).env("n", n))
+                    .expect("solo run")
+                    .outputs
+            })
+            .collect();
+
+        let config = ServeConfig {
+            workers,
+            max_batch: batch,
+            // Generous linger so coalescing is deterministic: whichever
+            // worker grabs the head waits until the full compatible
+            // batch is queued (it breaks out the moment that happens).
+            batch_window_ms: 2_000,
+            ..ServeConfig::default()
+        };
+        let (outcomes, report) = serve::serve(&be, config, |srv| {
+            let sess = srv.session("prop");
+            let tickets: Vec<_> = jobs
+                .iter()
+                .map(|d| {
+                    srv.submit(sess, &prog, Inputs::new().cipher("x", d.clone()).env("n", n))
+                        .expect("admit")
+                })
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().expect("job ok"))
+                .collect::<Vec<_>>()
+        });
+
+        prop_assert_eq!(report.jobs_done, batch as u64);
+        prop_assert!(report.packed_batches >= 1, "jobs must have coalesced");
+        for (j, (outcome, want)) in outcomes.iter().zip(&solo).enumerate() {
+            prop_assert!(outcome.batch_size == batch, "job {} batch size", j);
+            prop_assert!(
+                &outcome.outputs == want,
+                "job {} batched output differs from solo",
+                j
+            );
+            // Accounting sanity: a shared run costs each job a fraction.
+            prop_assert!(outcome.share_us < outcome.exec_us);
+            prop_assert!(outcome.latency_us >= outcome.share_us);
+        }
+        // The shared run bootstraps once per iteration regardless of
+        // batch size — that is the whole point.
+        prop_assert!(outcomes[0].bootstrap_count > 0);
+    }
+}
