@@ -1,8 +1,9 @@
 //! CI schema check for the machine-readable bench artifacts: parses and
 //! validates `BENCH_ROTATE.json`, `BENCH_RUN_ALL.json`, and — when
-//! present or made mandatory with `--ntt` / `--serve` / `--fuzz` /
-//! `--crash` / `--remote` — the `BENCH_NTT.json` microbenchmark, the
-//! `BENCH_SERVE.json` serving campaign, and the `FUZZ_REPORT.json` /
+//! present or made mandatory with `--ntt` / `--serve` / `--tune` /
+//! `--fuzz` / `--crash` / `--remote` — the `BENCH_NTT.json`
+//! microbenchmark, the `BENCH_SERVE.json` serving campaign, the
+//! `BENCH_TUNE.json` autotuner sweep, and the `FUZZ_REPORT.json` /
 //! `CRASH_REPORT.json` / `REMOTE_REPORT.json` campaign reports, all from
 //! `HALO_BENCH_JSON_DIR` (default `results/`), exiting non-zero on the
 //! first violation. `--all` instead sweeps every `*.json` in the
@@ -14,6 +15,7 @@
 //! cargo run --release -p halo-bench --bin bench_json_check
 //! cargo run --release -p halo-bench --bin bench_json_check -- --ntt
 //! cargo run --release -p halo-bench --bin bench_json_check -- --serve
+//! cargo run --release -p halo-bench --bin bench_json_check -- --tune
 //! cargo run --release -p halo-bench --bin bench_json_check -- --fuzz
 //! cargo run --release -p halo-bench --bin bench_json_check -- --crash
 //! cargo run --release -p halo-bench --bin bench_json_check -- --remote
@@ -31,6 +33,7 @@ fn validator_for(name: &str) -> Option<Validator> {
         "BENCH_RUN_ALL.json" => Some(json::validate_run_all),
         "BENCH_NTT.json" => Some(json::validate_ntt),
         "BENCH_SERVE.json" => Some(json::validate_serve),
+        "BENCH_TUNE.json" => Some(json::validate_tune),
         "FUZZ_REPORT.json" => Some(json::validate_fuzz_report),
         "CRASH_REPORT.json" => Some(json::validate_crash_report),
         "REMOTE_REPORT.json" => Some(json::validate_remote_report),
@@ -86,6 +89,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let require_ntt = args.iter().any(|a| a == "--ntt");
     let require_serve = args.iter().any(|a| a == "--serve");
+    let require_tune = args.iter().any(|a| a == "--tune");
     let require_fuzz = args.iter().any(|a| a == "--fuzz");
     let require_crash = args.iter().any(|a| a == "--crash");
     let require_remote = args.iter().any(|a| a == "--remote");
@@ -108,6 +112,9 @@ fn main() {
         }
         if require_serve || present("BENCH_SERVE.json") {
             results.push(check("BENCH_SERVE.json", json::validate_serve));
+        }
+        if require_tune || present("BENCH_TUNE.json") {
+            results.push(check("BENCH_TUNE.json", json::validate_tune));
         }
         if require_fuzz || present("FUZZ_REPORT.json") {
             results.push(check("FUZZ_REPORT.json", json::validate_fuzz_report));

@@ -46,6 +46,9 @@ fn main() {
     println!();
     let serving = serving_rows(scale, seed);
     print_serving(&serving, seed);
+    println!();
+    let tuning = tuned_rows(scale);
+    print_tuned(&tuning);
 
     let benchmarks: Vec<Json> = rows
         .iter()
@@ -69,6 +72,10 @@ fn main() {
         (
             "serving",
             Json::Arr(serving.iter().map(ServingRow::to_json).collect()),
+        ),
+        (
+            "tuning",
+            Json::Arr(tuning.iter().map(TuneRow::to_json).collect()),
         ),
     ]);
     json::validate_run_all(&doc).expect("emitted document must satisfy its own schema");

@@ -460,6 +460,16 @@ pub fn validate_run_all(v: &Json) -> Result<(), String> {
         }
         check_serving_rows(rows)?;
     }
+    // Likewise the autotuning summary (same row shape as BENCH_TUNE).
+    if let Some(tuning) = v.get("tuning") {
+        let rows = tuning
+            .as_arr()
+            .ok_or("'tuning' must be an array".to_string())?;
+        if rows.is_empty() {
+            return Err("'tuning' must be non-empty when present".into());
+        }
+        check_tune_rows(rows)?;
+    }
     Ok(())
 }
 
@@ -560,6 +570,110 @@ pub fn validate_serve(v: &Json) -> Result<(), String> {
     if speedup_at_16 < 10.0 {
         return Err(format!(
             "batch-16 modeled speedup {speedup_at_16} below the 10x bar"
+        ));
+    }
+    Ok(())
+}
+
+/// Row shape shared by `BENCH_TUNE.json` and the optional `tuning`
+/// section of `BENCH_RUN_ALL.json`: one program per row, with the HALO
+/// heuristic's modeled cost, the autotuned plan's modeled cost, and the
+/// search accounting. The schema itself enforces the optimality bar: a
+/// tuned plan may never model costlier than the HALO heuristic, and the
+/// search's accounting must cover its whole candidate space. Returns the
+/// number of rows with a strict improvement.
+fn check_tune_rows(rows: &[Json]) -> Result<usize, String> {
+    let mut improved = 0;
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |e| format!("tune row [{i}]: {e}");
+        require_str(row, "program").map_err(ctx)?;
+        require_str(row, "plan").map_err(ctx)?;
+        let halo = require_num(row, "halo_us").map_err(ctx)?;
+        let tuned = require_num(row, "tuned_us").map_err(ctx)?;
+        if halo <= 0.0 || tuned <= 0.0 {
+            return Err(format!("tune row [{i}]: costs must be > 0"));
+        }
+        if tuned > halo * (1.0 + 1e-9) {
+            return Err(format!(
+                "tune row [{i}]: tuned plan models costlier than the HALO \
+                 heuristic ({tuned} > {halo})"
+            ));
+        }
+        let gap = require_num(row, "gap").map_err(ctx)?;
+        if (gap - halo / tuned).abs() > 1e-6 * gap.max(1.0) {
+            return Err(format!(
+                "tune row [{i}]: gap {gap} inconsistent with {halo} / {tuned}"
+            ));
+        }
+        if tuned < halo * (1.0 - 1e-9) {
+            improved += 1;
+        }
+        let evaluated = require_num(row, "evaluated").map_err(ctx)?;
+        let pruned = require_num(row, "pruned").map_err(ctx)?;
+        let space = require_num(row, "space").map_err(ctx)?;
+        if evaluated < 1.0 {
+            return Err(format!("tune row [{i}]: evaluated must be >= 1"));
+        }
+        if evaluated + pruned != space {
+            return Err(format!(
+                "tune row [{i}]: evaluated {evaluated} + pruned {pruned} does \
+                 not cover space {space}"
+            ));
+        }
+    }
+    Ok(improved)
+}
+
+/// Validates a `BENCH_TUNE.json` document (schema `halo-bench-tune/1`):
+/// the autotuner sweep over the seeded fuzz loop corpus. One row per
+/// corpus program comparing the HALO heuristic's modeled cost against the
+/// autotuned plan's; the schema demands the acceptance bar directly —
+/// tuned never costlier on any row, strictly cheaper on at least one —
+/// and cross-checks the headline aggregates against the rows.
+///
+/// # Errors
+///
+/// Returns the first schema violation.
+pub fn validate_tune(v: &Json) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != "halo-bench-tune/1" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    require_str(v, "tuner")?;
+    for k in ["seeds", "assumed_trips"] {
+        let x = require_num(v, k)?;
+        if x < 1.0 {
+            return Err(format!("key '{k}' must be >= 1"));
+        }
+    }
+    require_num(v, "wall_ms")?;
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing array 'rows'".to_string())?;
+    if rows.is_empty() {
+        return Err("'rows' must be non-empty".into());
+    }
+    let improved_rows = check_tune_rows(rows)?;
+    let improved = require_num(v, "improved")?;
+    if improved != improved_rows as f64 {
+        return Err(format!(
+            "improved {improved} inconsistent with {improved_rows} strictly \
+             improved rows"
+        ));
+    }
+    if improved < 1.0 {
+        return Err("no corpus program strictly improved on the HALO heuristic".into());
+    }
+    let geomean: f64 = rows
+        .iter()
+        .map(|r| require_num(r, "gap").map(f64::ln))
+        .sum::<Result<f64, _>>()
+        .map(|s| (s / rows.len() as f64).exp())?;
+    let geomean_gap = require_num(v, "geomean_gap")?;
+    if (geomean_gap - geomean).abs() > 1e-6 * geomean_gap.max(1.0) {
+        return Err(format!(
+            "geomean_gap {geomean_gap} inconsistent with rows ({geomean})"
         ));
     }
     Ok(())
@@ -1061,6 +1175,111 @@ mod tests {
         // An empty or malformed serving section is red.
         assert!(validate_run_all(&with_serving(vec![])).is_err());
         assert!(validate_run_all(&with_serving(vec![serving_row(16.0, 0.0, 15.0)])).is_err());
+    }
+
+    fn tune_row(program: &str, halo: f64, tuned: f64, evaluated: f64, pruned: f64) -> Json {
+        obj(vec![
+            ("program", Json::Str(program.into())),
+            ("seed", num(7.0)),
+            (
+                "plan",
+                Json::Str("unroll=heur pack=on peel=+0 tune=on".into()),
+            ),
+            ("halo_us", num(halo)),
+            ("tuned_us", num(tuned)),
+            ("gap", num(halo / tuned)),
+            ("evaluated", num(evaluated)),
+            ("pruned", num(pruned)),
+            ("space", num(evaluated + pruned)),
+        ])
+    }
+
+    fn tune_doc(rows: Vec<Json>, improved: f64, geomean_gap: f64) -> Json {
+        obj(vec![
+            ("schema", Json::Str("halo-bench-tune/1".into())),
+            ("tuner", Json::Str("branch-bound".into())),
+            ("seeds", num(rows.len() as f64)),
+            ("assumed_trips", num(40.0)),
+            ("wall_ms", num(1234.0)),
+            ("rows", Json::Arr(rows)),
+            ("improved", num(improved)),
+            ("geomean_gap", num(geomean_gap)),
+        ])
+    }
+
+    #[test]
+    fn tune_schema_validates_and_rejects() {
+        let green = vec![
+            tune_row("fuzz-0", 1000.0, 800.0, 10.0, 30.0),
+            tune_row("fuzz-1", 500.0, 500.0, 40.0, 0.0),
+        ];
+        let geomean = (1000.0f64 / 800.0).sqrt();
+        validate_tune(&tune_doc(green.clone(), 1.0, geomean)).unwrap();
+
+        // A tuned plan costlier than the HALO heuristic breaks the
+        // optimality contract.
+        let worse = vec![tune_row("fuzz-0", 1000.0, 1100.0, 10.0, 0.0)];
+        assert!(validate_tune(&tune_doc(worse, 0.0, 1000.0 / 1100.0)).is_err());
+
+        // No strict improvement anywhere is red (the acceptance bar).
+        let flat = vec![tune_row("fuzz-0", 500.0, 500.0, 10.0, 0.0)];
+        assert!(validate_tune(&tune_doc(flat, 0.0, 1.0)).is_err());
+
+        // The improved counter must match the rows.
+        assert!(validate_tune(&tune_doc(green.clone(), 2.0, geomean)).is_err());
+
+        // The geomean must match the rows.
+        assert!(validate_tune(&tune_doc(green.clone(), 1.0, 9.0)).is_err());
+
+        // Search accounting must cover the whole space.
+        let mut bad_row = tune_row("fuzz-0", 1000.0, 800.0, 10.0, 30.0);
+        if let Json::Obj(members) = &mut bad_row {
+            for (k, v) in members.iter_mut() {
+                if k == "space" {
+                    *v = num(99.0);
+                }
+            }
+        }
+        assert!(validate_tune(&tune_doc(vec![bad_row], 1.0, 1000.0 / 800.0)).is_err());
+
+        // Missing keys are caught.
+        assert!(validate_tune(&obj(vec![(
+            "schema",
+            Json::Str("halo-bench-tune/1".into())
+        )]))
+        .is_err());
+    }
+
+    #[test]
+    fn run_all_tuning_section_is_checked_when_present() {
+        let bench_row = obj(vec![
+            ("bench", Json::Str("linear".into())),
+            ("config", Json::Str("Halo".into())),
+            ("bootstraps", num(3.0)),
+            ("total_us", num(1000.0)),
+            ("bootstrap_us", num(900.0)),
+        ]);
+        let with_tuning = |rows: Vec<Json>| {
+            obj(vec![
+                ("schema", Json::Str("halo-bench-run-all/1".into())),
+                ("scale", Json::Str("Small".into())),
+                ("iters", num(40.0)),
+                ("wall_ms", num(12.5)),
+                ("poly_allocs", num(0.0)),
+                ("benchmarks", Json::Arr(vec![bench_row.clone()])),
+                ("tuning", Json::Arr(rows)),
+            ])
+        };
+        validate_run_all(&with_tuning(vec![tune_row(
+            "linear", 1000.0, 900.0, 8.0, 4.0,
+        )]))
+        .unwrap();
+        // An empty or contract-breaking tuning section is red.
+        assert!(validate_run_all(&with_tuning(vec![])).is_err());
+        assert!(validate_run_all(&with_tuning(vec![tune_row(
+            "linear", 100.0, 200.0, 8.0, 0.0
+        )]))
+        .is_err());
     }
 
     fn crash_trial(kind: &str, ok: bool, skipped: f64) -> Json {

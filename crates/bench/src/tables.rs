@@ -3,7 +3,8 @@
 use std::time::Instant;
 
 use halo_ckks::{CostModel, CostedOp, FaultSpec};
-use halo_core::CompilerConfig;
+use halo_core::autotune::heuristic_cost_us;
+use halo_core::{autotune, CompilerConfig, ASSUMED_TRIPS};
 use halo_ir::print::code_size_bytes;
 use halo_ml::bench::{all_benchmarks, flat_benchmarks, Pca};
 use halo_runtime::ExecPolicy;
@@ -715,6 +716,140 @@ pub fn print_serving(rows: &[ServingRow], seed: u64) {
     }
 }
 
+// ----------------------------------------------------------------------
+// Autotuning: HALO heuristic vs. optimal-placement search
+// ----------------------------------------------------------------------
+
+/// One row of the "HALO heuristic vs. tuned" comparison: a program's
+/// modeled cost under the paper's HALO configuration against the
+/// autotuner's best plan, plus the search accounting.
+#[derive(Debug, Clone)]
+pub struct TuneRow {
+    /// Program name (benchmark name, or `fuzz-<seed>` for corpus rows).
+    pub program: String,
+    /// [`halo_core::TunePlan::describe`] of the winning plan.
+    pub plan: String,
+    /// Modeled cost (µs) under [`CompilerConfig::Halo`].
+    pub halo_us: f64,
+    /// Modeled cost (µs) of the autotuned plan.
+    pub tuned_us: f64,
+    /// Candidates the search compiled and scored.
+    pub evaluated: usize,
+    /// Candidates discarded without a full compile.
+    pub pruned: usize,
+    /// Total candidate-space size.
+    pub space: usize,
+}
+
+impl TuneRow {
+    /// Heuristic-over-tuned cost ratio (≥ 1 when the search did its job).
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        self.halo_us / self.tuned_us
+    }
+
+    /// The row's JSON form, shared by `BENCH_TUNE.json` and the `tuning`
+    /// section of `BENCH_RUN_ALL.json`.
+    #[must_use]
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::{num, obj, Json};
+        obj(vec![
+            ("program", Json::Str(self.program.clone())),
+            ("plan", Json::Str(self.plan.clone())),
+            ("halo_us", num(self.halo_us)),
+            ("tuned_us", num(self.tuned_us)),
+            ("gap", num(self.gap())),
+            ("evaluated", num(self.evaluated as f64)),
+            ("pruned", num(self.pruned as f64)),
+            ("space", num(self.space as f64)),
+        ])
+    }
+}
+
+/// Builds one [`TuneRow`] for a traced program: the HALO heuristic's
+/// modeled cost vs the autotuner's winner.
+///
+/// # Panics
+///
+/// Panics if the HALO heuristic or the whole search fails to compile the
+/// program — both mean the corpus/benchmark is broken.
+#[must_use]
+pub fn tune_row(
+    program: &str,
+    src: &halo_ir::Function,
+    opts: &halo_core::CompileOptions,
+) -> TuneRow {
+    let halo_us = heuristic_cost_us(src, CompilerConfig::Halo, opts, ASSUMED_TRIPS)
+        .unwrap_or_else(|e| panic!("{program}: HALO heuristic: {e}"));
+    let outcome =
+        autotune::autotune(src, opts).unwrap_or_else(|e| panic!("{program}: autotune: {e}"));
+    TuneRow {
+        program: program.into(),
+        plan: outcome.plan.describe(),
+        halo_us,
+        tuned_us: outcome.cost_us,
+        evaluated: outcome.evaluated,
+        pruned: outcome.pruned,
+        space: outcome.space,
+    }
+}
+
+/// Autotunes the six flat benchmarks (dynamic-trip traces) and compares
+/// each against the HALO heuristic's modeled cost.
+#[must_use]
+pub fn tuned_rows(scale: Scale) -> Vec<TuneRow> {
+    let spec = scale.spec();
+    let opts = crate::options(scale);
+    flat_benchmarks()
+        .iter()
+        .map(|b| tune_row(b.name(), &b.trace_dynamic(&spec), &opts))
+        .collect()
+}
+
+/// Number of rows where the tuned plan strictly beats the heuristic.
+#[must_use]
+pub fn tune_improved(rows: &[TuneRow]) -> usize {
+    rows.iter()
+        .filter(|r| r.tuned_us < r.halo_us * (1.0 - 1e-9))
+        .count()
+}
+
+/// Geometric-mean heuristic-over-tuned gap across rows.
+#[must_use]
+pub fn tune_geomean_gap(rows: &[TuneRow]) -> f64 {
+    let log_sum: f64 = rows.iter().map(|r| r.gap().ln()).sum();
+    (log_sum / rows.len().max(1) as f64).exp()
+}
+
+/// Prints the "HALO heuristic vs. tuned" table.
+pub fn print_tuned(rows: &[TuneRow]) {
+    println!(
+        "Autotuning: HALO heuristic vs. optimal-placement search (modeled, {ASSUMED_TRIPS} iters)"
+    );
+    println!(
+        "  {:<13} {:>12} {:>12} {:>7} {:>11} {:>7} {:<34}",
+        "program", "HALO (s)", "tuned (s)", "gap", "evaluated", "pruned", "plan"
+    );
+    for r in rows {
+        println!(
+            "  {:<13} {:>12.3} {:>12.3} {:>6.2}x {:>11} {:>7} {:<34}",
+            r.program,
+            r.halo_us / 1e6,
+            r.tuned_us / 1e6,
+            r.gap(),
+            r.evaluated,
+            r.pruned,
+            r.plan
+        );
+    }
+    println!(
+        "  geometric-mean heuristic-vs-optimal gap: {:.3}x ({} of {} strictly improved)",
+        tune_geomean_gap(rows),
+        tune_improved(rows),
+        rows.len()
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -808,6 +943,24 @@ mod tests {
             assert_eq!(a.makespan_us.to_bits(), b.makespan_us.to_bits());
             assert_eq!(a.packed_batches, b.packed_batches);
         }
+    }
+
+    #[test]
+    fn tuned_rows_never_lose_to_the_halo_heuristic() {
+        let rows = tuned_rows(Scale::Small);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(
+                r.tuned_us <= r.halo_us * (1.0 + 1e-9),
+                "{}: tuned {} vs HALO {}",
+                r.program,
+                r.tuned_us,
+                r.halo_us
+            );
+            assert!(r.evaluated >= 1, "{}", r.program);
+            assert_eq!(r.evaluated + r.pruned, r.space, "{}", r.program);
+        }
+        assert!(tune_geomean_gap(&rows) >= 1.0 - 1e-9);
     }
 
     #[test]

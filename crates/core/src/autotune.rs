@@ -1,0 +1,710 @@
+//! Optimal-placement autotuning: per-program search over the joint
+//! configuration space the paper fixes by heuristic.
+//!
+//! HALO's five [`CompilerConfig`] variants hard-wire their decisions: the
+//! unroll factor comes from the §6.2 formula, packing is always attempted,
+//! peeling stops at status matching, and target tuning is all-or-nothing.
+//! This module searches the joint space instead —
+//!
+//! * **unroll** — leave loops alone, the paper's heuristic factor, any
+//!   explicit factor `2..=L`, or DaCapo-style full unrolling (constant
+//!   trips only);
+//! * **packing** — on or off (the pipeline's cost-aware pack driver is
+//!   subsumed: both points are in the space);
+//! * **peel depth** — extra constant-trip first-iteration peels beyond
+//!   the mandatory status peel;
+//! * **bootstrap target tuning** — whether §6.3 target lowering runs
+//!   (the pass itself derives the per-group optimal targets).
+//!
+//! Every candidate [`TunePlan`] compiles through the ordinary pipeline
+//! (`compile(src, CompilerConfig::Tuned(plan), opts)`) and is scored with
+//! the calibrated static estimate [`estimate_cost_us`] — the same modeled
+//! time the sim backend charges at execution, which the calibration test
+//! suite ties together. Two interchangeable strategies implement one
+//! [`Tuner`] trait so tests can assert they agree:
+//!
+//! * [`ExhaustiveTuner`] compiles every point — the ground truth for
+//!   small spaces;
+//! * [`BranchBoundTuner`] shares work across the search: plans that agree
+//!   on (unroll, pack, peel) share one traced prefix, whose admissible
+//!   floor ([`crate::cost_est::traced_floor_us`]) prunes both `tune`
+//!   leaves whenever the floor already meets the incumbent. Pruning is
+//!   optimality-preserving by construction — the agreement proptest in
+//!   `tests/autotune_optimal.rs` is the proof harness.
+//!
+//! The [`PolicyHook`] seam lets a future learned policy (CHEHAB-style RL,
+//! see PAPERS.md) reorder candidates — a better-first ordering tightens
+//! the incumbent sooner and prunes more — and observe every evaluation as
+//! a training signal, without touching the search's optimality argument.
+
+use std::collections::HashMap;
+
+use halo_ir::func::{BlockId, Function};
+use halo_ir::op::{Opcode, TripCount};
+
+use crate::config::{CompileOptions, CompilerConfig};
+use crate::cost_est::{estimate_cost_us, traced_floor_us};
+use crate::error::CompileError;
+use crate::pipeline::{compile, plan_traced, PipelineHooks, ASSUMED_TRIPS};
+
+/// How a tuned plan unrolls loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnrollChoice {
+    /// Leave loops as written.
+    None,
+    /// The paper's level-aware factor formula (§6.2).
+    Heuristic,
+    /// Force this factor on every eligible loop (clamped per constant
+    /// trip; epilogue loops are never re-split).
+    Factor(u8),
+    /// DaCapo-style full unrolling — only in spaces without dynamic trips.
+    Full,
+}
+
+/// One point of the joint search space. `Copy` (and tiny) so it embeds
+/// directly in the [`CompilerConfig::Tuned`] arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TunePlan {
+    /// Unroll treatment.
+    pub unroll: UnrollChoice,
+    /// Run the loop-carried packing pass (§6.1).
+    pub pack: bool,
+    /// Extra constant-trip first-iteration peels beyond status matching.
+    pub peel_extra: u8,
+    /// Run bootstrap target-level tuning (§6.3).
+    pub tune_targets: bool,
+}
+
+impl TunePlan {
+    /// The plain type-matched pipeline: no unrolling, no packing, no
+    /// extra peeling, no target tuning. Always compiles when the source
+    /// is valid — the search's fallback point.
+    #[must_use]
+    pub fn baseline() -> TunePlan {
+        TunePlan {
+            unroll: UnrollChoice::None,
+            pack: false,
+            peel_extra: 0,
+            tune_targets: false,
+        }
+    }
+
+    /// Compact human-readable form for tables and reports.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let unroll = match self.unroll {
+            UnrollChoice::None => "none".to_string(),
+            UnrollChoice::Heuristic => "heur".to_string(),
+            UnrollChoice::Factor(k) => format!("x{k}"),
+            UnrollChoice::Full => "full".to_string(),
+        };
+        format!(
+            "unroll={unroll} pack={} peel=+{} tune={}",
+            if self.pack { "on" } else { "off" },
+            self.peel_extra,
+            if self.tune_targets { "on" } else { "off" },
+        )
+    }
+}
+
+impl Default for TunePlan {
+    fn default() -> TunePlan {
+        TunePlan::baseline()
+    }
+}
+
+/// The concrete candidate grid for one program, derived from its loop
+/// structure so structurally equivalent plans are enumerated once.
+///
+/// Collapsing invariants (each removes provably duplicate plans):
+/// * no undivided loop with ≥ 2 achievable iterations → no factor plans,
+///   and the heuristic choice collapses into `None`;
+/// * any dynamic trip anywhere → no `Full` plans (DaCapo rejects them);
+/// * no constant-trip loop → no extra-peel plans;
+/// * no loop at all → the pack dimension collapses (nothing to pack).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSpace {
+    /// Explicit unroll factors to try (each ≥ 2).
+    pub factors: Vec<u8>,
+    /// Whether DaCapo-style full unrolling is in the space.
+    pub allow_full: bool,
+    /// Largest `peel_extra` to try.
+    pub max_peel_extra: u8,
+    /// Whether the pack on/off dimension is explored.
+    pub try_pack: bool,
+}
+
+/// Default cap on the extra-peel dimension: peeling more than two extra
+/// iterations duplicates the body past any observed saving.
+const PEEL_EXTRA_CAP: u64 = 2;
+
+impl SearchSpace {
+    /// Derives the space from `src`'s loop structure and the level budget.
+    #[must_use]
+    pub fn for_program(src: &Function, opts: &CompileOptions) -> SearchSpace {
+        let mut scan = LoopScan::default();
+        scan.visit(src, src.entry);
+        let max_level = u64::from(opts.params.max_level);
+        let cap = scan.factor_cap.min(max_level);
+        SearchSpace {
+            factors: (2..=cap).map(|k| k as u8).collect(),
+            allow_full: scan.any_loop && !scan.any_dynamic,
+            max_peel_extra: scan.max_const_trip.min(PEEL_EXTRA_CAP) as u8,
+            try_pack: scan.any_loop,
+        }
+    }
+
+    /// Shrinks the space for cheap tests: factors capped at `max_factor`,
+    /// extra peels at `max_peel`.
+    #[must_use]
+    pub fn capped(mut self, max_factor: u8, max_peel: u8) -> SearchSpace {
+        self.factors.retain(|&k| k <= max_factor);
+        self.max_peel_extra = self.max_peel_extra.min(max_peel);
+        self
+    }
+
+    /// Enumerates every candidate plan, in a deterministic order. `Full`
+    /// plans are canonical (no pack, no extra peel — full unrolling
+    /// leaves no loops for either), as are no-loop spaces.
+    #[must_use]
+    pub fn plans(&self) -> Vec<TunePlan> {
+        let mut choices = vec![UnrollChoice::None];
+        if !self.factors.is_empty() {
+            choices.push(UnrollChoice::Heuristic);
+            choices.extend(self.factors.iter().map(|&k| UnrollChoice::Factor(k)));
+        }
+        if self.allow_full {
+            choices.push(UnrollChoice::Full);
+        }
+        let mut plans = Vec::new();
+        for &unroll in &choices {
+            let full = unroll == UnrollChoice::Full;
+            let packs: &[bool] = if full || !self.try_pack {
+                &[false]
+            } else {
+                &[false, true]
+            };
+            let max_peel = if full { 0 } else { self.max_peel_extra };
+            for &pack in packs {
+                for peel_extra in 0..=max_peel {
+                    for tune_targets in [false, true] {
+                        plans.push(TunePlan {
+                            unroll,
+                            pack,
+                            peel_extra,
+                            tune_targets,
+                        });
+                    }
+                }
+            }
+        }
+        plans
+    }
+
+    /// Number of candidate plans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plans().len()
+    }
+
+    /// Whether the space is empty (it never is: the baseline remains).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.plans().is_empty()
+    }
+}
+
+#[derive(Default)]
+struct LoopScan {
+    any_loop: bool,
+    any_dynamic: bool,
+    max_const_trip: u64,
+    /// Largest useful explicit factor over all undivided loops: a dynamic
+    /// trip admits any factor (capped by the level budget); a constant
+    /// trip clamps at the trip count.
+    factor_cap: u64,
+}
+
+impl LoopScan {
+    fn visit(&mut self, f: &Function, block: BlockId) {
+        for op_id in f.loops_in_block(block) {
+            self.any_loop = true;
+            if let Opcode::For { trip, .. } = &f.op(op_id).opcode {
+                match trip {
+                    TripCount::Constant(n) => {
+                        self.max_const_trip = self.max_const_trip.max(*n);
+                        self.factor_cap = self.factor_cap.max(*n);
+                    }
+                    TripCount::Dynamic { div, .. } => {
+                        self.any_dynamic = true;
+                        if *div == 1 {
+                            self.factor_cap = u64::MAX;
+                        }
+                    }
+                    TripCount::DynamicRem { .. } => {
+                        self.any_dynamic = true;
+                    }
+                }
+            }
+            self.visit(f, f.for_body(op_id));
+        }
+    }
+}
+
+/// The best plan a search found, with the search's own accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneOutcome {
+    /// The winning plan.
+    pub plan: TunePlan,
+    /// Its modeled cost (µs) under the assumed trip count.
+    pub cost_us: f64,
+    /// Candidates actually compiled and scored.
+    pub evaluated: usize,
+    /// Candidates discarded without a full compile (bound or failed
+    /// prefix).
+    pub pruned: usize,
+    /// Total size of the candidate space.
+    pub space: usize,
+}
+
+/// Seam for a learned search policy (CHEHAB-style RL, PAPERS.md): order
+/// the candidates (better-first orderings tighten the branch-and-bound
+/// incumbent sooner) and observe every evaluation as a training signal.
+/// A policy can only *reorder* the space, never shrink it, so it cannot
+/// break the optimality argument.
+pub trait PolicyHook {
+    /// Reorders `plans` in place before the search visits them.
+    fn order(&mut self, src: &Function, plans: &mut Vec<TunePlan>);
+    /// Observes one scored candidate.
+    fn observe(&mut self, plan: TunePlan, cost_us: f64);
+}
+
+/// Default policy: visit HALO-shaped plans first (heuristic unroll, then
+/// full unrolling, each with tuning before not), since the paper's
+/// heuristics are usually close to optimal and make tight incumbents.
+/// Learns nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DefaultPolicy;
+
+impl PolicyHook for DefaultPolicy {
+    fn order(&mut self, _src: &Function, plans: &mut Vec<TunePlan>) {
+        plans.sort_by_key(|p| {
+            let family = match p.unroll {
+                UnrollChoice::Heuristic => 0,
+                UnrollChoice::Full => 1,
+                UnrollChoice::None => 2,
+                UnrollChoice::Factor(_) => 3,
+            };
+            (family, !p.tune_targets, !p.pack)
+        });
+    }
+
+    fn observe(&mut self, _plan: TunePlan, _cost_us: f64) {}
+}
+
+/// A search strategy over one program's [`SearchSpace`].
+pub trait Tuner {
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Searches `space` and returns the cheapest plan by modeled cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CompileError`] when *no* candidate compiles
+    /// (an individual failing candidate is skipped, not fatal).
+    fn tune(
+        &self,
+        src: &Function,
+        opts: &CompileOptions,
+        space: &SearchSpace,
+        assumed_trip: u64,
+        policy: &mut dyn PolicyHook,
+    ) -> Result<TuneOutcome, CompileError>;
+}
+
+/// Compiles one candidate and scores it with the static estimate.
+fn evaluate(
+    src: &Function,
+    opts: &CompileOptions,
+    plan: TunePlan,
+    assumed_trip: u64,
+) -> Result<f64, CompileError> {
+    let r = compile(src, CompilerConfig::Tuned(plan), opts)?;
+    Ok(estimate_cost_us(&r.function, assumed_trip))
+}
+
+fn finish(
+    best: Option<(TunePlan, f64)>,
+    evaluated: usize,
+    pruned: usize,
+    space: usize,
+    first_err: Option<CompileError>,
+) -> Result<TuneOutcome, CompileError> {
+    match best {
+        Some((plan, cost_us)) => Ok(TuneOutcome {
+            plan,
+            cost_us,
+            evaluated,
+            pruned,
+            space,
+        }),
+        None => Err(first_err
+            .unwrap_or_else(|| CompileError::Internal("empty autotune search space".into()))),
+    }
+}
+
+/// Ground-truth strategy: compiles and scores every candidate. Cost is
+/// linear in the space; use on small spaces and as the oracle the
+/// branch-and-bound strategy is tested against.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExhaustiveTuner;
+
+impl Tuner for ExhaustiveTuner {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn tune(
+        &self,
+        src: &Function,
+        opts: &CompileOptions,
+        space: &SearchSpace,
+        assumed_trip: u64,
+        policy: &mut dyn PolicyHook,
+    ) -> Result<TuneOutcome, CompileError> {
+        let mut plans = space.plans();
+        policy.order(src, &mut plans);
+        let total = plans.len();
+        let mut best: Option<(TunePlan, f64)> = None;
+        let mut evaluated = 0;
+        let mut first_err = None;
+        for plan in plans {
+            match evaluate(src, opts, plan, assumed_trip) {
+                Ok(cost) => {
+                    policy.observe(plan, cost);
+                    evaluated += 1;
+                    if best.is_none_or(|(_, b)| cost < b) {
+                        best = Some((plan, cost));
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        finish(best, evaluated, total - evaluated, total, first_err)
+    }
+}
+
+/// Branch-and-bound strategy with shared-prefix bounds.
+///
+/// Plans that agree on `(unroll, pack, peel_extra)` share their entire
+/// traced pipeline — only level assignment and target tuning differ. For
+/// each such prefix the strategy runs the (cheap) traced passes once and
+/// computes [`traced_floor_us`], an *admissible* lower bound on every
+/// typed completion: level assignment only raises levels and inserts
+/// management ops. Whenever the floor already meets the incumbent's cost,
+/// both `tune` leaves are pruned without running level assignment — the
+/// expensive half of a compile — and optimality is preserved because the
+/// bound never exceeds a leaf's true cost. Candidates the exhaustive
+/// strategy would find infeasible prune here through the same seam (a
+/// failed prefix bounds at +∞).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BranchBoundTuner;
+
+impl Tuner for BranchBoundTuner {
+    fn name(&self) -> &'static str {
+        "branch-bound"
+    }
+
+    fn tune(
+        &self,
+        src: &Function,
+        opts: &CompileOptions,
+        space: &SearchSpace,
+        assumed_trip: u64,
+        policy: &mut dyn PolicyHook,
+    ) -> Result<TuneOutcome, CompileError> {
+        let mut plans = space.plans();
+        policy.order(src, &mut plans);
+        let total = plans.len();
+        let mut bounds: HashMap<(UnrollChoice, bool, u8), f64> = HashMap::new();
+        let mut best: Option<(TunePlan, f64)> = None;
+        let mut evaluated = 0;
+        let mut pruned = 0;
+        let mut first_err: Option<CompileError> = None;
+        for plan in plans {
+            let key = (plan.unroll, plan.pack, plan.peel_extra);
+            let bound = match bounds.get(&key) {
+                Some(&b) => b,
+                None => {
+                    let b = match prefix_floor(src, plan, opts, assumed_trip) {
+                        Ok(floor) => floor,
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                            f64::INFINITY
+                        }
+                    };
+                    bounds.insert(key, b);
+                    b
+                }
+            };
+            let beaten = best.is_some_and(|(_, inc)| bound >= inc);
+            if bound.is_infinite() || beaten {
+                pruned += 1;
+                continue;
+            }
+            match evaluate(src, opts, plan, assumed_trip) {
+                Ok(cost) => {
+                    policy.observe(plan, cost);
+                    evaluated += 1;
+                    if best.is_none_or(|(_, b)| cost < b) {
+                        best = Some((plan, cost));
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        finish(best, evaluated, pruned, total, first_err)
+    }
+}
+
+/// Runs one plan's traced prefix and returns its admissible cost floor.
+/// Pass panics (malformed sources) are converted to errors, matching
+/// `compile`'s boundary.
+fn prefix_floor(
+    src: &Function,
+    plan: TunePlan,
+    opts: &CompileOptions,
+    assumed_trip: u64,
+) -> Result<f64, CompileError> {
+    let traced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        plan_traced(src, plan, opts, &mut PipelineHooks::default())
+    }))
+    .unwrap_or_else(|_| {
+        Err(CompileError::Internal(
+            "traced prefix panicked during autotuning".into(),
+        ))
+    })?;
+    Ok(traced_floor_us(&traced.0, assumed_trip))
+}
+
+/// Autotunes `src` with the default strategy ([`BranchBoundTuner`]), the
+/// derived [`SearchSpace`], the paper's 40-iteration trip assumption, and
+/// the default policy.
+///
+/// # Errors
+///
+/// Propagates the first [`CompileError`] when no candidate compiles.
+pub fn autotune(src: &Function, opts: &CompileOptions) -> Result<TuneOutcome, CompileError> {
+    BranchBoundTuner.tune(
+        src,
+        opts,
+        &SearchSpace::for_program(src, opts),
+        ASSUMED_TRIPS,
+        &mut DefaultPolicy,
+    )
+}
+
+/// Modeled cost (µs) of compiling `src` under one of the paper's
+/// heuristic configurations — the baseline the tuned plan is compared
+/// against in benches and tests.
+///
+/// # Errors
+///
+/// Propagates the configuration's [`CompileError`] (e.g. DaCapo on
+/// dynamic trips).
+pub fn heuristic_cost_us(
+    src: &Function,
+    config: CompilerConfig,
+    opts: &CompileOptions,
+    assumed_trip: u64,
+) -> Result<f64, CompileError> {
+    let r = compile(src, config, opts)?;
+    Ok(estimate_cost_us(&r.function, assumed_trip))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo_ckks::CkksParams;
+    use halo_ir::FunctionBuilder;
+
+    fn opts() -> CompileOptions {
+        let mut o = CompileOptions::new(CkksParams::test_small());
+        o.params.poly_degree = 64; // 32 slots
+        o
+    }
+
+    /// Figure-2-style program: 2 carried vars, one plain init, depth 2.
+    fn sample(trip: TripCount) -> Function {
+        let mut b = FunctionBuilder::new("fig2", 32);
+        let x = b.input_cipher("x");
+        let y0 = b.input_cipher("y");
+        let a0 = b.const_splat(1.0);
+        let r = b.for_loop(trip, &[y0, a0], 4, |b, args| {
+            let x2 = b.mul(x, args[0]);
+            let y2 = b.mul(x2, x2);
+            let a2 = b.add(args[1], y2);
+            vec![y2, a2]
+        });
+        b.ret(&r);
+        b.finish()
+    }
+
+    #[test]
+    fn space_derivation_collapses_structural_duplicates() {
+        let o = opts();
+        // Dynamic trip: full unrolling is out, factors run to L.
+        let dynamic = SearchSpace::for_program(&sample(TripCount::dynamic("n")), &o);
+        assert!(!dynamic.allow_full);
+        assert!(dynamic.try_pack);
+        assert_eq!(dynamic.max_peel_extra, 0, "no constant-trip loop");
+        assert_eq!(
+            dynamic.factors.len(),
+            o.params.max_level as usize - 1,
+            "2..=L"
+        );
+
+        // Constant trip 12: full unrolling allowed, factor cap = 12.
+        let constant = SearchSpace::for_program(&sample(TripCount::Constant(12)), &o);
+        assert!(constant.allow_full);
+        assert_eq!(constant.max_peel_extra, 2);
+        assert_eq!(*constant.factors.last().unwrap(), 12);
+
+        // No loops at all: only the pack-collapsed baseline dimensions.
+        let mut b = FunctionBuilder::new("straight", 32);
+        let x = b.input_cipher("x");
+        let y = b.mul(x, x);
+        b.ret(&[y]);
+        let straight = b.finish();
+        let space = SearchSpace::for_program(&straight, &o);
+        assert!(space.factors.is_empty() && !space.allow_full && !space.try_pack);
+        // unroll=None × pack=off × peel=0 × tune∈{off,on}.
+        assert_eq!(space.len(), 2);
+    }
+
+    #[test]
+    fn capped_space_shrinks_factor_and_peel_dimensions() {
+        let o = opts();
+        let space = SearchSpace::for_program(&sample(TripCount::Constant(12)), &o);
+        let capped = space.clone().capped(3, 1);
+        assert!(capped.factors.iter().all(|&k| k <= 3));
+        assert_eq!(capped.max_peel_extra, 1);
+        assert!(capped.len() < space.len());
+    }
+
+    #[test]
+    fn tuned_plan_beats_or_matches_every_heuristic() {
+        let o = opts();
+        for trip in [TripCount::dynamic("n"), TripCount::Constant(12)] {
+            let src = sample(trip);
+            let outcome = autotune(&src, &o).unwrap();
+            for config in CompilerConfig::ALL {
+                let Ok(h) = heuristic_cost_us(&src, config, &o, ASSUMED_TRIPS) else {
+                    continue; // DaCapo on the dynamic trip
+                };
+                assert!(
+                    outcome.cost_us <= h + 1e-6,
+                    "{} beats the tuned plan: {h} < {} ({})",
+                    config.name(),
+                    outcome.cost_us,
+                    outcome.plan.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_agree_and_branch_bound_prunes() {
+        let o = opts();
+        for trip in [TripCount::dynamic("n"), TripCount::Constant(6)] {
+            let src = sample(trip);
+            let space = SearchSpace::for_program(&src, &o).capped(6, 1);
+            let ex = ExhaustiveTuner
+                .tune(&src, &o, &space, ASSUMED_TRIPS, &mut DefaultPolicy)
+                .unwrap();
+            let bb = BranchBoundTuner
+                .tune(&src, &o, &space, ASSUMED_TRIPS, &mut DefaultPolicy)
+                .unwrap();
+            assert!(
+                (ex.cost_us - bb.cost_us).abs() <= 1e-9 * ex.cost_us.max(1.0),
+                "strategies disagree: exhaustive {} vs branch-bound {}",
+                ex.cost_us,
+                bb.cost_us
+            );
+            assert_eq!(ex.space, bb.space);
+            assert!(bb.evaluated + bb.pruned == bb.space);
+        }
+    }
+
+    #[test]
+    fn policy_hook_observes_every_evaluation_and_may_reorder() {
+        struct Recording {
+            seen: Vec<(TunePlan, f64)>,
+        }
+        impl PolicyHook for Recording {
+            fn order(&mut self, _src: &Function, plans: &mut Vec<TunePlan>) {
+                plans.reverse(); // any ordering must not change the result
+            }
+            fn observe(&mut self, plan: TunePlan, cost_us: f64) {
+                self.seen.push((plan, cost_us));
+            }
+        }
+        let o = opts();
+        let src = sample(TripCount::dynamic("n"));
+        let space = SearchSpace::for_program(&src, &o).capped(3, 0);
+        let mut rec = Recording { seen: Vec::new() };
+        let out = BranchBoundTuner
+            .tune(&src, &o, &space, ASSUMED_TRIPS, &mut rec)
+            .unwrap();
+        assert_eq!(rec.seen.len(), out.evaluated);
+        let best_seen = rec
+            .seen
+            .iter()
+            .map(|&(_, c)| c)
+            .fold(f64::INFINITY, f64::min);
+        assert!((best_seen - out.cost_us).abs() < 1e-9);
+        let ex = ExhaustiveTuner
+            .tune(&src, &o, &space, ASSUMED_TRIPS, &mut DefaultPolicy)
+            .unwrap();
+        assert!((ex.cost_us - out.cost_us).abs() <= 1e-9 * ex.cost_us.max(1.0));
+    }
+
+    #[test]
+    fn tuned_config_round_trips_through_compile() {
+        let o = opts();
+        let src = sample(TripCount::dynamic("n"));
+        let outcome = autotune(&src, &o).unwrap();
+        let r = compile(&src, CompilerConfig::Tuned(outcome.plan), &o).unwrap();
+        assert!(
+            (estimate_cost_us(&r.function, ASSUMED_TRIPS) - outcome.cost_us).abs() < 1e-9,
+            "recompiling the winning plan reproduces its score"
+        );
+        assert_eq!(r.config, CompilerConfig::Tuned(outcome.plan));
+    }
+
+    #[test]
+    fn describe_is_compact_and_total() {
+        let plan = TunePlan {
+            unroll: UnrollChoice::Factor(4),
+            pack: true,
+            peel_extra: 1,
+            tune_targets: true,
+        };
+        assert_eq!(plan.describe(), "unroll=x4 pack=on peel=+1 tune=on");
+        assert_eq!(
+            TunePlan::baseline().describe(),
+            "unroll=none pack=off peel=+0 tune=off"
+        );
+    }
+}

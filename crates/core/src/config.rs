@@ -1,8 +1,13 @@
-//! Compiler configurations: the five variants of the paper's evaluation.
+//! Compiler configurations: the five variants of the paper's evaluation,
+//! plus the autotuner's per-program plans.
 
 use halo_ckks::CkksParams;
 
-/// The five bootstrapping-management configurations compared in §7.
+use crate::autotune::{TunePlan, UnrollChoice};
+
+/// The five bootstrapping-management configurations compared in §7, plus
+/// [`CompilerConfig::Tuned`] — an explicit per-program plan produced by
+/// the autotuner's search over the same knobs the heuristics fix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CompilerConfig {
     /// DaCapo baseline: fully unroll every loop, then place bootstraps over
@@ -18,6 +23,9 @@ pub enum CompilerConfig {
     PackingUnrolling,
     /// All optimizations: packing + unrolling + target-level tuning (§6.3).
     Halo,
+    /// An explicit autotuned plan (`crate::autotune`): every knob the
+    /// heuristic variants decide by rule is spelled out per program.
+    Tuned(TunePlan),
 }
 
 impl CompilerConfig {
@@ -39,31 +47,41 @@ impl CompilerConfig {
             CompilerConfig::Packing => "Packing",
             CompilerConfig::PackingUnrolling => "Packing+Unrolling",
             CompilerConfig::Halo => "HALO",
+            CompilerConfig::Tuned(_) => "Tuned",
         }
     }
 
     /// Whether this configuration applies the packing optimization.
     #[must_use]
     pub fn packs(self) -> bool {
-        matches!(
-            self,
-            CompilerConfig::Packing | CompilerConfig::PackingUnrolling | CompilerConfig::Halo
-        )
+        match self {
+            CompilerConfig::Packing | CompilerConfig::PackingUnrolling | CompilerConfig::Halo => {
+                true
+            }
+            CompilerConfig::Tuned(p) => p.pack,
+            _ => false,
+        }
     }
 
-    /// Whether this configuration applies level-aware unrolling.
+    /// Whether this configuration applies loop unrolling of any kind
+    /// (level-aware, explicit-factor, or full).
     #[must_use]
     pub fn unrolls(self) -> bool {
-        matches!(
-            self,
-            CompilerConfig::PackingUnrolling | CompilerConfig::Halo
-        )
+        match self {
+            CompilerConfig::PackingUnrolling | CompilerConfig::Halo => true,
+            CompilerConfig::Tuned(p) => !matches!(p.unroll, UnrollChoice::None),
+            _ => false,
+        }
     }
 
     /// Whether this configuration tunes bootstrap target levels.
     #[must_use]
     pub fn tunes(self) -> bool {
-        matches!(self, CompilerConfig::Halo)
+        match self {
+            CompilerConfig::Halo => true,
+            CompilerConfig::Tuned(p) => p.tune_targets,
+            _ => false,
+        }
     }
 }
 
@@ -108,5 +126,21 @@ mod tests {
         assert!(C::PackingUnrolling.unrolls() && !C::PackingUnrolling.tunes());
         assert!(C::Halo.packs() && C::Halo.unrolls() && C::Halo.tunes());
         assert_eq!(C::ALL.len(), 5);
+    }
+
+    #[test]
+    fn tuned_features_read_the_plan() {
+        use CompilerConfig as C;
+        let plan = TunePlan {
+            unroll: UnrollChoice::Factor(3),
+            pack: true,
+            peel_extra: 1,
+            tune_targets: false,
+        };
+        let c = C::Tuned(plan);
+        assert_eq!(c.name(), "Tuned");
+        assert!(c.packs() && c.unrolls() && !c.tunes());
+        let base = C::Tuned(TunePlan::baseline());
+        assert!(!base.packs() && !base.unrolls() && !base.tunes());
     }
 }

@@ -7,10 +7,18 @@
 //! decision cost-aware: packing trades `m` head bootstraps for one, but on
 //! deep bodies the two extra multiplicative levels can force extra in-body
 //! resets that outweigh the saving (the paper observes exactly this on
-//! K-means, §7.1).
+//! K-means, §7.1). The autotuner (`autotune`) uses the same estimate as
+//! its search oracle.
+//!
+//! Rotation fan-outs — same-source `rotate` ops within one block — are
+//! priced at the amortized hoisted-batch cost, mirroring the executor's
+//! rotation-hoisting peephole, so plans that concentrate rotations (e.g.
+//! unrolled bodies) are not over-charged relative to how they execute.
+
+use std::collections::HashMap;
 
 use halo_ckks::{CostModel, CostedOp};
-use halo_ir::func::{BlockId, Function};
+use halo_ir::func::{BlockId, Function, OpId, ValueId};
 use halo_ir::op::{Opcode, TripCount};
 use halo_ir::types::Status;
 
@@ -20,6 +28,58 @@ use halo_ir::types::Status;
 pub fn estimate_cost_us(f: &Function, assumed_trip: u64) -> f64 {
     let cost = CostModel::new();
     block_cost(f, f.entry, assumed_trip, &cost)
+}
+
+/// Admissible lower bound (µs) on the modeled cost of **any** typed
+/// completion of a traced (pre-level) program.
+///
+/// Level assignment only *raises* op levels (the model's per-op latency is
+/// monotone in level, floored at level 1) and *inserts* management ops
+/// (rescale / modswitch / bootstrap), and splitting a rotation fan-out
+/// with an inserted rescale only reduces amortization — so pricing every
+/// compute op at level 1 with maximal fan-out amortization and zero
+/// management cost can never exceed the estimate of the compiled program.
+/// The branch-and-bound tuner uses this to discard whole plan prefixes
+/// without running level assignment.
+#[must_use]
+pub fn traced_floor_us(f: &Function, assumed_trip: u64) -> f64 {
+    let cost = CostModel::new();
+    floor_block(f, f.entry, assumed_trip, &cost)
+}
+
+fn floor_block(f: &Function, block: BlockId, assumed: u64, cost: &CostModel) -> f64 {
+    let fanouts = rotation_fanout_sizes(f, block);
+    let mut total = 0.0;
+    for &op_id in &f.block(block).ops {
+        let op = f.op(op_id);
+        let cipher = |i: usize| f.ty(op.operands[i]).status == Status::Cipher;
+        total += match &op.opcode {
+            Opcode::For { trip, body, .. } => {
+                floor_block(f, *body, assumed, cost) * trip_estimate(trip, assumed) as f64
+            }
+            Opcode::MultCC if cipher(0) => cost.latency_us(CostedOp::MultCC { level: 1 }),
+            Opcode::MultCP => {
+                cost.latency_us(CostedOp::MultCP { level: 1 }) + cost.latency_us(CostedOp::Encode)
+            }
+            Opcode::AddCC | Opcode::SubCC if cipher(0) => {
+                cost.latency_us(CostedOp::AddCC { level: 1 })
+            }
+            Opcode::AddCP | Opcode::SubCP => {
+                cost.latency_us(CostedOp::AddCP { level: 1 }) + cost.latency_us(CostedOp::Encode)
+            }
+            Opcode::Negate if cipher(0) => cost.latency_us(CostedOp::Negate { level: 1 }),
+            Opcode::Rotate { .. } if cipher(0) => match fanouts.get(&op_id) {
+                Some(&k) if k > 0 => cost.rotate_batch_us(1, k),
+                Some(_) => 0.0,
+                None => cost.latency_us(CostedOp::Rotate { level: 1 }),
+            },
+            Opcode::Const(_) | Opcode::Encrypt => cost.latency_us(CostedOp::Encode),
+            // Management ops are absent from traced programs; anything a
+            // later pass inserts only raises the true cost above the floor.
+            _ => 0.0,
+        };
+    }
+    total
 }
 
 fn trip_estimate(trip: &TripCount, assumed: u64) -> u64 {
@@ -44,7 +104,36 @@ fn trip_estimate(trip: &TripCount, assumed: u64) -> u64 {
     }
 }
 
+/// Rotation fan-out group sizes for one block, mirroring the executor's
+/// hoisting peephole (`rotation_fanouts` in `halo-runtime`): `rotate` ops
+/// sharing a source value hoist one digit decomposition, so the whole
+/// group prices at the amortized [`CostModel::rotate_batch_us`] cost. The
+/// map carries the group size on the group's *first* op (which pays the
+/// whole batch); later members are free. Lone rotations are absent.
+fn rotation_fanout_sizes(f: &Function, block: BlockId) -> HashMap<OpId, u32> {
+    let mut by_src: HashMap<ValueId, Vec<OpId>> = HashMap::new();
+    for &id in &f.block(block).ops {
+        let op = f.op(id);
+        if matches!(op.opcode, Opcode::Rotate { .. }) {
+            if let Some(&src) = op.operands.first() {
+                if f.ty(src).status == Status::Cipher {
+                    by_src.entry(src).or_default().push(id);
+                }
+            }
+        }
+    }
+    let mut sizes = HashMap::new();
+    for g in by_src.into_values().filter(|g| g.len() >= 2) {
+        sizes.insert(g[0], g.len() as u32);
+        for &rest in &g[1..] {
+            sizes.insert(rest, 0);
+        }
+    }
+    sizes
+}
+
 fn block_cost(f: &Function, block: BlockId, assumed: u64, cost: &CostModel) -> f64 {
+    let fanouts = rotation_fanout_sizes(f, block);
     let mut total = 0.0;
     for &op_id in &f.block(block).ops {
         let op = f.op(op_id);
@@ -67,9 +156,13 @@ fn block_cost(f: &Function, block: BlockId, assumed: u64, cost: &CostModel) -> f
                     + cost.latency_us(CostedOp::Encode)
             }
             Opcode::Negate if cipher(0) => cost.latency_us(CostedOp::Negate { level: level(0) }),
-            Opcode::Rotate { .. } if cipher(0) => {
-                cost.latency_us(CostedOp::Rotate { level: level(0) })
-            }
+            Opcode::Rotate { .. } if cipher(0) => match fanouts.get(&op_id) {
+                // First member of a fan-out pays the whole amortized batch;
+                // the remaining members already hoisted their decompose.
+                Some(&k) if k > 0 => cost.rotate_batch_us(level(0), k),
+                Some(_) => 0.0,
+                None => cost.latency_us(CostedOp::Rotate { level: level(0) }),
+            },
             Opcode::Rescale => cost.latency_us(CostedOp::Rescale { level: level(0) }),
             Opcode::ModSwitch { down } => cost.modswitch_chain_us(level(0), *down),
             Opcode::Bootstrap { target } => {
@@ -107,6 +200,54 @@ mod tests {
         let c10 = estimate_cost_us(&f, 10);
         let c40 = estimate_cost_us(&f, 40);
         assert!(c40 > 3.5 * c10 && c40 < 4.5 * c10, "{c10} vs {c40}");
+    }
+
+    #[test]
+    fn rotation_fanouts_price_at_the_amortized_batch_cost() {
+        // Four rotations of one source in one block hoist a shared digit
+        // decomposition at execution time (the PR 3 peephole); the static
+        // estimate must price them the same way or the search is biased
+        // against rotation-heavy (unrolled) plans. A chained variant with
+        // four *distinct* sources is the control: same op mix, no fan-out.
+        let build = |fanout: bool| {
+            let mut b = FunctionBuilder::new("t", 8);
+            let x = b.input_cipher("x");
+            let mut acc = b.input_cipher("acc");
+            let mut src = x;
+            for k in 0..4 {
+                let r = b.rotate(src, k + 1);
+                if !fanout {
+                    src = r; // chain: every rotation gets its own source
+                }
+                acc = b.add(acc, r);
+            }
+            b.ret(&[acc]);
+            let mut f = b.finish();
+            assign_levels(&mut f, &CompileOptions::new(CkksParams::test_small())).unwrap();
+            f
+        };
+        let fanned = build(true);
+        let chained = build(false);
+        let est_fan = estimate_cost_us(&fanned, 1);
+        let est_chain = estimate_cost_us(&chained, 1);
+        // Rotations preserve their operand level, so all eight rotations
+        // across the two programs run at one common level.
+        let mut level = None;
+        fanned.walk_ops(|_, id| {
+            if level.is_none() && matches!(fanned.op(id).opcode, Opcode::Rotate { .. }) {
+                level = Some(fanned.ty(fanned.op(id).operands[0]).level);
+            }
+        });
+        let level = level.expect("program has rotations");
+        let cost = halo_ckks::CostModel::new();
+        let per_rot = cost.latency_us(halo_ckks::CostedOp::Rotate { level });
+        let expected_saving = 4.0 * per_rot - cost.rotate_batch_us(level, 4);
+        assert!(expected_saving > 0.0);
+        assert!(
+            (est_chain - est_fan - expected_saving).abs() < 1e-6,
+            "fan-out saving must equal the hoisted decomposes: \
+             chain {est_chain} vs fan {est_fan}, expected {expected_saving}"
+        );
     }
 
     #[test]

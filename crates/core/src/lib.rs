@@ -23,6 +23,8 @@
 //! ## Module map
 //!
 //! - [`config`] — compiler configurations and options.
+//! - [`autotune`] — per-program optimal-placement search over the joint
+//!   (unroll × pack × peel × tune) space the heuristics fix by rule.
 //! - [`levelsim`] — pure level/latency simulator (no IR mutation), used by
 //!   bootstrap placement to evaluate candidate plans.
 //! - [`scale`] — materializing scale management: inserts `rescale` and
@@ -38,6 +40,7 @@
 //! - [`dce`] — dead-code elimination.
 //! - [`pipeline`] — configuration-driven driver + compile statistics.
 
+pub mod autotune;
 pub mod config;
 pub mod cost_est;
 pub mod dacapo;
@@ -52,6 +55,12 @@ pub mod scale;
 pub mod tune;
 pub mod unroll;
 
+pub use autotune::{
+    autotune, BranchBoundTuner, DefaultPolicy, ExhaustiveTuner, PolicyHook, SearchSpace,
+    TuneOutcome, TunePlan, Tuner, UnrollChoice,
+};
 pub use config::{CompileOptions, CompilerConfig};
 pub use error::CompileError;
-pub use pipeline::{compile, compile_with_hooks, CompileResult, Pass, PassRecord, PipelineHooks};
+pub use pipeline::{
+    compile, compile_with_hooks, CompileResult, Pass, PassRecord, PipelineHooks, ASSUMED_TRIPS,
+};

@@ -48,6 +48,56 @@ pub fn peel_loops(f: &mut Function) -> usize {
     total
 }
 
+/// Peels up to `extra` additional first iterations off every
+/// **constant-trip** loop (recursing into nested bodies), beyond the
+/// status-matching peel of [`peel_loops`]. This is the autotuner's "peel
+/// depth" knob: a peeled iteration becomes straight-line code that levels
+/// without the loop's per-iteration floor coercion, which can trade a
+/// head bootstrap for a few straight-line ops on short loops.
+///
+/// Dynamic-trip loops are left alone — the runtime only guarantees one
+/// iteration, which the mandatory status peel may already consume, so a
+/// deeper peel could execute iterations the source program never ran.
+/// Constant trips clamp at zero (fully peeled loops fold away), so any
+/// `extra` is semantics-preserving. Returns the number of iterations
+/// peeled.
+pub fn peel_constant_iterations(f: &mut Function, extra: u32) -> usize {
+    if extra == 0 {
+        return 0;
+    }
+    let mut total = 0;
+    for _ in 0..extra {
+        let mut target = None;
+        // One pass per round: find a constant-trip loop that still has
+        // iterations to give and has not been peeled this round.
+        let mut peeled_this_round = Vec::new();
+        loop {
+            propagate_statuses(f);
+            f.walk_ops(|block, op| {
+                if target.is_none() && !peeled_this_round.contains(&op) {
+                    if let Opcode::For { trip, .. } = &f.op(op).opcode {
+                        if matches!(trip, halo_ir::op::TripCount::Constant(n) if *n > 0) {
+                            target = Some((block, op));
+                        }
+                    }
+                }
+            });
+            let Some((block, op_id)) = target.take() else {
+                break;
+            };
+            peel_one(f, block, op_id);
+            peeled_this_round.push(op_id);
+            total += 1;
+            fold_zero_trip_loops(f);
+        }
+    }
+    propagate_statuses(f);
+    encrypt_residual_plain_inits(f, f.entry);
+    propagate_statuses(f);
+    normalize_arith_opcodes(f);
+    total
+}
+
 /// Finds the first not-yet-peeled loop (depth-first) with a
 /// plain-init/cipher-arg mismatch.
 fn find_peelable(f: &Function, block: BlockId, already: &HashSet<OpId>) -> Option<(BlockId, OpId)> {
@@ -424,6 +474,53 @@ mod tests {
         use halo_runtime::{reference_run, Inputs};
         let out = reference_run(&f, &Inputs::new().cipher("x", vec![9.0]), 8).unwrap();
         assert_eq!(out[0][0], 1.5);
+    }
+
+    #[test]
+    fn extra_peeling_is_constant_trip_only_and_semantics_preserving() {
+        // x^2 accumulated 3 times: peel depth 1 leaves a trip-2 loop with
+        // one straight-line copy in front; the output must not change.
+        let build = || {
+            let mut b = FunctionBuilder::new("t", 8);
+            let y = b.input_cipher("y");
+            let a0 = b.input_cipher("a");
+            let r = b.for_loop(TripCount::Constant(3), &[a0], 4, |b, args| {
+                vec![b.add(args[0], y)]
+            });
+            b.ret(&r);
+            b.finish()
+        };
+        use halo_runtime::{reference_run, Inputs};
+        let inputs = Inputs::new().cipher("y", vec![2.0]).cipher("a", vec![1.0]);
+        let mut f = build();
+        assert_eq!(peel_constant_iterations(&mut f, 1), 1);
+        verify_traced(&f).unwrap();
+        let loop_op = f.loops_in_block(f.entry)[0];
+        if let Opcode::For { trip, .. } = &f.op(loop_op).opcode {
+            assert_eq!(*trip, TripCount::Constant(2));
+        }
+        let out = reference_run(&f, &inputs, 8).unwrap();
+        assert_eq!(out[0][0], 7.0, "1 + 3*2 regardless of peel depth");
+
+        // Peeling past the trip count folds the loop away entirely.
+        let mut f = build();
+        assert_eq!(peel_constant_iterations(&mut f, 5), 3);
+        verify_traced(&f).unwrap();
+        assert!(f.loops_in_block(f.entry).is_empty());
+        let out = reference_run(&f, &inputs, 8).unwrap();
+        assert_eq!(out[0][0], 7.0);
+
+        // Dynamic trips are never extra-peeled: the runtime only promises
+        // one iteration, which the status peel may already consume.
+        let mut b = FunctionBuilder::new("t", 8);
+        let y = b.input_cipher("y");
+        let a0 = b.input_cipher("a");
+        let r = b.for_loop(TripCount::dynamic("n"), &[a0], 4, |b, args| {
+            vec![b.add(args[0], y)]
+        });
+        b.ret(&r);
+        let mut f = b.finish();
+        assert_eq!(peel_constant_iterations(&mut f, 2), 0);
     }
 
     #[test]

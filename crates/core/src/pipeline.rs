@@ -5,20 +5,22 @@ use std::time::Instant;
 use halo_ir::op::Opcode;
 use halo_ir::Function;
 
+use crate::autotune::{TunePlan, UnrollChoice};
 use crate::config::{CompileOptions, CompilerConfig};
 use crate::cost_est::estimate_cost_us;
 use crate::dacapo::full_unroll;
 use crate::dce;
 use crate::error::CompileError;
 use crate::pack::pack_loops;
-use crate::peel::peel_loops;
+use crate::peel::{peel_constant_iterations, peel_loops};
 use crate::scale::assign_levels;
 use crate::tune::tune_bootstrap_targets;
-use crate::unroll::unroll_loops;
+use crate::unroll::{unroll_loops, unroll_loops_with_factor};
 
 /// Dynamic trip counts are assumed to run this many iterations when the
-/// pipeline estimates costs (the paper's evaluation iteration count).
-const ASSUMED_TRIPS: u64 = 40;
+/// pipeline (and the autotuner) estimates costs — the paper's evaluation
+/// iteration count.
+pub const ASSUMED_TRIPS: u64 = 40;
 
 /// A named compiler pass, as observed by per-pass pipeline hooks.
 ///
@@ -247,6 +249,65 @@ fn pass_boundary(
     Ok(())
 }
 
+/// Runs the *traced* prefix of a [`TunePlan`]'s pipeline — everything
+/// before level assignment — and returns the traced program plus the
+/// (peeled, packed, unrolled) counters.
+///
+/// The autotuner's branch-and-bound strategy calls this directly: plans
+/// that agree on (unroll, pack, peel) share this prefix, and its
+/// `traced_floor_us` is an admissible bound on every typed completion.
+/// The [`CompilerConfig::Tuned`] arm of [`compile`] is exactly this
+/// prefix followed by level assignment (+ optional target tuning), which
+/// is what makes the bound sound for whole compiles.
+///
+/// `UnrollChoice::Full` mirrors the DaCapo arm byte-for-byte (full unroll
+/// with *no* peel — peeling first would change the unrolled shape), so a
+/// `Tuned` plan can reproduce the DaCapo baseline exactly.
+///
+/// # Errors
+///
+/// Same pass errors as [`compile`]'s corresponding prefix (e.g.
+/// [`CompileError::DynamicTripNotSupported`] for `Full` on dynamic
+/// trips), plus hook verification failures.
+pub(crate) fn plan_traced(
+    src: &Function,
+    plan: TunePlan,
+    opts: &CompileOptions,
+    hooks: &mut PipelineHooks<'_>,
+) -> Result<(Function, usize, usize, usize), CompileError> {
+    let mut f = src.clone();
+    if plan.unroll == UnrollChoice::Full {
+        full_unroll(&mut f)?;
+        pass_boundary(&mut f, Pass::FullUnroll, opts, hooks)?;
+        dce::run(&mut f);
+        pass_boundary(&mut f, Pass::Dce, opts, hooks)?;
+        return Ok((f, 0, 0, 0));
+    }
+    let mut peeled = peel_loops(&mut f);
+    peeled += peel_constant_iterations(&mut f, u32::from(plan.peel_extra));
+    pass_boundary(&mut f, Pass::Peel, opts, hooks)?;
+    let mut unrolled = 0;
+    match plan.unroll {
+        UnrollChoice::None | UnrollChoice::Full => {}
+        UnrollChoice::Heuristic => {
+            unrolled = unroll_loops(&mut f, opts.params.max_level, plan.pack);
+            pass_boundary(&mut f, Pass::Unroll, opts, hooks)?;
+        }
+        UnrollChoice::Factor(k) => {
+            unrolled = unroll_loops_with_factor(&mut f, u64::from(k));
+            pass_boundary(&mut f, Pass::Unroll, opts, hooks)?;
+        }
+    }
+    let mut packed = 0;
+    if plan.pack {
+        packed = pack_loops(&mut f);
+        pass_boundary(&mut f, Pass::Pack, opts, hooks)?;
+    }
+    dce::run(&mut f);
+    pass_boundary(&mut f, Pass::Dce, opts, hooks)?;
+    Ok((f, peeled, packed, unrolled))
+}
+
 fn compile_inner(
     src: &Function,
     config: CompilerConfig,
@@ -267,6 +328,20 @@ fn compile_inner(
             assign_levels(&mut f, opts)?;
             pass_boundary(&mut f, Pass::AssignLevels, opts, hooks)?;
             (f, 0, 0, 0, 0)
+        }
+        CompilerConfig::Tuned(plan) => {
+            // An explicit plan: no heuristics, no cost-aware pack driver —
+            // the autotuner already searched those dimensions.
+            let (mut f, peeled, packed, unrolled) = plan_traced(src, plan, opts, hooks)?;
+            assign_levels(&mut f, opts)?;
+            pass_boundary(&mut f, Pass::AssignLevels, opts, hooks)?;
+            let mut tuned = 0;
+            if plan.tune_targets {
+                tuned = tune_bootstrap_targets(&mut f);
+                halo_ir::verify::verify_typed(&f, opts.params.max_level)?;
+                pass_boundary(&mut f, Pass::Tune, opts, hooks)?;
+            }
+            (f, peeled, packed, unrolled, tuned)
         }
         _ => {
             // The loop-aware pipeline. Packing is *cost-aware*: packing

@@ -53,6 +53,50 @@ fn unroll_in_block(
     }
 }
 
+/// Unrolls every structurally eligible loop by an explicit `factor` — the
+/// autotuner's unroll knob, bypassing the paper's profitability formula.
+/// Eligibility matches [`unroll_factor`]'s structural preconditions
+/// (epilogue loops and already-divided dynamic trips are never re-split);
+/// constant trips clamp the factor to the trip count, and an effective
+/// factor ≤ 1 is a no-op. Returns the number of loops unrolled.
+pub fn unroll_loops_with_factor(f: &mut Function, factor: u64) -> usize {
+    if factor <= 1 {
+        return 0;
+    }
+    let mut count = 0;
+    factor_in_block(f, f.entry, factor, &mut count);
+    count
+}
+
+fn factor_in_block(f: &mut Function, block: BlockId, factor: u64, count: &mut usize) {
+    // Snapshot the loops first: unroll_one inserts epilogue loops right
+    // after their main loop, and a freshly minted epilogue must not be
+    // unrolled again in the same sweep.
+    let loops = f.loops_in_block(block);
+    for op_id in loops {
+        let body = f.for_body(op_id);
+        factor_in_block(f, body, factor, count);
+        let eff = match &f.op(op_id).opcode {
+            Opcode::For { trip, .. } => match trip {
+                TripCount::DynamicRem { .. } => 0,
+                TripCount::Dynamic { div, .. } => {
+                    if *div == 1 {
+                        factor
+                    } else {
+                        0
+                    }
+                }
+                TripCount::Constant(n) => factor.min(*n),
+            },
+            _ => 0,
+        };
+        if eff > 1 {
+            unroll_one(f, block, op_id, eff);
+            *count += 1;
+        }
+    }
+}
+
 /// The paper's unroll-factor formula, or `None` when unrolling is not
 /// profitable (`factor ≤ 1`) or not applicable.
 #[must_use]
@@ -249,6 +293,44 @@ mod tests {
             assert_eq!(*trip, TripCount::Constant(1));
         }
         verify_traced(&f).unwrap();
+    }
+
+    #[test]
+    fn explicit_factor_overrides_the_formula_and_clamps_to_constant_trips() {
+        // The formula would pick 3 (⌊16/5⌋); the explicit knob forces 2.
+        let mut f = depth5_loop(TripCount::dynamic("n"));
+        assert_eq!(unroll_loops_with_factor(&mut f, 2), 1);
+        verify_traced(&f).unwrap();
+        let loops = f.loops_in_block(f.entry);
+        let trips: Vec<String> = loops
+            .iter()
+            .map(|&l| match &f.op(l).opcode {
+                Opcode::For { trip, .. } => trip.to_string(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(trips, vec!["(%n)/2", "(%n)%2"]);
+
+        // A constant trip clamps the factor; trip 3 with factor 8 unrolls
+        // fully into a single-trip loop.
+        let mut f = depth5_loop(TripCount::Constant(3));
+        assert_eq!(unroll_loops_with_factor(&mut f, 8), 1);
+        verify_traced(&f).unwrap();
+        let loops = f.loops_in_block(f.entry);
+        assert_eq!(loops.len(), 1);
+        if let Opcode::For { trip, .. } = &f.op(loops[0]).opcode {
+            assert_eq!(*trip, TripCount::Constant(1));
+        }
+
+        // Factors of 0 and 1 are no-ops.
+        let mut f = depth5_loop(TripCount::dynamic("n"));
+        assert_eq!(unroll_loops_with_factor(&mut f, 1), 0);
+        assert_eq!(unroll_loops_with_factor(&mut f, 0), 0);
+        // A fresh epilogue is never re-unrolled in the same sweep.
+        let mut f = depth5_loop(TripCount::dynamic("n"));
+        unroll_loops_with_factor(&mut f, 3);
+        let loops = f.loops_in_block(f.entry);
+        assert_eq!(loops.len(), 2, "main + one epilogue, not a cascade");
     }
 
     #[test]

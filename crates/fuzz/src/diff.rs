@@ -99,6 +99,10 @@ pub struct DiffOptions {
     /// Inject the known-bad mutation after this pass (test-only): the run
     /// must then fail with [`Stage::PassVerify`] naming that pass.
     pub inject: Option<Pass>,
+    /// Also autotune the program and push the winning
+    /// [`CompilerConfig::Tuned`] plan through the whole oracle stack — the
+    /// autotuner's "no miscompiles from exotic plans" differential check.
+    pub tune: bool,
 }
 
 impl Default for DiffOptions {
@@ -111,6 +115,7 @@ impl Default for DiffOptions {
             magnitude_cap: 1e6,
             toy_magnitude_cap: 8.0,
             inject: None,
+            tune: false,
         }
     }
 }
@@ -173,17 +178,29 @@ pub fn run_case(spec: &ProgramSpec, opts: &DiffOptions) -> Result<Verdict, FuzzF
 
     let params = fuzz_params();
     let copts = CompileOptions::new(params.clone());
-    let configs: &[CompilerConfig] = if opts.inject.is_some() {
+    let mut configs: Vec<CompilerConfig> = if opts.inject.is_some() {
         // Injection targets the loop-aware pipeline; Halo runs every pass.
-        &[CompilerConfig::Halo]
+        vec![CompilerConfig::Halo]
     } else {
-        &CompilerConfig::ALL
+        CompilerConfig::ALL.to_vec()
     };
+    if opts.tune && opts.inject.is_none() {
+        let outcome = halo_core::autotune(&src, &copts).map_err(|e| {
+            fail(
+                seed,
+                Stage::Compile,
+                Some("Tuned"),
+                format!("autotune: {e}"),
+            )
+        })?;
+        configs.push(CompilerConfig::Tuned(outcome.plan));
+    }
 
     let mut sim_outputs: Vec<(&'static str, Vec<Vec<f64>>)> = Vec::new();
     let mut halo_fn: Option<Function> = None;
     let mut dacapo_fn: Option<Function> = None;
-    for &config in configs {
+    let mut tuned_fn: Option<Function> = None;
+    for &config in &configs {
         // DaCapo cannot compile dynamic trips; it gets the constant twin.
         let cfg_src = if config == CompilerConfig::DaCapo {
             build(spec, false)
@@ -248,6 +265,9 @@ pub fn run_case(spec: &ProgramSpec, opts: &DiffOptions) -> Result<Verdict, FuzzF
         if config == CompilerConfig::DaCapo {
             dacapo_fn = Some(compiled.function.clone());
         }
+        if matches!(config, CompilerConfig::Tuned(_)) {
+            tuned_fn = Some(compiled.function.clone());
+        }
         sim_outputs.push((config.name(), out.outputs));
     }
 
@@ -297,7 +317,11 @@ pub fn run_case(spec: &ProgramSpec, opts: &DiffOptions) -> Result<Verdict, FuzzF
     // fixed-point encoding (rf_bits = 40 at ring degree 32) only covers
     // modest magnitudes, so larger cases check only sim oracles.
     if opts.check_toy && max_abs <= opts.toy_magnitude_cap {
-        for (name, f) in [("dacapo", &dacapo_fn), ("halo", &halo_fn)] {
+        for (name, f) in [
+            ("dacapo", &dacapo_fn),
+            ("halo", &halo_fn),
+            ("tuned", &tuned_fn),
+        ] {
             let Some(f) = f else { continue };
             let be = ToyBackend::new(params.poly_degree, params.max_level, seed ^ 0x70F);
             let out = Executor::new(&be)

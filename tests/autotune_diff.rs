@@ -1,0 +1,46 @@
+//! Differential correctness campaign for autotuned plans (DESIGN.md §16):
+//! the tuner may pick *any* point in its search space — exotic unroll
+//! factors, extra peeling, packing toggled against the heuristic's choice
+//! — so every winning plan is compiled and executed through the full
+//! differential harness: plaintext reference, exact simulation under
+//! every configuration, noisy-determinism, and the toy RNS-CKKS lattice
+//! backend, with per-pass IR verification at every boundary.
+//!
+//! A miscompile introduced by the `Tuned` pipeline arm (or a plan the
+//! search space should never have generated) shows up here as a
+//! cross-backend disagreement, localized to the failing stage.
+
+use halo_fuzz::diff::{run_case, DiffOptions, Verdict};
+use halo_fuzz::gen_spec;
+
+/// The ISSUE's acceptance bar: a ≥100-seed campaign with the tuned
+/// configuration riding every case, zero failures, and most cases
+/// actually exercising all oracles (a few skip the toy backend when the
+/// reference magnitude exceeds its precision envelope — skipping is
+/// visible, not silent).
+#[test]
+fn tuned_plans_survive_a_hundred_seed_differential_campaign() {
+    let opts = DiffOptions {
+        tune: true,
+        ..DiffOptions::default()
+    };
+    let mut ran = 0;
+    let mut skipped = 0;
+    for seed in 0..100u64 {
+        match run_case(&gen_spec(seed), &opts) {
+            Ok(Verdict::Ok) => ran += 1,
+            Ok(Verdict::Skipped(_)) => skipped += 1,
+            Err(f) => panic!(
+                "seed {seed}: {} ({}): {}",
+                f.stage.name(),
+                f.config.unwrap_or("-"),
+                f.detail
+            ),
+        }
+    }
+    assert!(
+        ran >= 75,
+        "only {ran}/100 cases ran clean ({skipped} skipped) — the campaign \
+         must exercise the tuned configuration, not skip past it"
+    );
+}

@@ -1,0 +1,126 @@
+//! Optimality proof harness for the placement autotuner (DESIGN.md §16).
+//!
+//! Two properties, checked over the same seeded loop corpus the fuzzer
+//! draws from:
+//!
+//! 1. **Strategy agreement** — the exhaustive oracle and the pruning
+//!    branch-and-bound strategy return the *same modeled cost* on every
+//!    program (plans may differ under cost ties; the cost may not). This
+//!    is the proof obligation for the pruning bound: an inadmissible
+//!    bound would make branch-and-bound return a costlier plan somewhere.
+//! 2. **Heuristic dominance** — the tuned plan is never costlier than any
+//!    of the paper's five heuristic configurations, because every
+//!    heuristic's pass recipe is itself a point in the search space.
+//!
+//! Both properties hold by construction; these tests pin the
+//! construction against regressions in the space derivation, the floor
+//! model, or the pipeline's `Tuned` arm.
+
+use proptest::prelude::*;
+
+use halo_core::autotune::heuristic_cost_us;
+use halo_core::{
+    BranchBoundTuner, CompileOptions, CompilerConfig, DefaultPolicy, ExhaustiveTuner, SearchSpace,
+    Tuner, ASSUMED_TRIPS,
+};
+use halo_fuzz::diff::fuzz_params;
+use halo_fuzz::gen::{build, gen_spec};
+
+fn opts() -> CompileOptions {
+    CompileOptions::new(fuzz_params())
+}
+
+/// Relative cost-agreement tolerance: both strategies score candidates
+/// with the same deterministic `estimate_cost_us`, so they must agree to
+/// floating-point accumulation error, not to a modeling tolerance.
+const REL_EQ: f64 = 1e-9;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Exhaustive and branch-and-bound agree on the optimal modeled cost
+    /// for every generated program, on a capped (but multi-dimensional)
+    /// space, and the branch-and-bound accounting covers the whole space:
+    /// every plan is either evaluated or pruned, never silently dropped.
+    #[test]
+    fn strategies_agree_on_generated_programs(seed in 0u64..4096) {
+        let spec = gen_spec(seed);
+        let src = build(&spec, true);
+        let opts = opts();
+        let space = SearchSpace::for_program(&src, &opts).capped(5, 1);
+        prop_assert!(!space.is_empty());
+
+        let ex = ExhaustiveTuner
+            .tune(&src, &opts, &space, ASSUMED_TRIPS, &mut DefaultPolicy)
+            .expect("exhaustive search must find a plan");
+        let bb = BranchBoundTuner
+            .tune(&src, &opts, &space, ASSUMED_TRIPS, &mut DefaultPolicy)
+            .expect("branch-and-bound must find a plan");
+
+        prop_assert!(
+            (ex.cost_us - bb.cost_us).abs() <= REL_EQ * ex.cost_us.abs(),
+            "seed {}: exhaustive {} ({}) vs branch-and-bound {} ({})",
+            seed, ex.cost_us, ex.plan.describe(), bb.cost_us, bb.plan.describe()
+        );
+        prop_assert_eq!(ex.evaluated + ex.pruned, ex.space);
+        prop_assert_eq!(bb.evaluated + bb.pruned, bb.space);
+        prop_assert_eq!(ex.pruned, 0); // the oracle never prunes
+        prop_assert!(bb.evaluated <= ex.evaluated);
+    }
+}
+
+/// On the dynamic-trip corpus the tuned plan matches or beats every
+/// heuristic that can compile dynamic trips (DaCapo cannot); on the
+/// constant-trip twin it matches or beats all five, DaCapo included,
+/// because `UnrollChoice::Full` reproduces DaCapo's exact pass recipe.
+#[test]
+fn tuned_never_loses_to_a_heuristic() {
+    let opts = opts();
+    for seed in 0..12u64 {
+        let spec = gen_spec(seed);
+        for constant in [false, true] {
+            let src = build(&spec, !constant);
+            let outcome = halo_core::autotune(&src, &opts)
+                .unwrap_or_else(|e| panic!("seed {seed} (constant={constant}): autotune: {e}"));
+            for config in CompilerConfig::ALL {
+                if config == CompilerConfig::DaCapo && !constant {
+                    continue; // DaCapo rejects symbolic trip counts.
+                }
+                let h = heuristic_cost_us(&src, config, &opts, ASSUMED_TRIPS).unwrap_or_else(|e| {
+                    panic!("seed {seed} (constant={constant}): {}: {e}", config.name())
+                });
+                assert!(
+                    outcome.cost_us <= h * (1.0 + 1e-6),
+                    "seed {seed} (constant={constant}): tuned {} ({}) beats {} at {h}",
+                    outcome.cost_us,
+                    outcome.plan.describe(),
+                    config.name()
+                );
+            }
+        }
+    }
+}
+
+/// The default end-to-end entry point (`autotune`) prunes without ever
+/// changing the answer the exhaustive oracle would give on the *full*
+/// derived space — the capped proptest above is the volume check; this
+/// is the uncapped spot check.
+#[test]
+fn full_space_agreement_spot_check() {
+    let opts = opts();
+    for seed in [0u64, 7, 13] {
+        let src = build(&gen_spec(seed), true);
+        let space = SearchSpace::for_program(&src, &opts);
+        let ex = ExhaustiveTuner
+            .tune(&src, &opts, &space, ASSUMED_TRIPS, &mut DefaultPolicy)
+            .expect("exhaustive");
+        let bb = halo_core::autotune(&src, &opts).expect("autotune");
+        assert!(
+            (ex.cost_us - bb.cost_us).abs() <= REL_EQ * ex.cost_us.abs(),
+            "seed {seed}: {} vs {}",
+            ex.cost_us,
+            bb.cost_us
+        );
+        assert_eq!(bb.evaluated + bb.pruned, bb.space);
+    }
+}

@@ -1,0 +1,83 @@
+//! Cost-model calibration (DESIGN.md §16): the autotuner ranks candidate
+//! plans with the *static* estimate (`estimate_cost_us`), but the tables
+//! report the sim backend's *measured* `RunStats` time. The search is
+//! only trustworthy if the two agree — a drifting estimator would tune
+//! for a machine that doesn't exist.
+//!
+//! Both sides price ops from the same calibrated `CostModel`, so the
+//! residual disagreement comes from accounting differences only: the
+//! estimator charges a fresh plaintext encode per ciphertext-plaintext
+//! op, while the executor encodes each `Const` once where it is
+//! materialized. That residual is bounded here at 5% relative, per
+//! benchmark, per configuration — tight enough that a real modeling bug
+//! (mispriced rotations, dropped bootstrap, wrong trip multiplier) blows
+//! the bound immediately.
+
+use halo_bench::{bound_inputs, compile_bench, execute, options, Scale};
+use halo_core::cost_est::estimate_cost_us;
+use halo_core::{autotune, CompilerConfig, ASSUMED_TRIPS};
+use halo_ml::bench::flat_benchmarks;
+
+/// Stated tolerance: measured and estimated modeled time agree within 5%.
+const REL_TOL: f64 = 0.05;
+
+fn check(config: CompilerConfig, bench_name: &str, f: &halo_ir::Function, scale: Scale) {
+    let est = estimate_cost_us(f, ASSUMED_TRIPS);
+    let bench = flat_benchmarks()
+        .into_iter()
+        .find(|b| b.name() == bench_name)
+        .expect("benchmark exists");
+    let inputs = bound_inputs(bench.as_ref(), &[ASSUMED_TRIPS], scale);
+    let measured = execute(f, &inputs, scale, false).stats.total_us;
+    let rel = (est - measured).abs() / measured;
+    assert!(
+        rel <= REL_TOL,
+        "{bench_name} under {}: estimate {est:.1}us vs measured {measured:.1}us \
+         ({:.2}% apart, tolerance {:.0}%)",
+        config.name(),
+        rel * 100.0,
+        REL_TOL * 100.0
+    );
+}
+
+/// The estimator tracks the sim backend on every benchmark under the
+/// HALO heuristic — the configuration the tuned plan is compared against
+/// in `BENCH_TUNE.json`, so a biased baseline would corrupt the reported
+/// gap as much as a biased search oracle would.
+#[test]
+fn estimate_matches_sim_backend_under_halo() {
+    let scale = Scale::Small;
+    for bench in flat_benchmarks() {
+        let compiled = compile_bench(
+            bench.as_ref(),
+            CompilerConfig::Halo,
+            &[ASSUMED_TRIPS],
+            scale,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        check(
+            CompilerConfig::Halo,
+            bench.name(),
+            &compiled.function,
+            scale,
+        );
+    }
+}
+
+/// The estimator also tracks the sim backend on the *tuned* plan of every
+/// benchmark — the plans the search actually selects, including unroll
+/// factors and peel depths no heuristic configuration ever emits.
+#[test]
+fn estimate_matches_sim_backend_under_tuned_plans() {
+    let scale = Scale::Small;
+    let opts = options(scale);
+    for bench in flat_benchmarks() {
+        let src = bench.trace_dynamic(&scale.spec());
+        let outcome =
+            autotune(&src, &opts).unwrap_or_else(|e| panic!("{}: autotune: {e}", bench.name()));
+        let config = CompilerConfig::Tuned(outcome.plan);
+        let compiled = compile_bench(bench.as_ref(), config, &[ASSUMED_TRIPS], scale)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        check(config, bench.name(), &compiled.function, scale);
+    }
+}
