@@ -1,10 +1,11 @@
 //! CI schema check for the machine-readable bench artifacts: parses and
 //! validates `BENCH_ROTATE.json`, `BENCH_RUN_ALL.json`, and — when
 //! present or made mandatory with `--ntt` / `--serve` / `--tune` /
-//! `--fuzz` / `--crash` / `--remote` — the `BENCH_NTT.json`
+//! `--fuzz` / `--crash` / `--remote` / `--fleet` — the `BENCH_NTT.json`
 //! microbenchmark, the `BENCH_SERVE.json` serving campaign, the
 //! `BENCH_TUNE.json` autotuner sweep, and the `FUZZ_REPORT.json` /
-//! `CRASH_REPORT.json` / `REMOTE_REPORT.json` campaign reports, all from
+//! `CRASH_REPORT.json` / `REMOTE_REPORT.json` / `FLEET_REPORT.json`
+//! campaign reports, all from
 //! `HALO_BENCH_JSON_DIR` (default `results/`), exiting non-zero on the
 //! first violation. `--all` instead sweeps every `*.json` in the
 //! directory through its validator (unknown file names are themselves
@@ -19,6 +20,7 @@
 //! cargo run --release -p halo-bench --bin bench_json_check -- --fuzz
 //! cargo run --release -p halo-bench --bin bench_json_check -- --crash
 //! cargo run --release -p halo-bench --bin bench_json_check -- --remote
+//! cargo run --release -p halo-bench --bin bench_json_check -- --fleet
 //! cargo run --release -p halo-bench --bin bench_json_check -- --all
 //! ```
 
@@ -37,6 +39,7 @@ fn validator_for(name: &str) -> Option<Validator> {
         "FUZZ_REPORT.json" => Some(json::validate_fuzz_report),
         "CRASH_REPORT.json" => Some(json::validate_crash_report),
         "REMOTE_REPORT.json" => Some(json::validate_remote_report),
+        "FLEET_REPORT.json" => Some(json::validate_fleet_report),
         _ => None,
     }
 }
@@ -82,7 +85,8 @@ fn check_all() -> Vec<Result<(), String>> {
 }
 
 fn main() {
-    // `--serve` / `--fuzz` / `--crash` / `--remote` make the respective
+    // `--serve` / `--fuzz` / `--crash` / `--remote` / `--fleet` make the
+    // respective
     // campaign report mandatory (their CI jobs); otherwise each is
     // validated only if present, so plain bench runs don't require a
     // campaign first.
@@ -93,6 +97,7 @@ fn main() {
     let require_fuzz = args.iter().any(|a| a == "--fuzz");
     let require_crash = args.iter().any(|a| a == "--crash");
     let require_remote = args.iter().any(|a| a == "--remote");
+    let require_fleet = args.iter().any(|a| a == "--fleet");
     let all = args.iter().any(|a| a == "--all");
     let present = |name: &str| {
         halo_bench::bench_json_dir()
@@ -124,6 +129,9 @@ fn main() {
         }
         if require_remote || present("REMOTE_REPORT.json") {
             results.push(check("REMOTE_REPORT.json", json::validate_remote_report));
+        }
+        if require_fleet || present("FLEET_REPORT.json") {
+            results.push(check("FLEET_REPORT.json", json::validate_fleet_report));
         }
         results
     };

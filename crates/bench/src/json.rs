@@ -919,6 +919,121 @@ pub fn validate_remote_report(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `FLEET_REPORT.json` document (schema
+/// `halo-fleet-report/1`): the fenced lease-based fleet campaign. Every
+/// trial names its fault profile, carries the fleet telemetry (legs
+/// claimed, leases expired, zombie writes fenced, legs reassigned,
+/// coordinator resumes, executor crashes and stalls), and reports the
+/// bit-identity verdict against the solo uninterrupted run. A green
+/// report has zero aborts, zero failures, at least eight fault profiles,
+/// and a campaign that provably exercised the failure machinery: at
+/// least one fenced zombie write, one lease expiry with reassignment,
+/// one executor crash, and one coordinator resume somewhere in the
+/// trial set.
+///
+/// # Errors
+///
+/// Returns the first schema violation.
+pub fn validate_fleet_report(v: &Json) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != "halo-fleet-report/1" {
+        return Err(format!("unexpected schema '{schema}'"));
+    }
+    require_str(v, "bench")?;
+    require_str(v, "scale")?;
+    for k in [
+        "iters",
+        "seeds",
+        "profiles",
+        "executors",
+        "leg_len",
+        "wall_ms",
+    ] {
+        require_num(v, k)?;
+    }
+    if require_num(v, "profiles")? < 8.0 {
+        return Err("campaign must cover at least 8 fault profiles".into());
+    }
+    let passed = require_num(v, "passed")?;
+    let failed = require_num(v, "failed")?;
+    let aborts = require_num(v, "aborts")?;
+    let trials = v
+        .get("trials")
+        .and_then(Json::as_arr)
+        .ok_or("missing array 'trials'".to_string())?;
+    if trials.is_empty() {
+        return Err("'trials' must be non-empty".into());
+    }
+    let mut bit_identical = 0.0;
+    let mut fenced = 0.0;
+    let mut expired = 0.0;
+    let mut reassigned = 0.0;
+    let mut crashes = 0.0;
+    let mut resumes = 0.0;
+    for (i, row) in trials.iter().enumerate() {
+        let ctx = |e| format!("trials[{i}]: {e}");
+        require_str(row, "profile").map_err(ctx)?;
+        require_num(row, "seed").map_err(ctx)?;
+        if require_num(row, "legs").map_err(ctx)? < 2.0 {
+            return Err(format!(
+                "trials[{i}]: the job must shard into at least 2 legs"
+            ));
+        }
+        require_num(row, "ticks").map_err(ctx)?;
+        if require_num(row, "legs_claimed").map_err(ctx)? < 1.0 {
+            return Err(format!("trials[{i}]: no leg was ever claimed"));
+        }
+        require_num(row, "snapshot_writes").map_err(ctx)?;
+        require_num(row, "remote_puts").map_err(ctx)?;
+        require_num(row, "executor_stalls").map_err(ctx)?;
+        fenced += require_num(row, "zombie_writes_fenced").map_err(ctx)?;
+        expired += require_num(row, "leases_expired").map_err(ctx)?;
+        reassigned += require_num(row, "legs_reassigned").map_err(ctx)?;
+        crashes += require_num(row, "executor_crashes").map_err(ctx)?;
+        resumes += require_num(row, "coordinator_resumes").map_err(ctx)?;
+        match row.get("bit_identical") {
+            Some(Json::Bool(ok)) => {
+                if *ok {
+                    bit_identical += 1.0;
+                }
+            }
+            _ => return Err(format!("trials[{i}]: 'bit_identical' must be a boolean")),
+        }
+    }
+    if fenced < 1.0 {
+        return Err("no trial fenced a zombie write: the fencing machinery never engaged".into());
+    }
+    if expired < 1.0 || reassigned < 1.0 {
+        return Err(format!(
+            "campaign must observe lease expiry and reassignment \
+             (got {expired} expiries, {reassigned} reassignments)"
+        ));
+    }
+    if crashes < 1.0 {
+        return Err("no executor ever crashed: the kill machinery never engaged".into());
+    }
+    if resumes < 1.0 {
+        return Err("no coordinator restart was exercised".into());
+    }
+    if passed + failed != trials.len() as f64 {
+        return Err(format!(
+            "passed {passed} + failed {failed} does not cover {} trials",
+            trials.len()
+        ));
+    }
+    if bit_identical != passed {
+        return Err(format!(
+            "passed {passed} inconsistent with {bit_identical} bit-identical trials"
+        ));
+    }
+    if failed > 0.0 || aborts > 0.0 {
+        return Err(format!(
+            "report is red: {failed} failed trials, {aborts} aborts"
+        ));
+    }
+    Ok(())
+}
+
 /// Builds an object from key/value pairs (emit-side convenience).
 #[must_use]
 pub fn obj(members: Vec<(&str, Json)>) -> Json {

@@ -15,7 +15,11 @@
 //!   extra `modswitch`), modelling level-accounting divergence between the
 //!   compiler's plan and the device; downstream ops then see level
 //!   mismatches or imminent [`BackendError::LevelExhausted`] that the
-//!   self-healing executor must absorb.
+//!   self-healing executor must absorb;
+//! - **executor kill points** — an exact (not probabilistic) switch that
+//!   refuses every call after the *n*-th, modelling a SIGKILLed executor
+//!   process mid-leg for the fleet chaos campaign (see
+//!   [`FaultInjectingBackend::kill_after_ops`]).
 //!
 //! All randomness flows from one seeded [`StdRng`] (the vendored
 //! `compat/rand`), so a (program, spec, seed) triple replays the exact
@@ -115,13 +119,20 @@ pub struct FaultReport {
     pub noise_bursts: u64,
     /// Spurious one-level losses applied to op results.
     pub level_losses: u64,
+    /// Calls refused because the kill switch had fired (see
+    /// [`FaultInjectingBackend::kill_after_ops`]).
+    pub killed_calls: u64,
 }
 
 impl FaultReport {
     /// Total injected faults across all classes.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.transients + self.bootstrap_failures + self.noise_bursts + self.level_losses
+        self.transients
+            + self.bootstrap_failures
+            + self.noise_bursts
+            + self.level_losses
+            + self.killed_calls
     }
 
     /// Faults that surface to the caller as [`BackendError::Transient`]
@@ -143,6 +154,12 @@ pub struct FaultInjectingBackend<B> {
     bootstrap_failures: AtomicU64,
     noise_bursts: AtomicU64,
     level_losses: AtomicU64,
+    /// Backend calls that have passed the kill gate so far.
+    calls: AtomicU64,
+    /// Call number after which every call is refused (`u64::MAX` =
+    /// disarmed).
+    kill_at: AtomicU64,
+    killed_calls: AtomicU64,
 }
 
 impl<B: Backend> FaultInjectingBackend<B> {
@@ -157,7 +174,28 @@ impl<B: Backend> FaultInjectingBackend<B> {
             bootstrap_failures: AtomicU64::new(0),
             noise_bursts: AtomicU64::new(0),
             level_losses: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
+            kill_at: AtomicU64::new(u64::MAX),
+            killed_calls: AtomicU64::new(0),
         }
+    }
+
+    /// Arms the executor-level kill point: after `n` more backend calls,
+    /// every subsequent call fails with a *non-transient*
+    /// [`BackendError::Unsupported`] — modelling a SIGKILLed executor
+    /// process whose in-flight leg simply stops making progress (no
+    /// cleanup, no error handling, no further snapshots). Unlike the
+    /// probabilistic fault classes the kill point is exact: the fleet
+    /// chaos campaign uses it to cut executors down mid-leg at a seeded,
+    /// reproducible op index.
+    pub fn kill_after_ops(&self, n: u64) {
+        let at = self.calls.load(Ordering::SeqCst).saturating_add(n);
+        self.kill_at.store(at, Ordering::SeqCst);
+    }
+
+    /// Disarms a previously armed kill point.
+    pub fn disarm_kill(&self) {
+        self.kill_at.store(u64::MAX, Ordering::SeqCst);
     }
 
     /// The wrapped backend.
@@ -174,6 +212,7 @@ impl<B: Backend> FaultInjectingBackend<B> {
             bootstrap_failures: self.bootstrap_failures.load(Ordering::SeqCst),
             noise_bursts: self.noise_bursts.load(Ordering::SeqCst),
             level_losses: self.level_losses.load(Ordering::SeqCst),
+            killed_calls: self.killed_calls.load(Ordering::SeqCst),
         }
     }
 
@@ -191,8 +230,17 @@ impl<B: Backend> FaultInjectingBackend<B> {
         rng.gen_range(0.0..1.0) < p
     }
 
-    /// Pre-execution fault point: transient failure at the global rate.
+    /// Pre-execution fault point: the kill gate first (a dead process
+    /// performs no further work of any kind), then a transient failure at
+    /// the global rate.
     fn fail_point(&self, op: &'static str) -> Result<()> {
+        let call = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
+        if call > self.kill_at.load(Ordering::SeqCst) {
+            self.killed_calls.fetch_add(1, Ordering::SeqCst);
+            return Err(BackendError::Unsupported(format!(
+                "executor killed at injected kill point (call {call} was {op})"
+            )));
+        }
         if self.roll(self.spec.transient) {
             self.transients.fetch_add(1, Ordering::SeqCst);
             return Err(BackendError::Transient { op });
@@ -408,6 +456,29 @@ mod tests {
         assert!(got != 1.0, "burst must perturb");
         assert!((got - 1.0).abs() < 1e-5, "burst bounded: {got}");
         assert_eq!(b.report().noise_bursts, 1);
+    }
+
+    #[test]
+    fn kill_point_is_exact_and_permanent() {
+        let b = wrapped(FaultSpec::none(), 5);
+        let x = b.encrypt(&[1.0], 5).unwrap();
+        // Arm: exactly 3 more calls succeed, then everything dies.
+        b.kill_after_ops(3);
+        assert!(b.add(&x, &x).is_ok());
+        assert!(b.add(&x, &x).is_ok());
+        assert!(b.add(&x, &x).is_ok());
+        let err = b.add(&x, &x).unwrap_err();
+        assert!(!err.is_transient(), "a killed process never recovers");
+        assert!(err.to_string().contains("kill point"));
+        // Permanent: later calls of any kind keep failing.
+        assert!(b.decrypt(&x).is_err());
+        assert!(b.bootstrap(&x, 16).is_err());
+        assert_eq!(b.report().killed_calls, 3);
+        // Disarm resurrects the backend (a fresh executor on the same
+        // machine).
+        b.disarm_kill();
+        assert!(b.add(&x, &x).is_ok());
+        assert_eq!(b.report().killed_calls, 3);
     }
 
     #[test]

@@ -29,8 +29,13 @@
 //!   breaker, write-behind spill — DESIGN.md §14). A real-HTTP
 //!   [`ObjectStore`] lives behind the off-by-default `remote-http`
 //!   feature (the workspace builds offline).
+//! - [`fleet`] — fenced lease-based fleet execution: one loop job sharded
+//!   into snapshot-delimited legs across crash-prone executors sharing
+//!   one object store, with lease claims, epoch fencing tokens, zombie
+//!   write refusal, and bit-identical recovery (DESIGN.md §17).
 
 pub mod exec;
+pub mod fleet;
 pub mod reference;
 pub mod remote;
 pub mod serve;
@@ -42,6 +47,10 @@ pub mod store;
 pub mod http;
 
 pub use exec::{ExecError, ExecPolicy, Executor, Inputs, RtValue, RunError, RunOutput};
+pub use fleet::{
+    run_fleet, ClaimOutcome, FleetConfig, FleetError, FleetFaultSpec, FleetJob, FleetReport,
+    LeaseRecord, LoopSchedule,
+};
 pub use reference::reference_run;
 pub use remote::{
     ObjectError, ObjectErrorKind, ObjectReply, ObjectResult, ObjectStore, RemoteFaultReport,
@@ -51,7 +60,9 @@ pub use serve::{
     serve, AdmissionError, JobError, JobOutcome, JobResult, ServeConfig, ServeReport, Server,
     SessionId, SessionStats, Ticket, Unbatchable,
 };
-pub use snapshot::{decode_snapshot, encode_snapshot, DecodedSnapshot, SNAP_FORMAT};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, peek_snapshot_cursor, DecodedSnapshot, SNAP_FORMAT,
+};
 pub use stats::{rmse, RunStats};
 pub use store::{
     DiskStore, FaultyStore, MemStore, SnapshotStore, StoreFaultReport, StoreFaultSpec,

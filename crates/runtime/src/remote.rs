@@ -147,6 +147,28 @@ pub trait ObjectStore: Send + Sync {
     fn delete(&self, key: &str, deadline_us: f64) -> ObjectResult<()>;
 }
 
+/// A shared reference to an object store is itself an object store, so
+/// several per-machine [`RemoteStore`] stacks (each with its own retry
+/// RNG, breaker, and generation counter) can share one remote — the
+/// topology the fleet layer (`crate::fleet`) models.
+impl<S: ObjectStore + ?Sized> ObjectStore for &S {
+    fn put(&self, key: &str, bytes: &[u8], deadline_us: f64) -> ObjectResult<()> {
+        (**self).put(key, bytes, deadline_us)
+    }
+
+    fn get(&self, key: &str, deadline_us: f64) -> ObjectResult<Vec<u8>> {
+        (**self).get(key, deadline_us)
+    }
+
+    fn list(&self, prefix: &str, deadline_us: f64) -> ObjectResult<Vec<String>> {
+        (**self).list(prefix, deadline_us)
+    }
+
+    fn delete(&self, key: &str, deadline_us: f64) -> ObjectResult<()> {
+        (**self).delete(key, deadline_us)
+    }
+}
+
 // ----------------------------------------------------------------------
 // The deterministic flaky-remote model.
 // ----------------------------------------------------------------------
@@ -640,6 +662,20 @@ enum Guarded<T> {
     Err(ObjectError),
 }
 
+/// Collapses a [`Guarded`] outcome into a plain result: a breaker
+/// fast-fail reads as an unavailability error (that is what the caller
+/// would have observed had the breaker let the call through).
+fn flatten<T>(g: Guarded<T>) -> Result<T, ObjectError> {
+    match g {
+        Guarded::Ok(v) => Ok(v),
+        Guarded::Err(e) => Err(e),
+        Guarded::FastFail => Err(ObjectError {
+            kind: ObjectErrorKind::Unavailable,
+            latency_us: 0.0,
+        }),
+    }
+}
+
 /// A [`SnapshotStore`] over any [`ObjectStore`], wrapping every remote
 /// operation in the resilience stack (deadlines, retry with decorrelated
 /// jitter, hedged reads, circuit breaker) and optionally spilling writes
@@ -804,6 +840,60 @@ impl<O: ObjectStore> RemoteStore<O> {
                 }
             }
         }
+    }
+
+    /// Raises the generation counter so every future [`SnapshotStore::put`]
+    /// allocates at `floor` or above. The fleet layer calls this with a
+    /// lease's fencing token: each lease epoch gets its own generation
+    /// band, so a write from an older epoch can never out-number (and
+    /// therefore never shadow, at resume's newest-first scan) a write
+    /// from the current one. Lowering is a no-op — the counter only moves
+    /// forward.
+    pub fn bump_generation_floor(&self, floor: u64) {
+        let mut inner = self.inner.lock().expect("remote store lock");
+        inner.next_gen = Some(inner.next_gen.unwrap_or(0).max(floor));
+    }
+
+    /// One raw-key write through the full resilience stack (retry,
+    /// jitter, breaker; no hedging — writes are not idempotent under
+    /// torn uploads). This is the surface the fleet layer's lease and
+    /// result records use; snapshot generations keep going through
+    /// [`SnapshotStore::put`].
+    ///
+    /// # Errors
+    ///
+    /// The last [`ObjectError`] once the retry budget is exhausted, or a
+    /// synthesized [`ObjectErrorKind::Unavailable`] when the breaker
+    /// fast-failed without contacting the remote.
+    pub fn object_put(&self, key: &str, bytes: &[u8]) -> Result<(), ObjectError> {
+        flatten(self.guarded(false, |d| self.remote.put(key, bytes, d)))
+    }
+
+    /// One raw-key read through the resilience stack, with hedging.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteStore::object_put`].
+    pub fn object_get(&self, key: &str) -> Result<Vec<u8>, ObjectError> {
+        flatten(self.guarded(true, |d| self.remote.get(key, d)))
+    }
+
+    /// One raw-prefix listing through the resilience stack.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteStore::object_put`].
+    pub fn object_list(&self, prefix: &str) -> Result<Vec<String>, ObjectError> {
+        flatten(self.guarded(false, |d| self.remote.list(prefix, d)))
+    }
+
+    /// One raw-key delete through the resilience stack.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteStore::object_put`].
+    pub fn object_delete(&self, key: &str) -> Result<(), ObjectError> {
+        flatten(self.guarded(false, |d| self.remote.delete(key, d)))
     }
 
     /// Remote generation listing through the stack; `None` when the

@@ -255,3 +255,36 @@ pub fn decode_snapshot<B: SnapshotBackend>(
         rng,
     })
 }
+
+/// Reads just the cursor — `(loop_op, iter)` — of a `halo-snap/1` blob
+/// without a backend: the whole-blob checksum, magic, version, and
+/// function name are verified, but the ciphertext payload is neither
+/// decoded nor validated against any parameter set.
+///
+/// This is the cheap *frontier probe* the fleet layer uses to map a
+/// snapshot to its position in the program's loop-header sequence;
+/// resuming still goes through [`decode_snapshot`]'s full validation.
+#[must_use]
+pub fn peek_snapshot_cursor(function: &str, bytes: &[u8]) -> Option<(OpId, u64)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if stored != fnv1a64(payload) {
+        return None;
+    }
+    let mut r = SnapReader::new(payload);
+    if r.take(MAGIC.len()).ok()? != MAGIC || r.u32().ok()? != VERSION {
+        return None;
+    }
+    let _fmt = r.str().ok()?;
+    if r.str().ok()? != function {
+        return None;
+    }
+    let _poly_degree = r.u64().ok()?;
+    let _max_level = r.u32().ok()?;
+    let loop_op = OpId(r.u32().ok()?);
+    let iter = r.u64().ok()?;
+    Some((loop_op, iter))
+}

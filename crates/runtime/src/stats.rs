@@ -112,6 +112,26 @@ pub struct RunStats {
     /// Modeled latency saved by hoisting versus pricing each rotation
     /// individually, in µs (already deducted from [`RunStats::total_us`]).
     pub hoist_saved_us: f64,
+
+    // ------------------------------------------------------------------
+    // Fleet-execution telemetry (all zero unless the run went through
+    // `fleet::run_fleet`; see DESIGN.md §17).
+    // ------------------------------------------------------------------
+    /// Leg leases successfully claimed (read-back confirmed), including
+    /// re-claims after expiry.
+    pub legs_claimed: u64,
+    /// Lease expiries the coordinator observed (one per expired epoch).
+    pub leases_expired: u64,
+    /// Publish attempts (snapshots or leg results) refused by the fence
+    /// because the writer's lease epoch was no longer current — each one
+    /// is a zombie write that never reached the store.
+    pub zombie_writes_fenced: u64,
+    /// Legs claimed under a successor epoch after a previous holder
+    /// crashed, stalled, or went hollow.
+    pub legs_reassigned: u64,
+    /// Coordinator restarts that rebuilt the schedule view from the
+    /// lease/snapshot/result records alone.
+    pub coordinator_resumes: u64,
 }
 
 impl RunStats {
@@ -151,6 +171,87 @@ impl RunStats {
     #[must_use]
     pub fn recovery_overhead_us(&self) -> f64 {
         self.retry_backoff_us + self.checkpoint_us + self.disk_snapshot_us + self.remote_backoff_us
+    }
+
+    /// Merges every counter of `other` into `self` — how the fleet
+    /// coordinator aggregates per-executor, per-leg stats into one
+    /// job-level view.
+    ///
+    /// Implemented with an exhaustive destructuring (no `..` rest
+    /// pattern) on purpose: adding a field to [`RunStats`] without
+    /// deciding how it merges fails to compile here, so a new counter can
+    /// never silently vanish from fleet aggregates.
+    pub fn absorb(&mut self, other: &RunStats) {
+        let RunStats {
+            op_counts,
+            bootstrap_count,
+            total_us,
+            bootstrap_us,
+            transient_faults,
+            retries,
+            retry_backoff_us,
+            emergency_bootstraps,
+            level_aligns,
+            emergency_rescales,
+            checkpoints,
+            checkpoint_us,
+            resumes,
+            snapshot_writes,
+            snapshot_bytes,
+            disk_snapshot_us,
+            resumes_from_disk,
+            corrupt_snapshots_skipped,
+            resume_list_failures,
+            remote_puts,
+            remote_retries,
+            remote_backoff_us,
+            hedged_reads,
+            breaker_opens,
+            spilled_snapshots,
+            hoisted_batches,
+            hoisted_rotations,
+            hoist_saved_us,
+            legs_claimed,
+            leases_expired,
+            zombie_writes_fenced,
+            legs_reassigned,
+            coordinator_resumes,
+        } = other;
+        for (mnemonic, n) in op_counts {
+            *self.op_counts.entry(mnemonic).or_insert(0) += n;
+        }
+        self.bootstrap_count += bootstrap_count;
+        self.total_us += total_us;
+        self.bootstrap_us += bootstrap_us;
+        self.transient_faults += transient_faults;
+        self.retries += retries;
+        self.retry_backoff_us += retry_backoff_us;
+        self.emergency_bootstraps += emergency_bootstraps;
+        self.level_aligns += level_aligns;
+        self.emergency_rescales += emergency_rescales;
+        self.checkpoints += checkpoints;
+        self.checkpoint_us += checkpoint_us;
+        self.resumes += resumes;
+        self.snapshot_writes += snapshot_writes;
+        self.snapshot_bytes += snapshot_bytes;
+        self.disk_snapshot_us += disk_snapshot_us;
+        self.resumes_from_disk += resumes_from_disk;
+        self.corrupt_snapshots_skipped += corrupt_snapshots_skipped;
+        self.resume_list_failures += resume_list_failures;
+        self.remote_puts += remote_puts;
+        self.remote_retries += remote_retries;
+        self.remote_backoff_us += remote_backoff_us;
+        self.hedged_reads += hedged_reads;
+        self.breaker_opens += breaker_opens;
+        self.spilled_snapshots += spilled_snapshots;
+        self.hoisted_batches += hoisted_batches;
+        self.hoisted_rotations += hoisted_rotations;
+        self.hoist_saved_us += hoist_saved_us;
+        self.legs_claimed += legs_claimed;
+        self.leases_expired += leases_expired;
+        self.zombie_writes_fenced += zombie_writes_fenced;
+        self.legs_reassigned += legs_reassigned;
+        self.coordinator_resumes += coordinator_resumes;
     }
 
     /// Folds a remote-telemetry delta (sampled around a durable run from
@@ -200,6 +301,82 @@ mod tests {
         assert!((s.total_us - 302_000.0).abs() < 1e-9);
         assert!((s.bootstrap_us - 300_000.0).abs() < 1e-9);
         assert!((s.total_seconds() - 0.302).abs() < 1e-12);
+    }
+
+    /// Every field set to a distinct nonzero value via a full struct
+    /// literal — no `..Default::default()` — so a newly added counter
+    /// breaks this test's compilation until it is added here *and* to
+    /// `absorb` (which itself destructures exhaustively).
+    fn distinct() -> RunStats {
+        RunStats {
+            op_counts: BTreeMap::from([("multcc", 2u64), ("bootstrap", 3u64)]),
+            bootstrap_count: 5,
+            total_us: 7.0,
+            bootstrap_us: 11.0,
+            transient_faults: 13,
+            retries: 17,
+            retry_backoff_us: 19.0,
+            emergency_bootstraps: 23,
+            level_aligns: 29,
+            emergency_rescales: 31,
+            checkpoints: 37,
+            checkpoint_us: 41.0,
+            resumes: 43,
+            snapshot_writes: 47,
+            snapshot_bytes: 53,
+            disk_snapshot_us: 59.0,
+            resumes_from_disk: 61,
+            corrupt_snapshots_skipped: 67,
+            resume_list_failures: 71,
+            remote_puts: 73,
+            remote_retries: 79,
+            remote_backoff_us: 83.0,
+            hedged_reads: 89,
+            breaker_opens: 97,
+            spilled_snapshots: 101,
+            hoisted_batches: 103,
+            hoisted_rotations: 107,
+            hoist_saved_us: 109.0,
+            legs_claimed: 113,
+            leases_expired: 127,
+            zombie_writes_fenced: 131,
+            legs_reassigned: 137,
+            coordinator_resumes: 139,
+        }
+    }
+
+    #[test]
+    fn absorb_covers_every_field() {
+        // Absorbing into a default must reproduce the source exactly:
+        // if any field were dropped from the merge, the asserted
+        // equality would catch it at its distinct value.
+        let src = distinct();
+        let mut agg = RunStats::default();
+        agg.absorb(&src);
+        assert_eq!(agg, src, "absorb into default must copy every field");
+
+        // Absorbing twice must double every numeric field (and merge
+        // op_counts entry-wise).
+        agg.absorb(&src);
+        assert_eq!(agg.op_counts["multcc"], 4);
+        assert_eq!(agg.op_counts["bootstrap"], 6);
+        assert_eq!(agg.bootstrap_count, 10);
+        assert!((agg.total_us - 14.0).abs() < 1e-12);
+        assert_eq!(agg.zombie_writes_fenced, 262);
+        assert_eq!(agg.coordinator_resumes, 278);
+        assert_eq!(agg.total_ops(), 2 * src.total_ops());
+    }
+
+    #[test]
+    fn absorb_merges_disjoint_op_counts() {
+        let mut a = RunStats::default();
+        a.record("rotate", 1.0, false);
+        let mut b = RunStats::default();
+        b.record("addcc", 2.0, false);
+        a.absorb(&b);
+        assert_eq!(a.op_counts["rotate"], 1);
+        assert_eq!(a.op_counts["addcc"], 1);
+        assert!((a.total_us - 3.0).abs() < 1e-12);
     }
 
     #[test]

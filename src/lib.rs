@@ -38,9 +38,11 @@ pub mod prelude {
     pub use halo_ir::op::TripCount;
     pub use halo_ir::{Function, FunctionBuilder};
     pub use halo_runtime::{
-        reference_run, rmse, serve, AdmissionError, DiskStore, ExecError, ExecPolicy, Executor,
-        FaultyStore, Inputs, JobError, JobOutcome, MemStore, ObjectStore, RemoteFaultSpec,
-        RemotePolicy, RemoteStore, RemoteTelemetry, RunError, RunStats, ServeConfig, ServeReport,
-        Server, SessionId, SimObjectStore, SnapshotStore, StoreFaultSpec, Ticket,
+        reference_run, rmse, run_fleet, serve, AdmissionError, ClaimOutcome, DiskStore, ExecError,
+        ExecPolicy, Executor, FaultyStore, FleetConfig, FleetError, FleetFaultSpec, FleetJob,
+        FleetReport, Inputs, JobError, JobOutcome, LeaseRecord, LoopSchedule, MemStore,
+        ObjectStore, RemoteFaultSpec, RemotePolicy, RemoteStore, RemoteTelemetry, RunError,
+        RunStats, ServeConfig, ServeReport, Server, SessionId, SimObjectStore, SnapshotStore,
+        StoreFaultSpec, Ticket,
     };
 }
